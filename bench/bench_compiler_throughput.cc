@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Compiler-throughput microbenchmarks (google-benchmark): parse, semantic
+ * analysis, srDFG construction, pass pipeline, lowering, and translation
+ * rates on representative workloads. Not a paper figure — engineering
+ * telemetry for the stack itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include "lower/lower.h"
+#include "passes/pass.h"
+#include "pmlang/parser.h"
+#include "pmlang/sema.h"
+#include "srdfg/builder.h"
+#include "workloads/programs.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+namespace {
+
+void
+BM_Parse(benchmark::State &state)
+{
+    const auto src = wl::mobileRobotProgram();
+    for (auto _ : state) {
+        auto program = lang::parse(src);
+        benchmark::DoNotOptimize(program);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_Parse);
+
+void
+BM_Analyze(benchmark::State &state)
+{
+    const auto src = wl::mobileRobotProgram();
+    const auto program = lang::parse(src);
+    for (auto _ : state)
+        lang::analyze(program);
+}
+BENCHMARK(BM_Analyze);
+
+void
+BM_BuildSrdfg(benchmark::State &state)
+{
+    const auto src = wl::mobileRobotProgram();
+    for (auto _ : state) {
+        auto graph = ir::compileToSrdfg(src);
+        benchmark::DoNotOptimize(graph);
+    }
+}
+BENCHMARK(BM_BuildSrdfg);
+
+void
+BM_BuildResnet18(benchmark::State &state)
+{
+    const auto src = wl::resnet18Program();
+    for (auto _ : state) {
+        auto graph = ir::compileToSrdfg(src);
+        benchmark::DoNotOptimize(graph);
+    }
+}
+BENCHMARK(BM_BuildResnet18);
+
+void
+BM_PassPipeline(benchmark::State &state)
+{
+    const auto src = wl::mobileRobotProgram();
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto graph = ir::compileToSrdfg(src);
+        state.ResumeTiming();
+        auto pm = pass::standardPipeline();
+        pm.runToFixpoint(*graph);
+        benchmark::DoNotOptimize(graph);
+    }
+}
+BENCHMARK(BM_PassPipeline);
+
+void
+BM_LowerAndTranslate(benchmark::State &state)
+{
+    const auto registry = target::standardRegistry();
+    const auto src = wl::mobileRobotProgram();
+    for (auto _ : state) {
+        auto compiled = wl::compileBenchmark(src, {}, registry,
+                                             lang::Domain::RBT);
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+BENCHMARK(BM_LowerAndTranslate);
+
+void
+BM_EndToEndBrainStimul(benchmark::State &state)
+{
+    const auto registry = target::standardRegistry();
+    const auto src = wl::brainStimulProgram();
+    for (auto _ : state) {
+        auto compiled =
+            wl::compileBenchmark(src, {}, registry, lang::Domain::None);
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+BENCHMARK(BM_EndToEndBrainStimul);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cross-check: DECO's analytic dependence-level model against the chain
+ * mapper that actually groups the translated fragments into pipelined
+ * DSP-block chains. Reports chain structure (count, average fused length,
+ * waves) and the per-invocation cycle comparison for the DSP workloads.
+ * Completes the per-backend fidelity ladder (see docs/MODELS.md).
+ */
+#include <cstdio>
+
+#include "core/strings.h"
+#include "report/report.h"
+#include "targets/common/backend.h"
+#include "targets/deco/chain_mapper.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+int
+main()
+{
+    const auto registry = target::standardRegistry();
+    const auto backends = target::standardBackends();
+    const auto *deco = target::findBackend(backends, "DECO");
+
+    report::Table table({"Benchmark", "Chains", "Avg fused len", "Waves",
+                         "Analytic (cyc)", "Mapped (cyc)", "Ratio",
+                         "DSP util"});
+
+    for (const char *id :
+         {"FFT-8192", "FFT-16384", "DCT-1024", "DCT-2048"}) {
+        const auto &bench = wl::benchmarkById(id);
+        const auto compiled = wl::compileBenchmark(
+            bench.source, bench.buildOpts, registry, bench.domain);
+        const auto &partition = compiled.partitions.front();
+
+        target::WorkloadProfile once = bench.profile;
+        once.invocations = 1;
+        const auto analytic = deco->simulate(partition, once);
+        const double analytic_cycles =
+            analytic.computeSeconds * deco->machine().freqGhz * 1e9;
+
+        target::ChainConfig config;
+        config.dspBlocks = deco->machine().computeUnits;
+        const auto mapped = target::mapChains(partition, config);
+
+        table.addRow(
+            {bench.id, format("%zu", mapped.chains.size()),
+             format("%.1f", mapped.avgChainLength()),
+             format("%lld", static_cast<long long>(mapped.waves)),
+             format("%.0f", analytic_cycles),
+             format("%lld", static_cast<long long>(mapped.cycles)),
+             format("%.2fx", static_cast<double>(mapped.cycles) /
+                                 analytic_cycles),
+             report::percent(mapped.dspUtilization)});
+    }
+    std::printf("DECO chain mapper vs analytic level model\n"
+                "(per-invocation steady-state cycles. Ratios below 1x are "
+                "headroom: a hand-mapped chain design streams stages "
+                "concurrently where the analytic model serializes levels "
+                "— which is consistent with the paper's DECO results "
+                "sitting above our conservative Fig. 7 FFT speedups, and "
+                "with Fig. 9's <100%% for PolyMath-generated DFGs.)\n\n%s\n",
+                table.str().c_str());
+    return 0;
+}

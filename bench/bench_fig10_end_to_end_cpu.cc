@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 10: end-to-end runtime/energy improvement over the CPU for the
+ * two cross-domain applications, across every combination of accelerated
+ * domains. The paper's headline: accelerating all kernels adds 1.85x
+ * (BrainStimul) / 2.06x (OptionPricing) over the best single-domain
+ * choice, with communication overheads of 23.4%/17.0% runtime and
+ * 21.8%/12.4% energy.
+ */
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "report/report.h"
+#include "soc/soc.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+namespace {
+
+/** All non-empty subsets of the app's kernels, singletons first. */
+std::vector<std::vector<const wl::AppKernel *>>
+combinations(const wl::EndToEndApp &app)
+{
+    std::vector<std::vector<const wl::AppKernel *>> out;
+    const size_t n = app.kernels.size();
+    for (size_t size = 1; size <= n; ++size) {
+        for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+            if (static_cast<size_t>(__builtin_popcountll(mask)) != size)
+                continue;
+            std::vector<const wl::AppKernel *> combo;
+            for (size_t k = 0; k < n; ++k) {
+                if (mask & (size_t{1} << k))
+                    combo.push_back(&app.kernels[k]);
+            }
+            out.push_back(std::move(combo));
+        }
+    }
+    return out;
+}
+
+std::string
+comboLabel(const std::vector<const wl::AppKernel *> &combo)
+{
+    std::string label;
+    for (const auto *k : combo) {
+        if (!label.empty())
+            label += "+";
+        label += k->label;
+    }
+    return label;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto registry = target::standardRegistry();
+    soc::SocRuntime runtime;
+
+    for (const auto &app : wl::tableIV()) {
+        const auto compiled = wl::compileBenchmark(
+            app.source, app.buildOpts, registry, lang::Domain::None);
+
+        std::map<std::string, double> host_eff;
+        for (const auto &kernel : app.kernels)
+            host_eff[kernel.accel] = kernel.cpuEff;
+
+        // CPU-only baseline: no accelerator name matches.
+        const auto cpu_only = runtime.execute(
+            compiled, app.profile, {"<none>"}, host_eff);
+
+        report::Table table({"Accelerated", "Runtime", "Energy",
+                             "Comm time", "Comm energy"});
+        double best_single = 0.0;
+        double all_accel = 0.0;
+        for (const auto &combo : combinations(app)) {
+            std::set<std::string> accels;
+            for (const auto *k : combo)
+                accels.insert(k->accel);
+            const auto result =
+                runtime.execute(compiled, app.profile, accels, host_eff);
+            const double rt = target::speedup(cpu_only.total, result.total);
+            const double en =
+                target::energyReduction(cpu_only.total, result.total);
+            if (combo.size() == 1)
+                best_single = std::max(best_single, rt);
+            if (combo.size() == app.kernels.size())
+                all_accel = rt;
+            table.addRow({comboLabel(combo), report::times(rt),
+                          report::times(en),
+                          report::percent(result.communicationFraction()),
+                          report::percent(
+                              result.communicationEnergyFraction())});
+        }
+        std::printf("Figure 10 (%s): end-to-end improvement over CPU per "
+                    "accelerated-domain combination\n",
+                    app.id.c_str());
+        std::printf("%s", table.str().c_str());
+        std::printf("cross-domain gain over best single-domain: %.2fx\n\n",
+                    best_single > 0 ? all_accel / best_single : 0.0);
+    }
+    std::printf("(paper: gaps of 1.85x for BrainStimul and 2.06x for "
+                "OptionPricing)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: runtime and energy improvement of PolyMath-compiled programs
+ * on their domain accelerators over the Xeon CPU baseline, for the fifteen
+ * Table III workloads. The paper reports geomeans of ~3.3x runtime and
+ * ~18.1x energy.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/strings.h"
+#include "report/report.h"
+#include "soc/soc.h"
+#include "targets/cpu/cpu_model.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+int
+main()
+{
+    const auto registry = target::standardRegistry();
+    const target::CpuModel cpu;
+    soc::SocRuntime runtime;
+
+    report::Table table({"Benchmark", "Domain", "Accelerator",
+                         "CPU (ms)", "Accel (ms)", "Runtime", "Energy"});
+    std::vector<double> speedups;
+    std::vector<double> energies;
+
+    for (const auto &bench : wl::tableIII()) {
+        const auto compiled = wl::compileBenchmark(
+            bench.source, bench.buildOpts, registry, bench.domain);
+        const auto accel = runtime.execute(compiled, bench.profile);
+        const auto host = cpu.simulate(bench.cpuCost());
+
+        const double sp = target::speedup(host, accel.total);
+        const double en = target::energyReduction(host, accel.total);
+        speedups.push_back(sp);
+        energies.push_back(en);
+        table.addRow({bench.id, lang::toString(bench.domain), bench.accel,
+                      format("%.4g", host.seconds * 1e3),
+                      format("%.4g", accel.total.seconds * 1e3),
+                      report::times(sp), report::times(en)});
+    }
+    table.addRow({"Geomean", "", "", "", "",
+                  report::times(report::geomean(speedups)),
+                  report::times(report::geomean(energies))});
+
+    std::printf("Figure 7: PolyMath cross-domain acceleration vs. Xeon "
+                "E-2176G\n(paper: geomean 3.3x runtime, 18.1x energy)\n\n");
+    std::printf("%s\n", table.str().c_str());
+    return 0;
+}

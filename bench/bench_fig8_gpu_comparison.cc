@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8: runtime and performance-per-watt of PolyMath-compiled programs
+ * vs. Titan Xp and Jetson Xavier. The paper reports cross-domain
+ * acceleration at ~40% of Titan Xp runtime but 7.2x its perf-per-watt,
+ * and 1.2x runtime / 1.7x perf-per-watt over Jetson.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "report/report.h"
+#include "soc/soc.h"
+#include "targets/gpu/gpu_model.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+int
+main()
+{
+    const auto registry = target::standardRegistry();
+    const auto titan = target::GpuModel::titanXp();
+    const auto jetson = target::GpuModel::jetson();
+    soc::SocRuntime runtime;
+
+    report::Table table({"Benchmark", "RT(Titan)", "PPW(Titan)",
+                         "RT(Jetson)", "PPW(Jetson)"});
+    std::vector<double> rt_t, ppw_t, rt_j, ppw_j;
+
+    for (const auto &bench : wl::tableIII()) {
+        const auto compiled = wl::compileBenchmark(
+            bench.source, bench.buildOpts, registry, bench.domain);
+        const auto accel = runtime.execute(compiled, bench.profile);
+        const auto on_titan = titan.simulate(bench.cpuCost());
+        const auto on_jetson = jetson.simulate(bench.cpuCost());
+
+        rt_t.push_back(target::speedup(on_titan, accel.total));
+        ppw_t.push_back(target::ppwImprovement(on_titan, accel.total));
+        rt_j.push_back(target::speedup(on_jetson, accel.total));
+        ppw_j.push_back(target::ppwImprovement(on_jetson, accel.total));
+        table.addRow({bench.id, report::times(rt_t.back()),
+                      report::times(ppw_t.back()),
+                      report::times(rt_j.back()),
+                      report::times(ppw_j.back())});
+    }
+    table.addRow({"Geomean", report::times(report::geomean(rt_t)),
+                  report::times(report::geomean(ppw_t)),
+                  report::times(report::geomean(rt_j)),
+                  report::times(report::geomean(ppw_j))});
+
+    std::printf("Figure 8: PolyMath cross-domain acceleration vs. GPUs\n"
+                "(paper geomeans: ~0.4x runtime / 7.2x PPW vs Titan Xp, "
+                "1.2x / 1.7x vs Jetson)\n\n%s\n",
+                table.str().c_str());
+    return 0;
+}

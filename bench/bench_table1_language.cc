@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I: PMLang's keyword subset, verified live — each construct is
+ * exercised through the actual lexer/parser/sema before its row prints,
+ * so the table cannot drift from the implementation.
+ */
+#include <cstdio>
+#include <string>
+
+#include "pmlang/parser.h"
+#include "pmlang/sema.h"
+#include "report/report.h"
+
+using namespace polymath;
+
+namespace {
+
+/** Parses + analyzes a probe program; returns "yes" or throws. */
+std::string
+verify(const std::string &probe)
+{
+    lang::analyze(lang::parse(probe));
+    return "yes";
+}
+
+} // namespace
+
+int
+main()
+{
+    report::Table table(
+        {"Construct", "Keyword(s)", "Description", "Verified"});
+
+    table.addRow({"Component", "<name>(...) { ... }",
+                  "Takes input, produces output, reads/writes state",
+                  verify("main(input float x[4], output float y[4]) {"
+                         "  index i[0:3]; y[i] = x[i]; }")});
+    table.addRow({"Domain", "RBT, GA, DSP, DA, DL",
+                  "Specifies a component's target domain",
+                  verify("f(input float x[2], output float y[2]) {"
+                         "  index i[0:1]; y[i] = x[i]; }"
+                         "main(input float x[2], output float y[2]) {"
+                         "  DSP: f(x, y); }")});
+    table.addRow({"Type modifiers", "input, output, state, param",
+                  "Data-flow semantics of component arguments",
+                  verify("main(input float a[2], state float s[2],"
+                         "     param float p, output float o[2]) {"
+                         "  index i[0:1]; s[i] = s[i] + a[i]*p;"
+                         "  o[i] = s[i]; }")});
+    table.addRow({"Index", "index",
+                  "Specifies ranges of operations",
+                  verify("main(input float x[8], output float y[4]) {"
+                         "  index i[0:3]; y[i] = x[2*i]; }")});
+    table.addRow({"Types", "bin, int, float, str, complex",
+                  "Variable declaration types",
+                  verify("main(input complex x[2], input int n[2],"
+                         "     input bin b[2], output complex y[2]) {"
+                         "  index i[0:1]; y[i] = x[i]*x[i]; }")});
+    table.addRow({"Group reductions", "sum, prod, max, min",
+                  "Built-in folds over index ranges",
+                  verify("main(input float a[3][3], output float s) {"
+                         "  index i[0:2], j[0:2];"
+                         "  s = sum[i][j: j != i](a[i][j]); }")});
+    table.addRow({"Custom reductions", "reduction",
+                  "User-defined fold operators",
+                  verify("reduction mymin(a, b) = a < b ? a : b;"
+                         "main(input float a[4], output float m) {"
+                         "  index i[0:3]; m = mymin[i](a[i]); }")});
+
+    std::printf("Table I: PMLang constructs (each row verified against the "
+                "live frontend)\n%s\n",
+                table.str().c_str());
+    return 0;
+}

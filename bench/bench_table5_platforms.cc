@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tables V and VI: domains, accelerators, baseline frameworks, and the
+ * machine configurations the cost models run with (the calibration
+ * surface of this reproduction).
+ */
+#include <cstdio>
+
+#include "core/strings.h"
+#include "report/report.h"
+#include "targets/common/backend.h"
+#include "targets/cpu/cpu_model.h"
+#include "targets/gpu/gpu_model.h"
+
+using namespace polymath;
+
+int
+main()
+{
+    report::Table t5({"Domain", "PolyMath Accelerator",
+                      "Baseline Framework (modeled)"});
+    t5.addRow({"Robotics", "RoboX (ASIC)", "ACADO / cuBLAS"});
+    t5.addRow({"Graph Analytics", "Graphicionado (ASIC)",
+               "Intel GraphMat / Enterprise"});
+    t5.addRow({"Data Analytics", "TABLA (FPGA) + HyperStreams (FPGA)",
+               "mlpack / OpenBLAS / CUDA"});
+    t5.addRow({"DSP", "DECO (FPGA)", "FFTW3 / cuFFT / NVIDIA-DCT"});
+    t5.addRow({"Deep Learning", "TVM-VTA (FPGA)", "TensorFlow / cuDNN"});
+    std::printf("Table V: domains and accelerators\n%s\n", t5.str().c_str());
+
+    report::Table t6({"Machine", "Freq (GHz)", "Units", "Peak (Gop/s)",
+                      "DRAM (GB/s)", "On-chip", "Power (W)"});
+    auto add = [&](const target::MachineConfig &m) {
+        t6.addRow({m.name, format("%.2f", m.freqGhz),
+                   std::to_string(m.computeUnits),
+                   format("%.1f", m.peakFlops() / 1e9),
+                   format("%.1f", m.dramGBs),
+                   m.onChipBytes ? format("%lld KB",
+                                          static_cast<long long>(
+                                              m.onChipBytes / 1024))
+                                 : std::string("-"),
+                   format("%.1f", m.watts)});
+    };
+    add(target::xeonConfig());
+    add(target::titanXpConfig());
+    add(target::jetsonConfig());
+    for (const auto &backend : target::standardBackends())
+        add(backend->machine());
+    std::printf("Table VI: platform configurations (cost-model "
+                "parameters)\n%s\n",
+                t6.str().c_str());
+    return 0;
+}

@@ -1,0 +1,10 @@
+// y = A x + b: the quickstart program as a standalone PMLang file.
+affine(input float A[m][n], input float x[n], param float b[m],
+       output float y[m]) {
+    index i[0:n-1], j[0:m-1];
+    y[j] = sum[i](A[j][i]*x[i]) + b[j];
+}
+main(input float A[4][3], input float x[3], param float b[4],
+     output float y[4]) {
+    DA: affine(A, x, b, y);
+}

@@ -1,0 +1,17 @@
+// Fig. 6 of the paper: BFS as an iterative min-plus vertex program.
+// The host invokes main until dist stops changing.
+reduction minplus(a, b) = a < b ? a : b;
+process(input float adj[n][n], input float dist[n], output float cand[n]) {
+    index u[0:n-1], v[0:n-1];
+    cand[v] = minplus[u](adj[u][v] > 0 ? dist[u] + 1 : 1000000000);
+}
+apply(input float cand[n], input float dist_in[n],
+      output float dist_out[n]) {
+    index v[0:n-1];
+    dist_out[v] = cand[v] < dist_in[v] ? cand[v] : dist_in[v];
+}
+main(input float adj[64][64], state float dist[64]) {
+    float cand[64];
+    GA: process(adj, dist, cand);
+    GA: apply(cand, dist, dist);
+}

@@ -1,0 +1,16 @@
+// European call pricing; compiles whole onto the HyperStreams pipeline.
+black_scholes(input float s[N], input float strike[N], input float t[N],
+              param float rate, param float vol, output float price[N]) {
+    index i[0:N-1];
+    float d1[N], d2[N], nd1[N], nd2[N];
+    d1[i] = (ln(s[i]/strike[i]) + (rate + vol*vol/2)*t[i])
+          / (vol*sqrt(t[i]));
+    d2[i] = d1[i] - vol*sqrt(t[i]);
+    nd1[i] = (1 + erf(d1[i]/sqrt(2)))/2;
+    nd2[i] = (1 + erf(d2[i]/sqrt(2)))/2;
+    price[i] = s[i]*nd1[i] - strike[i]*exp(-rate*t[i])*nd2[i];
+}
+main(input float s[4096], input float strike[4096], input float t[4096],
+     param float rate, param float vol, output float price[4096]) {
+    DA: black_scholes(s, strike, t, rate, vol, price);
+}

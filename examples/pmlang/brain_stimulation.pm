@@ -1,0 +1,85 @@
+// Table IV BrainStimul: DSP -> DA -> RBT in one program (program
+// of record, emitted by wl::brainStimulProgram).
+bit_reverse_4096(input complex x[n], output complex y[n]) {
+    index i[0:n-1];
+    y[i] = x[((i/1)%2)*2048 + ((i/2)%2)*1024 + ((i/4)%2)*512 + ((i/8)%2)*256 + ((i/16)%2)*128 + ((i/32)%2)*64 + ((i/64)%2)*32 + ((i/128)%2)*16 + ((i/256)%2)*8 + ((i/512)%2)*4 + ((i/1024)%2)*2 + ((i/2048)%2)*1];
+}
+fft_stage(input complex x[n], param complex tw[h],
+          param int s, output complex y[n]) {
+    index k[0:h-1];
+    y[(k/s)*(2*s) + (k%s)] = x[(k/s)*(2*s) + (k%s)]
+        + tw[(k%s)*(h/s)] * x[(k/s)*(2*s) + (k%s) + s];
+    y[(k/s)*(2*s) + (k%s) + s] = x[(k/s)*(2*s) + (k%s)]
+        - tw[(k%s)*(h/s)] * x[(k/s)*(2*s) + (k%s) + s];
+}
+power_spectrum(input complex spec[n], output float p[n]) {
+    index i[0:n-1];
+    p[i] = re(spec[i]*conj(spec[i]));
+}
+logreg_infer(input float x[D], state float w[D], output float y) {
+    index d[0:D-1];
+    y = sigmoid(sum[d](w[d]*x[d]));
+}
+scale_reference(param float ref[c], input float marker,
+                output float sref[c]) {
+    index k[0:c-1];
+    sref[k] = ref[k]*marker;
+}
+predict_trajectory(input float pos[a], input float ctrl_mdl[b],
+                   param float P[c][a], param float H[c][b],
+                   output float pred[c]) {
+    index i[0:a-1], j[0:b-1], k[0:c-1];
+    pred[k] = sum[i](P[k][i]*pos[i]);
+    pred[k] = pred[k] + sum[j](H[k][j]*ctrl_mdl[j]);
+}
+mvmul(input float A[m][n], input float B[n], output float C[m]) {
+    index i[0:n-1], j[0:m-1];
+    C[j] = sum[i](A[j][i]*B[i]);
+}
+compute_ctrl_grad(input float pos_pred[c], input float ctrl_mdl[b],
+                  input float pos_ref[c], param float HQ_g[b][c],
+                  param float R_g[b][b], output float g[b]) {
+    index i[0:b-1], j[0:c-1];
+    float P_g[b], H_g[b], err[c];
+    err[j] = pos_ref[j] - pos_pred[j];
+    mvmul(HQ_g, err, P_g);
+    mvmul(R_g, ctrl_mdl, H_g);
+    g[i] = P_g[i] + H_g[i];
+}
+update_ctrl_model(input float ctrl_prev[b], input float g[b],
+                  output float ctrl_mdl[b], output float ctrl_sgnl[s],
+                  param int h) {
+    index i[0:b-2], j[0:s-1];
+    ctrl_sgnl[j] = ctrl_prev[h*j];
+    ctrl_mdl[b-1] = 0;
+    ctrl_mdl[i] = ctrl_prev[(i+1)] - g[(i+1)];
+}
+main(input complex ecog[4096], param complex tw[2048],
+     state float w_cls[4096], input float pos[3],
+     state float ctrl_mdl[80], param float pos_ref[120],
+     param float P[120][3], param float HQ_g[80][120],
+     param float H[120][80], param float R_g[80][80],
+     output float stim_sgnl[2], output float biomarker) {
+    complex spec[4096];
+    float power[4096], sref[120], pos_pred[120], g[80];
+    complex t0[4096], t1[4096], t2[4096], t3[4096], t4[4096], t5[4096], t6[4096], t7[4096], t8[4096], t9[4096], t10[4096], t11[4096];
+    DSP: bit_reverse_4096(ecog, t0);
+    DSP: fft_stage(t0, tw, 1, t1);
+    DSP: fft_stage(t1, tw, 2, t2);
+    DSP: fft_stage(t2, tw, 4, t3);
+    DSP: fft_stage(t3, tw, 8, t4);
+    DSP: fft_stage(t4, tw, 16, t5);
+    DSP: fft_stage(t5, tw, 32, t6);
+    DSP: fft_stage(t6, tw, 64, t7);
+    DSP: fft_stage(t7, tw, 128, t8);
+    DSP: fft_stage(t8, tw, 256, t9);
+    DSP: fft_stage(t9, tw, 512, t10);
+    DSP: fft_stage(t10, tw, 1024, t11);
+    DSP: fft_stage(t11, tw, 2048, spec);
+    DSP: power_spectrum(spec, power);
+    DA: logreg_infer(power, w_cls, biomarker);
+    RBT: scale_reference(pos_ref, biomarker, sref);
+    RBT: predict_trajectory(pos, ctrl_mdl, P, H, pos_pred);
+    RBT: compute_ctrl_grad(pos_pred, ctrl_mdl, sref, HQ_g, R_g, g);
+    RBT: update_ctrl_model(ctrl_mdl, g, ctrl_mdl, stim_sgnl, 40);
+}

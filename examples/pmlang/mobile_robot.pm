@@ -1,0 +1,39 @@
+// Fig. 4 of the paper: MPC trajectory tracking for a two-wheeled robot.
+predict_trajectory(input float pos[a], input float ctrl_mdl[b],
+                   param float P[c][a], param float H[c][b],
+                   output float pred[c]) {
+    index i[0:a-1], j[0:b-1], k[0:c-1];
+    pred[k] = sum[i](P[k][i]*pos[i]);
+    pred[k] = pred[k] + sum[j](H[k][j]*ctrl_mdl[j]);
+}
+mvmul(input float A[m][n], input float B[n], output float C[m]) {
+    index i[0:n-1], j[0:m-1];
+    C[j] = sum[i](A[j][i]*B[i]);
+}
+compute_ctrl_grad(input float pos_pred[c], input float ctrl_mdl[b],
+                  param float pos_ref[c], param float HQ_g[b][c],
+                  param float R_g[b][b], output float g[b]) {
+    index i[0:b-1], j[0:c-1];
+    float P_g[b], H_g[b], err[c];
+    err[j] = pos_ref[j] - pos_pred[j];
+    mvmul(HQ_g, err, P_g);
+    mvmul(R_g, ctrl_mdl, H_g);
+    g[i] = P_g[i] + H_g[i];
+}
+update_ctrl_model(input float ctrl_prev[b], input float g[b],
+                  output float ctrl_mdl[b], output float ctrl_sgnl[s],
+                  param int h) {
+    index i[0:b-2], j[0:s-1];
+    ctrl_sgnl[j] = ctrl_prev[h*j];
+    ctrl_mdl[b-1] = 0;
+    ctrl_mdl[i] = ctrl_prev[(i+1)] - g[(i+1)];
+}
+main(input float pos[3], state float ctrl_mdl[20],
+     param float pos_ref[30], param float P[30][3],
+     param float HQ_g[20][30], param float H[30][20],
+     param float R_g[20][20], output float ctrl_sgnl[2]) {
+    float pos_pred[30], g[20];
+    RBT: predict_trajectory(pos, ctrl_mdl, P, H, pos_pred);
+    RBT: compute_ctrl_grad(pos_pred, ctrl_mdl, pos_ref, HQ_g, R_g, g);
+    RBT: update_ctrl_model(ctrl_mdl, g, ctrl_mdl, ctrl_sgnl, 10);
+}

@@ -1,0 +1,13 @@
+// PageRank power iteration (extension workload): one damped
+// iteration per invocation; rank/out-degrees persist as state.
+pr_iter(input float adj[n][n], state float outdeg[n],
+        state float rank[n], param float damp) {
+    index u[0:n-1], v[0:n-1];
+    float contrib[n];
+    contrib[v] = sum[u](adj[u][v] > 0 ? rank[u]/outdeg[u] : 0);
+    rank[v] = (1 - damp)/n + damp*contrib[v];
+}
+main(input float adj[64][64], state float outdeg[64],
+     state float rank[64], param float damp) {
+    GA: pr_iter(adj, outdeg, rank, damp);
+}

@@ -1,0 +1,68 @@
+#include "core/dtype.h"
+
+#include "core/error.h"
+
+namespace polymath {
+
+std::string
+toString(DType t)
+{
+    switch (t) {
+      case DType::Bin: return "bin";
+      case DType::Int: return "int";
+      case DType::Float: return "float";
+      case DType::Str: return "str";
+      case DType::Complex: return "complex";
+    }
+    panic("unhandled DType");
+}
+
+std::optional<DType>
+dtypeFromString(const std::string &s)
+{
+    if (s == "bin") return DType::Bin;
+    if (s == "int") return DType::Int;
+    if (s == "float") return DType::Float;
+    if (s == "str") return DType::Str;
+    if (s == "complex") return DType::Complex;
+    return std::nullopt;
+}
+
+int64_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::Bin: return 1;
+      case DType::Int: return 8;
+      case DType::Float: return 8;
+      case DType::Str: return 0;
+      case DType::Complex: return 16;
+    }
+    panic("unhandled DType");
+}
+
+bool
+isNumeric(DType t)
+{
+    return t == DType::Bin || t == DType::Int || t == DType::Float ||
+           t == DType::Complex;
+}
+
+DType
+promote(DType a, DType b)
+{
+    if (!isNumeric(a) || !isNumeric(b))
+        panic("promote() on non-numeric dtype");
+    auto rank = [](DType t) {
+        switch (t) {
+          case DType::Bin: return 0;
+          case DType::Int: return 1;
+          case DType::Float: return 2;
+          case DType::Complex: return 3;
+          default: return -1;
+        }
+    };
+    return rank(a) >= rank(b) ? a : b;
+}
+
+} // namespace polymath

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * PMLang element data types (Table I of the paper: bin, int, float, str,
+ * complex) and helpers for size/printing/parsing.
+ */
+#ifndef POLYMATH_CORE_DTYPE_H_
+#define POLYMATH_CORE_DTYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace polymath {
+
+/** Element types usable in PMLang declarations. */
+enum class DType : uint8_t {
+    Bin,     ///< 1-bit boolean, stored as a byte
+    Int,     ///< 64-bit signed integer
+    Float,   ///< 64-bit IEEE double (PMLang "float")
+    Str,     ///< variable-length string (host side only)
+    Complex, ///< complex<double>
+};
+
+/** Returns the PMLang keyword for @p t ("float", "int", ...). */
+std::string toString(DType t);
+
+/** Parses a PMLang type keyword; empty when @p s is not a type. */
+std::optional<DType> dtypeFromString(const std::string &s);
+
+/** Storage size in bytes of one element of @p t on an accelerator.
+ *  Str has no accelerator representation and reports 0. */
+int64_t dtypeSize(DType t);
+
+/** True for types on which arithmetic is defined (Int, Float, Complex, Bin).*/
+bool isNumeric(DType t);
+
+/** Result type of a binary arithmetic op between @p a and @p b
+ *  (the "wider" numeric type). */
+DType promote(DType a, DType b);
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_DTYPE_H_

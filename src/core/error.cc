@@ -1,0 +1,36 @@
+#include "core/error.h"
+
+namespace polymath {
+
+std::string
+SourceLoc::str() const
+{
+    if (!valid())
+        return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+UserError::UserError(const std::string &message, SourceLoc loc)
+    : std::runtime_error(loc.valid() ? loc.str() + ": " + message : message),
+      loc_(loc)
+{
+}
+
+InternalError::InternalError(const std::string &message)
+    : std::logic_error("internal error: " + message)
+{
+}
+
+void
+panic(const std::string &message)
+{
+    throw InternalError(message);
+}
+
+void
+fatal(const std::string &message, SourceLoc loc)
+{
+    throw UserError(message, loc);
+}
+
+} // namespace polymath

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error types shared across the PolyMath stack.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - UserError ("fatal"): the input program or configuration is at fault;
+ *    the stack cannot continue but is itself behaving correctly.
+ *  - InternalError ("panic"): an invariant of the stack itself was violated.
+ */
+#ifndef POLYMATH_CORE_ERROR_H_
+#define POLYMATH_CORE_ERROR_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace polymath {
+
+/** A position in PMLang source text (1-based line/column). */
+struct SourceLoc
+{
+    int32_t line = 0;
+    int32_t column = 0;
+
+    bool valid() const { return line > 0; }
+    std::string str() const;
+};
+
+/** Raised when the user's program or configuration is invalid. */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string &message, SourceLoc loc = {});
+
+    /** Location in PMLang source, if the error is tied to one. */
+    SourceLoc loc() const { return loc_; }
+
+  private:
+    SourceLoc loc_;
+};
+
+/** Raised when an internal invariant of the stack is violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &message);
+};
+
+/** Throws InternalError with a standard prefix. Never returns. */
+[[noreturn]] void panic(const std::string &message);
+
+/** Throws UserError. Never returns. */
+[[noreturn]] void fatal(const std::string &message, SourceLoc loc = {});
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_ERROR_H_

@@ -1,0 +1,37 @@
+#include "core/logging.h"
+
+#include <cstdio>
+
+namespace polymath {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &message)
+{
+    if (g_level >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+warn(const std::string &message)
+{
+    if (g_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+} // namespace polymath

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal status-message facility in the style of gem5's logging.hh.
+ *
+ * inform() — normal operating messages.
+ * warn()   — something may be off; execution continues.
+ * Both honor a global verbosity switch so tests and benches stay quiet.
+ */
+#ifndef POLYMATH_CORE_LOGGING_H_
+#define POLYMATH_CORE_LOGGING_H_
+
+#include <string>
+
+namespace polymath {
+
+/** Verbosity levels for stack-status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2 };
+
+/** Sets the global log level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel logLevel();
+
+/** Prints an informational message when level >= Info. */
+void inform(const std::string &message);
+
+/** Prints a warning when level >= Warn. */
+void warn(const std::string &message);
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_LOGGING_H_

@@ -1,0 +1,64 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+
+namespace polymath {
+
+uint64_t
+Rng::next()
+{
+    // SplitMix64 (Steele, Lea, Flood 2014): tiny, well-distributed, seedable.
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t n)
+{
+    if (n <= 0)
+        panic("uniformInt(): n must be positive");
+    return static_cast<int64_t>(uniform() * static_cast<double>(n));
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+} // namespace polymath

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator (SplitMix64 core) used by every
+ * synthetic dataset so results are bit-reproducible across runs and
+ * platforms, independent of libstdc++'s distribution implementations.
+ */
+#ifndef POLYMATH_CORE_RNG_H_
+#define POLYMATH_CORE_RNG_H_
+
+#include <cstdint>
+
+namespace polymath {
+
+/** Small deterministic RNG with uniform/gaussian helpers. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be positive. */
+    int64_t uniformInt(int64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with mean/stddev. */
+    double gaussian(double mean, double stddev);
+
+  private:
+    uint64_t state_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_RNG_H_

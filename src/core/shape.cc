@@ -1,0 +1,92 @@
+#include "core/shape.h"
+
+#include "core/error.h"
+
+namespace polymath {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (int64_t d : dims_) {
+        if (d < 0)
+            panic("negative shape extent");
+    }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (int64_t d : dims_) {
+        if (d < 0)
+            panic("negative shape extent");
+    }
+}
+
+int64_t
+Shape::dim(int axis) const
+{
+    if (axis < 0 || axis >= rank())
+        panic("shape axis out of range");
+    return dims_[static_cast<size_t>(axis)];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(dims_.size());
+    int64_t acc = 1;
+    for (int i = rank() - 1; i >= 0; --i) {
+        s[static_cast<size_t>(i)] = acc;
+        acc *= dims_[static_cast<size_t>(i)];
+    }
+    return s;
+}
+
+int64_t
+Shape::flatten(const std::vector<int64_t> &index) const
+{
+    if (static_cast<int>(index.size()) != rank())
+        panic("flatten(): index rank mismatch");
+    int64_t offset = 0;
+    int64_t stride = 1;
+    for (int i = rank() - 1; i >= 0; --i) {
+        const auto ui = static_cast<size_t>(i);
+        if (index[ui] < 0 || index[ui] >= dims_[ui])
+            panic("flatten(): index out of bounds");
+        offset += index[ui] * stride;
+        stride *= dims_[ui];
+    }
+    return offset;
+}
+
+std::vector<int64_t>
+Shape::unflatten(int64_t offset) const
+{
+    std::vector<int64_t> index(dims_.size());
+    for (int i = rank() - 1; i >= 0; --i) {
+        const auto ui = static_cast<size_t>(i);
+        index[ui] = offset % dims_[ui];
+        offset /= dims_[ui];
+    }
+    return index;
+}
+
+std::string
+Shape::str() const
+{
+    if (isScalar())
+        return "scalar";
+    std::string out;
+    for (int64_t d : dims_)
+        out += "[" + std::to_string(d) + "]";
+    return out;
+}
+
+} // namespace polymath

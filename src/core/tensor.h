@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense tensor runtime used by the srDFG interpreter and the workloads.
+ *
+ * Storage policy: Bin/Int/Float elements live in a double buffer (every value
+ * the stack manipulates fits in the 53-bit exact-integer range of a double);
+ * Complex elements live in a complex<double> buffer. This keeps the
+ * interpreter simple while preserving PMLang's five dtype distinctions via the
+ * DType tag.
+ */
+#ifndef POLYMATH_CORE_TENSOR_H_
+#define POLYMATH_CORE_TENSOR_H_
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "core/dtype.h"
+#include "core/shape.h"
+
+namespace polymath {
+
+/** A dense, row-major tensor of a single numeric DType. */
+class Tensor
+{
+  public:
+    /** Creates a zero-filled tensor. */
+    Tensor() : Tensor(DType::Float, Shape{}) {}
+    Tensor(DType dtype, Shape shape);
+
+    /** Convenience: scalar double. */
+    static Tensor scalar(double value);
+    /** Convenience: scalar complex. */
+    static Tensor scalar(std::complex<double> value);
+    /** Convenience: rank-1 float tensor from values. */
+    static Tensor vec(std::vector<double> values);
+    /** Rank-N float tensor from flat values (size must match shape). */
+    static Tensor fromFlat(Shape shape, std::vector<double> values);
+
+    DType dtype() const { return dtype_; }
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+    bool isComplex() const { return dtype_ == DType::Complex; }
+
+    /** Element access for real-typed tensors (flat offset). */
+    double at(int64_t offset) const;
+    double &at(int64_t offset);
+
+    /** Element access by multi-dimensional index. */
+    double at(const std::vector<int64_t> &index) const;
+    double &at(const std::vector<int64_t> &index);
+
+    /** Element access for complex tensors (flat offset). */
+    std::complex<double> cat(int64_t offset) const;
+    std::complex<double> &cat(int64_t offset);
+
+    /** Reads an element as complex regardless of dtype. */
+    std::complex<double> asComplex(int64_t offset) const;
+
+    /** Returns the single element of a scalar tensor. */
+    double scalarValue() const;
+
+    /** Underlying real buffer (valid for non-complex tensors). */
+    const std::vector<double> &real() const { return real_; }
+    std::vector<double> &real() { return real_; }
+
+    /** Underlying complex buffer (valid for complex tensors). */
+    const std::vector<std::complex<double>> &cplx() const { return cplx_; }
+    std::vector<std::complex<double>> &cplx() { return cplx_; }
+
+    /** Total accelerator-side footprint in bytes. */
+    int64_t bytes() const { return numel() * dtypeSize(dtype_); }
+
+    /** Copies this tensor converted to @p target dtype. */
+    Tensor cast(DType target) const;
+
+    /** Short human-readable rendering (truncated for large tensors). */
+    std::string str() const;
+
+    /** Max |a-b| across elements; tensors must agree in shape. */
+    static double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+  private:
+    DType dtype_;
+    Shape shape_;
+    std::vector<double> real_;
+    std::vector<std::complex<double>> cplx_;
+};
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_TENSOR_H_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reference interpreter for srDFGs.
+ *
+ * Executes a graph functionally on dense Tensors, implementing the srDFG
+ * semantics of Section III-B: a node fires once its operand edges are ready
+ * (realized here as a topological schedule), group reductions fold their
+ * guarded domains, and `state` edges persist across invocations — run() is
+ * one invocation of the entry component, after which every state input is
+ * rebound to its updated version, matching MPC-style iterative semantics.
+ *
+ * The interpreter is the stack's executable specification: every workload's
+ * output is validated against a hand-written native implementation in the
+ * test suite.
+ */
+#ifndef POLYMATH_INTERP_INTERPRETER_H_
+#define POLYMATH_INTERP_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "core/tensor.h"
+#include "srdfg/graph.h"
+
+namespace polymath::interp {
+
+/**
+ * Scalar-operation counts observed during execution. The totals are
+ * defined to match ir::Graph::scalarOpCount() exactly (map applications
+ * excluding identity moves, reduction combines as tree ops, guard
+ * evaluations), so tests can validate the analytic counting the
+ * performance models rely on against a real run.
+ */
+struct ExecStats
+{
+    int64_t mapOps = 0;        ///< non-move map applications
+    int64_t moveElems = 0;     ///< identity-move elements
+    int64_t reduceCombines = 0; ///< combiner applications beyond the first
+    int64_t guardEvals = 0;    ///< reduction-guard evaluations
+
+    int64_t scalarOps() const
+    {
+        return mapOps + reduceCombines + guardEvals;
+    }
+
+    ExecStats &operator+=(const ExecStats &other)
+    {
+        mapOps += other.mapOps;
+        moveElems += other.moveElems;
+        reduceCombines += other.reduceCombines;
+        guardEvals += other.guardEvals;
+        return *this;
+    }
+};
+
+/** Stateful interpreter over one srDFG. */
+class Interpreter
+{
+  public:
+    /** @p graph must outlive the interpreter. */
+    explicit Interpreter(const ir::Graph &graph);
+
+    /** Binds a graph input (or state) by PMLang name.
+     *  @throws UserError on unknown name or shape/dtype mismatch. */
+    void setInput(const std::string &name, Tensor tensor);
+
+    /** True when every non-state input has been bound. */
+    bool ready() const;
+
+    /** Executes one invocation. State inputs carry over from the previous
+     *  invocation (or their initial binding). */
+    void run();
+
+    /** Fetches an output (or updated state) of the last run() by name. */
+    const Tensor &output(const std::string &name) const;
+
+    /** Number of run() calls so far. */
+    int64_t invocations() const { return invocations_; }
+
+    /** Operation counts accumulated over every run(). */
+    const ExecStats &stats() const { return stats_; }
+
+  private:
+    const ir::Graph &graph_;
+    std::map<std::string, Tensor> bindings_; ///< by input name
+    std::map<std::string, Tensor> results_;  ///< by output name
+    int64_t invocations_ = 0;
+    ExecStats stats_;
+};
+
+/** One-shot convenience: bind @p inputs, run once, return all outputs.
+ *  When @p stats is non-null it receives the run's operation counts. */
+std::map<std::string, Tensor> evaluate(
+    const ir::Graph &graph, const std::map<std::string, Tensor> &inputs,
+    ExecStats *stats = nullptr);
+
+} // namespace polymath::interp
+
+#endif // POLYMATH_INTERP_INTERPRETER_H_

@@ -1,0 +1,136 @@
+#include "lower/accel_spec.h"
+
+#include "core/strings.h"
+
+namespace polymath::lower {
+
+std::string
+IrFragment::str() const
+{
+    std::string out = opcode + "(";
+    bool first = true;
+    for (const auto &in : inputs) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += in.name + in.shape.str();
+    }
+    out += " -> ";
+    first = true;
+    for (const auto &o : outputs) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += o.name + o.shape.str();
+    }
+    out += ")";
+    for (const auto &[k, v] : attrs)
+        out += " " + k + "=" + std::to_string(v);
+    if (flops)
+        out += format(" flops=%lld", static_cast<long long>(flops));
+    return out;
+}
+
+int64_t
+AccelProgram::totalFlops() const
+{
+    int64_t n = 0;
+    for (const auto &f : fragments)
+        n += f.flops;
+    return n;
+}
+
+void
+AcceleratorRegistry::add(AcceleratorSpec spec)
+{
+    specs_.push_back(std::move(spec));
+}
+
+const AcceleratorSpec *
+AcceleratorRegistry::forDomain(Domain domain) const
+{
+    for (const auto &spec : specs_) {
+        if (spec.domain == domain)
+            return &spec;
+    }
+    return nullptr;
+}
+
+const AcceleratorSpec *
+AcceleratorRegistry::specFor(Domain domain, const std::string &op) const
+{
+    for (const auto &spec : specs_) {
+        if (spec.domain == domain && spec.preferredComponents.count(op))
+            return &spec;
+    }
+    return forDomain(domain);
+}
+
+const AcceleratorSpec *
+AcceleratorRegistry::byName(const std::string &name) const
+{
+    for (const auto &spec : specs_) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+std::map<Domain, std::set<std::string>>
+AcceleratorRegistry::supportedOpsByDomain() const
+{
+    std::map<Domain, std::set<std::string>> out;
+    for (const auto &spec : specs_) {
+        out[spec.domain].insert(spec.supportedOps.begin(),
+                                spec.supportedOps.end());
+    }
+    return out;
+}
+
+IrFragment
+genericTranslate(const ir::Graph &graph, const ir::Node &node)
+{
+    IrFragment frag;
+    frag.opcode = node.op;
+    frag.flops = node.scalarOpCount();
+
+    auto arg_of = [&](ir::ValueId v) {
+        const auto &md = graph.value(v).md;
+        TensorArg arg;
+        arg.name = md.name.empty() ? "%" + std::to_string(v) : md.name;
+        arg.shape = md.shape;
+        arg.dtype = md.dtype;
+        arg.kind = md.kind;
+        return arg;
+    };
+
+    for (const auto &in : node.ins) {
+        if (in.isIndexOperand())
+            continue; // compile-time address streams need no operand slot
+        frag.inputs.push_back(arg_of(in.value));
+    }
+    if (node.base >= 0)
+        frag.inputs.push_back(arg_of(node.base));
+    for (const auto &out : node.outs)
+        frag.outputs.push_back(arg_of(out.value));
+
+    // Shape/iteration attributes for the target's scheduler.
+    int64_t i = 0;
+    for (const auto &v : node.domainVars) {
+        frag.attrs["dim" + std::to_string(i++)] = v.extent;
+        if (v.reduced)
+            frag.attrs["reduce_extent"] =
+                frag.attrs.count("reduce_extent")
+                    ? frag.attrs["reduce_extent"] * v.extent
+                    : v.extent;
+    }
+    if (node.hasPredicate)
+        frag.attrs["guarded"] = 1;
+    if (ir::isMoveOp(node.op))
+        frag.attrs["move_elems"] = node.domainSize();
+    if (node.kind == ir::NodeKind::Constant)
+        frag.attrs["const_bits"] = 64;
+    return frag;
+}
+
+} // namespace polymath::lower

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Algorithm 2: compilation from a lowered srDFG to accelerator IR.
+ *
+ * Walks the lowered graph in dataflow order, applies each node's
+ * translation function t from the domain's AcceleratorSpec, accumulates
+ * fragments into per-domain programs πd with +d, and inserts tload/tstore
+ * fragments wherever an edge crosses a domain boundary (the data-transfer
+ * rule at the end of Section IV-C).
+ *
+ * The result also carries an execution partitioning — maximal same-domain
+ * runs of the schedule with their DMA sets — which is what the SoC runtime
+ * consumes for multi-acceleration.
+ */
+#ifndef POLYMATH_LOWER_COMPILE_H_
+#define POLYMATH_LOWER_COMPILE_H_
+
+#include <vector>
+
+#include "lower/accel_spec.h"
+
+namespace polymath::lower {
+
+/** One schedulable unit: a maximal same-domain run of the lowered graph. */
+struct Partition
+{
+    Domain domain = Domain::None;
+    std::string accel;
+    std::vector<IrFragment> fragments;
+
+    /** Tensors DMA'd into the accelerator before launch (graph inputs and
+     *  values produced by other partitions). */
+    std::vector<TensorArg> loads;
+
+    /** Tensors DMA'd back out (graph outputs and values consumed by later
+     *  partitions). */
+    std::vector<TensorArg> stores;
+
+    /** Indices of earlier partitions this one consumes data from. */
+    std::vector<int> deps;
+
+    int64_t loadBytes() const;
+    int64_t storeBytes() const;
+    int64_t flops() const;
+};
+
+/** The compiled multi-accelerator program: πd1 ... πdn plus schedule. */
+struct CompiledProgram
+{
+    /** Accumulated accelerator programs πd, keyed by accelerator name
+     *  (domains normally map 1:1 to accelerators; finance splits DA). */
+    std::map<std::string, AccelProgram> programs;
+
+    /** Execution schedule for the SoC host manager. */
+    std::vector<Partition> partitions;
+
+    /** Total bytes moved across domain boundaries. */
+    int64_t transferBytes() const;
+
+    /** Renders the programs and schedule. */
+    std::string str() const;
+};
+
+/**
+ * Algorithm 2 over a lowered top-level graph.
+ * @p default_domain is used for untagged nodes (single-domain workloads
+ * built without per-statement annotations).
+ * @throws UserError when a node's domain has no registered accelerator.
+ */
+CompiledProgram compileProgram(const ir::Graph &graph,
+                               const AcceleratorRegistry &registry,
+                               Domain default_domain = Domain::None);
+
+} // namespace polymath::lower
+
+#endif // POLYMATH_LOWER_COMPILE_H_

@@ -1,0 +1,131 @@
+#include "lower/lower.h"
+
+#include <vector>
+
+#include "passes/rewrite.h"
+
+namespace polymath::lower {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::NodeKind;
+using ir::ValueId;
+using lang::Domain;
+
+void
+spliceComponent(Graph &graph, NodeId id)
+{
+    Node *comp = graph.node(id);
+    if (!comp || comp->kind != NodeKind::Component)
+        panic("spliceComponent(): not a component node");
+    Graph &sub = *comp->subgraph;
+
+    // Map subgraph value ids to parent value ids.
+    std::vector<ValueId> vmap(sub.values.size(), -1);
+    for (size_t i = 0; i < sub.inputs.size(); ++i)
+        vmap[static_cast<size_t>(sub.inputs[i])] = comp->ins[i].value;
+    for (size_t i = 0; i < sub.outputs.size(); ++i) {
+        const ValueId sv = sub.outputs[i];
+        const ValueId outer = comp->outs[i].value;
+        if (vmap[static_cast<size_t>(sv)] >= 0) {
+            // Pass-through (e.g. unwritten state): the outer output value
+            // is just an alias of the outer input; rewrite its uses.
+            const ValueId inner_as_outer = vmap[static_cast<size_t>(sv)];
+            pass::replaceUses(graph, outer, inner_as_outer);
+            for (auto &gv : graph.outputs) {
+                if (gv == outer)
+                    gv = inner_as_outer;
+            }
+        } else {
+            vmap[static_cast<size_t>(sv)] = outer;
+        }
+    }
+    for (const auto &v : sub.values) {
+        if (vmap[static_cast<size_t>(v.id)] < 0)
+            vmap[static_cast<size_t>(v.id)] = graph.addValue(v.md);
+    }
+
+    // Move nodes up, remapping value references.
+    for (auto &snode : sub.nodes) {
+        if (!snode)
+            continue;
+        Node &moved = graph.addNode(snode->kind, snode->op);
+        moved.domain = snode->domain != Domain::None ? snode->domain
+                                                     : comp->domain;
+        moved.domainVars = std::move(snode->domainVars);
+        moved.predicate = std::move(snode->predicate);
+        moved.hasPredicate = snode->hasPredicate;
+        moved.cval = snode->cval;
+        moved.subgraph = std::move(snode->subgraph);
+        moved.ins = std::move(snode->ins);
+        for (auto &in : moved.ins) {
+            if (!in.isIndexOperand())
+                in.value = vmap[static_cast<size_t>(in.value)];
+        }
+        if (snode->base >= 0)
+            moved.base = vmap[static_cast<size_t>(snode->base)];
+        moved.outs = std::move(snode->outs);
+        for (auto &out : moved.outs) {
+            out.value = vmap[static_cast<size_t>(out.value)];
+            graph.value(out.value).producer = moved.id;
+        }
+    }
+    graph.eraseNode(id);
+}
+
+namespace {
+
+/** Effective domain of a node for Ot lookup. */
+Domain
+effectiveDomain(const Node &node, Domain fallback)
+{
+    return node.domain != Domain::None ? node.domain : fallback;
+}
+
+} // namespace
+
+void
+lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
+{
+    // Iterate until stable: splicing appends nodes that may themselves
+    // need lowering.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const size_t count = graph.nodes.size();
+        for (size_t i = 0; i < count; ++i) {
+            Node *node = graph.nodes[i].get();
+            if (!node)
+                continue;
+            const Domain dom = effectiveDomain(*node, default_domain);
+            const auto om_it = om.find(dom);
+            // "@custom_reduce" in Ot admits any user-defined reduction
+            // (vertex programs define their own combiners).
+            const bool supported =
+                om_it != om.end() &&
+                (om_it->second.count(node->op) > 0 ||
+                 (node->kind == NodeKind::Reduce &&
+                  om_it->second.count("@custom_reduce") > 0));
+            if (supported)
+                continue;
+            if (node->kind == NodeKind::Component) {
+                // Lower the subgraph first (Algorithm 1's recursion), then
+                // splice it into this level.
+                lowerGraph(*node->subgraph, om, dom);
+                spliceComponent(graph, node->id);
+                changed = true;
+            } else if (node->kind == NodeKind::Constant) {
+                continue; // constants are always representable
+            } else {
+                fatal("operation '" + node->op +
+                      "' is not supported by the accelerator for domain " +
+                      (toString(dom).empty() ? "<none>" : toString(dom)) +
+                      "; compilation fails for this target");
+            }
+        }
+    }
+    graph.validate();
+}
+
+} // namespace polymath::lower

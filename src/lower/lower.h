@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Algorithm 1: srDFG lowering.
+ *
+ * Recursively rewrites a graph so every node's operation is in the target
+ * domain's supported set Ot: component nodes whose name the target does not
+ * accept are replaced by their (recursively lowered) subgraphs, spliced into
+ * the parent level. Because the srDFG keeps every granularity accessible,
+ * the same graph lowers to layer-level IRs (VTA), vertex programs
+ * (Graphicionado), or single-op dataflow (TABLA/DECO) without re-deriving
+ * anything from source.
+ */
+#ifndef POLYMATH_LOWER_LOWER_H_
+#define POLYMATH_LOWER_LOWER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "srdfg/graph.h"
+
+namespace polymath::lower {
+
+/** Om of Algorithm 1: per-domain supported operation names. */
+using SupportedOps = std::map<lang::Domain, std::set<std::string>>;
+
+/**
+ * Lowers @p graph in place against @p om. A node's effective domain is its
+ * own tag, falling back to @p default_domain when untagged. After return,
+ * every live node at every remaining level is supported by its domain's
+ * target.
+ *
+ * @throws UserError when an unsupported Map/Reduce op remains (the paper's
+ * "compilation fails for that accelerator").
+ */
+void lowerGraph(ir::Graph &graph, const SupportedOps &om,
+                lang::Domain default_domain = lang::Domain::None);
+
+/**
+ * Splices component node @p id of @p graph: its subgraph's nodes move up
+ * one level, boundary values are unified with the node's outer bindings,
+ * and the component node is erased.
+ */
+void spliceComponent(ir::Graph &graph, ir::NodeId id);
+
+} // namespace polymath::lower
+
+#endif // POLYMATH_LOWER_LOWER_H_

@@ -1,0 +1,272 @@
+#include <optional>
+
+#include "passes/passes.h"
+#include "passes/rewrite.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Access;
+using ir::Graph;
+using ir::IndexExpr;
+using ir::IndexVar;
+using ir::Node;
+using ir::NodeKind;
+using ir::ValueId;
+
+/** A recognized y[j] = sum_k(A[j][k] * x[k]) computation. */
+struct MatvecMatch
+{
+    ValueId matrix = -1; ///< [m][n], at the level of the add node
+    ValueId vector = -1; ///< [n]
+    int64_t m = 0;
+    int64_t n = 0;
+};
+
+bool
+isIdentityCoords(const std::vector<IndexExpr> &coords)
+{
+    for (size_t i = 0; i < coords.size(); ++i) {
+        if (!coords[i].isIdentityVar(static_cast<int>(i)))
+            return false;
+    }
+    return true;
+}
+
+/** Matches the sum-of-products chain producing @p v at this level. */
+std::optional<MatvecMatch>
+matchAtLevel(const Graph &g, ValueId v, int depth = 0)
+{
+    if (depth > 8)
+        return std::nullopt;
+    const auto producer = g.value(v).producer;
+    if (producer < 0)
+        return std::nullopt;
+    const Node *node = g.node(producer);
+    if (!node)
+        return std::nullopt;
+
+    // Peel a whole-tensor identity move.
+    if (node->kind == NodeKind::Map && node->op == "identity" &&
+        node->base < 0 && node->domainVars.size() == 1 &&
+        !node->ins[0].isIndexOperand() &&
+        isIdentityCoords(node->ins[0].coords) &&
+        isIdentityCoords(node->outs[0].coords) &&
+        node->ins[0].coords.size() == 1) {
+        return matchAtLevel(g, node->ins[0].value, depth + 1);
+    }
+
+    // The component case: a matvec packaged as e.g. `mvmul`, matched inside
+    // its subgraph with operands mapped back through the boundary — the
+    // cross-granularity fusion the paper describes.
+    if (node->kind == NodeKind::Component) {
+        const Graph &sub = *node->subgraph;
+        for (size_t oi = 0; oi < node->outs.size(); ++oi) {
+            if (node->outs[oi].value != v)
+                continue;
+            auto inner = matchAtLevel(sub, sub.outputs[oi], depth + 1);
+            if (!inner)
+                return std::nullopt;
+            auto outer_of = [&](ValueId sv) -> ValueId {
+                for (size_t ii = 0; ii < sub.inputs.size(); ++ii) {
+                    if (sub.inputs[ii] == sv)
+                        return node->ins[ii].value;
+                }
+                return -1;
+            };
+            MatvecMatch out = *inner;
+            out.matrix = outer_of(inner->matrix);
+            out.vector = outer_of(inner->vector);
+            if (out.matrix < 0 || out.vector < 0)
+                return std::nullopt;
+            return out;
+        }
+        return std::nullopt;
+    }
+
+    // Core pattern: Reduce(sum over k) of Map(mul) of A[j][k], x[k].
+    if (node->kind != NodeKind::Reduce || node->op != "sum" ||
+        node->hasPredicate || node->domainVars.size() != 2 ||
+        node->domainVars[0].reduced || !node->domainVars[1].reduced ||
+        !isIdentityCoords(node->ins[0].coords) ||
+        node->ins[0].isIndexOperand()) {
+        return std::nullopt;
+    }
+    const auto mul_producer = g.value(node->ins[0].value).producer;
+    const Node *mul = mul_producer >= 0 ? g.node(mul_producer) : nullptr;
+    if (!mul || mul->kind != NodeKind::Map || mul->op != "mul" ||
+        mul->domainVars.size() != 2 ||
+        mul->domainVars[0].extent != node->domainVars[0].extent ||
+        mul->domainVars[1].extent != node->domainVars[1].extent) {
+        return std::nullopt;
+    }
+    // One operand must be A[j][k], the other x[k] (either order).
+    auto classify = [&](const Access &a, MatvecMatch *out) {
+        if (a.isIndexOperand())
+            return false;
+        if (a.coords.size() == 2 && a.coords[0].isIdentityVar(0) &&
+            a.coords[1].isIdentityVar(1)) {
+            out->matrix = a.value;
+            return true;
+        }
+        if (a.coords.size() == 1 && a.coords[0].isIdentityVar(1)) {
+            out->vector = a.value;
+            return true;
+        }
+        return false;
+    };
+    MatvecMatch out;
+    if (!classify(mul->ins[0], &out) || !classify(mul->ins[1], &out))
+        return std::nullopt;
+    if (out.matrix < 0 || out.vector < 0)
+        return std::nullopt;
+    out.m = node->domainVars[0].extent;
+    out.n = node->domainVars[1].extent;
+    return out;
+}
+
+/** Emits concat of two rank-1 values into a fresh [n1+n2] value. */
+ValueId
+concatVectors(Graph &g, ValueId a, int64_t n1, ValueId b, int64_t n2,
+              DType dtype)
+{
+    ir::EdgeMeta md;
+    md.dtype = dtype;
+    md.kind = ir::EdgeKind::Internal;
+    md.shape = Shape{n1 + n2};
+
+    Node &s1 = g.addNode(NodeKind::Map, "identity");
+    s1.domainVars.push_back(IndexVar{"k", n1, false});
+    s1.ins.push_back(Access{a, {IndexExpr::var(0)}});
+    const ValueId v1 = g.addValue(md, s1.id);
+    s1.outs.push_back(Access{v1, {IndexExpr::var(0)}});
+
+    Node &s2 = g.addNode(NodeKind::Map, "identity");
+    s2.domainVars.push_back(IndexVar{"k", n2, false});
+    s2.ins.push_back(Access{b, {IndexExpr::var(0)}});
+    s2.base = v1;
+    const ValueId v2 = g.addValue(md, s2.id);
+    s2.outs.push_back(
+        Access{v2, {IndexExpr::binary(IndexExpr::Kind::Add,
+                                      IndexExpr::var(0),
+                                      IndexExpr::constant(n1))}});
+    return v2;
+}
+
+/** Emits column-concat of two [m][n*] values into [m][n1+n2]. */
+ValueId
+concatMatrices(Graph &g, ValueId a, ValueId b, int64_t m, int64_t n1,
+               int64_t n2, DType dtype)
+{
+    ir::EdgeMeta md;
+    md.dtype = dtype;
+    md.kind = ir::EdgeKind::Internal;
+    md.shape = Shape{m, n1 + n2};
+
+    Node &s1 = g.addNode(NodeKind::Map, "identity");
+    s1.domainVars.push_back(IndexVar{"j", m, false});
+    s1.domainVars.push_back(IndexVar{"k", n1, false});
+    s1.ins.push_back(Access{a, {IndexExpr::var(0), IndexExpr::var(1)}});
+    const ValueId v1 = g.addValue(md, s1.id);
+    s1.outs.push_back(Access{v1, {IndexExpr::var(0), IndexExpr::var(1)}});
+
+    Node &s2 = g.addNode(NodeKind::Map, "identity");
+    s2.domainVars.push_back(IndexVar{"j", m, false});
+    s2.domainVars.push_back(IndexVar{"k", n2, false});
+    s2.ins.push_back(Access{b, {IndexExpr::var(0), IndexExpr::var(1)}});
+    s2.base = v1;
+    const ValueId v2 = g.addValue(md, s2.id);
+    s2.outs.push_back(
+        Access{v2, {IndexExpr::var(0),
+                    IndexExpr::binary(IndexExpr::Kind::Add,
+                                      IndexExpr::var(1),
+                                      IndexExpr::constant(n1))}});
+    return v2;
+}
+
+/** Fuses add-of-two-matvecs into one matvec over concatenated operands. */
+class AlgebraicCombination : public Pass
+{
+  public:
+    std::string name() const override { return "algebraic-combination"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        bool changed = false;
+        const size_t node_count = graph.nodes.size();
+        for (size_t i = 0; i < node_count; ++i) {
+            Node *add = graph.nodes[i].get();
+            if (!add || add->kind != NodeKind::Map || add->op != "add" ||
+                add->base >= 0 || add->domainVars.size() != 1 ||
+                !isIdentityCoords(add->outs[0].coords) ||
+                add->outs[0].coords.size() != 1) {
+                continue;
+            }
+            if (add->ins[0].isIndexOperand() ||
+                add->ins[1].isIndexOperand() ||
+                !isIdentityCoords(add->ins[0].coords) ||
+                !isIdentityCoords(add->ins[1].coords) ||
+                add->ins[0].coords.size() != 1 ||
+                add->ins[1].coords.size() != 1) {
+                continue;
+            }
+            const auto lhs = matchAtLevel(graph, add->ins[0].value);
+            const auto rhs = matchAtLevel(graph, add->ins[1].value);
+            if (!lhs || !rhs || lhs->m != rhs->m ||
+                lhs->m != add->domainVars[0].extent) {
+                continue;
+            }
+            const DType dtype = graph.value(add->outs[0].value).md.dtype;
+
+            const ValueId xy = concatVectors(graph, lhs->vector, lhs->n,
+                                             rhs->vector, rhs->n, dtype);
+            const ValueId ab =
+                concatMatrices(graph, lhs->matrix, rhs->matrix, lhs->m,
+                               lhs->n, rhs->n, dtype);
+
+            const int64_t n = lhs->n + rhs->n;
+            Node &mul = graph.addNode(NodeKind::Map, "mul");
+            mul.domainVars.push_back(IndexVar{"j", lhs->m, false});
+            mul.domainVars.push_back(IndexVar{"k", n, false});
+            mul.ins.push_back(
+                Access{ab, {IndexExpr::var(0), IndexExpr::var(1)}});
+            mul.ins.push_back(Access{xy, {IndexExpr::var(1)}});
+            ir::EdgeMeta pmd;
+            pmd.dtype = dtype;
+            pmd.kind = ir::EdgeKind::Internal;
+            pmd.shape = Shape{lhs->m, n};
+            const ValueId prod = graph.addValue(pmd, mul.id);
+            mul.outs.push_back(
+                Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
+
+            Node &red = graph.addNode(NodeKind::Reduce, "sum");
+            red.domainVars.push_back(IndexVar{"j", lhs->m, false});
+            red.domainVars.push_back(IndexVar{"k", n, true});
+            red.ins.push_back(
+                Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
+
+            // The fused reduce takes over the add's output value, so names
+            // and boundary roles are preserved; the stale chains die in DCE.
+            const ValueId out = add->outs[0].value;
+            red.outs.push_back(Access{out, {IndexExpr::var(0)}});
+            graph.value(out).producer = red.id;
+            graph.eraseNode(add->id);
+
+            // addNode may have reallocated; refresh nothing beyond `add`.
+            changed = true;
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createAlgebraicCombination()
+{
+    return std::make_unique<AlgebraicCombination>();
+}
+
+} // namespace polymath::pass

@@ -1,0 +1,82 @@
+#include <span>
+
+#include "passes/passes.h"
+#include "passes/rewrite.h"
+#include "srdfg/ops.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+
+/** Folds scalar Map nodes whose operands are all compile-time constants. */
+class ConstantFolding : public Pass
+{
+  public:
+    std::string name() const override { return "constant-folding"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        bool changed = false;
+        for (auto &node : graph.nodes) {
+            if (!node || node->kind != NodeKind::Map)
+                continue;
+            if (!node->domainVars.empty() || node->base >= 0)
+                continue;
+            // Only genuine scalars fold; a domain-free scatter store (one
+            // element of a tensor) must stay a Map.
+            if (!node->outs[0].coords.empty() ||
+                !graph.value(node->outs[0].value).md.shape.isScalar()) {
+                continue;
+            }
+            if (graph.value(node->outs[0].value).md.dtype ==
+                DType::Complex) {
+                continue;
+            }
+            double args[3];
+            bool all_const = true;
+            for (size_t i = 0; i < node->ins.size(); ++i) {
+                const auto &in = node->ins[i];
+                if (in.isIndexOperand()) {
+                    if (!in.coords[0].isConst()) {
+                        all_const = false;
+                        break;
+                    }
+                    args[i] = static_cast<double>(in.coords[0].eval({}));
+                    continue;
+                }
+                const auto c = scalarConstOf(graph, in.value);
+                if (!c) {
+                    all_const = false;
+                    break;
+                }
+                args[i] = *c;
+            }
+            if (!all_const)
+                continue;
+            const double result = ir::applyScalarOp(
+                ir::resolveScalarOp(node->op),
+                std::span<const double>(args, node->ins.size()));
+            node->kind = NodeKind::Constant;
+            node->op = "const";
+            node->cval = result;
+            node->ins.clear();
+            node->outs[0].coords.clear();
+            changed = true;
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createConstantFolding()
+{
+    return std::make_unique<ConstantFolding>();
+}
+
+} // namespace polymath::pass

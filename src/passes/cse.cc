@@ -1,0 +1,111 @@
+#include <cstring>
+#include <map>
+
+#include "passes/passes.h"
+#include "passes/rewrite.h"
+#include "srdfg/traversal.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Access;
+using ir::Node;
+using ir::NodeKind;
+
+std::string
+accessKey(const Access &a)
+{
+    std::string key = "v" + std::to_string(a.value);
+    const std::vector<std::string> no_names;
+    for (const auto &c : a.coords)
+        key += "[" + c.str(no_names) + "]";
+    return key;
+}
+
+std::string
+nodeKey(const Node &node)
+{
+    std::string key = node.op + "|";
+    for (const auto &v : node.domainVars) {
+        key += std::to_string(v.extent);
+        key += v.reduced ? "r" : "f";
+        key += ",";
+    }
+    key += "|";
+    for (const auto &in : node.ins)
+        key += accessKey(in) + ";";
+    key += "|b" + std::to_string(node.base);
+    if (node.hasPredicate) {
+        const std::vector<std::string> no_names;
+        key += "|p" + node.predicate.str(no_names);
+    }
+    key += "|o";
+    for (const auto &c : node.outs[0].coords) {
+        const std::vector<std::string> no_names;
+        key += "[" + c.str(no_names) + "]";
+    }
+    return key;
+}
+
+std::string
+outShapeKey(const ir::Graph &graph, const Node &node)
+{
+    const auto &md = graph.value(node.outs[0].value).md;
+    return md.shape.str() + toString(md.dtype);
+}
+
+/** Hash-based common-subexpression elimination at one level. */
+class Cse : public Pass
+{
+  public:
+    std::string name() const override { return "cse"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        bool changed = false;
+        std::map<std::string, ir::ValueId> seen;
+        for (ir::NodeId id : ir::topoOrder(graph)) {
+            Node *node = graph.node(id);
+            std::string key;
+            if (node->kind == NodeKind::Constant) {
+                char bits[sizeof(double)];
+                std::memcpy(bits, &node->cval, sizeof(double));
+                key = "const|" + std::string(bits, sizeof(double)) + "|" +
+                      toString(graph.value(node->outs[0].value).md.dtype);
+            } else if (node->kind == NodeKind::Map ||
+                       node->kind == NodeKind::Reduce) {
+                if (!isAnonymousIntermediate(graph, node->outs[0].value))
+                    continue;
+                key = (node->kind == NodeKind::Map ? "m|" : "r|") +
+                      nodeKey(*node) + "|" + outShapeKey(graph, *node);
+            } else {
+                continue; // components are never merged
+            }
+            auto [it, inserted] = seen.emplace(key, node->outs[0].value);
+            if (inserted)
+                continue;
+            if (it->second == node->outs[0].value)
+                continue;
+            if (node->kind == NodeKind::Constant &&
+                !isAnonymousIntermediate(graph, node->outs[0].value)) {
+                continue;
+            }
+            replaceUses(graph, node->outs[0].value, it->second);
+            graph.eraseNode(node->id);
+            changed = true;
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createCse()
+{
+    return std::make_unique<Cse>();
+}
+
+} // namespace polymath::pass

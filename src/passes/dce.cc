@@ -1,0 +1,67 @@
+#include <set>
+
+#include "passes/passes.h"
+
+namespace polymath::pass {
+
+namespace {
+
+/** Removes nodes none of whose outputs reach a graph output. */
+class DeadNodeElimination : public Pass
+{
+  public:
+    std::string name() const override { return "dce"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        // Backward reachability from boundary outputs.
+        std::set<ir::ValueId> live_values;
+        std::vector<ir::ValueId> work(graph.outputs.begin(),
+                                      graph.outputs.end());
+        while (!work.empty()) {
+            const ir::ValueId v = work.back();
+            work.pop_back();
+            if (v < 0 || !live_values.insert(v).second)
+                continue;
+            const auto producer = graph.value(v).producer;
+            if (producer < 0)
+                continue;
+            const auto *node = graph.node(producer);
+            if (!node)
+                continue;
+            for (const auto &in : node->ins) {
+                if (!in.isIndexOperand())
+                    work.push_back(in.value);
+            }
+            work.push_back(node->base);
+            // All outputs of a live node stay live (components).
+            for (const auto &out : node->outs)
+                work.push_back(out.value);
+        }
+
+        bool changed = false;
+        for (auto &node : graph.nodes) {
+            if (!node)
+                continue;
+            bool live = false;
+            for (const auto &out : node->outs)
+                live = live || live_values.count(out.value) > 0;
+            if (!live) {
+                graph.eraseNode(node->id);
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createDeadNodeElimination()
+{
+    return std::make_unique<DeadNodeElimination>();
+}
+
+} // namespace polymath::pass

@@ -1,0 +1,96 @@
+#include "passes/passes.h"
+#include "passes/rewrite.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Access;
+using ir::IndexExpr;
+using ir::Node;
+using ir::NodeKind;
+
+/** True when @p node is a pure gather: an identity Map with no base whose
+ *  output scatter is the identity over its whole (complete) value. */
+bool
+isPureGather(const ir::Graph &graph, const Node &node)
+{
+    if (node.kind != NodeKind::Map || node.op != "identity" ||
+        node.base >= 0 || node.ins.size() != 1 ||
+        node.ins[0].isIndexOperand()) {
+        return false;
+    }
+    const auto &out = node.outs[0];
+    if (out.coords.size() != node.domainVars.size())
+        return false;
+    for (size_t i = 0; i < out.coords.size(); ++i) {
+        if (!out.coords[i].isIdentityVar(static_cast<int>(i)))
+            return false;
+    }
+    // The write must cover the output value completely.
+    const auto &shape = graph.value(out.value).md.shape;
+    if (shape.rank() != static_cast<int>(node.domainVars.size()))
+        return false;
+    for (int d = 0; d < shape.rank(); ++d) {
+        if (shape.dim(d) != node.domainVars[static_cast<size_t>(d)].extent)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Gather elision: a consumer reading a pure-gather's output through
+ * coordinates C sees exactly gather.in composed with C, so the
+ * intermediate copy can be bypassed (the move disappears once DCE runs).
+ * This is the optimization an expert performs by folding address
+ * arithmetic into the consuming kernel; it is *not* part of the standard
+ * pipeline because the paper's Fig. 9 overhead story depends on PolyMath
+ * emitting those moves — it quantifies what the pass buys (see the
+ * ablation bench).
+ */
+class IdentityElision : public Pass
+{
+  public:
+    std::string name() const override { return "identity-elision"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        bool changed = false;
+        for (auto &node : graph.nodes) {
+            if (!node || node->kind == NodeKind::Constant)
+                continue;
+            for (auto &in : node->ins) {
+                if (in.isIndexOperand() || in.coords.empty())
+                    continue;
+                const auto producer = graph.value(in.value).producer;
+                if (producer < 0)
+                    continue;
+                const Node *gather = graph.node(producer);
+                if (!gather || gather == node.get() ||
+                    !isPureGather(graph, *gather)) {
+                    continue;
+                }
+                // Compose: replace this access with the gather's source
+                // access, its coords evaluated at our coords.
+                Access composed;
+                composed.value = gather->ins[0].value;
+                for (const auto &c : gather->ins[0].coords)
+                    composed.coords.push_back(c.substituted(in.coords));
+                in = std::move(composed);
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createIdentityElision()
+{
+    return std::make_unique<IdentityElision>();
+}
+
+} // namespace polymath::pass

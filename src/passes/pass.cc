@@ -1,0 +1,77 @@
+#include "passes/pass.h"
+
+#include <chrono>
+
+#include "passes/passes.h"
+
+namespace polymath::pass {
+
+bool
+Pass::run(ir::Graph &graph)
+{
+    bool changed = false;
+    // Bottom-up: transform component subgraphs first so this level sees
+    // their simplified form.
+    for (auto &node : graph.nodes) {
+        if (node && node->subgraph)
+            changed |= run(*node->subgraph);
+    }
+    changed |= runOnLevel(graph);
+    return changed;
+}
+
+void
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+std::vector<PassResult>
+PassManager::run(ir::Graph &graph) const
+{
+    std::vector<PassResult> results;
+    for (const auto &pass : passes_) {
+        const auto start = std::chrono::steady_clock::now();
+        PassResult r;
+        r.name = pass->name();
+        r.changed = pass->run(graph);
+        r.micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+        if (r.changed)
+            graph.validate();
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+std::vector<PassResult>
+PassManager::runToFixpoint(ir::Graph &graph, int max_rounds) const
+{
+    std::vector<PassResult> all;
+    for (int round = 0; round < max_rounds; ++round) {
+        auto results = run(graph);
+        bool changed = false;
+        for (const auto &r : results)
+            changed |= r.changed;
+        all.insert(all.end(), std::make_move_iterator(results.begin()),
+                   std::make_move_iterator(results.end()));
+        if (!changed)
+            break;
+    }
+    return all;
+}
+
+PassManager
+standardPipeline()
+{
+    PassManager pm;
+    pm.add(createConstantFolding());
+    pm.add(createSimplify());
+    pm.add(createCse());
+    pm.add(createAlgebraicCombination());
+    pm.add(createDeadNodeElimination());
+    return pm;
+}
+
+} // namespace polymath::pass

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Factories for the built-in srDFG passes.
+ */
+#ifndef POLYMATH_PASSES_PASSES_H_
+#define POLYMATH_PASSES_PASSES_H_
+
+#include <memory>
+
+#include "passes/pass.h"
+
+namespace polymath::pass {
+
+/** Folds Map nodes over all-constant scalar operands into Constants. */
+std::unique_ptr<Pass> createConstantFolding();
+
+/** Algebraic identities: x*1, x+0, x-0, x*0, x/1, select on a constant
+ *  condition, pow(x,1). Rewrites to identity moves or constants. */
+std::unique_ptr<Pass> createSimplify();
+
+/** Hash-based common-subexpression elimination over Constants and
+ *  unnamed Map/Reduce intermediates. */
+std::unique_ptr<Pass> createCse();
+
+/** Removes nodes whose results are never consumed, to fixpoint. */
+std::unique_ptr<Pass> createDeadNodeElimination();
+
+/** Checks that every value's recorded shape matches what its producer's
+ *  iteration domain implies; changes nothing. */
+std::unique_ptr<Pass> createShapeCheck();
+
+/**
+ * Gather elision: consumers of pure copy/gather moves read the source
+ * directly through composed address arithmetic, eliminating the move
+ * (what a hand-tuned kernel does). Kept out of the standard pipeline so
+ * the Fig. 9 overhead measurement reflects PolyMath's emitted moves; the
+ * ablation bench quantifies its effect.
+ */
+std::unique_ptr<Pass> createIdentityElision();
+
+/**
+ * The paper's cross-granularity example (Section IV-B): when the outputs
+ * of two matrix-vector products are added — whether the products live at
+ * this level or inside component subgraphs such as `mvmul` — fuse them
+ * into a single product over concatenated operands.
+ */
+std::unique_ptr<Pass> createAlgebraicCombination();
+
+} // namespace polymath::pass
+
+#endif // POLYMATH_PASSES_PASSES_H_

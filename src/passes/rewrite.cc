@@ -1,0 +1,71 @@
+#include "passes/rewrite.h"
+
+#include <algorithm>
+
+namespace polymath::pass {
+
+using ir::Graph;
+using ir::NodeKind;
+using ir::ValueId;
+
+int
+replaceUses(Graph &graph, ValueId from, ValueId to)
+{
+    if (!(graph.value(from).md.shape == graph.value(to).md.shape))
+        panic("replaceUses(): shape mismatch");
+    int count = 0;
+    for (auto &node : graph.nodes) {
+        if (!node)
+            continue;
+        for (auto &in : node->ins) {
+            if (in.value == from) {
+                in.value = to;
+                ++count;
+            }
+        }
+        if (node->base == from) {
+            node->base = to;
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::optional<double>
+scalarConstOf(const Graph &graph, ValueId v)
+{
+    if (v < 0)
+        return std::nullopt;
+    const auto producer = graph.value(v).producer;
+    if (producer < 0)
+        return std::nullopt;
+    const auto *node = graph.node(producer);
+    if (!node || node->kind != NodeKind::Constant)
+        return std::nullopt;
+    return node->cval;
+}
+
+ValueId
+emitConstant(Graph &graph, double value, DType dtype)
+{
+    auto &node = graph.addNode(NodeKind::Constant, "const");
+    node.cval = value;
+    ir::EdgeMeta md;
+    md.dtype = dtype;
+    md.kind = ir::EdgeKind::Internal;
+    const ValueId v = graph.addValue(md, node.id);
+    node.outs.push_back(ir::Access{v, {}});
+    return v;
+}
+
+bool
+isAnonymousIntermediate(const Graph &graph, ValueId v)
+{
+    const auto &md = graph.value(v).md;
+    if (md.kind != ir::EdgeKind::Internal)
+        return false;
+    return std::find(graph.outputs.begin(), graph.outputs.end(), v) ==
+           graph.outputs.end();
+}
+
+} // namespace polymath::pass

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared rewriting helpers for srDFG passes.
+ */
+#ifndef POLYMATH_PASSES_REWRITE_H_
+#define POLYMATH_PASSES_REWRITE_H_
+
+#include <optional>
+
+#include "srdfg/graph.h"
+
+namespace polymath::pass {
+
+/** Redirects every use (ins/base) of @p from to @p to at this level.
+ *  Shapes of the two values must match. @return number of uses rewritten.*/
+int replaceUses(ir::Graph &graph, ir::ValueId from, ir::ValueId to);
+
+/** The constant a value carries, when produced by a Constant node. */
+std::optional<double> scalarConstOf(const ir::Graph &graph, ir::ValueId v);
+
+/** Emits a Constant node producing @p value; returns its output value. */
+ir::ValueId emitConstant(ir::Graph &graph, double value, DType dtype);
+
+/** True when @p v may be merged away: internal, unnamed, not a graph
+ *  output. */
+bool isAnonymousIntermediate(const ir::Graph &graph, ir::ValueId v);
+
+} // namespace polymath::pass
+
+#endif // POLYMATH_PASSES_REWRITE_H_

@@ -1,0 +1,64 @@
+#include "passes/passes.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+
+/** Structural shape verification; never mutates the graph. */
+class ShapeCheck : public Pass
+{
+  public:
+    std::string name() const override { return "shape-check"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        graph.validate();
+        for (const auto &node : graph.nodes) {
+            if (!node)
+                continue;
+            if (node->kind != NodeKind::Map &&
+                node->kind != NodeKind::Reduce) {
+                continue;
+            }
+            // When the output scatter is the identity over the free axes,
+            // the output shape must equal the free extents.
+            const auto &out = node->outs[0];
+            std::vector<int64_t> free_extents;
+            std::vector<int> free_slots;
+            for (size_t i = 0; i < node->domainVars.size(); ++i) {
+                if (!node->domainVars[i].reduced) {
+                    free_extents.push_back(node->domainVars[i].extent);
+                    free_slots.push_back(static_cast<int>(i));
+                }
+            }
+            bool identity = out.coords.size() == free_extents.size();
+            for (size_t i = 0; identity && i < out.coords.size(); ++i)
+                identity = out.coords[i].isIdentityVar(free_slots[i]);
+            if (!identity)
+                continue;
+            const auto &shape = graph.value(out.value).md.shape;
+            if (node->base >= 0)
+                continue; // partial writes inherit the base shape
+            if (!(shape == Shape(free_extents))) {
+                panic("node '" + node->op + "' in graph '" + graph.name +
+                      "' writes shape " + Shape(free_extents).str() +
+                      " into value of shape " + shape.str());
+            }
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createShapeCheck()
+{
+    return std::make_unique<ShapeCheck>();
+}
+
+} // namespace polymath::pass

@@ -1,0 +1,136 @@
+#include "passes/passes.h"
+#include "passes/rewrite.h"
+
+namespace polymath::pass {
+
+namespace {
+
+using ir::Access;
+using ir::Node;
+using ir::NodeKind;
+
+/** Rewrites @p node into an identity move of @p kept. */
+void
+toIdentity(Node *node, Access kept)
+{
+    node->op = "identity";
+    node->ins.clear();
+    node->ins.push_back(std::move(kept));
+}
+
+/** Rewrites @p node into a broadcast of constant @p value. */
+void
+toConstantBroadcast(ir::Graph &graph, Node *node, double value)
+{
+    const auto cv =
+        emitConstant(graph, value,
+                     graph.value(node->outs[0].value).md.dtype);
+    toIdentity(node, Access{cv, {}});
+}
+
+/** Algebraic identities on Map nodes. */
+class Simplify : public Pass
+{
+  public:
+    std::string name() const override { return "simplify"; }
+
+  protected:
+    bool runOnLevel(ir::Graph &graph) override
+    {
+        bool changed = false;
+        // Index by value id once; the loop only rewrites nodes in place.
+        const size_t node_count = graph.nodes.size();
+        for (size_t i = 0; i < node_count; ++i) {
+            Node *node = graph.nodes[i].get();
+            if (!node || node->kind != NodeKind::Map)
+                continue;
+            auto const_of = [&](size_t k) -> std::optional<double> {
+                const auto &in = node->ins[k];
+                if (in.isIndexOperand()) {
+                    if (!in.coords[0].isConst())
+                        return std::nullopt;
+                    return static_cast<double>(in.coords[0].eval({}));
+                }
+                return scalarConstOf(graph, in.value);
+            };
+            if (node->op == "add" || node->op == "sub") {
+                const auto rhs = const_of(1);
+                if (rhs && *rhs == 0.0) {
+                    toIdentity(node, node->ins[0]);
+                    changed = true;
+                    continue;
+                }
+                if (node->op == "add") {
+                    const auto lhs = const_of(0);
+                    if (lhs && *lhs == 0.0) {
+                        toIdentity(node, node->ins[1]);
+                        changed = true;
+                        continue;
+                    }
+                }
+            } else if (node->op == "mul") {
+                const auto lhs = const_of(0);
+                const auto rhs = const_of(1);
+                if ((lhs && *lhs == 1.0)) {
+                    toIdentity(node, node->ins[1]);
+                    changed = true;
+                } else if (rhs && *rhs == 1.0) {
+                    toIdentity(node, node->ins[0]);
+                    changed = true;
+                } else if ((lhs && *lhs == 0.0) || (rhs && *rhs == 0.0)) {
+                    toConstantBroadcast(graph, node, 0.0);
+                    changed = true;
+                }
+            } else if (node->op == "div" || node->op == "pow") {
+                const auto rhs = const_of(1);
+                if (rhs && *rhs == 1.0) {
+                    toIdentity(node, node->ins[0]);
+                    changed = true;
+                }
+            } else if (node->op == "select") {
+                const auto cond = const_of(0);
+                if (cond) {
+                    toIdentity(node,
+                               *cond != 0.0 ? node->ins[1] : node->ins[2]);
+                    changed = true;
+                }
+            } else if (node->op == "neg") {
+                // neg(neg(x)) -> identity(x)
+                const auto &in = node->ins[0];
+                if (!in.isIndexOperand()) {
+                    const auto producer = graph.value(in.value).producer;
+                    const Node *p =
+                        producer >= 0 ? graph.node(producer) : nullptr;
+                    bool identity_read =
+                        !in.coords.empty() || node->domainVars.empty();
+                    for (size_t k = 0; k < in.coords.size(); ++k) {
+                        identity_read = identity_read &&
+                                        in.coords[k].isIdentityVar(
+                                            static_cast<int>(k));
+                    }
+                    const bool inner_whole =
+                        identity_read && p && p->kind == NodeKind::Map &&
+                        p->op == "neg" &&
+                        p->domainVarNames() == node->domainVarNames() &&
+                        isAnonymousIntermediate(graph, in.value);
+                    if (inner_whole) {
+                        Access a = p->ins[0];
+                        toIdentity(node, std::move(a));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSimplify()
+{
+    return std::make_unique<Simplify>();
+}
+
+} // namespace polymath::pass

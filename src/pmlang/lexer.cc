@@ -1,0 +1,248 @@
+#include "pmlang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace polymath::lang {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> &
+keywordMap()
+{
+    static const std::unordered_map<std::string, Tok> kw = {
+        {"input", Tok::KwInput},     {"output", Tok::KwOutput},
+        {"state", Tok::KwState},     {"param", Tok::KwParam},
+        {"index", Tok::KwIndex},     {"reduction", Tok::KwReduction},
+        {"bin", Tok::KwBin},         {"int", Tok::KwInt},
+        {"float", Tok::KwFloat},     {"str", Tok::KwStr},
+        {"complex", Tok::KwComplex}, {"RBT", Tok::KwRBT},
+        {"GA", Tok::KwGA},           {"DSP", Tok::KwDSP},
+        {"DA", Tok::KwDA},           {"DL", Tok::KwDL},
+    };
+    return kw;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char
+Lexer::peek(int ahead) const
+{
+    const size_t p = pos_ + static_cast<size_t>(ahead);
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    const char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+bool
+Lexer::atEnd() const
+{
+    return pos_ >= src_.size();
+}
+
+SourceLoc
+Lexer::here() const
+{
+    return {line_, col_};
+}
+
+void
+Lexer::skipTrivia()
+{
+    while (!atEnd()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            const SourceLoc open = here();
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (atEnd())
+                fatal("unterminated block comment", open);
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::make(Tok kind, std::string text) const
+{
+    return Token{kind, std::move(text), tokenStart_};
+}
+
+Token
+Lexer::lexNumber()
+{
+    std::string text;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+        text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        const char sign = peek(1);
+        const char first = (sign == '+' || sign == '-') ? peek(2) : sign;
+        if (std::isdigit(static_cast<unsigned char>(first))) {
+            is_float = true;
+            text += advance();
+            if (peek() == '+' || peek() == '-')
+                text += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+        }
+    }
+    return make(is_float ? Tok::FloatLit : Tok::IntLit, std::move(text));
+}
+
+Token
+Lexer::lexIdentOrKeyword()
+{
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        text += advance();
+    const auto &kw = keywordMap();
+    if (auto it = kw.find(text); it != kw.end())
+        return make(it->second, std::move(text));
+    return make(Tok::Ident, std::move(text));
+}
+
+Token
+Lexer::lexString()
+{
+    const SourceLoc open = tokenStart_;
+    advance(); // opening quote
+    std::string text;
+    while (!atEnd() && peek() != '"') {
+        if (peek() == '\n')
+            fatal("newline in string literal", open);
+        text += advance();
+    }
+    if (atEnd())
+        fatal("unterminated string literal", open);
+    advance(); // closing quote
+    return make(Tok::StrLit, std::move(text));
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> out;
+    while (true) {
+        skipTrivia();
+        tokenStart_ = here();
+        if (atEnd()) {
+            out.push_back(make(Tok::Eof, ""));
+            return out;
+        }
+        const char c = peek();
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            out.push_back(lexNumber());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            out.push_back(lexIdentOrKeyword());
+            continue;
+        }
+        if (c == '"') {
+            out.push_back(lexString());
+            continue;
+        }
+        advance();
+        switch (c) {
+          case '(': out.push_back(make(Tok::LParen, "(")); break;
+          case ')': out.push_back(make(Tok::RParen, ")")); break;
+          case '{': out.push_back(make(Tok::LBrace, "{")); break;
+          case '}': out.push_back(make(Tok::RBrace, "}")); break;
+          case '[': out.push_back(make(Tok::LBracket, "[")); break;
+          case ']': out.push_back(make(Tok::RBracket, "]")); break;
+          case ',': out.push_back(make(Tok::Comma, ",")); break;
+          case ';': out.push_back(make(Tok::Semicolon, ";")); break;
+          case '?': out.push_back(make(Tok::Question, "?")); break;
+          case '+': out.push_back(make(Tok::Plus, "+")); break;
+          case '-': out.push_back(make(Tok::Minus, "-")); break;
+          case '*': out.push_back(make(Tok::Star, "*")); break;
+          case '/': out.push_back(make(Tok::Slash, "/")); break;
+          case '%': out.push_back(make(Tok::Percent, "%")); break;
+          case '^': out.push_back(make(Tok::Caret, "^")); break;
+          case ':':
+            out.push_back(make(Tok::Colon, ":"));
+            break;
+          case '=':
+            if (peek() == '=') {
+                advance();
+                out.push_back(make(Tok::EqEq, "=="));
+            } else {
+                out.push_back(make(Tok::Assign, "="));
+            }
+            break;
+          case '<':
+            if (peek() == '=') {
+                advance();
+                out.push_back(make(Tok::Le, "<="));
+            } else {
+                out.push_back(make(Tok::Lt, "<"));
+            }
+            break;
+          case '>':
+            if (peek() == '=') {
+                advance();
+                out.push_back(make(Tok::Ge, ">="));
+            } else {
+                out.push_back(make(Tok::Gt, ">"));
+            }
+            break;
+          case '!':
+            if (peek() == '=') {
+                advance();
+                out.push_back(make(Tok::NotEq, "!="));
+            } else {
+                out.push_back(make(Tok::Not, "!"));
+            }
+            break;
+          case '&':
+            if (peek() == '&') {
+                advance();
+                out.push_back(make(Tok::AndAnd, "&&"));
+                break;
+            }
+            fatal("unexpected character '&'", tokenStart_);
+          case '|':
+            if (peek() == '|') {
+                advance();
+                out.push_back(make(Tok::OrOr, "||"));
+                break;
+            }
+            fatal("unexpected character '|'", tokenStart_);
+          default:
+            fatal(std::string("unexpected character '") + c + "'",
+                  tokenStart_);
+        }
+    }
+}
+
+} // namespace polymath::lang

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hand-written lexer for PMLang.
+ *
+ * Supports //-line and C-style block comments, decimal int/float literals
+ * with exponents, double-quoted strings, and the operator set of Section II.
+ */
+#ifndef POLYMATH_PMLANG_LEXER_H_
+#define POLYMATH_PMLANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "pmlang/token.h"
+
+namespace polymath::lang {
+
+/** Converts PMLang source text into a token stream. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lexes the entire input; the final token is always Eof.
+     *  @throws UserError on malformed input. */
+    std::vector<Token> lexAll();
+
+  private:
+    char peek(int ahead = 0) const;
+    char advance();
+    bool atEnd() const;
+    void skipTrivia();
+    Token lexNumber();
+    Token lexIdentOrKeyword();
+    Token lexString();
+    Token make(Tok kind, std::string text) const;
+    SourceLoc here() const;
+
+    std::string src_;
+    size_t pos_ = 0;
+    int32_t line_ = 1;
+    int32_t col_ = 1;
+    SourceLoc tokenStart_;
+};
+
+} // namespace polymath::lang
+
+#endif // POLYMATH_PMLANG_LEXER_H_

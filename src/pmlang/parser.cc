@@ -1,0 +1,531 @@
+#include "pmlang/parser.h"
+
+#include <utility>
+
+#include "pmlang/lexer.h"
+
+namespace polymath::lang {
+
+namespace {
+
+/** Maps a domain-annotation token to its Domain value. */
+Domain
+domainFor(Tok kind)
+{
+    switch (kind) {
+      case Tok::KwRBT: return Domain::RBT;
+      case Tok::KwGA: return Domain::GA;
+      case Tok::KwDSP: return Domain::DSP;
+      case Tok::KwDA: return Domain::DA;
+      case Tok::KwDL: return Domain::DL;
+      default: return Domain::None;
+    }
+}
+
+/** Maps a type-keyword token to its DType; nullopt otherwise. */
+std::optional<DType>
+typeFor(Tok kind)
+{
+    switch (kind) {
+      case Tok::KwBin: return DType::Bin;
+      case Tok::KwInt: return DType::Int;
+      case Tok::KwFloat: return DType::Float;
+      case Tok::KwStr: return DType::Str;
+      case Tok::KwComplex: return DType::Complex;
+      default: return std::nullopt;
+    }
+}
+
+ExprPtr
+makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->loc = loc;
+    e->op = std::move(op);
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Lexer lexer(source);
+    Parser parser(lexer.lexAll());
+    return parser.parseProgram();
+}
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens))
+{
+    if (toks_.empty() || !toks_.back().is(Tok::Eof))
+        panic("token stream must end with Eof");
+}
+
+const Token &
+Parser::peek(int ahead) const
+{
+    const size_t p = pos_ + static_cast<size_t>(ahead);
+    return p < toks_.size() ? toks_[p] : toks_.back();
+}
+
+const Token &
+Parser::advance()
+{
+    const Token &t = peek();
+    if (!t.is(Tok::Eof))
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::match(Tok kind)
+{
+    if (check(kind)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+const Token &
+Parser::expect(Tok kind, const std::string &context)
+{
+    if (!check(kind)) {
+        fatal("expected " + tokName(kind) + " " + context + ", found " +
+                  tokName(peek().kind),
+              peek().loc);
+    }
+    return advance();
+}
+
+void
+Parser::errorHere(const std::string &message) const
+{
+    fatal(message + " (found " + tokName(peek().kind) + ")", peek().loc);
+}
+
+Program
+Parser::parseProgram()
+{
+    Program prog;
+    while (!check(Tok::Eof)) {
+        if (check(Tok::KwReduction)) {
+            prog.reductions.push_back(parseReduction());
+        } else if (check(Tok::Ident)) {
+            prog.components.push_back(parseComponent());
+        } else {
+            errorHere("expected component or reduction declaration");
+        }
+    }
+    return prog;
+}
+
+ReductionDecl
+Parser::parseReduction()
+{
+    ReductionDecl red;
+    red.loc = peek().loc;
+    expect(Tok::KwReduction, "at reduction declaration");
+    red.name = expect(Tok::Ident, "after 'reduction'").text;
+    expect(Tok::LParen, "in reduction declaration");
+    red.paramA = expect(Tok::Ident, "as first reduction parameter").text;
+    expect(Tok::Comma, "between reduction parameters");
+    red.paramB = expect(Tok::Ident, "as second reduction parameter").text;
+    expect(Tok::RParen, "after reduction parameters");
+    expect(Tok::Assign, "in reduction declaration");
+    red.body = parseExpr();
+    expect(Tok::Semicolon, "after reduction body");
+    return red;
+}
+
+ComponentDecl
+Parser::parseComponent()
+{
+    ComponentDecl comp;
+    comp.loc = peek().loc;
+    comp.name = expect(Tok::Ident, "at component declaration").text;
+    expect(Tok::LParen, "after component name");
+    if (!check(Tok::RParen)) {
+        comp.args.push_back(parseArgDecl());
+        while (match(Tok::Comma))
+            comp.args.push_back(parseArgDecl());
+    }
+    expect(Tok::RParen, "after component arguments");
+    expect(Tok::LBrace, "at component body");
+    while (!check(Tok::RBrace) && !check(Tok::Eof))
+        comp.body.push_back(parseStmt());
+    expect(Tok::RBrace, "at end of component body");
+    return comp;
+}
+
+ArgDecl
+Parser::parseArgDecl()
+{
+    ArgDecl arg;
+    arg.loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::KwInput: arg.mod = Modifier::Input; break;
+      case Tok::KwOutput: arg.mod = Modifier::Output; break;
+      case Tok::KwState: arg.mod = Modifier::State; break;
+      case Tok::KwParam: arg.mod = Modifier::Param; break;
+      default:
+        errorHere("expected argument modifier "
+                  "(input/output/state/param)");
+    }
+    advance();
+    const auto type = typeFor(peek().kind);
+    if (!type)
+        errorHere("expected argument type");
+    arg.type = *type;
+    advance();
+    arg.name = expect(Tok::Ident, "as argument name").text;
+    arg.dims = parseDims();
+    return arg;
+}
+
+std::vector<ExprPtr>
+Parser::parseDims()
+{
+    std::vector<ExprPtr> dims;
+    while (match(Tok::LBracket)) {
+        dims.push_back(parseExpr());
+        expect(Tok::RBracket, "after dimension");
+    }
+    return dims;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    if (check(Tok::KwIndex))
+        return parseIndexDecl();
+    if (const auto type = typeFor(peek().kind)) {
+        advance();
+        return parseVarDecl(*type);
+    }
+    const Domain dom = domainFor(peek().kind);
+    if (dom != Domain::None) {
+        advance();
+        expect(Tok::Colon, "after domain annotation");
+        auto stmt = parseAssignOrCall(dom);
+        if (stmt->kind != StmtKind::Call)
+            fatal("domain annotations apply only to component "
+                  "instantiations",
+                  stmt->loc);
+        return stmt;
+    }
+    if (check(Tok::Ident))
+        return parseAssignOrCall(Domain::None);
+    errorHere("expected statement");
+}
+
+StmtPtr
+Parser::parseIndexDecl()
+{
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::IndexDecl;
+    stmt->loc = peek().loc;
+    expect(Tok::KwIndex, "at index declaration");
+    do {
+        IndexSpec spec;
+        spec.loc = peek().loc;
+        spec.name = expect(Tok::Ident, "as index name").text;
+        expect(Tok::LBracket, "after index name");
+        spec.lo = parseExpr();
+        expect(Tok::Colon, "between index bounds");
+        spec.hi = parseExpr();
+        expect(Tok::RBracket, "after index bounds");
+        stmt->indexSpecs.push_back(std::move(spec));
+    } while (match(Tok::Comma));
+    expect(Tok::Semicolon, "after index declaration");
+    return stmt;
+}
+
+StmtPtr
+Parser::parseVarDecl(DType type)
+{
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::VarDecl;
+    stmt->loc = peek().loc;
+    stmt->declType = type;
+    do {
+        LocalDecl decl;
+        decl.loc = peek().loc;
+        decl.name = expect(Tok::Ident, "as variable name").text;
+        decl.dims = parseDims();
+        stmt->locals.push_back(std::move(decl));
+    } while (match(Tok::Comma));
+    expect(Tok::Semicolon, "after variable declaration");
+    return stmt;
+}
+
+StmtPtr
+Parser::parseAssignOrCall(Domain domain)
+{
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = peek().loc;
+    const std::string name = expect(Tok::Ident, "at statement").text;
+    if (check(Tok::LParen)) {
+        stmt->kind = StmtKind::Call;
+        stmt->domain = domain;
+        stmt->callee = name;
+        advance();
+        if (!check(Tok::RParen)) {
+            stmt->callArgs.push_back(parseExpr());
+            while (match(Tok::Comma))
+                stmt->callArgs.push_back(parseExpr());
+        }
+        expect(Tok::RParen, "after instantiation arguments");
+        expect(Tok::Semicolon, "after component instantiation");
+        return stmt;
+    }
+    stmt->kind = StmtKind::Assign;
+    stmt->target = name;
+    while (match(Tok::LBracket)) {
+        stmt->targetIndices.push_back(parseExpr());
+        expect(Tok::RBracket, "after subscript");
+    }
+    expect(Tok::Assign, "in assignment");
+    stmt->value = parseExpr();
+    expect(Tok::Semicolon, "after assignment");
+    return stmt;
+}
+
+ExprPtr
+Parser::parseStandaloneExpr()
+{
+    auto e = parseExpr();
+    expect(Tok::Eof, "after expression");
+    return e;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseTernary();
+}
+
+ExprPtr
+Parser::parseTernary()
+{
+    auto cond = parseOr();
+    if (!match(Tok::Question))
+        return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ternary;
+    e->loc = cond->loc;
+    e->lhs = std::move(cond);
+    e->rhs = parseExpr();
+    expect(Tok::Colon, "in conditional expression");
+    e->third = parseExpr();
+    return e;
+}
+
+ExprPtr
+Parser::parseOr()
+{
+    auto lhs = parseAnd();
+    while (check(Tok::OrOr)) {
+        const SourceLoc loc = peek().loc;
+        advance();
+        lhs = makeBinary("||", std::move(lhs), parseAnd(), loc);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseAnd()
+{
+    auto lhs = parseComparison();
+    while (check(Tok::AndAnd)) {
+        const SourceLoc loc = peek().loc;
+        advance();
+        lhs = makeBinary("&&", std::move(lhs), parseComparison(), loc);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseComparison()
+{
+    auto lhs = parseAdditive();
+    std::string op;
+    switch (peek().kind) {
+      case Tok::Lt: op = "<"; break;
+      case Tok::Gt: op = ">"; break;
+      case Tok::Le: op = "<="; break;
+      case Tok::Ge: op = ">="; break;
+      case Tok::EqEq: op = "=="; break;
+      case Tok::NotEq: op = "!="; break;
+      default: return lhs;
+    }
+    const SourceLoc loc = peek().loc;
+    advance();
+    return makeBinary(std::move(op), std::move(lhs), parseAdditive(), loc);
+}
+
+ExprPtr
+Parser::parseAdditive()
+{
+    auto lhs = parseMultiplicative();
+    while (check(Tok::Plus) || check(Tok::Minus)) {
+        const std::string op = peek().is(Tok::Plus) ? "+" : "-";
+        const SourceLoc loc = peek().loc;
+        advance();
+        lhs = makeBinary(op, std::move(lhs), parseMultiplicative(), loc);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseMultiplicative()
+{
+    auto lhs = parsePower();
+    while (check(Tok::Star) || check(Tok::Slash) || check(Tok::Percent)) {
+        std::string op = "*";
+        if (peek().is(Tok::Slash))
+            op = "/";
+        else if (peek().is(Tok::Percent))
+            op = "%";
+        const SourceLoc loc = peek().loc;
+        advance();
+        lhs = makeBinary(std::move(op), std::move(lhs), parsePower(), loc);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parsePower()
+{
+    auto base = parseUnary();
+    if (!check(Tok::Caret))
+        return base;
+    const SourceLoc loc = peek().loc;
+    advance();
+    // right-associative
+    return makeBinary("^", std::move(base), parsePower(), loc);
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    if (check(Tok::Minus)) {
+        const SourceLoc loc = peek().loc;
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Unary;
+        e->loc = loc;
+        e->op = "neg";
+        e->lhs = parseUnary();
+        return e;
+    }
+    if (check(Tok::Not)) {
+        const SourceLoc loc = peek().loc;
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Unary;
+        e->loc = loc;
+        e->op = "!";
+        e->lhs = parseUnary();
+        return e;
+    }
+    return parsePrimary();
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    if (check(Tok::IntLit) || check(Tok::FloatLit)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Number;
+        e->loc = peek().loc;
+        e->isIntLit = peek().is(Tok::IntLit);
+        e->value = std::stod(peek().text);
+        advance();
+        return e;
+    }
+    if (match(Tok::LParen)) {
+        auto e = parseExpr();
+        expect(Tok::RParen, "after parenthesized expression");
+        return e;
+    }
+    if (check(Tok::Ident))
+        return parseIdentExpr();
+    errorHere("expected expression");
+}
+
+ExprPtr
+Parser::parseIdentExpr()
+{
+    auto e = std::make_unique<Expr>();
+    e->loc = peek().loc;
+    e->name = expect(Tok::Ident, "in expression").text;
+
+    // Bracket groups: either subscripts (A[i][j]) or reduce axes
+    // (sum[i][j: j != i]). Disambiguated by a trailing '(' — subscripted
+    // references are never applied.
+    struct Group
+    {
+        ExprPtr expr;
+        ExprPtr cond;
+        SourceLoc loc;
+    };
+    std::vector<Group> groups;
+    while (match(Tok::LBracket)) {
+        Group g;
+        g.loc = peek().loc;
+        g.expr = parseExpr();
+        if (match(Tok::Colon))
+            g.cond = parseExpr();
+        expect(Tok::RBracket, "after subscript");
+        groups.push_back(std::move(g));
+    }
+
+    if (check(Tok::LParen)) {
+        advance();
+        if (groups.empty()) {
+            // Built-in function application: sigmoid(x), pow(a, b), ...
+            e->kind = ExprKind::Call;
+            if (!check(Tok::RParen)) {
+                e->args.push_back(parseExpr());
+                while (match(Tok::Comma))
+                    e->args.push_back(parseExpr());
+            }
+            expect(Tok::RParen, "after function arguments");
+            return e;
+        }
+        // Group reduction: every bracket group must be a bare index name.
+        e->kind = ExprKind::Reduce;
+        for (auto &g : groups) {
+            if (g.expr->kind != ExprKind::Ref || !g.expr->args.empty()) {
+                fatal("reduction axis must be a bare index variable",
+                      g.loc);
+            }
+            ReduceAxis axis;
+            axis.index = g.expr->name;
+            axis.cond = std::move(g.cond);
+            axis.loc = g.loc;
+            e->axes.push_back(std::move(axis));
+        }
+        e->body = parseExpr();
+        expect(Tok::RParen, "after reduction body");
+        return e;
+    }
+
+    // Plain (possibly subscripted) reference.
+    e->kind = ExprKind::Ref;
+    for (auto &g : groups) {
+        if (g.cond) {
+            fatal("conditional subscripts are only valid on reduction "
+                  "axes",
+                  g.loc);
+        }
+        e->args.push_back(std::move(g.expr));
+    }
+    return e;
+}
+
+} // namespace polymath::lang

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Recursive-descent parser for PMLang.
+ */
+#ifndef POLYMATH_PMLANG_PARSER_H_
+#define POLYMATH_PMLANG_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "pmlang/ast.h"
+#include "pmlang/token.h"
+
+namespace polymath::lang {
+
+/**
+ * Parses PMLang source text into a Program.
+ * @throws UserError (with source location) on the first syntax error.
+ */
+Program parse(const std::string &source);
+
+/** Internal parser class; exposed for unit tests of sub-productions. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens);
+
+    /** Parses a whole translation unit. */
+    Program parseProgram();
+
+    /** Parses a single expression (must consume all input up to Eof). */
+    ExprPtr parseStandaloneExpr();
+
+  private:
+    const Token &peek(int ahead = 0) const;
+    const Token &advance();
+    bool check(Tok kind) const { return peek().is(kind); }
+    bool match(Tok kind);
+    const Token &expect(Tok kind, const std::string &context);
+    [[noreturn]] void errorHere(const std::string &message) const;
+
+    ComponentDecl parseComponent();
+    ReductionDecl parseReduction();
+    ArgDecl parseArgDecl();
+    StmtPtr parseStmt();
+    StmtPtr parseIndexDecl();
+    StmtPtr parseVarDecl(DType type);
+    StmtPtr parseAssignOrCall(Domain domain);
+    std::vector<ExprPtr> parseDims();
+
+    ExprPtr parseExpr();
+    ExprPtr parseTernary();
+    ExprPtr parseOr();
+    ExprPtr parseAnd();
+    ExprPtr parseComparison();
+    ExprPtr parseAdditive();
+    ExprPtr parseMultiplicative();
+    ExprPtr parsePower();
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+    ExprPtr parseIdentExpr();
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace polymath::lang
+
+#endif // POLYMATH_PMLANG_PARSER_H_

@@ -1,0 +1,60 @@
+#include "pmlang/token.h"
+
+namespace polymath::lang {
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::KwInput: return "'input'";
+      case Tok::KwOutput: return "'output'";
+      case Tok::KwState: return "'state'";
+      case Tok::KwParam: return "'param'";
+      case Tok::KwIndex: return "'index'";
+      case Tok::KwReduction: return "'reduction'";
+      case Tok::KwBin: return "'bin'";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwFloat: return "'float'";
+      case Tok::KwStr: return "'str'";
+      case Tok::KwComplex: return "'complex'";
+      case Tok::KwRBT: return "'RBT'";
+      case Tok::KwGA: return "'GA'";
+      case Tok::KwDSP: return "'DSP'";
+      case Tok::KwDA: return "'DA'";
+      case Tok::KwDL: return "'DL'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semicolon: return "';'";
+      case Tok::Colon: return "':'";
+      case Tok::Question: return "'?'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Caret: return "'^'";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::Le: return "'<='";
+      case Tok::Ge: return "'>='";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::AndAnd: return "'&&'";
+      case Tok::OrOr: return "'||'";
+      case Tok::Not: return "'!'";
+      case Tok::Eof: return "end of input";
+    }
+    panic("unhandled token kind");
+}
+
+} // namespace polymath::lang

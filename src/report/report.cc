@@ -1,0 +1,87 @@
+#include "report/report.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace polymath::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        return line + "\n";
+    };
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+double
+geomean(std::span<const double> values)
+{
+    double log_sum = 0.0;
+    int64_t n = 0;
+    for (double v : values) {
+        if (v <= 0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+double
+mean(std::span<const double> values)
+{
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return values.empty() ? 0.0
+                          : sum / static_cast<double>(values.size());
+}
+
+std::string
+times(double value)
+{
+    return format("%.1fx", value);
+}
+
+std::string
+percent(double value)
+{
+    return format("%.1f%%", value * 100.0);
+}
+
+} // namespace polymath::report

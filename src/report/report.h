@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width table rendering and statistics helpers shared by the bench
+ * harness (one binary per paper table/figure).
+ */
+#ifndef POLYMATH_REPORT_REPORT_H_
+#define POLYMATH_REPORT_REPORT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace polymath::report {
+
+/** Simple left-aligned fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders with a header underline. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean; zero/negative entries are skipped. */
+double geomean(std::span<const double> values);
+
+/** Arithmetic mean. */
+double mean(std::span<const double> values);
+
+/** "3.3x" style multiplier formatting. */
+std::string times(double value);
+
+/** "83.9%" style percentage formatting (value in [0,1]). */
+std::string percent(double value);
+
+} // namespace polymath::report
+
+#endif // POLYMATH_REPORT_REPORT_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-accelerator SoC runtime (Section V-A3, "Multi-acceleration").
+ *
+ * All accelerators are cascaded on one SoC with shared DRAM and a
+ * light-weight host manager that honors data dependencies between
+ * partitions and initiates DMA between DRAM and each accelerator's local
+ * memory. Partitions may selectively run on their domain accelerator or
+ * fall back to the host CPU — which is how the Fig. 10/11 sweeps over
+ * "which kernels are accelerated" are produced.
+ */
+#ifndef POLYMATH_SOC_SOC_H_
+#define POLYMATH_SOC_SOC_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lower/compile.h"
+#include "targets/common/backend.h"
+#include "targets/cpu/cpu_model.h"
+
+namespace polymath::soc {
+
+using target::Backend;
+using target::PerfReport;
+using target::WorkloadProfile;
+
+/** Outcome of one end-to-end execution. */
+struct SocResult
+{
+    PerfReport total; ///< end-to-end, including transfers and host
+
+    /** Per-partition reports, in schedule order. */
+    std::vector<PerfReport> partitions;
+
+    double transferSeconds = 0.0;
+    double transferJoules = 0.0;
+
+    /** Fraction of end-to-end runtime spent moving data. */
+    double communicationFraction() const
+    {
+        return total.seconds > 0 ? transferSeconds / total.seconds : 0.0;
+    }
+
+    /** Fraction of end-to-end energy spent on DRAM/DMA + host. */
+    double communicationEnergyFraction() const
+    {
+        return total.joules > 0 ? transferJoules / total.joules : 0.0;
+    }
+};
+
+/** The cascaded-accelerator system. */
+class SocRuntime
+{
+  public:
+    SocRuntime();
+    SocRuntime(std::vector<std::unique_ptr<Backend>> backends,
+               target::SocConfig config);
+
+    /**
+     * Executes @p program under @p profile. Partitions whose accelerator
+     * name is in @p accelerated run on their backend; the rest run on the
+     * host CPU (with no DMA). An empty set means "accelerate everything".
+     * @p host_eff optionally calibrates the host library efficiency per
+     * partition accel-name (see WorkloadCost::cpuEff).
+     */
+    SocResult execute(const lower::CompiledProgram &program,
+                      const WorkloadProfile &profile,
+                      const std::set<std::string> &accelerated = {},
+                      const std::map<std::string, double> &host_eff = {})
+        const;
+
+    const std::vector<std::unique_ptr<Backend>> &backends() const
+    {
+        return backends_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Backend>> backends_;
+    target::SocConfig config_;
+    target::CpuModel host_;
+};
+
+} // namespace polymath::soc
+
+#endif // POLYMATH_SOC_SOC_H_

@@ -1,0 +1,215 @@
+#include "srdfg/expand.h"
+
+#include <map>
+
+#include "pmlang/builtins.h"
+
+namespace polymath::ir {
+
+namespace {
+
+/** Advances a mixed-radix counter; returns false after the last point. */
+bool
+nextPoint(std::vector<int64_t> *idx, const std::vector<int64_t> &extents)
+{
+    for (size_t i = idx->size(); i-- > 0;) {
+        if (++(*idx)[i] < extents[i])
+            return true;
+        (*idx)[i] = 0;
+    }
+    return false;
+}
+
+/** Evaluates access coords at @p point into constant coords. */
+std::vector<IndexExpr>
+constCoords(const Access &a, std::span<const int64_t> point)
+{
+    std::vector<IndexExpr> out;
+    out.reserve(a.coords.size());
+    for (const auto &c : a.coords)
+        out.push_back(IndexExpr::constant(c.eval(point)));
+    return out;
+}
+
+} // namespace
+
+std::string
+combinerOp(const std::string &reduction)
+{
+    if (reduction == "sum")
+        return "add";
+    if (reduction == "prod")
+        return "mul";
+    if (reduction == "max")
+        return "max";
+    if (reduction == "min")
+        return "min";
+    fatal("reduction '" + reduction +
+          "' has no single-op combiner; cannot materialize");
+}
+
+std::unique_ptr<Graph>
+materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
+{
+    if (node.kind != NodeKind::Map && node.kind != NodeKind::Reduce)
+        fatal("only Map/Reduce nodes have a scalar expansion");
+    if (node.domainSize() > max_nodes) {
+        fatal("scalar expansion of '" + node.op + "' needs " +
+              std::to_string(node.domainSize()) + " nodes, budget is " +
+              std::to_string(max_nodes));
+    }
+    const std::string combiner =
+        node.kind == NodeKind::Reduce ? combinerOp(node.op) : node.op;
+
+    auto g = std::make_unique<Graph>();
+    g->name = node.op + "_scalar";
+    g->domain = node.domain;
+    g->context = parent.context;
+
+    // Mirror the node's distinct input values (and base) as graph inputs.
+    std::map<ValueId, ValueId> vmap;
+    auto import_value = [&](ValueId v) {
+        if (v < 0 || vmap.count(v))
+            return;
+        EdgeMeta md = parent.value(v).md;
+        if (md.kind == EdgeKind::Internal)
+            md.kind = EdgeKind::Input;
+        const ValueId nv = g->addValue(md);
+        g->inputs.push_back(nv);
+        vmap[v] = nv;
+    };
+    for (const auto &in : node.ins) {
+        if (!in.isIndexOperand())
+            import_value(in.value);
+    }
+    import_value(node.base);
+
+    const EdgeMeta &out_md = parent.value(node.outs[0].value).md;
+    EdgeMeta scalar_md;
+    scalar_md.dtype = out_md.dtype;
+    scalar_md.kind = EdgeKind::Internal;
+
+    // Current version of the output tensor (base-chained partial writes).
+    ValueId out_version = node.base >= 0 ? vmap.at(node.base) : -1;
+    auto scatter_write = [&](ValueId scalar, std::span<const int64_t> point) {
+        Node &store = g->addNode(NodeKind::Map, "identity");
+        store.domain = node.domain;
+        store.ins.push_back(Access{scalar, {}});
+        store.base = out_version;
+        EdgeMeta md = out_md;
+        md.kind = EdgeKind::Internal;
+        const ValueId nv = g->addValue(md, store.id);
+        store.outs.push_back(Access{nv, constCoords(node.outs[0], point)});
+        out_version = nv;
+    };
+
+    std::vector<int64_t> extents;
+    for (const auto &v : node.domainVars)
+        extents.push_back(v.extent);
+
+    if (node.kind == NodeKind::Map) {
+        std::vector<int64_t> point(extents.size(), 0);
+        if (node.domainSize() > 0) {
+            do {
+                Node &op = g->addNode(NodeKind::Map, node.op);
+                op.domain = node.domain;
+                for (const auto &in : node.ins) {
+                    if (in.isIndexOperand()) {
+                        Node &c = g->addNode(NodeKind::Constant, "const");
+                        c.cval =
+                            static_cast<double>(in.coords[0].eval(point));
+                        const ValueId cv = g->addValue(scalar_md, c.id);
+                        c.outs.push_back(Access{cv, {}});
+                        op.ins.push_back(Access{cv, {}});
+                    } else {
+                        op.ins.push_back(
+                            Access{vmap.at(in.value), constCoords(in, point)});
+                    }
+                }
+                const ValueId sv = g->addValue(scalar_md, op.id);
+                op.outs.push_back(Access{sv, {}});
+                scatter_write(sv, point);
+            } while (nextPoint(&point, extents));
+        }
+    } else {
+        // Reduce: fold a combiner chain per output point.
+        std::vector<size_t> free_axes;
+        std::vector<size_t> red_axes;
+        for (size_t i = 0; i < node.domainVars.size(); ++i) {
+            (node.domainVars[i].reduced ? red_axes : free_axes).push_back(i);
+        }
+        std::vector<int64_t> free_ext;
+        std::vector<int64_t> red_ext;
+        for (size_t i : free_axes)
+            free_ext.push_back(extents[i]);
+        for (size_t i : red_axes)
+            red_ext.push_back(extents[i]);
+
+        std::vector<int64_t> fpoint(free_ext.size(), 0);
+        std::vector<int64_t> full(extents.size(), 0);
+        do {
+            for (size_t i = 0; i < free_axes.size(); ++i)
+                full[free_axes[i]] = fpoint[i];
+            ValueId acc = -1;
+            std::vector<int64_t> rpoint(red_ext.size(), 0);
+            do {
+                for (size_t i = 0; i < red_axes.size(); ++i)
+                    full[red_axes[i]] = rpoint[i];
+                if (node.hasPredicate && node.predicate.eval(full) == 0)
+                    continue;
+                const Access element{node.ins[0].value,
+                                     constCoords(node.ins[0], full)};
+                const Access mapped{vmap.at(node.ins[0].value),
+                                    element.coords};
+                if (acc < 0) {
+                    Node &first = g->addNode(NodeKind::Map, "identity");
+                    first.domain = node.domain;
+                    first.ins.push_back(mapped);
+                    acc = g->addValue(scalar_md, first.id);
+                    first.outs.push_back(Access{acc, {}});
+                } else {
+                    Node &fold = g->addNode(NodeKind::Map, combiner);
+                    fold.domain = node.domain;
+                    fold.ins.push_back(Access{acc, {}});
+                    fold.ins.push_back(mapped);
+                    const ValueId nv = g->addValue(scalar_md, fold.id);
+                    fold.outs.push_back(Access{nv, {}});
+                    acc = nv;
+                }
+            } while (!red_ext.empty() && nextPoint(&rpoint, red_ext));
+            if (acc < 0) {
+                // Guard excluded every element: identity of the reduction.
+                Node &c = g->addNode(NodeKind::Constant, "const");
+                c.cval = lang::reductionIdentity(node.op);
+                acc = g->addValue(scalar_md, c.id);
+                c.outs.push_back(Access{acc, {}});
+            }
+            // Scatter through the node's output map evaluated on the free
+            // point (coords reference free slots of the full domain).
+            scatter_write(acc, full);
+        } while (!free_ext.empty() && nextPoint(&fpoint, free_ext));
+
+        if (free_ext.empty() && g->nodes.empty()) {
+            // Degenerate: zero-point domain cannot occur (extents >= 1).
+            panic("empty reduce domain");
+        }
+    }
+
+    if (out_version < 0) {
+        // Zero-point map domain cannot occur; keep validate() happy.
+        panic("materialization produced no output");
+    }
+    {
+        // Final version becomes the graph output, renamed to the node's
+        // output value name.
+        Value &v = g->value(out_version);
+        v.md.name = out_md.name;
+        v.md.kind =
+            out_md.kind == EdgeKind::Internal ? EdgeKind::Output : out_md.kind;
+        g->outputs.push_back(out_version);
+    }
+    g->validate();
+    return g;
+}
+
+} // namespace polymath::ir

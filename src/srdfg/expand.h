@@ -1,0 +1,41 @@
+/**
+ * @file
+ * On-demand materialization of the scalar granularity of srDFG nodes.
+ *
+ * Group and element-wise nodes conceptually contain a scalar-level srDFG
+ * (Fig. 5 ④/⑤ in the paper: an element-wise multiplication expands into one
+ * multiply node per element; a sum expands into a chain of scalar adds).
+ * Materializing that level for multi-GMAC workloads is infeasible, so the
+ * stack keeps it implicit — Node::scalarOpCount() is exact and analytic —
+ * and this API produces the explicit scalar subgraph only when asked,
+ * under a hard node budget.
+ */
+#ifndef POLYMATH_SRDFG_EXPAND_H_
+#define POLYMATH_SRDFG_EXPAND_H_
+
+#include <memory>
+
+#include "srdfg/graph.h"
+
+namespace polymath::ir {
+
+/**
+ * Builds the scalar-level srDFG equivalent to @p node (a Map or Reduce of
+ * @p parent). The result's inputs mirror the node's distinct input values
+ * (plus base, when present) and its single output mirrors the node's
+ * output value.
+ *
+ * @throws UserError when the expansion would exceed @p max_nodes or the
+ * node folds a user-defined reduction (whose combiner is not a single
+ * scalar op).
+ */
+std::unique_ptr<Graph> materializeScalar(const Graph &parent,
+                                         const Node &node,
+                                         int64_t max_nodes = 1 << 20);
+
+/** Scalar-op name of a built-in reduction's combiner ("sum" -> "add"). */
+std::string combinerOp(const std::string &reduction);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_EXPAND_H_

@@ -1,0 +1,362 @@
+#include "srdfg/graph.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace polymath::ir {
+
+std::string
+toString(EdgeKind k)
+{
+    switch (k) {
+      case EdgeKind::Input: return "input";
+      case EdgeKind::Output: return "output";
+      case EdgeKind::State: return "state";
+      case EdgeKind::Param: return "param";
+      case EdgeKind::Internal: return "internal";
+    }
+    panic("unhandled EdgeKind");
+}
+
+EdgeKind
+edgeKindFor(lang::Modifier m)
+{
+    switch (m) {
+      case lang::Modifier::Input: return EdgeKind::Input;
+      case lang::Modifier::Output: return EdgeKind::Output;
+      case lang::Modifier::State: return EdgeKind::State;
+      case lang::Modifier::Param: return EdgeKind::Param;
+    }
+    panic("unhandled Modifier");
+}
+
+int64_t
+Node::domainSize() const
+{
+    int64_t n = 1;
+    for (const auto &v : domainVars)
+        n *= v.extent;
+    return n;
+}
+
+int64_t
+Node::reduceSize() const
+{
+    int64_t n = 1;
+    for (const auto &v : domainVars) {
+        if (v.reduced)
+            n *= v.extent;
+    }
+    return n;
+}
+
+int64_t
+Node::scalarOpCount() const
+{
+    switch (kind) {
+      case NodeKind::Constant:
+        return 0;
+      case NodeKind::Map:
+        return isMoveOp(op) ? 0 : domainSize();
+      case NodeKind::Reduce: {
+        const int64_t outputs_n = domainSize() / std::max<int64_t>(
+                                                     reduceSize(), 1);
+        const int64_t combines =
+            outputs_n * std::max<int64_t>(reduceSize() - 1, 0);
+        const int64_t guards = hasPredicate ? domainSize() : 0;
+        return combines + guards;
+      }
+      case NodeKind::Component:
+        return subgraph ? subgraph->scalarOpCount() : 0;
+    }
+    panic("unhandled NodeKind");
+}
+
+std::vector<std::string>
+Node::domainVarNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(domainVars.size());
+    for (const auto &v : domainVars)
+        names.push_back(v.name);
+    return names;
+}
+
+ValueId
+Graph::addValue(EdgeMeta md, NodeId producer)
+{
+    Value v;
+    v.id = static_cast<ValueId>(values.size());
+    v.md = std::move(md);
+    v.producer = producer;
+    values.push_back(std::move(v));
+    return values.back().id;
+}
+
+Node &
+Graph::addNode(NodeKind kind, std::string op)
+{
+    auto n = std::make_unique<Node>();
+    n->id = static_cast<NodeId>(nodes.size());
+    n->kind = kind;
+    n->op = std::move(op);
+    n->domain = domain;
+    nodes.push_back(std::move(n));
+    return *nodes.back();
+}
+
+Value &
+Graph::value(ValueId id)
+{
+    if (id < 0 || static_cast<size_t>(id) >= values.size())
+        panic("value id out of range");
+    return values[static_cast<size_t>(id)];
+}
+
+const Value &
+Graph::value(ValueId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= values.size())
+        panic("value id out of range");
+    return values[static_cast<size_t>(id)];
+}
+
+Node *
+Graph::node(NodeId id)
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+        panic("node id out of range");
+    return nodes[static_cast<size_t>(id)].get();
+}
+
+const Node *
+Graph::node(NodeId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+        panic("node id out of range");
+    return nodes[static_cast<size_t>(id)].get();
+}
+
+int64_t
+Graph::liveNodeCount() const
+{
+    int64_t n = 0;
+    for (const auto &node : nodes) {
+        if (node)
+            ++n;
+    }
+    return n;
+}
+
+int64_t
+Graph::scalarOpCount() const
+{
+    int64_t n = 0;
+    for (const auto &node : nodes) {
+        if (node)
+            n += node->scalarOpCount();
+    }
+    return n;
+}
+
+std::vector<std::vector<NodeId>>
+Graph::consumers() const
+{
+    std::vector<std::vector<NodeId>> out(values.size());
+    for (const auto &node : nodes) {
+        if (!node)
+            continue;
+        auto touch = [&](ValueId v) {
+            if (v >= 0)
+                out[static_cast<size_t>(v)].push_back(node->id);
+        };
+        for (const auto &in : node->ins)
+            touch(in.value);
+        touch(node->base);
+    }
+    return out;
+}
+
+std::vector<Edge>
+Graph::edges() const
+{
+    std::vector<Edge> out;
+    const auto cons = consumers();
+    for (const auto &v : values) {
+        for (NodeId dst : cons[static_cast<size_t>(v.id)])
+            out.push_back(Edge{v.producer, dst, v.id});
+    }
+    for (ValueId v : outputs)
+        out.push_back(Edge{value(v).producer, -1, v});
+    return out;
+}
+
+void
+Graph::eraseNode(NodeId id)
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+        panic("eraseNode(): id out of range");
+    nodes[static_cast<size_t>(id)].reset();
+}
+
+std::unique_ptr<Graph>
+Graph::clone() const
+{
+    auto out = std::make_unique<Graph>();
+    out->name = name;
+    out->domain = domain;
+    out->values = values;
+    out->inputs = inputs;
+    out->outputs = outputs;
+    out->context = context;
+    out->nodes.reserve(nodes.size());
+    for (const auto &node : nodes) {
+        if (!node) {
+            out->nodes.push_back(nullptr);
+            continue;
+        }
+        auto copy = std::make_unique<Node>();
+        copy->id = node->id;
+        copy->kind = node->kind;
+        copy->op = node->op;
+        copy->domain = node->domain;
+        copy->domainVars = node->domainVars;
+        copy->predicate = node->predicate;
+        copy->hasPredicate = node->hasPredicate;
+        copy->ins = node->ins;
+        copy->outs = node->outs;
+        copy->base = node->base;
+        copy->cval = node->cval;
+        if (node->subgraph)
+            copy->subgraph = node->subgraph->clone();
+        out->nodes.push_back(std::move(copy));
+    }
+    return out;
+}
+
+ValueId
+Graph::findValueByName(const std::string &name) const
+{
+    for (const auto &v : values) {
+        if (v.md.name == name)
+            return v.id;
+    }
+    return -1;
+}
+
+void
+Graph::validate() const
+{
+    std::set<ValueId> produced;
+    for (const auto &node : nodes) {
+        if (!node)
+            continue;
+        const int nvars = static_cast<int>(node->domainVars.size());
+        auto check_access = [&](const Access &a, bool is_output) {
+            if (a.isIndexOperand()) {
+                if (a.coords.size() != 1)
+                    panic("index operand must carry exactly one coord");
+            } else if (a.value < 0 ||
+                       static_cast<size_t>(a.value) >= values.size()) {
+                panic("access references bad value id");
+            } else if (!a.coords.empty()) {
+                const auto &v = value(a.value);
+                if (static_cast<int>(a.coords.size()) !=
+                    std::max(v.md.shape.rank(), 0)) {
+                    panic("access coord count does not match value rank in "
+                          "graph " + this->name);
+                }
+            }
+            for (const auto &c : a.coords) {
+                if (c.varCount() > nvars)
+                    panic("access coord references var beyond domain");
+            }
+            if (is_output && !a.isIndexOperand()) {
+                const auto &v = value(a.value);
+                if (v.producer != node->id)
+                    panic("output value's producer link is stale");
+            }
+        };
+        for (const auto &in : node->ins)
+            check_access(in, false);
+        for (const auto &out : node->outs) {
+            check_access(out, true);
+            produced.insert(out.value);
+        }
+        if (node->hasPredicate && node->predicate.varCount() > nvars)
+            panic("predicate references var beyond domain");
+        switch (node->kind) {
+          case NodeKind::Constant:
+            if (node->outs.size() != 1)
+                panic("constant must have one output");
+            break;
+          case NodeKind::Map:
+            if (node->outs.size() != 1)
+                panic("map must have one output");
+            if (mapOpArity(node->op) !=
+                static_cast<int>(node->ins.size())) {
+                panic("map op '" + node->op + "' arity mismatch");
+            }
+            break;
+          case NodeKind::Reduce:
+            if (node->outs.size() != 1 || node->ins.size() != 1)
+                panic("reduce must have one input and one output");
+            break;
+          case NodeKind::Component:
+            if (!node->subgraph)
+                panic("component node lacks a subgraph");
+            node->subgraph->validate();
+            if (node->subgraph->inputs.size() != node->ins.size())
+                panic("component input binding count mismatch");
+            if (node->subgraph->outputs.size() != node->outs.size())
+                panic("component output binding count mismatch");
+            break;
+        }
+    }
+    for (ValueId v : inputs) {
+        if (value(v).producer != -1)
+            panic("graph input has a producer");
+    }
+    for (const auto &v : values) {
+        if (v.producer >= 0) {
+            const Node *p = node(v.producer);
+            if (!p)
+                continue; // producer erased; passes must clean up uses
+            bool found = false;
+            for (const auto &out : p->outs)
+                found = found || out.value == v.id;
+            if (!found)
+                panic("value's producer does not list it as an output");
+        }
+    }
+}
+
+int
+mapOpArity(const std::string &op)
+{
+    static const std::unordered_map<std::string, int> arity = {
+        {"add", 2},   {"sub", 2},  {"mul", 2},     {"div", 2},
+        {"mod", 2},   {"pow", 2},  {"min", 2},     {"max", 2},
+        {"lt", 2},    {"le", 2},   {"gt", 2},      {"ge", 2},
+        {"eq", 2},    {"ne", 2},   {"and", 2},     {"or", 2},
+        {"neg", 1},   {"not", 1},  {"identity", 1},
+        {"sin", 1},   {"cos", 1},  {"tan", 1},     {"exp", 1},
+        {"ln", 1},    {"log", 1},  {"sqrt", 1},    {"abs", 1},
+        {"sigmoid", 1}, {"relu", 1}, {"tanh", 1},  {"erf", 1},
+        {"sign", 1},  {"floor", 1}, {"ceil", 1},   {"gauss", 1},
+        {"re", 1},    {"im", 1},   {"conj", 1},
+        {"select", 3},
+    };
+    auto it = arity.find(op);
+    return it == arity.end() ? 0 : it->second;
+}
+
+bool
+isMoveOp(const std::string &op)
+{
+    return op == "identity";
+}
+
+} // namespace polymath::ir

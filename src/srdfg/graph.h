@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The simultaneous-recursive dataflow graph (srDFG), Section III.
+ *
+ * An srDFG is a pair (N, E): nodes are PMLang operations and edges carry
+ * operand metadata (dtype, type modifier, shape). The graph is *recursive*:
+ * a Component node owns a lower-granularity srDFG of its own, and Map/Reduce
+ * nodes can materialize their scalar-level subgraphs on demand — this is
+ * what gives the compiler simultaneous access to every granularity of the
+ * computation and makes the IR a bridge to accelerators that consume
+ * different operation granularities.
+ *
+ * Representation notes:
+ *  - Values (SSA versions of tensors) are stored once per graph; an "edge"
+ *    in the paper's (src, dst, md) form is the pairing of a value with one
+ *    of its consumers, enumerated by Graph::edges().
+ *  - Map nodes apply one scalar op element-wise over an iteration domain;
+ *    input accesses are integer gather maps and the output access is a
+ *    scatter map, so strided/conditional indexing is closed-form.
+ *  - Reduce nodes fold a group op (sum/prod/max/min or a user-defined
+ *    reduction) over the axes of their domain marked `reduced`, under an
+ *    optional Boolean guard.
+ *  - Scalar-level granularity is available through Node::scalarOpCount()
+ *    (analytic, always cheap) and Graph/Node materialization in
+ *    expand.h (explicit scalar subgraphs, bounded by a node budget).
+ */
+#ifndef POLYMATH_SRDFG_GRAPH_H_
+#define POLYMATH_SRDFG_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dtype.h"
+#include "core/shape.h"
+#include "pmlang/ast.h"
+#include "srdfg/index_expr.h"
+
+namespace polymath::ir {
+
+using lang::Domain;
+
+/** Role of a value at its graph's boundary (paper's type modifiers plus
+ *  Internal for intermediate operands that never leave the graph). */
+enum class EdgeKind : uint8_t { Input, Output, State, Param, Internal };
+
+/** Returns "input"/"output"/"state"/"param"/"internal". */
+std::string toString(EdgeKind k);
+
+/** Converts a PMLang argument modifier to its edge kind. */
+EdgeKind edgeKindFor(lang::Modifier m);
+
+/** Metadata carried on every srDFG edge (Section III-A). */
+struct EdgeMeta
+{
+    DType dtype = DType::Float;
+    EdgeKind kind = EdgeKind::Internal;
+    Shape shape;
+    std::string name; ///< PMLang variable name; "" for unnamed intermediates
+};
+
+using ValueId = int32_t;
+using NodeId = int32_t;
+
+/** An SSA value: one version of a tensor flowing between nodes. */
+struct Value
+{
+    ValueId id = -1;
+    EdgeMeta md;
+    NodeId producer = -1; ///< -1: graph input (no producing node)
+};
+
+/**
+ * An operand access: which value is read/written and how its coordinates
+ * derive from the owning node's iteration domain.
+ *
+ * - value >= 0, coords of size rank: gather/scatter map.
+ * - value >= 0, coords empty: whole-value access (component bindings,
+ *   scalar operands).
+ * - value == kIndexOperand with one coord: the integer value of an index
+ *   expression used as data (e.g. `y[i] = i * 2`).
+ */
+struct Access
+{
+    static constexpr ValueId kIndexOperand = -2;
+
+    ValueId value = -1;
+    std::vector<IndexExpr> coords;
+
+    bool isIndexOperand() const { return value == kIndexOperand; }
+};
+
+/** One iteration-domain variable of a Map/Reduce node. */
+struct IndexVar
+{
+    std::string name;
+    int64_t extent = 1;
+    bool reduced = false; ///< Reduce nodes: axis folded by the group op
+};
+
+/** Node kinds at the statement level of the srDFG. */
+enum class NodeKind : uint8_t {
+    Constant,  ///< scalar literal
+    Map,       ///< element-wise scalar op over an iteration domain
+    Reduce,    ///< group reduction over the `reduced` axes of its domain
+    Component, ///< PMLang component instantiation; owns a subgraph
+};
+
+class Graph;
+
+/** One srDFG node: (name, srdfg) in the paper's terms. */
+class Node
+{
+  public:
+    NodeId id = -1;
+    NodeKind kind = NodeKind::Map;
+
+    /** Operation name: scalar op ("add", "mul", "sigmoid", ...), group op
+     *  ("sum", "prod", custom reduction name), component name, or "const".*/
+    std::string op;
+
+    /** Target domain this node is annotated with / inherits. */
+    Domain domain = Domain::None;
+
+    /** Iteration domain (Map/Reduce). */
+    std::vector<IndexVar> domainVars;
+
+    /** Optional Boolean guard over domainVars (Reduce only). */
+    IndexExpr predicate;
+    bool hasPredicate = false;
+
+    /** Input accesses. Select maps have 3; binary 2; unary 1. */
+    std::vector<Access> ins;
+
+    /** Output accesses. Map/Reduce/Constant have exactly 1; Component has
+     *  one per callee output/state formal. */
+    std::vector<Access> outs;
+
+    /** Previous version of the output tensor for partial writes;
+     *  -1 means unwritten points read as zero. */
+    ValueId base = -1;
+
+    /** Constant nodes: the literal value. */
+    double cval = 0.0;
+
+    /** Component nodes: the lower-granularity srDFG. */
+    std::unique_ptr<Graph> subgraph;
+
+    /** Total iteration points of the domain. */
+    int64_t domainSize() const;
+
+    /** Product of extents of `reduced` axes (1 when none). */
+    int64_t reduceSize() const;
+
+    /** Scalar operations this node represents at the finest granularity
+     *  (recursing into component subgraphs). "identity" moves count 0. */
+    int64_t scalarOpCount() const;
+
+    /** Names of the domain variables, by slot (for printing). */
+    std::vector<std::string> domainVarNames() const;
+};
+
+/** Shared per-program context: user-defined reductions, visible at every
+ *  recursion level. */
+struct IrContext
+{
+    /** name -> (paramA, paramB, body expression) */
+    std::map<std::string, const lang::ReductionDecl *> reductions;
+
+    /** Keeps the parsed program alive for the reduction bodies above. */
+    std::shared_ptr<const lang::Program> program;
+};
+
+/** The paper's edge view: (src, dst, md). src/dst of -1 denote the graph
+ *  boundary. */
+struct Edge
+{
+    NodeId src = -1;
+    NodeId dst = -1;
+    ValueId value = -1;
+};
+
+/** One level of the srDFG. */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(const Graph &) = delete;
+    Graph &operator=(const Graph &) = delete;
+    Graph(Graph &&) = default;
+    Graph &operator=(Graph &&) = default;
+
+    std::string name;
+    Domain domain = Domain::None;
+
+    /** Values, indexed by ValueId. */
+    std::vector<Value> values;
+
+    /** Nodes, indexed by NodeId (entries may be null after erasure). */
+    std::vector<std::unique_ptr<Node>> nodes;
+
+    /** Boundary values in PMLang argument order. */
+    std::vector<ValueId> inputs;
+    std::vector<ValueId> outputs;
+
+    /** Shared program context (custom reductions). */
+    std::shared_ptr<IrContext> context;
+
+    /** Creates a value; returns its id. */
+    ValueId addValue(EdgeMeta md, NodeId producer = -1);
+
+    /** Creates a node of @p kind; returns a reference owned by the graph. */
+    Node &addNode(NodeKind kind, std::string op);
+
+    Value &value(ValueId id);
+    const Value &value(ValueId id) const;
+    Node *node(NodeId id);
+    const Node *node(NodeId id) const;
+
+    /** Number of live (non-erased) nodes at this level. */
+    int64_t liveNodeCount() const;
+
+    /** Scalar-op total across this level, recursing into components. */
+    int64_t scalarOpCount() const;
+
+    /** Enumerates paper-style edges at this level: one per
+     *  (value, consumer) pair plus boundary output edges. */
+    std::vector<Edge> edges() const;
+
+    /** Consumer node ids per value (index = ValueId). */
+    std::vector<std::vector<NodeId>> consumers() const;
+
+    /** Erases node @p id (clears the slot; ids remain stable). */
+    void eraseNode(NodeId id);
+
+    /** Deep copy (fresh subgraphs, same context pointer). */
+    std::unique_ptr<Graph> clone() const;
+
+    /** Finds the first value with boundary name @p name; -1 if absent. */
+    ValueId findValueByName(const std::string &name) const;
+
+    /** Internal consistency check; throws InternalError on violation.
+     *  Verifies access ranks, domain-slot ranges, producer links, and
+     *  boundary lists. */
+    void validate() const;
+};
+
+/** Returns the number of inputs op @p name expects at the Map level
+ *  (1, 2, or 3); 0 for unknown names. */
+int mapOpArity(const std::string &op);
+
+/** True when @p op is a memory-movement-only op ("identity"). */
+bool isMoveOp(const std::string &op);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_GRAPH_H_

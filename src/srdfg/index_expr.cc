@@ -1,0 +1,219 @@
+#include "srdfg/index_expr.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace polymath::ir {
+
+IndexExpr
+IndexExpr::constant(int64_t value)
+{
+    IndexExpr e;
+    e.kind_ = Kind::Const;
+    e.cval_ = value;
+    return e;
+}
+
+IndexExpr
+IndexExpr::var(int slot)
+{
+    if (slot < 0)
+        panic("IndexExpr::var(): negative slot");
+    IndexExpr e;
+    e.kind_ = Kind::Var;
+    e.slot_ = slot;
+    return e;
+}
+
+IndexExpr
+IndexExpr::unary(Kind kind, IndexExpr operand)
+{
+    if (kind != Kind::Neg && kind != Kind::Not)
+        panic("IndexExpr::unary(): bad kind");
+    IndexExpr e;
+    e.kind_ = kind;
+    e.children_.push_back(std::move(operand));
+    return e;
+}
+
+IndexExpr
+IndexExpr::binary(Kind kind, IndexExpr lhs, IndexExpr rhs)
+{
+    switch (kind) {
+      case Kind::Add: case Kind::Sub: case Kind::Mul: case Kind::Div:
+      case Kind::Mod: case Kind::Lt: case Kind::Le: case Kind::Gt:
+      case Kind::Ge: case Kind::Eq: case Kind::Ne: case Kind::And:
+      case Kind::Or:
+        break;
+      default:
+        panic("IndexExpr::binary(): bad kind");
+    }
+    IndexExpr e;
+    e.kind_ = kind;
+    e.children_.push_back(std::move(lhs));
+    e.children_.push_back(std::move(rhs));
+    return e;
+}
+
+IndexExpr
+IndexExpr::select(IndexExpr cond, IndexExpr then_e, IndexExpr else_e)
+{
+    IndexExpr e;
+    e.kind_ = Kind::Select;
+    e.children_.push_back(std::move(cond));
+    e.children_.push_back(std::move(then_e));
+    e.children_.push_back(std::move(else_e));
+    return e;
+}
+
+int64_t
+IndexExpr::eval(std::span<const int64_t> env) const
+{
+    switch (kind_) {
+      case Kind::Const:
+        return cval_;
+      case Kind::Var:
+        if (static_cast<size_t>(slot_) >= env.size())
+            panic("IndexExpr::eval(): var slot out of range");
+        return env[static_cast<size_t>(slot_)];
+      case Kind::Add: return children_[0].eval(env) + children_[1].eval(env);
+      case Kind::Sub: return children_[0].eval(env) - children_[1].eval(env);
+      case Kind::Mul: return children_[0].eval(env) * children_[1].eval(env);
+      case Kind::Div: {
+        const int64_t d = children_[1].eval(env);
+        if (d == 0)
+            fatal("division by zero in index arithmetic");
+        return children_[0].eval(env) / d;
+      }
+      case Kind::Mod: {
+        const int64_t d = children_[1].eval(env);
+        if (d == 0)
+            fatal("modulo by zero in index arithmetic");
+        return children_[0].eval(env) % d;
+      }
+      case Kind::Neg: return -children_[0].eval(env);
+      case Kind::Lt: return children_[0].eval(env) < children_[1].eval(env);
+      case Kind::Le: return children_[0].eval(env) <= children_[1].eval(env);
+      case Kind::Gt: return children_[0].eval(env) > children_[1].eval(env);
+      case Kind::Ge: return children_[0].eval(env) >= children_[1].eval(env);
+      case Kind::Eq: return children_[0].eval(env) == children_[1].eval(env);
+      case Kind::Ne: return children_[0].eval(env) != children_[1].eval(env);
+      case Kind::And:
+        return children_[0].eval(env) != 0 && children_[1].eval(env) != 0;
+      case Kind::Or:
+        return children_[0].eval(env) != 0 || children_[1].eval(env) != 0;
+      case Kind::Not: return children_[0].eval(env) == 0;
+      case Kind::Select:
+        return children_[0].eval(env) != 0 ? children_[1].eval(env)
+                                           : children_[2].eval(env);
+    }
+    panic("unhandled IndexExpr kind");
+}
+
+bool
+IndexExpr::isConst() const
+{
+    if (kind_ == Kind::Var)
+        return false;
+    return std::all_of(children_.begin(), children_.end(),
+                       [](const IndexExpr &c) { return c.isConst(); });
+}
+
+int
+IndexExpr::varCount() const
+{
+    if (kind_ == Kind::Var)
+        return slot_ + 1;
+    int count = 0;
+    for (const auto &c : children_)
+        count = std::max(count, c.varCount());
+    return count;
+}
+
+IndexExpr
+IndexExpr::remapped(std::span<const int> map) const
+{
+    if (kind_ == Kind::Var) {
+        if (static_cast<size_t>(slot_) >= map.size())
+            panic("IndexExpr::remapped(): slot out of range");
+        return var(map[static_cast<size_t>(slot_)]);
+    }
+    IndexExpr e;
+    e.kind_ = kind_;
+    e.cval_ = cval_;
+    e.slot_ = slot_;
+    for (const auto &c : children_)
+        e.children_.push_back(c.remapped(map));
+    return e;
+}
+
+IndexExpr
+IndexExpr::substituted(std::span<const IndexExpr> exprs) const
+{
+    if (kind_ == Kind::Var) {
+        if (static_cast<size_t>(slot_) >= exprs.size())
+            panic("IndexExpr::substituted(): slot out of range");
+        return exprs[static_cast<size_t>(slot_)];
+    }
+    IndexExpr e;
+    e.kind_ = kind_;
+    e.cval_ = cval_;
+    e.slot_ = slot_;
+    for (const auto &c : children_)
+        e.children_.push_back(c.substituted(exprs));
+    return e;
+}
+
+bool
+IndexExpr::isIdentityVar(int slot) const
+{
+    return kind_ == Kind::Var && slot_ == slot;
+}
+
+std::string
+IndexExpr::str(std::span<const std::string> names) const
+{
+    auto name_of = [&](int slot) {
+        if (static_cast<size_t>(slot) < names.size())
+            return names[static_cast<size_t>(slot)];
+        return "v" + std::to_string(slot);
+    };
+    auto bin = [&](const char *op) {
+        return "(" + children_[0].str(names) + op + children_[1].str(names) +
+               ")";
+    };
+    switch (kind_) {
+      case Kind::Const: return std::to_string(cval_);
+      case Kind::Var: return name_of(slot_);
+      case Kind::Add: return bin(" + ");
+      case Kind::Sub: return bin(" - ");
+      case Kind::Mul: return bin("*");
+      case Kind::Div: return bin("/");
+      case Kind::Mod: return bin("%");
+      case Kind::Neg: return "-" + children_[0].str(names);
+      case Kind::Lt: return bin(" < ");
+      case Kind::Le: return bin(" <= ");
+      case Kind::Gt: return bin(" > ");
+      case Kind::Ge: return bin(" >= ");
+      case Kind::Eq: return bin(" == ");
+      case Kind::Ne: return bin(" != ");
+      case Kind::And: return bin(" && ");
+      case Kind::Or: return bin(" || ");
+      case Kind::Not: return "!" + children_[0].str(names);
+      case Kind::Select:
+        return "(" + children_[0].str(names) + " ? " +
+               children_[1].str(names) + " : " + children_[2].str(names) +
+               ")";
+    }
+    panic("unhandled IndexExpr kind");
+}
+
+bool
+IndexExpr::operator==(const IndexExpr &other) const
+{
+    return kind_ == other.kind_ && cval_ == other.cval_ &&
+           slot_ == other.slot_ && children_ == other.children_;
+}
+
+} // namespace polymath::ir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Integer index arithmetic over a node's iteration domain.
+ *
+ * srDFG access maps (gathers on inputs, scatters on outputs) and reduction
+ * guards are closed-form integer expressions over the iteration variables of
+ * the owning node — this is what lets PMLang express strided indexing like
+ * ctrl_prev[(i+1)*h] and Boolean conditionals like sum[i][j: j != i](...)
+ * without loops (Section II-B).
+ *
+ * Variables are identified by their slot in the owning node's iteration
+ * domain, so IndexExpr values can be evaluated against a flat index vector
+ * with no name lookups.
+ */
+#ifndef POLYMATH_SRDFG_INDEX_EXPR_H_
+#define POLYMATH_SRDFG_INDEX_EXPR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace polymath::ir {
+
+/** Closed-form integer expression over iteration-domain variables. */
+class IndexExpr
+{
+  public:
+    enum class Kind : uint8_t {
+        Const, Var,
+        Add, Sub, Mul, Div, Mod, Neg,
+        Lt, Le, Gt, Ge, Eq, Ne, And, Or, Not,
+        Select, ///< children: cond, then, else
+    };
+
+    /** Default-constructed expression is the constant 0. */
+    IndexExpr() = default;
+
+    static IndexExpr constant(int64_t value);
+    static IndexExpr var(int slot);
+    static IndexExpr unary(Kind kind, IndexExpr operand);
+    static IndexExpr binary(Kind kind, IndexExpr lhs, IndexExpr rhs);
+    static IndexExpr select(IndexExpr cond, IndexExpr then_e,
+                            IndexExpr else_e);
+
+    Kind kind() const { return kind_; }
+    int64_t constValue() const { return cval_; }
+    int varSlot() const { return slot_; }
+    const std::vector<IndexExpr> &children() const { return children_; }
+
+    /** Evaluates against @p env, where env[slot] is the value of the
+     *  iteration variable in that slot. Comparisons yield 0/1. */
+    int64_t eval(std::span<const int64_t> env) const;
+
+    /** True when no Var node appears (expression is compile-time). */
+    bool isConst() const;
+
+    /** Largest var slot referenced plus one; 0 when isConst(). */
+    int varCount() const;
+
+    /** Remaps every Var slot through @p map (old slot -> new slot). */
+    IndexExpr remapped(std::span<const int> map) const;
+
+    /** Replaces Var(k) with @p exprs[k] (functional composition of access
+     *  maps; used by gather-elision rewrites). */
+    IndexExpr substituted(std::span<const IndexExpr> exprs) const;
+
+    /** True for the exact pattern Var(slot). */
+    bool isIdentityVar(int slot) const;
+
+    /** Renders with variable names from @p names (by slot). */
+    std::string str(std::span<const std::string> names) const;
+
+    bool operator==(const IndexExpr &other) const;
+
+  private:
+    Kind kind_ = Kind::Const;
+    int64_t cval_ = 0;
+    int slot_ = 0;
+    std::vector<IndexExpr> children_;
+};
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_INDEX_EXPR_H_

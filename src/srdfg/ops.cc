@@ -1,0 +1,117 @@
+#include "srdfg/ops.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace polymath::ir {
+
+ScalarOp
+resolveScalarOp(const std::string &name)
+{
+    static const std::unordered_map<std::string, ScalarOp> table = {
+        {"add", ScalarOp::Add},         {"sub", ScalarOp::Sub},
+        {"mul", ScalarOp::Mul},         {"div", ScalarOp::Div},
+        {"mod", ScalarOp::Mod},         {"pow", ScalarOp::Pow},
+        {"min", ScalarOp::Min},         {"max", ScalarOp::Max},
+        {"lt", ScalarOp::Lt},           {"le", ScalarOp::Le},
+        {"gt", ScalarOp::Gt},           {"ge", ScalarOp::Ge},
+        {"eq", ScalarOp::Eq},           {"ne", ScalarOp::Ne},
+        {"and", ScalarOp::And},         {"or", ScalarOp::Or},
+        {"neg", ScalarOp::Neg},         {"not", ScalarOp::Not},
+        {"identity", ScalarOp::Identity}, {"select", ScalarOp::Select},
+        {"sin", ScalarOp::Sin},         {"cos", ScalarOp::Cos},
+        {"tan", ScalarOp::Tan},         {"exp", ScalarOp::Exp},
+        {"ln", ScalarOp::Ln},           {"log", ScalarOp::Ln},
+        {"sqrt", ScalarOp::Sqrt},       {"abs", ScalarOp::Abs},
+        {"sigmoid", ScalarOp::Sigmoid}, {"relu", ScalarOp::Relu},
+        {"tanh", ScalarOp::Tanh},       {"erf", ScalarOp::Erf},
+        {"sign", ScalarOp::Sign},       {"floor", ScalarOp::Floor},
+        {"ceil", ScalarOp::Ceil},       {"gauss", ScalarOp::Gauss},
+        {"re", ScalarOp::Re},           {"im", ScalarOp::Im},
+        {"conj", ScalarOp::Conj},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        panic("interpreter: unknown map op '" + name + "'");
+    return it->second;
+}
+
+double
+applyScalarOp(ScalarOp op, std::span<const double> a)
+{
+    switch (op) {
+      case ScalarOp::Add: return a[0] + a[1];
+      case ScalarOp::Sub: return a[0] - a[1];
+      case ScalarOp::Mul: return a[0] * a[1];
+      case ScalarOp::Div: return a[0] / a[1];
+      case ScalarOp::Mod: {
+        const double m = std::fmod(a[0], a[1]);
+        return m;
+      }
+      case ScalarOp::Pow: return std::pow(a[0], a[1]);
+      case ScalarOp::Min: return a[0] < a[1] ? a[0] : a[1];
+      case ScalarOp::Max: return a[0] > a[1] ? a[0] : a[1];
+      case ScalarOp::Lt: return a[0] < a[1];
+      case ScalarOp::Le: return a[0] <= a[1];
+      case ScalarOp::Gt: return a[0] > a[1];
+      case ScalarOp::Ge: return a[0] >= a[1];
+      case ScalarOp::Eq: return a[0] == a[1];
+      case ScalarOp::Ne: return a[0] != a[1];
+      case ScalarOp::And: return a[0] != 0.0 && a[1] != 0.0;
+      case ScalarOp::Or: return a[0] != 0.0 || a[1] != 0.0;
+      case ScalarOp::Neg: return -a[0];
+      case ScalarOp::Not: return a[0] == 0.0;
+      case ScalarOp::Identity: return a[0];
+      case ScalarOp::Select: return a[0] != 0.0 ? a[1] : a[2];
+      case ScalarOp::Sin: return std::sin(a[0]);
+      case ScalarOp::Cos: return std::cos(a[0]);
+      case ScalarOp::Tan: return std::tan(a[0]);
+      case ScalarOp::Exp: return std::exp(a[0]);
+      case ScalarOp::Ln: return std::log(a[0]);
+      case ScalarOp::Sqrt: return std::sqrt(a[0]);
+      case ScalarOp::Abs: return std::abs(a[0]);
+      case ScalarOp::Sigmoid: return 1.0 / (1.0 + std::exp(-a[0]));
+      case ScalarOp::Relu: return a[0] > 0.0 ? a[0] : 0.0;
+      case ScalarOp::Tanh: return std::tanh(a[0]);
+      case ScalarOp::Erf: return std::erf(a[0]);
+      case ScalarOp::Sign:
+        return a[0] > 0.0 ? 1.0 : (a[0] < 0.0 ? -1.0 : 0.0);
+      case ScalarOp::Floor: return std::floor(a[0]);
+      case ScalarOp::Ceil: return std::ceil(a[0]);
+      case ScalarOp::Gauss: return std::exp(-a[0] * a[0]);
+      case ScalarOp::Re: return a[0];
+      case ScalarOp::Im: return 0.0;
+      case ScalarOp::Conj: return a[0];
+    }
+    panic("unhandled op");
+}
+
+std::complex<double>
+applyScalarOpComplex(ScalarOp op,
+                    std::span<const std::complex<double>> a)
+{
+    switch (op) {
+      case ScalarOp::Add: return a[0] + a[1];
+      case ScalarOp::Sub: return a[0] - a[1];
+      case ScalarOp::Mul: return a[0] * a[1];
+      case ScalarOp::Div: return a[0] / a[1];
+      case ScalarOp::Neg: return -a[0];
+      case ScalarOp::Identity: return a[0];
+      case ScalarOp::Select: return a[0].real() != 0.0 ? a[1] : a[2];
+      case ScalarOp::Exp: return std::exp(a[0]);
+      case ScalarOp::Sqrt: return std::sqrt(a[0]);
+      case ScalarOp::Abs: return {std::abs(a[0]), 0.0};
+      case ScalarOp::Re: return {a[0].real(), 0.0};
+      case ScalarOp::Im: return {a[0].imag(), 0.0};
+      case ScalarOp::Conj: return std::conj(a[0]);
+      case ScalarOp::Eq: return {a[0] == a[1] ? 1.0 : 0.0, 0.0};
+      case ScalarOp::Ne: return {a[0] != a[1] ? 1.0 : 0.0, 0.0};
+      default:
+        fatal("operation not defined on complex operands");
+    }
+}
+
+
+} // namespace polymath::ir

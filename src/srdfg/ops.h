@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Scalar-operation semantics shared by the interpreter, the constant
+ * folder, and the backends' functional checks.
+ */
+#ifndef POLYMATH_SRDFG_OPS_H_
+#define POLYMATH_SRDFG_OPS_H_
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace polymath::ir {
+
+/** Resolved scalar op codes for fast per-point dispatch. */
+enum class ScalarOp : uint8_t {
+    Add, Sub, Mul, Div, Mod, Pow, Min, Max,
+    Lt, Le, Gt, Ge, Eq, Ne, And, Or,
+    Neg, Not, Identity, Select,
+    Sin, Cos, Tan, Exp, Ln, Sqrt, Abs, Sigmoid, Relu, Tanh, Erf,
+    Sign, Floor, Ceil, Gauss, Re, Im, Conj,
+};
+
+/** Maps an srDFG map-op name to its code.
+ *  @throws InternalError on unknown names. */
+ScalarOp resolveScalarOp(const std::string &name);
+
+/** Applies @p op to real arguments (size must match the op's arity). */
+double applyScalarOp(ScalarOp op, std::span<const double> args);
+
+/** Applies @p op to complex arguments.
+ *  @throws UserError for ops without complex semantics. */
+std::complex<double> applyScalarOpComplex(
+    ScalarOp op, std::span<const std::complex<double>> args);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_OPS_H_

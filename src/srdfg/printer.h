@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Text and Graphviz renderings of srDFGs, showing all recursion levels.
+ */
+#ifndef POLYMATH_SRDFG_PRINTER_H_
+#define POLYMATH_SRDFG_PRINTER_H_
+
+#include <string>
+
+#include "srdfg/graph.h"
+
+namespace polymath::ir {
+
+/** Options for the text printer. */
+struct PrintOptions
+{
+    /** Maximum recursion depth rendered (-1: unbounded). */
+    int maxDepth = -1;
+
+    /** Include edge metadata (dtype/modifier/shape) per value. */
+    bool showMetadata = true;
+};
+
+/** Renders @p graph as indented text, one line per node, with component
+ *  subgraphs nested under their node. */
+std::string printGraph(const Graph &graph, const PrintOptions &opts = {});
+
+/** Renders the top level of @p graph as a Graphviz digraph; component
+ *  subgraphs become clusters up to @p maxDepth. */
+std::string toDot(const Graph &graph, int maxDepth = 2);
+
+/** One-line statistics summary: nodes per kind, recursion depth,
+ *  scalar-op total. */
+std::string graphStats(const Graph &graph);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_PRINTER_H_

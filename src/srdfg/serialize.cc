@@ -1,0 +1,585 @@
+#include "srdfg/serialize.h"
+
+#include <cctype>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "core/strings.h"
+
+namespace polymath::ir {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Minimal JSON value + parser (no external dependencies).
+// --------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue
+{
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        data = nullptr;
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::nullptr_t>(data);
+    }
+    double num() const
+    {
+        if (!std::holds_alternative<double>(data))
+            fatal("json: expected number");
+        return std::get<double>(data);
+    }
+    int64_t asInt() const { return static_cast<int64_t>(num()); }
+    const std::string &str() const
+    {
+        if (!std::holds_alternative<std::string>(data))
+            fatal("json: expected string");
+        return std::get<std::string>(data);
+    }
+    const JsonArray &arr() const
+    {
+        if (!std::holds_alternative<JsonArray>(data))
+            fatal("json: expected array");
+        return std::get<JsonArray>(data);
+    }
+    const JsonObject &obj() const
+    {
+        if (!std::holds_alternative<JsonObject>(data))
+            fatal("json: expected object");
+        return std::get<JsonObject>(data);
+    }
+    const JsonValue &at(const std::string &key) const
+    {
+        const auto &o = obj();
+        auto it = o.find(key);
+        if (it == o.end())
+            fatal("json: missing key '" + key + "'");
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        auto v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fatal("json: trailing characters");
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fatal("json: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fatal(format("json: expected '%c' at offset %zu", c, pos_));
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue{parseString()};
+        if (c == 't') {
+            literal("true");
+            return JsonValue{true};
+        }
+        if (c == 'f') {
+            literal("false");
+            return JsonValue{false};
+        }
+        if (c == 'n') {
+            literal("null");
+            return JsonValue{nullptr};
+        }
+        return parseNumber();
+    }
+
+    void literal(const char *word)
+    {
+        skipWs();
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fatal("json: bad literal");
+            ++pos_;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fatal("json: bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  default: fatal("json: unsupported escape");
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= text_.size())
+            fatal("json: unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue parseNumber()
+    {
+        skipWs();
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (start == pos_)
+            fatal("json: expected a value");
+        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonArray out;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue{std::move(out)};
+        }
+        while (true) {
+            out.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return JsonValue{std::move(out)};
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonObject out;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue{std::move(out)};
+        }
+        while (true) {
+            const std::string key = parseString();
+            expect(':');
+            out.emplace(key, parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return JsonValue{std::move(out)};
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Emission.
+// --------------------------------------------------------------------------
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+const char *
+exprKindName(IndexExpr::Kind kind)
+{
+    switch (kind) {
+      case IndexExpr::Kind::Const: return "const";
+      case IndexExpr::Kind::Var: return "var";
+      case IndexExpr::Kind::Add: return "add";
+      case IndexExpr::Kind::Sub: return "sub";
+      case IndexExpr::Kind::Mul: return "mul";
+      case IndexExpr::Kind::Div: return "div";
+      case IndexExpr::Kind::Mod: return "mod";
+      case IndexExpr::Kind::Neg: return "neg";
+      case IndexExpr::Kind::Lt: return "lt";
+      case IndexExpr::Kind::Le: return "le";
+      case IndexExpr::Kind::Gt: return "gt";
+      case IndexExpr::Kind::Ge: return "ge";
+      case IndexExpr::Kind::Eq: return "eq";
+      case IndexExpr::Kind::Ne: return "ne";
+      case IndexExpr::Kind::And: return "and";
+      case IndexExpr::Kind::Or: return "or";
+      case IndexExpr::Kind::Not: return "not";
+      case IndexExpr::Kind::Select: return "select";
+    }
+    panic("unhandled IndexExpr kind");
+}
+
+IndexExpr::Kind
+exprKindFromName(const std::string &name)
+{
+    static const std::map<std::string, IndexExpr::Kind> table = {
+        {"const", IndexExpr::Kind::Const}, {"var", IndexExpr::Kind::Var},
+        {"add", IndexExpr::Kind::Add},     {"sub", IndexExpr::Kind::Sub},
+        {"mul", IndexExpr::Kind::Mul},     {"div", IndexExpr::Kind::Div},
+        {"mod", IndexExpr::Kind::Mod},     {"neg", IndexExpr::Kind::Neg},
+        {"lt", IndexExpr::Kind::Lt},       {"le", IndexExpr::Kind::Le},
+        {"gt", IndexExpr::Kind::Gt},       {"ge", IndexExpr::Kind::Ge},
+        {"eq", IndexExpr::Kind::Eq},       {"ne", IndexExpr::Kind::Ne},
+        {"and", IndexExpr::Kind::And},     {"or", IndexExpr::Kind::Or},
+        {"not", IndexExpr::Kind::Not},
+        {"select", IndexExpr::Kind::Select},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("json: unknown index-expr kind '" + name + "'");
+    return it->second;
+}
+
+void
+emitIndexExpr(const IndexExpr &e, std::string *out)
+{
+    *out += "{\"k\":";
+    *out += quote(exprKindName(e.kind()));
+    if (e.kind() == IndexExpr::Kind::Const) {
+        *out += format(",\"v\":%lld",
+                       static_cast<long long>(e.constValue()));
+    } else if (e.kind() == IndexExpr::Kind::Var) {
+        *out += format(",\"s\":%d", e.varSlot());
+    } else {
+        *out += ",\"c\":[";
+        for (size_t i = 0; i < e.children().size(); ++i) {
+            if (i)
+                *out += ",";
+            emitIndexExpr(e.children()[i], out);
+        }
+        *out += "]";
+    }
+    *out += "}";
+}
+
+IndexExpr
+readIndexExpr(const JsonValue &v)
+{
+    const auto kind = exprKindFromName(v.at("k").str());
+    switch (kind) {
+      case IndexExpr::Kind::Const:
+        return IndexExpr::constant(v.at("v").asInt());
+      case IndexExpr::Kind::Var:
+        return IndexExpr::var(static_cast<int>(v.at("s").asInt()));
+      case IndexExpr::Kind::Neg:
+      case IndexExpr::Kind::Not:
+        return IndexExpr::unary(kind, readIndexExpr(v.at("c").arr().at(0)));
+      case IndexExpr::Kind::Select:
+        return IndexExpr::select(readIndexExpr(v.at("c").arr().at(0)),
+                                 readIndexExpr(v.at("c").arr().at(1)),
+                                 readIndexExpr(v.at("c").arr().at(2)));
+      default:
+        return IndexExpr::binary(kind,
+                                 readIndexExpr(v.at("c").arr().at(0)),
+                                 readIndexExpr(v.at("c").arr().at(1)));
+    }
+}
+
+void
+emitAccess(const Access &a, std::string *out)
+{
+    *out += format("{\"v\":%d,\"coords\":[", a.value);
+    for (size_t i = 0; i < a.coords.size(); ++i) {
+        if (i)
+            *out += ",";
+        emitIndexExpr(a.coords[i], out);
+    }
+    *out += "]}";
+}
+
+Access
+readAccess(const JsonValue &v)
+{
+    Access a;
+    a.value = static_cast<ValueId>(v.at("v").asInt());
+    for (const auto &c : v.at("coords").arr())
+        a.coords.push_back(readIndexExpr(c));
+    return a;
+}
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Constant: return "constant";
+      case NodeKind::Map: return "map";
+      case NodeKind::Reduce: return "reduce";
+      case NodeKind::Component: return "component";
+    }
+    panic("unhandled NodeKind");
+}
+
+NodeKind
+nodeKindFromName(const std::string &name)
+{
+    if (name == "constant") return NodeKind::Constant;
+    if (name == "map") return NodeKind::Map;
+    if (name == "reduce") return NodeKind::Reduce;
+    if (name == "component") return NodeKind::Component;
+    fatal("json: unknown node kind '" + name + "'");
+}
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::Input: return "input";
+      case EdgeKind::Output: return "output";
+      case EdgeKind::State: return "state";
+      case EdgeKind::Param: return "param";
+      case EdgeKind::Internal: return "internal";
+    }
+    panic("unhandled EdgeKind");
+}
+
+EdgeKind
+edgeKindFromName(const std::string &name)
+{
+    if (name == "input") return EdgeKind::Input;
+    if (name == "output") return EdgeKind::Output;
+    if (name == "state") return EdgeKind::State;
+    if (name == "param") return EdgeKind::Param;
+    if (name == "internal") return EdgeKind::Internal;
+    fatal("json: unknown edge kind '" + name + "'");
+}
+
+void
+emitGraph(const Graph &graph, std::string *out)
+{
+    *out += "{\"name\":" + quote(graph.name);
+    *out += ",\"domain\":" + quote(lang::toString(graph.domain));
+    *out += ",\"values\":[";
+    for (size_t i = 0; i < graph.values.size(); ++i) {
+        const auto &v = graph.values[i];
+        if (i)
+            *out += ",";
+        *out += "{\"dtype\":" + quote(toString(v.md.dtype));
+        *out += ",\"kind\":" + quote(edgeKindName(v.md.kind));
+        *out += ",\"name\":" + quote(v.md.name);
+        *out += format(",\"producer\":%d", v.producer);
+        *out += ",\"shape\":[";
+        for (int d = 0; d < v.md.shape.rank(); ++d) {
+            if (d)
+                *out += ",";
+            *out += format("%lld",
+                           static_cast<long long>(v.md.shape.dim(d)));
+        }
+        *out += "]}";
+    }
+    *out += "],\"inputs\":[";
+    for (size_t i = 0; i < graph.inputs.size(); ++i) {
+        if (i)
+            *out += ",";
+        *out += format("%d", graph.inputs[i]);
+    }
+    *out += "],\"outputs\":[";
+    for (size_t i = 0; i < graph.outputs.size(); ++i) {
+        if (i)
+            *out += ",";
+        *out += format("%d", graph.outputs[i]);
+    }
+    *out += "],\"nodes\":[";
+    for (size_t i = 0; i < graph.nodes.size(); ++i) {
+        const auto &node = graph.nodes[i];
+        if (i)
+            *out += ",";
+        if (!node) {
+            *out += "null";
+            continue;
+        }
+        *out += "{\"kind\":" + quote(nodeKindName(node->kind));
+        *out += ",\"op\":" + quote(node->op);
+        *out += ",\"domain\":" + quote(lang::toString(node->domain));
+        *out += ",\"vars\":[";
+        for (size_t d = 0; d < node->domainVars.size(); ++d) {
+            const auto &var = node->domainVars[d];
+            if (d)
+                *out += ",";
+            *out += "{\"name\":" + quote(var.name);
+            *out += format(",\"extent\":%lld,\"reduced\":%s",
+                           static_cast<long long>(var.extent),
+                           var.reduced ? "true" : "false");
+            *out += "}";
+        }
+        *out += "],\"ins\":[";
+        for (size_t a = 0; a < node->ins.size(); ++a) {
+            if (a)
+                *out += ",";
+            emitAccess(node->ins[a], out);
+        }
+        *out += "],\"outs\":[";
+        for (size_t a = 0; a < node->outs.size(); ++a) {
+            if (a)
+                *out += ",";
+            emitAccess(node->outs[a], out);
+        }
+        *out += format("],\"base\":%d", node->base);
+        *out += format(",\"cval\":%.17g", node->cval);
+        if (node->hasPredicate) {
+            *out += ",\"pred\":";
+            emitIndexExpr(node->predicate, out);
+        }
+        if (node->subgraph) {
+            *out += ",\"subgraph\":";
+            emitGraph(*node->subgraph, out);
+        }
+        *out += "}";
+    }
+    *out += "]}";
+}
+
+std::unique_ptr<Graph>
+readGraph(const JsonValue &v, const std::shared_ptr<IrContext> &context)
+{
+    auto graph = std::make_unique<Graph>();
+    graph->name = v.at("name").str();
+    graph->context = context;
+    const std::string domain = v.at("domain").str();
+    for (lang::Domain d :
+         {lang::Domain::None, lang::Domain::RBT, lang::Domain::GA,
+          lang::Domain::DSP, lang::Domain::DA, lang::Domain::DL}) {
+        if (lang::toString(d) == domain)
+            graph->domain = d;
+    }
+    for (const auto &jv : v.at("values").arr()) {
+        Value value;
+        value.id = static_cast<ValueId>(graph->values.size());
+        const auto dtype = dtypeFromString(jv.at("dtype").str());
+        if (!dtype)
+            fatal("json: bad dtype");
+        value.md.dtype = *dtype;
+        value.md.kind = edgeKindFromName(jv.at("kind").str());
+        value.md.name = jv.at("name").str();
+        value.producer = static_cast<NodeId>(jv.at("producer").asInt());
+        std::vector<int64_t> dims;
+        for (const auto &d : jv.at("shape").arr())
+            dims.push_back(d.asInt());
+        value.md.shape = Shape(dims);
+        graph->values.push_back(std::move(value));
+    }
+    for (const auto &jv : v.at("inputs").arr())
+        graph->inputs.push_back(static_cast<ValueId>(jv.asInt()));
+    for (const auto &jv : v.at("outputs").arr())
+        graph->outputs.push_back(static_cast<ValueId>(jv.asInt()));
+    for (const auto &jn : v.at("nodes").arr()) {
+        if (jn.isNull()) {
+            graph->nodes.push_back(nullptr);
+            continue;
+        }
+        auto node = std::make_unique<Node>();
+        node->id = static_cast<NodeId>(graph->nodes.size());
+        node->kind = nodeKindFromName(jn.at("kind").str());
+        node->op = jn.at("op").str();
+        const std::string node_domain = jn.at("domain").str();
+        for (lang::Domain d :
+             {lang::Domain::None, lang::Domain::RBT, lang::Domain::GA,
+              lang::Domain::DSP, lang::Domain::DA, lang::Domain::DL}) {
+            if (lang::toString(d) == node_domain)
+                node->domain = d;
+        }
+        for (const auto &jvar : jn.at("vars").arr()) {
+            IndexVar var;
+            var.name = jvar.at("name").str();
+            var.extent = jvar.at("extent").asInt();
+            var.reduced =
+                std::get<bool>(jvar.at("reduced").data);
+            node->domainVars.push_back(std::move(var));
+        }
+        for (const auto &ja : jn.at("ins").arr())
+            node->ins.push_back(readAccess(ja));
+        for (const auto &ja : jn.at("outs").arr())
+            node->outs.push_back(readAccess(ja));
+        node->base = static_cast<ValueId>(jn.at("base").asInt());
+        node->cval = jn.at("cval").num();
+        if (jn.obj().count("pred")) {
+            node->predicate = readIndexExpr(jn.at("pred"));
+            node->hasPredicate = true;
+        }
+        if (jn.obj().count("subgraph"))
+            node->subgraph = readGraph(jn.at("subgraph"), context);
+        graph->nodes.push_back(std::move(node));
+    }
+    return graph;
+}
+
+} // namespace
+
+std::string
+toJson(const Graph &graph)
+{
+    std::string out;
+    emitGraph(graph, &out);
+    return out;
+}
+
+std::unique_ptr<Graph>
+fromJson(const std::string &json, std::shared_ptr<IrContext> context)
+{
+    JsonParser parser(json);
+    if (!context)
+        context = std::make_shared<IrContext>();
+    auto graph = readGraph(parser.parse(), context);
+    graph->validate();
+    return graph;
+}
+
+} // namespace polymath::ir

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * JSON serialization of srDFGs.
+ *
+ * Round-trippable textual form of the whole recursive graph — values with
+ * their edge metadata, nodes with iteration domains / access maps /
+ * guards, component subgraphs nested — so graphs can be saved, diffed,
+ * and consumed by external tooling (`pmc --json`). Custom-reduction
+ * kernels live in the PMLang program, so a deserialized graph reuses the
+ * IrContext supplied by the caller (or none, for programs without custom
+ * reductions).
+ */
+#ifndef POLYMATH_SRDFG_SERIALIZE_H_
+#define POLYMATH_SRDFG_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "srdfg/graph.h"
+
+namespace polymath::ir {
+
+/** Serializes @p graph (recursively) to JSON text. */
+std::string toJson(const Graph &graph);
+
+/**
+ * Parses a graph serialized by toJson(). @p context supplies custom
+ * reductions (pass the original graph's context or a fresh one).
+ * @throws UserError on malformed input.
+ */
+std::unique_ptr<Graph> fromJson(const std::string &json,
+                                std::shared_ptr<IrContext> context);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_SERIALIZE_H_

@@ -1,0 +1,125 @@
+#include "srdfg/traversal.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.h"
+
+namespace polymath::ir {
+
+std::vector<NodeId>
+topoOrder(const Graph &graph)
+{
+    // Kahn's algorithm over value-mediated dependencies.
+    std::vector<int> pending; // per node: unproduced input values
+    std::vector<std::vector<NodeId>> waiters(graph.values.size());
+    std::vector<NodeId> ready;
+    std::vector<NodeId> order;
+
+    auto value_ready = [&](ValueId v) {
+        return v < 0 || graph.value(v).producer < 0 ||
+               !graph.node(graph.value(v).producer);
+    };
+
+    pending.assign(graph.nodes.size(), 0);
+    for (const auto &node : graph.nodes) {
+        if (!node)
+            continue;
+        int count = 0;
+        auto add_dep = [&](ValueId v) {
+            if (v >= 0 && !value_ready(v)) {
+                ++count;
+                waiters[static_cast<size_t>(v)].push_back(node->id);
+            }
+        };
+        for (const auto &in : node->ins)
+            add_dep(in.value);
+        add_dep(node->base);
+        pending[static_cast<size_t>(node->id)] = count;
+        if (count == 0)
+            ready.push_back(node->id);
+    }
+
+    while (!ready.empty()) {
+        const NodeId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (const auto &out : graph.node(id)->outs) {
+            if (out.value < 0)
+                continue;
+            for (NodeId w : waiters[static_cast<size_t>(out.value)]) {
+                if (--pending[static_cast<size_t>(w)] == 0)
+                    ready.push_back(w);
+            }
+        }
+    }
+
+    if (static_cast<int64_t>(order.size()) != graph.liveNodeCount())
+        panic("srDFG level contains a dataflow cycle");
+    return order;
+}
+
+void
+forEachNodeRecursive(Graph &graph,
+                     const std::function<void(Graph &, Node &)> &fn)
+{
+    for (auto &node : graph.nodes) {
+        if (!node)
+            continue;
+        fn(graph, *node);
+        if (node->subgraph)
+            forEachNodeRecursive(*node->subgraph, fn);
+    }
+}
+
+void
+forEachNodeRecursive(
+    const Graph &graph,
+    const std::function<void(const Graph &, const Node &)> &fn)
+{
+    for (const auto &node : graph.nodes) {
+        if (!node)
+            continue;
+        fn(graph, *node);
+        if (node->subgraph)
+            forEachNodeRecursive(
+                static_cast<const Graph &>(*node->subgraph), fn);
+    }
+}
+
+int
+recursionDepth(const Graph &graph)
+{
+    int depth = 1;
+    for (const auto &node : graph.nodes) {
+        if (node && node->subgraph)
+            depth = std::max(depth, 1 + recursionDepth(*node->subgraph));
+    }
+    return depth;
+}
+
+std::vector<ValueId>
+deadValues(const Graph &graph)
+{
+    std::set<ValueId> live;
+    for (ValueId v : graph.outputs)
+        live.insert(v);
+    for (const auto &node : graph.nodes) {
+        if (!node)
+            continue;
+        for (const auto &in : node->ins) {
+            if (in.value >= 0)
+                live.insert(in.value);
+        }
+        if (node->base >= 0)
+            live.insert(node->base);
+    }
+    std::vector<ValueId> dead;
+    for (const auto &v : graph.values) {
+        if (!live.count(v.id))
+            dead.push_back(v.id);
+    }
+    return dead;
+}
+
+} // namespace polymath::ir

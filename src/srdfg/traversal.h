@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Traversal utilities over one level of an srDFG.
+ */
+#ifndef POLYMATH_SRDFG_TRAVERSAL_H_
+#define POLYMATH_SRDFG_TRAVERSAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "srdfg/graph.h"
+
+namespace polymath::ir {
+
+/**
+ * Topologically sorted live node ids of @p graph (producers before
+ * consumers). @throws InternalError if the dataflow has a cycle.
+ */
+std::vector<NodeId> topoOrder(const Graph &graph);
+
+/** Applies @p fn to every live node of @p graph and, recursively, of every
+ *  component subgraph (pre-order). The graph owning the node is passed
+ *  alongside. */
+void forEachNodeRecursive(
+    Graph &graph, const std::function<void(Graph &, Node &)> &fn);
+
+/** Const overload. */
+void forEachNodeRecursive(
+    const Graph &graph,
+    const std::function<void(const Graph &, const Node &)> &fn);
+
+/** Number of recursion levels below @p graph (1 when no components). */
+int recursionDepth(const Graph &graph);
+
+/** Ids of values with no live consumer and not listed as graph outputs. */
+std::vector<ValueId> deadValues(const Graph &graph);
+
+} // namespace polymath::ir
+
+#endif // POLYMATH_SRDFG_TRAVERSAL_H_

@@ -1,0 +1,131 @@
+#include "targets/common/backend.h"
+
+#include <map>
+
+#include "targets/deco/deco.h"
+#include "targets/graphicionado/graphicionado.h"
+#include "targets/hyperstreams/hyperstreams.h"
+#include "targets/robox/robox.h"
+#include "targets/tabla/tabla.h"
+#include "targets/vta/vta.h"
+
+namespace polymath::target {
+
+int64_t
+fragmentWork(const lower::IrFragment &frag)
+{
+    int64_t work = frag.flops;
+    auto it = frag.attrs.find("move_elems");
+    if (it != frag.attrs.end())
+        work += it->second;
+    return work;
+}
+
+DmaBreakdown
+dmaBreakdown(const lower::Partition &partition)
+{
+    DmaBreakdown out;
+    auto account = [&](const lower::TensorArg &t) {
+        if (t.kind == ir::EdgeKind::Param || t.kind == ir::EdgeKind::State)
+            out.oneTimeBytes += t.accelBytes();
+        else
+            out.perRunBytes += t.accelBytes();
+    };
+    for (const auto &t : partition.loads)
+        account(t);
+    for (const auto &t : partition.stores)
+        account(t);
+    return out;
+}
+
+std::vector<bool>
+invariantFragments(const lower::Partition &partition)
+{
+    // A tensor name is invariant when it is a read-only param or is
+    // written only by invariant fragments. State is on-chip resident but
+    // mutable across invocations, so it does not seed invariance.
+    std::set<std::string> invariant_names;
+    for (const auto &t : partition.loads) {
+        if (t.kind == ir::EdgeKind::Param)
+            invariant_names.insert(t.name);
+    }
+    std::vector<bool> out(partition.fragments.size(), false);
+    for (size_t i = 0; i < partition.fragments.size(); ++i) {
+        const auto &frag = partition.fragments[i];
+        if (frag.opcode == "tload" || frag.opcode == "tstore")
+            continue;
+        bool invariant = true;
+        for (const auto &in : frag.inputs)
+            invariant = invariant && invariant_names.count(in.name) > 0;
+        // Constants have no inputs but also no work; mark them invariant.
+        out[i] = invariant;
+        if (invariant) {
+            for (const auto &o : frag.outputs)
+                invariant_names.insert(o.name);
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<const lower::IrFragment *>>
+fragmentLevels(const lower::Partition &partition)
+{
+    // Dataflow by tensor name: a fragment depends on the latest earlier
+    // fragment writing any of its inputs.
+    std::map<std::string, size_t> last_writer_level;
+    std::vector<std::vector<const lower::IrFragment *>> levels;
+    for (const auto &frag : partition.fragments) {
+        if (frag.opcode == "tload" || frag.opcode == "tstore")
+            continue;
+        size_t level = 0;
+        for (const auto &in : frag.inputs) {
+            auto it = last_writer_level.find(in.name);
+            if (it != last_writer_level.end())
+                level = std::max(level, it->second + 1);
+        }
+        if (levels.size() <= level)
+            levels.resize(level + 1);
+        levels[level].push_back(&frag);
+        for (const auto &out : frag.outputs) {
+            auto [it, inserted] = last_writer_level.emplace(out.name, level);
+            if (!inserted)
+                it->second = std::max(it->second, level);
+        }
+    }
+    return levels;
+}
+
+std::vector<std::unique_ptr<Backend>>
+standardBackends()
+{
+    std::vector<std::unique_ptr<Backend>> out;
+    out.push_back(std::make_unique<RoboxBackend>());
+    out.push_back(std::make_unique<GraphicionadoBackend>());
+    out.push_back(std::make_unique<TablaBackend>());
+    out.push_back(std::make_unique<DecoBackend>());
+    out.push_back(std::make_unique<VtaBackend>());
+    out.push_back(std::make_unique<HyperstreamsBackend>());
+    return out;
+}
+
+lower::AcceleratorRegistry
+standardRegistry()
+{
+    lower::AcceleratorRegistry registry;
+    for (const auto &backend : standardBackends())
+        registry.add(backend->spec());
+    return registry;
+}
+
+const Backend *
+findBackend(const std::vector<std::unique_ptr<Backend>> &backends,
+            const std::string &name)
+{
+    for (const auto &b : backends) {
+        if (b->name() == name)
+            return b.get();
+    }
+    return nullptr;
+}
+
+} // namespace polymath::target

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Machine configurations for every platform in the evaluation (Table VI of
+ * the paper plus public spec-sheet rates for the GPUs). All backend cost
+ * models read their constants from here so the calibration surface is one
+ * file.
+ */
+#ifndef POLYMATH_TARGETS_COMMON_MACHINE_CONFIG_H_
+#define POLYMATH_TARGETS_COMMON_MACHINE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace polymath::target {
+
+/** Generic machine parameters. */
+struct MachineConfig
+{
+    std::string name;
+    double freqGhz = 1.0;
+    double watts = 1.0;         ///< board/chip power while active
+    double idleWatts = 0.0;     ///< consumed even when this unit waits
+    int64_t computeUnits = 1;   ///< lanes / PEs / DSP slices / CUDA cores
+    double flopsPerUnitCycle = 1.0;
+    double dramGBs = 10.0;      ///< off-chip bandwidth
+    int64_t onChipBytes = 0;    ///< scratchpad / BRAM capacity
+    double launchOverheadUs = 0.0; ///< per-kernel/fragment dispatch cost
+
+    double peakFlops() const
+    {
+        return freqGhz * 1e9 * static_cast<double>(computeUnits) *
+               flopsPerUnitCycle;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Baselines (Table VI).
+// ---------------------------------------------------------------------------
+
+/** Xeon E-2176G: 6 cores, 3.7 GHz, 80 W, 128 GB. The per-domain SIMD
+ *  efficiency of the optimized native libraries is modeled in CpuModel. */
+MachineConfig xeonConfig();
+
+/** Titan Xp: 3840 CUDA cores @ 1.5 GHz, 250 W, 547 GB/s. */
+MachineConfig titanXpConfig();
+
+/** Jetson AGX Xavier: 512 CUDA cores @ 1.3 GHz, 30 W, 137 GB/s. */
+MachineConfig jetsonConfig();
+
+// ---------------------------------------------------------------------------
+// Accelerators (Table V/VI).
+// ---------------------------------------------------------------------------
+
+/** RoboX programmable ASIC: 256 compute units @ 1 GHz, 3.4 W, 512 KB. */
+MachineConfig roboxConfig();
+
+/** Graphicionado ASIC: 8 pipelines @ 1 GHz, 7 W, 64 MB eDRAM scratchpad. */
+MachineConfig graphicionadoConfig();
+
+/** TABLA on KCU1500: template-based ML accelerator, 150 MHz FPGA fabric. */
+MachineConfig tablaConfig();
+
+/** DECO DSP-block overlay on KCU1500: 150 MHz pipelined DSP chains. */
+MachineConfig decoConfig();
+
+/** TVM-VTA on KCU1500: 16x16 GEMM core, 150 MHz. */
+MachineConfig vtaConfig();
+
+/** HyperStreams on KCU1500: deep arithmetic pipelines, 150 MHz. */
+MachineConfig hyperstreamsConfig();
+
+/** SoC interconnect: DMA bandwidth and per-transfer latency used by the
+ *  host manager when cascading accelerators. */
+struct SocConfig
+{
+    double dmaGBs = 8.0;          ///< DRAM <-> accelerator local memory
+    double perTransferUs = 4.0;   ///< DMA setup + host manager dispatch
+    double hostWatts = 5.0;       ///< light-weight host manager core
+    double dramPjPerByte = 20.0;  ///< DRAM access energy
+};
+
+SocConfig socConfig();
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_COMMON_MACHINE_CONFIG_H_

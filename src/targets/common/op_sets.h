@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared operation vocabularies for backend Ot sets.
+ */
+#ifndef POLYMATH_TARGETS_COMMON_OP_SETS_H_
+#define POLYMATH_TARGETS_COMMON_OP_SETS_H_
+
+#include <set>
+#include <string>
+
+namespace polymath::target {
+
+/** ALU-level ops every dataflow-style accelerator supports. */
+inline std::set<std::string>
+scalarAluOps()
+{
+    return {"const", "identity", "add",  "sub", "mul", "div", "mod",
+            "neg",   "lt",       "le",   "gt",  "ge",  "eq",  "ne",
+            "and",   "or",       "not",  "select", "abs", "sign",
+            "min",   "max",      "floor", "ceil"};
+}
+
+/** Built-in group reductions. */
+inline std::set<std::string>
+groupOps()
+{
+    return {"sum", "prod", "max", "min"};
+}
+
+/** Merges op sets. */
+inline std::set<std::string>
+opsUnion(std::set<std::string> a, const std::set<std::string> &b)
+{
+    a.insert(b.begin(), b.end());
+    return a;
+}
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_COMMON_OP_SETS_H_

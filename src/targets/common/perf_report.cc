@@ -1,0 +1,58 @@
+#include "targets/common/perf_report.h"
+
+#include "core/strings.h"
+
+namespace polymath::target {
+
+PerfReport &
+PerfReport::operator+=(const PerfReport &other)
+{
+    if (machine.empty())
+        machine = other.machine;
+    seconds += other.seconds;
+    joules += other.joules;
+    computeSeconds += other.computeSeconds;
+    memorySeconds += other.memorySeconds;
+    overheadSeconds += other.overheadSeconds;
+    flops += other.flops;
+    dramBytes += other.dramBytes;
+    // Utilization of a sequential composition: flop-weighted is the useful
+    // summary; recompute from totals when both present.
+    if (seconds > 0 && flops > 0 && other.seconds > 0)
+        utilization = (utilization + other.utilization) / 2.0;
+    return *this;
+}
+
+std::string
+PerfReport::str() const
+{
+    return format("%s: %.4g ms, %.4g mJ, %.3g W, %lld flops, %lld B dram, "
+                  "util %.1f%%",
+                  machine.c_str(), seconds * 1e3, joules * 1e3, watts(),
+                  static_cast<long long>(flops),
+                  static_cast<long long>(dramBytes), utilization * 100.0);
+}
+
+double
+speedup(const PerfReport &baseline, const PerfReport &candidate)
+{
+    return candidate.seconds > 0 ? baseline.seconds / candidate.seconds
+                                 : 0.0;
+}
+
+double
+energyReduction(const PerfReport &baseline, const PerfReport &candidate)
+{
+    return candidate.joules > 0 ? baseline.joules / candidate.joules : 0.0;
+}
+
+double
+ppwImprovement(const PerfReport &baseline, const PerfReport &candidate)
+{
+    // perf-per-watt = (1/t)/W = 1/(t*W); improvement = (t_b*W_b)/(t_c*W_c).
+    const double b = baseline.seconds * baseline.watts();
+    const double c = candidate.seconds * candidate.watts();
+    return c > 0 ? b / c : 0.0;
+}
+
+} // namespace polymath::target

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Performance/energy accounting shared by every backend simulator.
+ */
+#ifndef POLYMATH_TARGETS_COMMON_PERF_REPORT_H_
+#define POLYMATH_TARGETS_COMMON_PERF_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace polymath::target {
+
+/** Result of simulating one partition (or whole program) on a machine. */
+struct PerfReport
+{
+    std::string machine;
+
+    double seconds = 0.0;     ///< wall-clock execution time
+    double joules = 0.0;      ///< energy over that time
+    double computeSeconds = 0.0; ///< compute-bound component
+    double memorySeconds = 0.0;  ///< memory-bound component
+    double overheadSeconds = 0.0; ///< launch / host / pipeline-fill
+
+    int64_t flops = 0;        ///< scalar operations executed
+    int64_t dramBytes = 0;    ///< off-chip traffic
+    double utilization = 0.0; ///< achieved / peak compute
+
+    double watts() const { return seconds > 0 ? joules / seconds : 0.0; }
+
+    /** Accumulates another report (sequential composition). */
+    PerfReport &operator+=(const PerfReport &other);
+
+    std::string str() const;
+};
+
+/** runtime improvement of b over a: time_a / time_b. */
+double speedup(const PerfReport &baseline, const PerfReport &candidate);
+
+/** energy improvement of b over a: joules_a / joules_b. */
+double energyReduction(const PerfReport &baseline,
+                       const PerfReport &candidate);
+
+/** performance-per-watt improvement of candidate over baseline. */
+double ppwImprovement(const PerfReport &baseline,
+                      const PerfReport &candidate);
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_COMMON_PERF_REPORT_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Machine-independent cost summary of a workload, consumed by the CPU/GPU
+ * baseline models. Produced by the workload suite from the srDFG's exact
+ * scalar-op counts and tensor footprints at deployed scale.
+ */
+#ifndef POLYMATH_TARGETS_COMMON_WORKLOAD_COST_H_
+#define POLYMATH_TARGETS_COMMON_WORKLOAD_COST_H_
+
+#include <cstdint>
+
+#include "pmlang/ast.h"
+
+namespace polymath::target {
+
+/** Per-invocation cost characteristics at deployed scale. */
+struct WorkloadCost
+{
+    lang::Domain domain = lang::Domain::None;
+
+    int64_t flops = 0;        ///< scalar ops per invocation
+    int64_t bytes = 0;        ///< DRAM traffic per invocation
+    int64_t kernels = 1;      ///< kernel/fragment launches per invocation
+    int64_t invocations = 1;  ///< outer iterations
+
+    /** Typical per-kernel parallel width (elements processable
+     *  concurrently); drives GPU occupancy. */
+    double parallelWidth = 1.0;
+
+    /** Graph-analytics style data-dependent random access. */
+    bool irregular = false;
+
+    /** Achieved fraction of CPU peak for this workload's tuned native
+     *  library (0 = use the domain default). Table V names the library
+     *  per domain; per-benchmark values calibrate to its published
+     *  throughput on kernels of this size. */
+    double cpuEff = 0.0;
+
+    /** Same, for the tuned CUDA library at full occupancy. */
+    double gpuEff = 0.0;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_COMMON_WORKLOAD_COST_H_

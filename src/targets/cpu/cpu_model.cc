@@ -1,0 +1,61 @@
+#include "targets/cpu/cpu_model.h"
+
+#include <algorithm>
+
+namespace polymath::target {
+
+double
+CpuModel::domainEfficiency(lang::Domain domain, bool irregular)
+{
+    if (irregular)
+        return 0.01; // pointer-chasing graph kernels: ~2 ops/cycle chip-wide
+    switch (domain) {
+      case lang::Domain::RBT:
+        // ACADO-generated C for small dense matrices: single-core, scalar.
+        return 0.035;
+      case lang::Domain::GA:
+        return 0.01;
+      case lang::Domain::DSP:
+        // FFTW3 / filter kernels: SIMD but butterfly-strided.
+        return 0.16;
+      case lang::Domain::DA:
+        // mlpack on OpenBLAS: GEMV/GEMM-heavy.
+        return 0.28;
+      case lang::Domain::DL:
+        // TensorFlow + MKL-DNN convolutions.
+        return 0.45;
+      case lang::Domain::None:
+        return 0.10;
+    }
+    return 0.10;
+}
+
+PerfReport
+CpuModel::simulate(const WorkloadCost &cost) const
+{
+    PerfReport r;
+    r.machine = config_.name;
+
+    const double eff = cost.cpuEff > 0
+                           ? cost.cpuEff
+                           : domainEfficiency(cost.domain, cost.irregular);
+    const double inv = static_cast<double>(cost.invocations);
+    const double flops = static_cast<double>(cost.flops) * inv;
+    const double bytes = static_cast<double>(cost.bytes) * inv;
+
+    r.computeSeconds = flops / (config_.peakFlops() * eff);
+    const double bw =
+        cost.irregular ? config_.dramGBs * 0.35 : config_.dramGBs;
+    r.memorySeconds = bytes / (bw * 1e9);
+    r.overheadSeconds = 0.0;
+
+    r.seconds = std::max(r.computeSeconds, r.memorySeconds);
+    r.flops = static_cast<int64_t>(flops);
+    r.dramBytes = static_cast<int64_t>(bytes);
+    r.utilization =
+        r.seconds > 0 ? flops / (config_.peakFlops() * r.seconds) : 0.0;
+    r.joules = config_.watts * r.seconds;
+    return r;
+}
+
+} // namespace polymath::target

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Xeon-class baseline model. Represents the paper's optimized native CPU
+ * implementations (Table V: ACADO, GraphMat, mlpack/OpenBLAS, FFTW,
+ * TensorFlow): achieved efficiency relative to peak differs per domain and
+ * is the model's calibration surface.
+ */
+#ifndef POLYMATH_TARGETS_CPU_CPU_MODEL_H_
+#define POLYMATH_TARGETS_CPU_CPU_MODEL_H_
+
+#include "targets/common/machine_config.h"
+#include "targets/common/perf_report.h"
+#include "targets/common/workload_cost.h"
+
+namespace polymath::target {
+
+class CpuModel
+{
+  public:
+    CpuModel() : config_(xeonConfig()) {}
+    explicit CpuModel(MachineConfig config) : config_(std::move(config)) {}
+
+    const MachineConfig &config() const { return config_; }
+
+    /** Fraction of peak flops the tuned native stack achieves for
+     *  @p domain's kernels. */
+    static double domainEfficiency(lang::Domain domain, bool irregular);
+
+    PerfReport simulate(const WorkloadCost &cost) const;
+
+  private:
+    MachineConfig config_;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_CPU_CPU_MODEL_H_

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DECO chain mapper.
+ *
+ * DECO organizes computation as pipelined chains of DSP blocks behind a
+ * low-overhead interconnect. This engine performs the mapping step a
+ * DECO compiler would: it groups the translated fragments into maximal
+ * fusable chains (single-consumer dataflow paths over equal element
+ * counts), allocates lanes of DSP blocks to concurrent chains, and walks
+ * the chain DAG in waves — each wave streaming its elements at II=1 plus
+ * the chain-depth fill. It reports the chain structure and DSP
+ * utilization the analytic model (deco.h) abstracts as dependence levels.
+ *
+ * bench_deco_chains cross-checks it on the DSP workloads.
+ */
+#ifndef POLYMATH_TARGETS_DECO_CHAIN_MAPPER_H_
+#define POLYMATH_TARGETS_DECO_CHAIN_MAPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lower/compile.h"
+
+namespace polymath::target {
+
+/** Overlay geometry for the mapper. */
+struct ChainConfig
+{
+    int64_t dspBlocks = 1024;  ///< total DSP blocks in the overlay
+    int64_t fillPerStage = 3;  ///< pipeline registers per chained op
+    double freqGhz = 0.15;
+};
+
+/** One mapped chain of fused fragments. */
+struct MappedChain
+{
+    std::vector<const lower::IrFragment *> ops; ///< in dataflow order
+    int64_t elements = 0; ///< streamed elements (per invocation)
+    int64_t wave = 0;     ///< DAG wave this chain executes in
+};
+
+/** Result of mapping one partition. */
+struct ChainMap
+{
+    std::vector<MappedChain> chains;
+    int64_t waves = 0;
+    int64_t cycles = 0;       ///< per-invocation steady-state cycles
+    int64_t fillCycles = 0;   ///< one-time pipeline fill
+    double dspUtilization = 0.0;
+
+    double avgChainLength() const;
+    std::string str() const;
+};
+
+/** Maps @p partition's compute fragments onto the overlay. */
+ChainMap mapChains(const lower::Partition &partition,
+                   const ChainConfig &config);
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_DECO_CHAIN_MAPPER_H_

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * DECO backend: a DSP-block-based FPGA overlay with low-overhead
+ * interconnect (Jain et al., FCCM'16). Computation is organized as
+ * stage-based pipelines of DSP columns; throughput is one result per lane
+ * per cycle when the dataflow graph is balanced, degrading with stage
+ * imbalance — which is exactly the overhead PolyMath-translated graphs
+ * exhibit relative to hand-balanced implementations (Fig. 9).
+ */
+#ifndef POLYMATH_TARGETS_DECO_DECO_H_
+#define POLYMATH_TARGETS_DECO_DECO_H_
+
+#include "targets/common/backend.h"
+
+namespace polymath::target {
+
+class DecoBackend : public Backend
+{
+  public:
+    std::string name() const override { return "DECO"; }
+    lang::Domain domain() const override { return lang::Domain::DSP; }
+    MachineConfig machine() const override { return decoConfig(); }
+    lower::AcceleratorSpec spec() const override;
+    PerfReport simulate(const lower::Partition &partition,
+                        const WorkloadProfile &profile) const override;
+
+    /** Stage imbalance of the compiled pipeline: max/mean level work
+     *  (1.0 = perfectly balanced). Exposed for the Fig. 9 analysis. */
+    static double stageImbalance(const lower::Partition &partition);
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_DECO_DECO_H_

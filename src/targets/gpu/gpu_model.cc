@@ -1,0 +1,73 @@
+#include "targets/gpu/gpu_model.h"
+
+#include <algorithm>
+
+namespace polymath::target {
+
+double
+GpuModel::domainEfficiency(lang::Domain domain, bool irregular)
+{
+    if (irregular)
+        return 0.04; // Enterprise-style BFS: frontier-dependent divergence
+    switch (domain) {
+      case lang::Domain::RBT:
+        // cuBLAS on tiny matrices: dominated by per-call latency.
+        return 0.08;
+      case lang::Domain::GA:
+        return 0.04;
+      case lang::Domain::DSP:
+        return 0.45; // cuFFT / NPP DCT
+      case lang::Domain::DA:
+        return 0.40; // NVBLAS / CUDA analytics
+      case lang::Domain::DL:
+        return 0.55; // cuDNN convolutions, batch 1
+      case lang::Domain::None:
+        return 0.30;
+    }
+    return 0.30;
+}
+
+PerfReport
+GpuModel::simulate(const WorkloadCost &cost) const
+{
+    PerfReport r;
+    r.machine = config_.name;
+
+    const double inv = static_cast<double>(cost.invocations);
+    const double flops = static_cast<double>(cost.flops) * inv;
+    const double bytes = static_cast<double>(cost.bytes) * inv;
+
+    // Occupancy: a kernel needs roughly 8 resident threads per CUDA core
+    // before the chip saturates.
+    const double full_width =
+        static_cast<double>(config_.computeUnits) * 8.0;
+    const double occupancy =
+        std::min(1.0, std::max(cost.parallelWidth, 1.0) / full_width);
+    const double base_eff =
+        cost.gpuEff > 0 ? cost.gpuEff
+                        : domainEfficiency(cost.domain, cost.irregular);
+    const double eff = base_eff * occupancy;
+
+    r.computeSeconds = flops / (config_.peakFlops() * std::max(eff, 1e-6));
+    const double bw =
+        cost.irregular ? config_.dramGBs * 0.25 : config_.dramGBs;
+    r.memorySeconds = bytes / (bw * 1e9);
+    r.overheadSeconds = config_.launchOverheadUs * 1e-6 *
+                        static_cast<double>(cost.kernels) * inv;
+
+    r.seconds = std::max(r.computeSeconds, r.memorySeconds) +
+                r.overheadSeconds;
+    r.flops = static_cast<int64_t>(flops);
+    r.dramBytes = static_cast<int64_t>(bytes);
+    r.utilization =
+        r.seconds > 0 ? flops / (config_.peakFlops() * r.seconds) : 0.0;
+    // Power scales between idle and TDP with utilization-ish activity.
+    const double active =
+        std::min(1.0, std::max(occupancy, r.utilization * 4));
+    const double watts =
+        config_.idleWatts + (config_.watts - config_.idleWatts) * active;
+    r.joules = watts * r.seconds;
+    return r;
+}
+
+} // namespace polymath::target

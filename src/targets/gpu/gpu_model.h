@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GPU baseline models (Titan Xp and Jetson Xavier AGX). Kernel time is a
+ * roofline of achieved-compute vs. memory, where achieved compute scales
+ * with occupancy: small kernels cannot fill thousands of CUDA cores, which
+ * is what lets the low-power accelerators win perf-per-watt (and sometimes
+ * runtime) on small-batch workloads in Figs. 8/11.
+ */
+#ifndef POLYMATH_TARGETS_GPU_GPU_MODEL_H_
+#define POLYMATH_TARGETS_GPU_GPU_MODEL_H_
+
+#include "targets/common/machine_config.h"
+#include "targets/common/perf_report.h"
+#include "targets/common/workload_cost.h"
+
+namespace polymath::target {
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(MachineConfig config) : config_(std::move(config)) {}
+
+    static GpuModel titanXp() { return GpuModel(titanXpConfig()); }
+    static GpuModel jetson() { return GpuModel(jetsonConfig()); }
+
+    const MachineConfig &config() const { return config_; }
+
+    /** Fraction of peak the tuned CUDA library reaches at full occupancy
+     *  for @p domain. */
+    static double domainEfficiency(lang::Domain domain, bool irregular);
+
+    PerfReport simulate(const WorkloadCost &cost) const;
+
+  private:
+    MachineConfig config_;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_GPU_GPU_MODEL_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace-driven Graphicionado pipeline simulator.
+ *
+ * The backend's analytic model (graphicionado.h) costs a workload from
+ * aggregate V/E counts. This simulator instead streams a concrete edge
+ * list through the modeled microarchitecture: P parallel edge pipelines,
+ * destination-interleaved atomic-update banks (same-bank updates in the
+ * same cycle serialize — the reduce stage's read-modify-write hazard),
+ * and an eDRAM scratchpad that either holds the vertex property array or
+ * forces off-chip vertex accesses with a fixed miss penalty.
+ *
+ * It exists both as a higher-fidelity cross-check of the analytic model
+ * (bench_trace_graphicionado compares them on the Table III graphs) and
+ * as the piece a user would extend toward a full Graphicionado study.
+ */
+#ifndef POLYMATH_TARGETS_GRAPHICIONADO_PIPELINE_SIM_H_
+#define POLYMATH_TARGETS_GRAPHICIONADO_PIPELINE_SIM_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "targets/common/machine_config.h"
+#include "targets/common/perf_report.h"
+
+namespace polymath::target {
+
+/** Microarchitecture parameters of the traced pipeline. */
+struct TraceConfig
+{
+    int pipes = 8;             ///< parallel edge pipelines
+    int banksPerPipe = 32;     ///< atomic-update banks = pipes * this
+    int stageDepth = 8;        ///< ops retired per edge per cycle
+    int missPenalty = 12;      ///< cycles per off-chip vertex access
+    int vertexBytes = 16;      ///< property + temp footprint per vertex
+    int64_t scratchpadBytes = 64ll * 1024 * 1024;
+    double opsPerEdge = 4.0;   ///< from the compiled vertex program
+    double opsPerVertex = 2.0; ///< apply-phase ops
+    double freqGhz = 1.0;
+    double watts = 7.0;
+    double dramGBs = 68.0;
+
+    /** Populates the per-edge/per-vertex op counts and machine constants
+     *  from a machine config (Table VI row). */
+    static TraceConfig fromMachine(const MachineConfig &machine);
+};
+
+/** Outcome of streaming the trace. */
+struct TraceResult
+{
+    int64_t cycles = 0;
+    int64_t edgesProcessed = 0;
+    int64_t bankConflicts = 0; ///< serialized same-bank atomic updates
+    int64_t vertexMisses = 0;  ///< off-chip vertex accesses
+    int64_t dramBytes = 0;
+    bool scratchpadResident = false;
+
+    double seconds(double freq_ghz) const
+    {
+        return static_cast<double>(cycles) / (freq_ghz * 1e9);
+    }
+
+    /** Converts to the common report shape. */
+    PerfReport toReport(const TraceConfig &config) const;
+};
+
+/**
+ * Streams @p edges through the pipeline @p iterations times (one sweep
+ * per vertex-program iteration, as in bulk-synchronous BFS/SSSP).
+ * Deterministic: no randomness, results depend only on the trace order.
+ */
+TraceResult simulateEdgeStream(
+    std::span<const std::pair<int32_t, int32_t>> edges, int64_t vertices,
+    int64_t iterations, const TraceConfig &config);
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_GRAPHICIONADO_PIPELINE_SIM_H_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * HyperStreams backend: deeply pipelined FPGA arithmetic for option
+ * pricing (Morris & Aubury, FPL'07). The whole Black-Scholes formula is
+ * compiled into one initiation-interval-1 pipeline; PolyMath keeps the
+ * `black_scholes` component at its coarsest granularity and hands it over
+ * whole, the way a hand-written HyperStreams design would consume it.
+ */
+#ifndef POLYMATH_TARGETS_HYPERSTREAMS_HYPERSTREAMS_H_
+#define POLYMATH_TARGETS_HYPERSTREAMS_HYPERSTREAMS_H_
+
+#include "targets/common/backend.h"
+
+namespace polymath::target {
+
+class HyperstreamsBackend : public Backend
+{
+  public:
+    std::string name() const override { return "HyperStreams"; }
+    lang::Domain domain() const override { return lang::Domain::DA; }
+    MachineConfig machine() const override { return hyperstreamsConfig(); }
+    lower::AcceleratorSpec spec() const override;
+    PerfReport simulate(const lower::Partition &partition,
+                        const WorkloadProfile &profile) const override;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_HYPERSTREAMS_HYPERSTREAMS_H_

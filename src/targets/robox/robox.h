@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RoboX backend: an end-to-end programmable ASIC for MPC-based autonomous
+ * control (Sacks et al., ISCA'18). Its macro dataflow graph organizes the
+ * robot program as System -> Task -> vector/scalar/group operations; the
+ * simulator sequences the translated fragments through the 256-lane
+ * compute array, one control step per invocation.
+ */
+#ifndef POLYMATH_TARGETS_ROBOX_ROBOX_H_
+#define POLYMATH_TARGETS_ROBOX_ROBOX_H_
+
+#include "targets/common/backend.h"
+
+namespace polymath::target {
+
+class RoboxBackend : public Backend
+{
+  public:
+    std::string name() const override { return "RoboX"; }
+    lang::Domain domain() const override { return lang::Domain::RBT; }
+    MachineConfig machine() const override { return roboxConfig(); }
+    lower::AcceleratorSpec spec() const override;
+    PerfReport simulate(const lower::Partition &partition,
+                        const WorkloadProfile &profile) const override;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_ROBOX_ROBOX_H_

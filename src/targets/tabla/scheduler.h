@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Event-driven list scheduler for the TABLA PE array.
+ *
+ * The backend's analytic model (tabla.h) costs a partition by dependence
+ * levels. This engine schedules the translated fragments explicitly: a
+ * fragment becomes ready when its producers finish, ready fragments share
+ * the PE array fair-share (each gets at least one PE), and every fragment
+ * first fetches its non-resident operands over the shared bus, which
+ * serializes. It reports cycle counts, bus stalls, and PE occupancy — the
+ * quantities a real template-generated TABLA design exposes.
+ *
+ * bench_tabla_scheduler cross-checks it against the analytic model on the
+ * data-analytics workloads.
+ */
+#ifndef POLYMATH_TARGETS_TABLA_SCHEDULER_H_
+#define POLYMATH_TARGETS_TABLA_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lower/compile.h"
+
+namespace polymath::target {
+
+/** PE-array parameters for the scheduler. */
+struct ScheduleConfig
+{
+    int64_t pes = 2048;          ///< processing engines
+    int64_t busWordsPerCycle = 64; ///< shared operand bus width
+    int64_t reduceTreeLatency = 11; ///< log2(pes): PU reduction tree
+    int64_t issueLatency = 2;    ///< fragment dispatch cycles
+};
+
+/** One fragment's placement in the schedule. */
+struct ScheduledFragment
+{
+    const lower::IrFragment *fragment = nullptr;
+    int64_t readyCycle = 0;  ///< dependencies satisfied
+    int64_t startCycle = 0;  ///< after bus fetch + dispatch
+    int64_t finishCycle = 0;
+};
+
+/** Outcome of scheduling one partition. */
+struct ScheduleResult
+{
+    int64_t cycles = 0;          ///< makespan
+    int64_t busCycles = 0;       ///< serialized operand-fetch cycles
+    double peOccupancy = 0.0;    ///< work / (pes * makespan)
+    std::vector<ScheduledFragment> fragments;
+
+    /** Renders a compact Gantt-style listing (for pmc / debugging). */
+    std::string str() const;
+};
+
+/**
+ * Schedules @p partition's compute fragments (tload/tstore excluded)
+ * under @p config. Deterministic; fragment order ties break by position.
+ */
+ScheduleResult listSchedule(const lower::Partition &partition,
+                            const ScheduleConfig &config);
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_TABLA_SCHEDULER_H_

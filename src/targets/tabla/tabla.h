@@ -1,0 +1,30 @@
+/**
+ * @file
+ * TABLA backend: a template-based FPGA accelerator for statistical machine
+ * learning (Mahajan et al., HPCA'16). Its IR is a single-operation dataflow
+ * graph executed by an array of processing engines (PEs) grouped into
+ * processing units with a shared bus; group sums ride the PEs' reduction
+ * tree. The simulator list-schedules the translated fragment DAG onto the
+ * PE array.
+ */
+#ifndef POLYMATH_TARGETS_TABLA_TABLA_H_
+#define POLYMATH_TARGETS_TABLA_TABLA_H_
+
+#include "targets/common/backend.h"
+
+namespace polymath::target {
+
+class TablaBackend : public Backend
+{
+  public:
+    std::string name() const override { return "TABLA"; }
+    lang::Domain domain() const override { return lang::Domain::DA; }
+    MachineConfig machine() const override { return tablaConfig(); }
+    lower::AcceleratorSpec spec() const override;
+    PerfReport simulate(const lower::Partition &partition,
+                        const WorkloadProfile &profile) const override;
+};
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_TABLA_TABLA_H_

@@ -1,0 +1,207 @@
+#include "targets/vta/tiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace polymath::target {
+
+int64_t
+LayerShape::macs() const
+{
+    const int64_t per_pixel = depthwise
+                                  ? kernel * kernel
+                                  : inChannels * kernel * kernel;
+    return outChannels * outHeight * outWidth * per_pixel;
+}
+
+TilePlan
+planLayer(const LayerShape &layer, const VtaTileConfig &config)
+{
+    TilePlan plan;
+    plan.layer = layer.name;
+
+    const int64_t pixels = layer.outHeight * layer.outWidth;
+    const int64_t reduce = layer.depthwise
+                               ? layer.kernel * layer.kernel
+                               : layer.inChannels * layer.kernel *
+                                     layer.kernel;
+
+    // Grow the output tile (rows = output pixels, cols = output channels)
+    // in GEMM-core quanta while the int8 working set fits the buffers:
+    //   input  : rows * reduce bytes
+    //   weights: cols * reduce bytes
+    //   accum  : rows * cols * 4 bytes (int32 accumulators)
+    int64_t rows = std::min<int64_t>(config.gemmRows, pixels);
+    int64_t cols = std::min<int64_t>(config.gemmCols, layer.outChannels);
+    auto fits = [&](int64_t r, int64_t c) {
+        return r * reduce <= config.inputBufBytes &&
+               c * reduce <= config.weightBufBytes &&
+               r * c * 4 <= config.accumBufBytes;
+    };
+    if (!fits(rows, cols))
+        fatal("VTA tiler: layer '" + layer.name +
+              "' does not fit the on-chip buffers at minimum tile size");
+    while (true) {
+        if (rows < pixels && fits(rows * 2, cols)) {
+            rows = std::min(rows * 2, pixels);
+            continue;
+        }
+        if (cols < layer.outChannels && fits(rows, cols * 2)) {
+            cols = std::min(cols * 2, layer.outChannels);
+            continue;
+        }
+        break;
+    }
+    plan.tileRows = rows;
+    plan.tileCols = cols;
+
+    const int64_t row_tiles = (pixels + rows - 1) / rows;
+    const int64_t col_tiles =
+        (layer.outChannels + cols - 1) / cols;
+    plan.tiles = row_tiles * col_tiles;
+
+    // Cycle accounting per tile, walking the real remainder geometry.
+    const double bytes_per_cycle =
+        config.dramGBs * 1e9 / (config.freqGhz * 1e9);
+    int64_t gemm_cycles = 0;
+    int64_t exposed_load = 0;
+    double macs_done = 0;
+    for (int64_t rt = 0; rt < row_tiles; ++rt) {
+        const int64_t r = std::min(rows, pixels - rt * rows);
+        for (int64_t ct = 0; ct < col_tiles; ++ct) {
+            const int64_t c =
+                std::min(cols, layer.outChannels - ct * cols);
+            // The GEMM core retires gemmRows x gemmCols MACs per cycle;
+            // partial tiles still occupy full core issue slots.
+            const int64_t tile_gemm =
+                ((r + config.gemmRows - 1) / config.gemmRows) *
+                ((c + config.gemmCols - 1) / config.gemmCols) * reduce;
+            // Load bytes for this tile (int8 input + weights).
+            const int64_t tile_load_bytes = r * reduce + c * reduce;
+            const auto tile_load = static_cast<int64_t>(
+                std::ceil(static_cast<double>(tile_load_bytes) /
+                          bytes_per_cycle));
+            // Double buffering: loads overlap the previous tile's GEMM.
+            exposed_load += std::max<int64_t>(0, tile_load - tile_gemm);
+            // Accumulator drain: one output row per cycle to the store
+            // unit, plus the fixed per-tile instruction overhead.
+            exposed_load += r * c / config.gemmCols +
+                            config.tileOverheadCycles;
+            gemm_cycles += tile_gemm;
+            macs_done += static_cast<double>(r) * static_cast<double>(c) *
+                         static_cast<double>(reduce);
+        }
+    }
+    // First tile's load is never hidden.
+    const int64_t first_load = static_cast<int64_t>(
+        std::ceil(static_cast<double>(rows * reduce + cols * reduce) /
+                  bytes_per_cycle));
+    plan.gemmCycles = gemm_cycles;
+    plan.loadCycles = exposed_load + first_load;
+    plan.totalCycles = gemm_cycles + plan.loadCycles;
+    const double capacity =
+        static_cast<double>(config.gemmRows * config.gemmCols) *
+        static_cast<double>(plan.gemmCycles);
+    plan.utilization = capacity > 0 ? macs_done / capacity : 0.0;
+    return plan;
+}
+
+std::vector<LayerShape>
+resnet18Layers()
+{
+    std::vector<LayerShape> layers;
+    auto conv = [&](std::string name, int64_t cin, int64_t cout,
+                    int64_t out_hw, int64_t k, int64_t stride) {
+        LayerShape l;
+        l.name = std::move(name);
+        l.inChannels = cin;
+        l.outChannels = cout;
+        l.outHeight = out_hw;
+        l.outWidth = out_hw;
+        l.kernel = k;
+        l.stride = stride;
+        layers.push_back(l);
+    };
+    conv("conv1", 3, 64, 112, 7, 2);
+    const int64_t channels[4] = {64, 128, 256, 512};
+    const int64_t sizes[4] = {56, 28, 14, 7};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < 2; ++block) {
+            const int64_t c = channels[stage];
+            const int64_t hw = sizes[stage];
+            const int64_t cin =
+                (block == 0 && stage > 0) ? channels[stage - 1] : c;
+            auto label = [&](int which) {
+                return format("layer%d.%d.conv%d", stage + 1, block,
+                              which + 1);
+            };
+            conv(label(0), cin, c, hw, 3,
+                 (block == 0 && stage > 0) ? 2 : 1);
+            conv(label(1), c, c, hw, 3, 1);
+            if (block == 0 && stage > 0)
+                conv(label(2), cin, c, hw, 1, 2);
+        }
+    }
+    LayerShape fc;
+    fc.name = "fc";
+    fc.inChannels = 512;
+    fc.outChannels = 1000;
+    fc.outHeight = 1;
+    fc.outWidth = 1;
+    fc.kernel = 1;
+    layers.push_back(fc);
+    return layers;
+}
+
+std::vector<LayerShape>
+mobilenetLayers()
+{
+    std::vector<LayerShape> layers;
+    auto layer = [&](std::string name, int64_t cin, int64_t cout,
+                     int64_t out_hw, int64_t k, bool depthwise) {
+        LayerShape l;
+        l.name = std::move(name);
+        l.inChannels = cin;
+        l.outChannels = cout;
+        l.outHeight = out_hw;
+        l.outWidth = out_hw;
+        l.kernel = k;
+        l.depthwise = depthwise;
+        layers.push_back(l);
+    };
+    layer("conv1", 3, 32, 112, 3, false);
+    const struct
+    {
+        int64_t stride;
+        int64_t out;
+    } blocks[] = {
+        {1, 64},  {2, 128}, {1, 128}, {2, 256}, {1, 256},
+        {2, 512}, {1, 512}, {1, 512}, {1, 512}, {1, 512},
+        {1, 512}, {2, 1024}, {1, 1024},
+    };
+    int64_t c = 32;
+    int64_t hw = 112;
+    int index = 0;
+    for (const auto &b : blocks) {
+        if (b.stride == 2)
+            hw /= 2;
+        layer(format("dw%d", index), c, c, hw, 3, true);
+        layer(format("pw%d", index), c, b.out, hw, 1, false);
+        c = b.out;
+        ++index;
+    }
+    LayerShape fc;
+    fc.name = "fc";
+    fc.inChannels = 1024;
+    fc.outChannels = 1000;
+    fc.outHeight = 1;
+    fc.outWidth = 1;
+    fc.kernel = 1;
+    layers.push_back(fc);
+    return layers;
+}
+
+} // namespace polymath::target

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tile-level VTA simulator.
+ *
+ * The backend's analytic model (vta.h) costs a layer from its MAC count
+ * and byte footprint. This engine plans the actual execution the VTA
+ * runtime performs: it picks an output tile that fits the on-chip
+ * input/weight/accumulator buffers, walks the tile grid, and accounts
+ * load / GEMM / store phases with double buffering (compute overlaps the
+ * next tile's loads once the pipeline is primed). Edge tiles run
+ * partially full, which is where the utilization loss of real layers
+ * comes from.
+ *
+ * bench_vta_tiling cross-checks it against the analytic model per
+ * ResNet-18 layer.
+ */
+#ifndef POLYMATH_TARGETS_VTA_TILER_H_
+#define POLYMATH_TARGETS_VTA_TILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polymath::target {
+
+/** One convolution/dense layer to tile (pre-padded geometry). */
+struct LayerShape
+{
+    std::string name;
+    int64_t inChannels = 1;
+    int64_t outChannels = 1;
+    int64_t outHeight = 1;
+    int64_t outWidth = 1;
+    int64_t kernel = 1;
+    int64_t stride = 1;
+    bool depthwise = false;
+
+    int64_t macs() const;
+};
+
+/** VTA core geometry. */
+struct VtaTileConfig
+{
+    int64_t gemmRows = 16;       ///< batch/row dimension of the GEMM core
+    int64_t gemmCols = 16;       ///< output-channel dimension
+    int64_t inputBufBytes = 256 * 1024;
+    int64_t weightBufBytes = 256 * 1024;
+    int64_t accumBufBytes = 128 * 1024;
+    double freqGhz = 0.15;
+    double dramGBs = 19.2;
+
+    /** Per-tile fixed cost: instruction + micro-op fetch, dependence-queue
+     *  sync, accumulator drain setup. */
+    int64_t tileOverheadCycles = 512;
+};
+
+/** Planned execution of one layer. */
+struct TilePlan
+{
+    std::string layer;
+    int64_t tileRows = 0;    ///< output pixels per tile
+    int64_t tileCols = 0;    ///< output channels per tile
+    int64_t tiles = 0;
+    int64_t gemmCycles = 0;
+    int64_t loadCycles = 0;  ///< DRAM cycles not hidden by compute
+    int64_t totalCycles = 0;
+    double utilization = 0.0; ///< MACs / (gemm capacity * gemmCycles)
+
+    double seconds(double freq_ghz) const
+    {
+        return static_cast<double>(totalCycles) / (freq_ghz * 1e9);
+    }
+};
+
+/** Plans one layer. @throws UserError when no tile fits the buffers. */
+TilePlan planLayer(const LayerShape &layer, const VtaTileConfig &config);
+
+/** The ResNet-18 convolution/dense layers (post-padding geometry). */
+std::vector<LayerShape> resnet18Layers();
+
+/** The MobileNet-V1 layers (depthwise/pointwise pairs). */
+std::vector<LayerShape> mobilenetLayers();
+
+} // namespace polymath::target
+
+#endif // POLYMATH_TARGETS_VTA_TILER_H_

@@ -1,0 +1,208 @@
+#include "workloads/datasets.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+
+namespace polymath::wl {
+
+namespace {
+
+/** One R-MAT edge draw over an n x n adjacency (n a power of two is not
+ *  required; quadrant splits round down). */
+std::pair<int32_t, int32_t>
+rmatEdge(Rng *rng, int64_t n)
+{
+    // Graph500 parameters.
+    constexpr double a = 0.57, b = 0.19, c = 0.19;
+    int64_t u_lo = 0, u_hi = n, v_lo = 0, v_hi = n;
+    while (u_hi - u_lo > 1 || v_hi - v_lo > 1) {
+        const double r = rng->uniform();
+        const int64_t um = (u_lo + u_hi) / 2;
+        const int64_t vm = (v_lo + v_hi) / 2;
+        if (r < a) {
+            u_hi = um;
+            v_hi = vm;
+        } else if (r < a + b) {
+            u_hi = um;
+            v_lo = vm;
+        } else if (r < a + b + c) {
+            u_lo = um;
+            v_hi = vm;
+        } else {
+            u_lo = um;
+            v_lo = vm;
+        }
+        // Collapsed axes keep returning their midpoint split, which is a
+        // no-op; the loop exits once both ranges reach width one.
+    }
+    return {static_cast<int32_t>(u_lo), static_cast<int32_t>(v_lo)};
+}
+
+} // namespace
+
+GraphDataset
+rmatGraph(int64_t vertices, int64_t edges, uint64_t seed)
+{
+    GraphDataset g;
+    g.vertices = vertices;
+    g.edgeList.reserve(static_cast<size_t>(edges));
+    Rng rng(seed);
+    for (int64_t i = 0; i < edges; ++i)
+        g.edgeList.push_back(rmatEdge(&rng, vertices));
+    return g;
+}
+
+Tensor
+denseRmatAdjacency(int64_t n, int64_t edges, uint64_t seed, bool weighted)
+{
+    Tensor adj(DType::Float, Shape{n, n});
+    Rng rng(seed);
+    for (int64_t e = 0; e < edges; ++e) {
+        const auto [u, v] = rmatEdge(&rng, n);
+        if (u == v)
+            continue;
+        const double w = weighted ? 1.0 + std::floor(rng.uniform() * 9.0)
+                                  : 1.0;
+        adj.at({u, v}) = w;
+        adj.at({v, u}) = w; // undirected for reachability in small tests
+    }
+    return adj;
+}
+
+Tensor
+gaussianClusters(int64_t n, int64_t dims, int64_t k, uint64_t seed,
+                 Tensor *centers_out)
+{
+    Rng rng(seed);
+    Tensor centers(DType::Float, Shape{k, dims});
+    for (int64_t i = 0; i < centers.numel(); ++i)
+        centers.at(i) = rng.uniform(-5.0, 5.0);
+    Tensor x(DType::Float, Shape{n, dims});
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t c = i % k; // balanced clusters
+        for (int64_t d = 0; d < dims; ++d)
+            x.at({i, d}) = centers.at({c, d}) + rng.gaussian(0.0, 0.6);
+    }
+    if (centers_out)
+        *centers_out = centers;
+    return x;
+}
+
+Tensor
+ratingsMatrix(int64_t users, int64_t items, int64_t rank, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor u(DType::Float, Shape{users, rank});
+    Tensor v(DType::Float, Shape{rank, items});
+    for (int64_t i = 0; i < u.numel(); ++i)
+        u.at(i) = rng.uniform(0.0, 1.0);
+    for (int64_t i = 0; i < v.numel(); ++i)
+        v.at(i) = rng.uniform(0.0, 1.0);
+    Tensor r(DType::Float, Shape{users, items});
+    for (int64_t a = 0; a < users; ++a) {
+        for (int64_t b = 0; b < items; ++b) {
+            double dot = 0.0;
+            for (int64_t q = 0; q < rank; ++q)
+                dot += u.at({a, q}) * v.at({q, b});
+            r.at({a, b}) =
+                std::min(5.0, std::max(0.0, dot + rng.gaussian(0.0, 0.1)));
+        }
+    }
+    return r;
+}
+
+std::pair<Tensor, Tensor>
+labeledSet(int64_t n, int64_t d, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> teacher(static_cast<size_t>(d));
+    for (auto &w : teacher)
+        w = rng.gaussian();
+    Tensor x(DType::Float, Shape{n, d});
+    Tensor y(DType::Float, Shape{n});
+    for (int64_t i = 0; i < n; ++i) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+            const double v = rng.gaussian();
+            x.at({i, j}) = v;
+            dot += v * teacher[static_cast<size_t>(j)];
+        }
+        y.at(i) = dot + rng.gaussian(0.0, 0.3) > 0.0 ? 1.0 : 0.0;
+    }
+    return {std::move(x), std::move(y)};
+}
+
+Tensor
+complexSignal(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor x(DType::Complex, Shape{n});
+    const double f1 = 2.0 * std::numbers::pi * 13.0 / static_cast<double>(n);
+    const double f2 = 2.0 * std::numbers::pi * 89.0 / static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        x.cat(i) = {std::sin(f1 * t) + 0.5 * std::cos(f2 * t) +
+                        0.1 * rng.gaussian(),
+                    0.25 * std::sin(f2 * t)};
+    }
+    return x;
+}
+
+Tensor
+twiddleTable(int64_t n)
+{
+    Tensor tw(DType::Complex, Shape{n / 2});
+    for (int64_t j = 0; j < n / 2; ++j) {
+        const double ang =
+            -2.0 * std::numbers::pi * static_cast<double>(j) /
+            static_cast<double>(n);
+        tw.cat(j) = {std::cos(ang), std::sin(ang)};
+    }
+    return tw;
+}
+
+Tensor
+dctBasis()
+{
+    Tensor c(DType::Float, Shape{8, 8});
+    for (int64_t u = 0; u < 8; ++u) {
+        const double alpha = u == 0 ? std::sqrt(1.0 / 8.0)
+                                    : std::sqrt(2.0 / 8.0);
+        for (int64_t i = 0; i < 8; ++i) {
+            c.at({u, i}) =
+                alpha * std::cos((2.0 * static_cast<double>(i) + 1.0) *
+                                 static_cast<double>(u) *
+                                 std::numbers::pi / 16.0);
+        }
+    }
+    return c;
+}
+
+Tensor
+randomImage(int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor img(DType::Float, Shape{h, w});
+    for (int64_t i = 0; i < img.numel(); ++i)
+        img.at(i) = std::floor(rng.uniform(0.0, 256.0));
+    return img;
+}
+
+OptionBatch
+optionBatch(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    OptionBatch b{Tensor(DType::Float, Shape{n}),
+                  Tensor(DType::Float, Shape{n}),
+                  Tensor(DType::Float, Shape{n})};
+    for (int64_t i = 0; i < n; ++i) {
+        b.spot.at(i) = rng.uniform(20.0, 180.0);
+        b.strike.at(i) = rng.uniform(20.0, 180.0);
+        b.expiry.at(i) = rng.uniform(0.1, 2.0);
+    }
+    return b;
+}
+
+} // namespace polymath::wl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic synthetic datasets standing in for the paper's inputs
+ * (DESIGN.md §1): R-MAT graphs for Twitter/Wikipedia/LiveJournal, rating
+ * matrices for MovieLens, Gaussian mixtures for MNIST/UCI clustering,
+ * random signals/images for DSP, and option batches for finance. All
+ * generators are seeded and platform-independent (core/rng.h).
+ */
+#ifndef POLYMATH_WORKLOADS_DATASETS_H_
+#define POLYMATH_WORKLOADS_DATASETS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace polymath::wl {
+
+/** An edge-list graph at deployed scale. */
+struct GraphDataset
+{
+    int64_t vertices = 0;
+    std::vector<std::pair<int32_t, int32_t>> edgeList;
+
+    int64_t edges() const
+    {
+        return static_cast<int64_t>(edgeList.size());
+    }
+};
+
+/**
+ * R-MAT generator (a=0.57, b=c=0.19): skewed degree distribution like the
+ * social/web graphs of Table III. Self-loops and duplicates are kept (as
+ * in the Graph500 reference generator).
+ */
+GraphDataset rmatGraph(int64_t vertices, int64_t edges, uint64_t seed);
+
+/** Dense adjacency of a small R-MAT instance (for functional tests and as
+ *  the compiled vertex-program instance). Entry [u][v] is 1 (or a weight
+ *  in [1, 10) when @p weighted) if u->v exists, else 0. */
+Tensor denseRmatAdjacency(int64_t n, int64_t edges, uint64_t seed,
+                          bool weighted);
+
+/** @p n points in @p dims dimensions drawn from @p k Gaussian blobs.
+ *  When @p centers_out is non-null it receives the true centers [k][dims].*/
+Tensor gaussianClusters(int64_t n, int64_t dims, int64_t k, uint64_t seed,
+                        Tensor *centers_out = nullptr);
+
+/** Low-rank-plus-noise ratings matrix [users][items] in [0, 5]. */
+Tensor ratingsMatrix(int64_t users, int64_t items, int64_t rank,
+                     uint64_t seed);
+
+/** Labeled classification set: X [n][d] and labels y [n] in {0,1} from a
+ *  noisy linear teacher. */
+std::pair<Tensor, Tensor> labeledSet(int64_t n, int64_t d, uint64_t seed);
+
+/** Complex multi-tone signal with noise, length n. */
+Tensor complexSignal(int64_t n, uint64_t seed);
+
+/** FFT twiddle table tw[j] = exp(-2*pi*i*j/n), j < n/2. */
+Tensor twiddleTable(int64_t n);
+
+/** Orthonormal DCT-II basis C[8][8]. */
+Tensor dctBasis();
+
+/** Random grayscale image [h][w] in [0, 255]. */
+Tensor randomImage(int64_t h, int64_t w, uint64_t seed);
+
+/** European call option batch. */
+struct OptionBatch
+{
+    Tensor spot;   ///< [n]
+    Tensor strike; ///< [n]
+    Tensor expiry; ///< [n] years
+};
+
+OptionBatch optionBatch(int64_t n, uint64_t seed);
+
+} // namespace polymath::wl
+
+#endif // POLYMATH_WORKLOADS_DATASETS_H_

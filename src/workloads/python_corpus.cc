@@ -1,0 +1,138 @@
+#include "workloads/python_corpus.h"
+
+#include "core/strings.h"
+#include "workloads/programs.h"
+
+namespace polymath::wl {
+
+namespace {
+
+// What a study participant writes in NumPy-flavored Python for K-means
+// (imperative style dominates under time pressure).
+const char *const kPythonKmeans = R"(import numpy as np
+
+def kmeans_step(x, mu):
+    n, d = x.shape
+    k = mu.shape[0]
+    dist = np.zeros((n, k))
+    for i in range(n):
+        for c in range(k):
+            diff = x[i] - mu[c]
+            dist[i, c] = np.dot(diff, diff)
+    best = dist.min(axis=1)
+    memb = np.zeros((n, k))
+    for i in range(n):
+        for c in range(k):
+            if dist[i, c] == best[i]:
+                memb[i, c] = 1.0
+    cnt = memb.sum(axis=0)
+    new_mu = np.zeros_like(mu)
+    for c in range(k):
+        total = np.zeros(d)
+        for i in range(n):
+            if memb[i, c]:
+                total += x[i]
+        new_mu[c] = total / max(cnt[c], 1.0)
+    assign = np.zeros(n)
+    for i in range(n):
+        for c in range(k):
+            assign[i] += memb[i, c] * c
+    return new_mu, assign
+
+def kmeans(x, mu, iters):
+    for _ in range(iters):
+        mu, assign = kmeans_step(x, mu)
+    return mu, assign
+)";
+
+// Blocked 8x8 DCT in Python.
+const char *const kPythonDct = R"(import numpy as np
+
+def dct_basis():
+    c = np.zeros((8, 8))
+    for u in range(8):
+        a = np.sqrt((1.0 if u == 0 else 2.0) / 8.0)
+        for i in range(8):
+            c[u, i] = a * np.cos((2 * i + 1) * u * np.pi / 16.0)
+    return c
+
+def dct8x8(img):
+    c = dct_basis()
+    h, w = img.shape
+    out = np.zeros_like(img)
+    for bi in range(h // 8):
+        for bj in range(w // 8):
+            block = img[bi*8:(bi+1)*8, bj*8:(bj+1)*8]
+            out[bi*8:(bi+1)*8, bj*8:(bj+1)*8] = c @ block @ c.T
+    return out
+)";
+
+// PMLang equivalents as a study participant would write them: just the
+// algorithm component (the study tasks did not include a main driver).
+const char *const kPmlangKmeans =
+    R"(kmeans_step(input float x[N][D], state float mu[K][D],
+            output float assign[N]) {
+    index n[0:N-1], k[0:K-1], d[0:D-1];
+    float dist[N][K], best[N], memb[N][K], cnt[K];
+    dist[n][k] = sum[d]((x[n][d]-mu[k][d])*(x[n][d]-mu[k][d]));
+    best[n] = min[k](dist[n][k]);
+    memb[n][k] = dist[n][k] == best[n] ? 1 : 0;
+    cnt[k] = sum[n](memb[n][k]);
+    mu[k][d] = sum[n](memb[n][k]*x[n][d]) / max(cnt[k], 1);
+    assign[n] = sum[k](memb[n][k]*k);
+}
+)";
+
+const char *const kPmlangDct =
+    R"(dct8x8(input float img[H][W], param float C[8][8],
+       output float out[H][W]) {
+    index bi[0:H/8-1], bj[0:W/8-1], u[0:7], v[0:7], i[0:7], j[0:7];
+    float tmp[H][W];
+    tmp[bi*8+u][bj*8+j] = sum[i](C[u][i] * img[bi*8+i][bj*8+j]);
+    out[bi*8+u][bj*8+v] = sum[j](tmp[bi*8+u][bj*8+j] * C[v][j]);
+}
+)";
+
+} // namespace
+
+int64_t
+UserStudyEntry::pmlangLoc() const
+{
+    return countCodeLines(pmlang, "//");
+}
+
+int64_t
+UserStudyEntry::pythonLoc() const
+{
+    return countCodeLines(python, "#");
+}
+
+double
+UserStudyEntry::pmlangMinutes() const
+{
+    return static_cast<double>(pmlangLoc()) * kPmlangUnfamiliarity;
+}
+
+double
+UserStudyEntry::pythonMinutes() const
+{
+    return static_cast<double>(pythonLoc());
+}
+
+const std::vector<UserStudyEntry> &
+userStudyCorpus()
+{
+    static const std::vector<UserStudyEntry> corpus = {
+        {"Kmeans", kPmlangKmeans, kPythonKmeans},
+        {"DCT", kPmlangDct, kPythonDct},
+    };
+    return corpus;
+}
+
+int64_t
+pmlangLoc(const std::string &source)
+{
+    return countCodeLines(source, "//");
+}
+
+} // namespace polymath::wl

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Fig. 13 user-study proxy (DESIGN.md §1).
+ *
+ * The paper measured 20 programmers implementing K-means and DCT in Python
+ * vs. PMLang. A human study cannot be re-run here; what *can* be measured
+ * from real artifacts is lines of code: this corpus bundles idiomatic
+ * NumPy implementations of the two study algorithms alongside the PMLang
+ * programs of record, and counts non-blank, non-comment lines of each.
+ * Implementation time is then modeled as
+ *
+ *     minutes = LOC * per-line-rate,
+ *
+ * with a higher per-line rate for PMLang (participants saw the language
+ * for six minutes before coding) — the single calibrated constant
+ * kPmlangUnfamiliarity below.
+ */
+#ifndef POLYMATH_WORKLOADS_PYTHON_CORPUS_H_
+#define POLYMATH_WORKLOADS_PYTHON_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polymath::wl {
+
+/** Per-line effort of PMLang relative to Python for a newcomer. */
+inline constexpr double kPmlangUnfamiliarity = 1.3;
+
+/** One algorithm of the user study. */
+struct UserStudyEntry
+{
+    std::string algorithm; ///< "Kmeans" or "DCT"
+    std::string pmlang;    ///< PMLang implementation (program of record)
+    std::string python;    ///< idiomatic NumPy implementation
+
+    int64_t pmlangLoc() const;
+    int64_t pythonLoc() const;
+
+    /** Modeled implementation minutes (1 min per Python line). */
+    double pmlangMinutes() const;
+    double pythonMinutes() const;
+};
+
+/** The two study algorithms. */
+const std::vector<UserStudyEntry> &userStudyCorpus();
+
+/** PMLang LOC of every Table III/IV program (for the LOC column). */
+int64_t pmlangLoc(const std::string &source);
+
+} // namespace polymath::wl
+
+#endif // POLYMATH_WORKLOADS_PYTHON_CORPUS_H_

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The benchmark suite of Tables III and IV: each entry ties a PMLang
+ * program to its deployed-scale characterization (profile for the
+ * accelerator simulators, cost for the CPU/GPU baselines) and to the
+ * hand-tuned optimal of Figs. 9/12.
+ */
+#ifndef POLYMATH_WORKLOADS_SUITE_H_
+#define POLYMATH_WORKLOADS_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lower/compile.h"
+#include "srdfg/builder.h"
+#include "targets/common/backend.h"
+#include "targets/common/workload_cost.h"
+
+namespace polymath::wl {
+
+/** One Table III benchmark. */
+struct Benchmark
+{
+    std::string id;        ///< e.g. "MobileRobot"
+    std::string algorithm; ///< e.g. "Model Predictive Control"
+    std::string config;    ///< Table III configuration string
+    lang::Domain domain = lang::Domain::None;
+    std::string accel;     ///< Table V target accelerator
+
+    std::string source;    ///< PMLang program (program of record)
+    ir::BuildOptions buildOpts;
+
+    /** Deployed-scale profile for the accelerator simulators. */
+    target::WorkloadProfile profile;
+
+    /** Per-invocation deployed-scale cost for the CPU/GPU models. */
+    int64_t deployedFlops = 0;
+    int64_t deployedBytes = 0;
+    int64_t kernels = 1;
+    bool irregular = false;
+
+    /** Calibrated achieved-efficiency of the Table V native libraries on
+     *  this workload (0 = domain default); see WorkloadCost. */
+    double cpuEff = 0.0;
+    double gpuEff = 0.0;
+
+    /** Hand-tuned native work per invocation, in srDFG scalar-op units. */
+    int64_t optimalFlops = 0;
+
+    /** Hand-tuned kernel count (fragments after expert fusion). */
+    int64_t optimalFragments = 1;
+
+    /** GA only: hand-tuned per-edge / per-vertex op counts. */
+    double optimalOpsPerEdge = 0.0;
+    double optimalOpsPerVertex = 0.0;
+
+    /** Baseline cost view. */
+    target::WorkloadCost cpuCost() const;
+};
+
+/** All fifteen single-domain workloads, Table III order. */
+const std::vector<Benchmark> &tableIII();
+
+/** Looks up a Table III benchmark by id. @throws UserError when absent. */
+const Benchmark &benchmarkById(const std::string &id);
+
+/** One kernel of an end-to-end application (Table IV). */
+struct AppKernel
+{
+    std::string label;  ///< "FFT", "LR", "MPC", "BLKS"
+    std::string accel;  ///< backend executing it when accelerated
+    lang::Domain domain = lang::Domain::None;
+
+    /** Host-library efficiency when this kernel stays on the CPU. */
+    double cpuEff = 0.0;
+};
+
+/** One Table IV end-to-end application. */
+struct EndToEndApp
+{
+    std::string id;
+    std::string source;
+    ir::BuildOptions buildOpts;
+    std::vector<AppKernel> kernels;
+    target::WorkloadProfile profile;
+
+    /** Per-invocation CPU-view cost of the whole application. */
+    int64_t deployedFlops = 0;
+    int64_t deployedBytes = 0;
+    int64_t kernelLaunches = 1;
+    double parallelWidth = 1.0;
+
+    target::WorkloadCost cpuCost() const;
+};
+
+/** BrainStimul and OptionPricing. */
+const std::vector<EndToEndApp> &tableIV();
+
+/** Parses, analyzes, and builds a benchmark/app program. */
+std::unique_ptr<ir::Graph> buildGraph(const std::string &source,
+                                      const ir::BuildOptions &opts = {});
+
+/**
+ * Full PolyMath compilation for one benchmark: srDFG build, standard
+ * optimization pipeline, Algorithm-1 lowering against @p registry, and
+ * Algorithm-2 translation. @p default_domain covers untagged nodes.
+ */
+lower::CompiledProgram compileBenchmark(
+    const std::string &source, const ir::BuildOptions &opts,
+    const lower::AcceleratorRegistry &registry, lang::Domain default_domain);
+
+/**
+ * Synthesizes the "expert hand-tuned" partition of a benchmark for the
+ * Fig. 9 comparison: the PolyMath partition's real boundary traffic with
+ * the kernel structure an expert would write — no identity moves, the
+ * optimal op count, @p optimalFragments balanced fragments.
+ */
+lower::Partition optimalPartition(const Benchmark &bench,
+                                  const lower::Partition &compiled);
+
+} // namespace polymath::wl
+
+#endif // POLYMATH_WORKLOADS_SUITE_H_

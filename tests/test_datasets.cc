@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Synthetic dataset tests: determinism, statistical shape (R-MAT skew,
+ * cluster separation, rating range), and DSP table properties.
+ */
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "workloads/datasets.h"
+
+namespace polymath::wl {
+namespace {
+
+TEST(Rmat, DeterministicForSeed)
+{
+    const auto a = rmatGraph(1 << 10, 4096, 5);
+    const auto b = rmatGraph(1 << 10, 4096, 5);
+    ASSERT_EQ(a.edgeList.size(), b.edgeList.size());
+    EXPECT_TRUE(std::equal(a.edgeList.begin(), a.edgeList.end(),
+                           b.edgeList.begin()));
+    const auto c = rmatGraph(1 << 10, 4096, 6);
+    EXPECT_FALSE(std::equal(a.edgeList.begin(), a.edgeList.end(),
+                            c.edgeList.begin()));
+}
+
+TEST(Rmat, VerticesInRangeAndCountExact)
+{
+    const int64_t n = 1 << 12;
+    const auto g = rmatGraph(n, 20000, 9);
+    EXPECT_EQ(g.edges(), 20000);
+    for (const auto &[u, v] : g.edgeList) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, n);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, n);
+    }
+}
+
+TEST(Rmat, DegreeDistributionIsSkewed)
+{
+    const int64_t n = 1 << 12;
+    const auto g = rmatGraph(n, 16 * n, 3);
+    std::vector<int64_t> degree(static_cast<size_t>(n), 0);
+    for (const auto &[u, v] : g.edgeList)
+        ++degree[static_cast<size_t>(u)];
+    const int64_t max_degree =
+        *std::max_element(degree.begin(), degree.end());
+    const double mean_degree = 16.0;
+    // Power-law-ish: the hub is far above the mean (uniform graphs
+    // concentrate near it).
+    EXPECT_GT(static_cast<double>(max_degree), mean_degree * 8.0);
+}
+
+TEST(Rmat, DenseAdjacencyIsSymmetricZeroDiagonal)
+{
+    const int64_t n = 24;
+    const auto adj = denseRmatAdjacency(n, 4 * n, 8, true);
+    for (int64_t u = 0; u < n; ++u) {
+        EXPECT_EQ(adj.at({u, u}), 0.0);
+        for (int64_t v = 0; v < n; ++v)
+            EXPECT_EQ(adj.at({u, v}), adj.at({v, u}));
+    }
+}
+
+TEST(Clusters, PointsNearTheirGeneratingCenters)
+{
+    Tensor centers;
+    const auto x = gaussianClusters(90, 4, 3, 12, &centers);
+    ASSERT_EQ(x.shape(), (Shape{90, 4}));
+    for (int64_t i = 0; i < 90; ++i) {
+        const int64_t c = i % 3;
+        double dist = 0.0;
+        for (int64_t d = 0; d < 4; ++d) {
+            const double diff = x.at({i, d}) - centers.at({c, d});
+            dist += diff * diff;
+        }
+        EXPECT_LT(std::sqrt(dist), 5.0);
+    }
+}
+
+TEST(Ratings, InRangeAndLowRankStructure)
+{
+    const auto r = ratingsMatrix(20, 15, 3, 4);
+    for (int64_t i = 0; i < r.numel(); ++i) {
+        EXPECT_GE(r.at(i), 0.0);
+        EXPECT_LE(r.at(i), 5.0);
+    }
+}
+
+TEST(LabeledSet, LabelsAreBinaryAndBalancedish)
+{
+    const auto [x, y] = labeledSet(200, 8, 19);
+    int64_t positives = 0;
+    for (int64_t i = 0; i < 200; ++i) {
+        EXPECT_TRUE(y.at(i) == 0.0 || y.at(i) == 1.0);
+        positives += y.at(i) > 0.5;
+    }
+    EXPECT_GT(positives, 40);
+    EXPECT_LT(positives, 160);
+    EXPECT_EQ(x.shape(), (Shape{200, 8}));
+}
+
+TEST(Twiddle, RootsOfUnity)
+{
+    const int64_t n = 64;
+    const auto tw = twiddleTable(n);
+    ASSERT_EQ(tw.numel(), n / 2);
+    for (int64_t j = 0; j < n / 2; ++j) {
+        EXPECT_NEAR(std::abs(tw.cat(j)), 1.0, 1e-12);
+    }
+    // tw[n/4] = exp(-i pi/2) = -i.
+    EXPECT_NEAR(tw.cat(n / 4).real(), 0.0, 1e-12);
+    EXPECT_NEAR(tw.cat(n / 4).imag(), -1.0, 1e-12);
+}
+
+TEST(DctBasis, RowsOrthonormal)
+{
+    const auto c = dctBasis();
+    for (int64_t u = 0; u < 8; ++u) {
+        for (int64_t v = 0; v < 8; ++v) {
+            double dot = 0.0;
+            for (int64_t i = 0; i < 8; ++i)
+                dot += c.at({u, i}) * c.at({v, i});
+            EXPECT_NEAR(dot, u == v ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(Signals, ComplexSignalDeterministicAndBounded)
+{
+    const auto a = complexSignal(128, 4);
+    const auto b = complexSignal(128, 4);
+    EXPECT_LT(Tensor::maxAbsDiff(a, b), 0.0 + 1e-15);
+    for (int64_t i = 0; i < 128; ++i)
+        EXPECT_LT(std::abs(a.cat(i)), 10.0);
+}
+
+TEST(Options, BatchWithinMarketRanges)
+{
+    const auto batch = optionBatch(100, 2);
+    for (int64_t i = 0; i < 100; ++i) {
+        EXPECT_GT(batch.spot.at(i), 0.0);
+        EXPECT_GT(batch.strike.at(i), 0.0);
+        EXPECT_GT(batch.expiry.at(i), 0.0);
+        EXPECT_LT(batch.expiry.at(i), 2.5);
+    }
+}
+
+TEST(Images, PixelRange)
+{
+    const auto img = randomImage(16, 16, 6);
+    for (int64_t i = 0; i < img.numel(); ++i) {
+        EXPECT_GE(img.at(i), 0.0);
+        EXPECT_LT(img.at(i), 256.0);
+    }
+}
+
+} // namespace
+} // namespace polymath::wl

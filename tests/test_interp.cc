@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Interpreter semantics tests: scalar op table, group reductions with
+ * Boolean guards, custom reductions, complex arithmetic, index-as-data,
+ * state across invocations, and error behavior.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "srdfg/builder.h"
+#include "srdfg/ops.h"
+
+namespace polymath {
+namespace {
+
+using interp::Interpreter;
+using interp::evaluate;
+
+std::map<std::string, Tensor>
+run1(const std::string &src, std::map<std::string, Tensor> inputs)
+{
+    auto g = ir::compileToSrdfg(src);
+    return evaluate(*g, inputs);
+}
+
+// --- scalar op table (property sweep) --------------------------------------
+
+struct OpCase
+{
+    const char *expr;
+    double a;
+    double b;
+    double expected;
+};
+
+class BinaryOps : public ::testing::TestWithParam<OpCase>
+{
+};
+
+TEST_P(BinaryOps, MatchesNativeSemantics)
+{
+    const auto &c = GetParam();
+    const std::string src =
+        std::string("main(input float a, input float b, output float y) {"
+                    " y = ") +
+        c.expr + "; }";
+    const auto out = run1(src, {{"a", Tensor::scalar(c.a)},
+                                {"b", Tensor::scalar(c.b)}});
+    EXPECT_NEAR(out.at("y").scalarValue(), c.expected, 1e-12)
+        << c.expr << "(" << c.a << ", " << c.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BinaryOps,
+    ::testing::Values(OpCase{"a + b", 2, 3, 5}, OpCase{"a - b", 2, 3, -1},
+                      OpCase{"a * b", 2, 3, 6},
+                      OpCase{"a / b", 7, 2, 3.5},
+                      OpCase{"a ^ b", 2, 10, 1024},
+                      OpCase{"min(a, b)", 4, -1, -1},
+                      OpCase{"max(a, b)", 4, -1, 4},
+                      OpCase{"pow(a, b)", 3, 3, 27}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, BinaryOps,
+    ::testing::Values(OpCase{"a < b", 1, 2, 1}, OpCase{"a < b", 2, 1, 0},
+                      OpCase{"a <= b", 2, 2, 1},
+                      OpCase{"a >= b", 1, 2, 0},
+                      OpCase{"a == b", 3, 3, 1},
+                      OpCase{"a != b", 3, 3, 0},
+                      OpCase{"a && b", 1, 0, 0},
+                      OpCase{"a || b", 1, 0, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    TernaryAndUnary, BinaryOps,
+    ::testing::Values(OpCase{"a > b ? a : b", 5, 2, 5},
+                      OpCase{"a > b ? a : b", 1, 2, 2},
+                      OpCase{"-a + b", 3, 1, -2},
+                      OpCase{"!a + b", 0, 0, 1}));
+
+struct FnCase
+{
+    const char *fn;
+    double x;
+    double expected;
+};
+
+class UnaryFns : public ::testing::TestWithParam<FnCase>
+{
+};
+
+TEST_P(UnaryFns, MatchesLibm)
+{
+    const auto &c = GetParam();
+    const std::string src =
+        std::string("main(input float x, output float y) { y = ") + c.fn +
+        "(x); }";
+    const auto out = run1(src, {{"x", Tensor::scalar(c.x)}});
+    EXPECT_NEAR(out.at("y").scalarValue(), c.expected, 1e-12) << c.fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transcendentals, UnaryFns,
+    ::testing::Values(FnCase{"sin", 1.0, std::sin(1.0)},
+                      FnCase{"cos", 1.0, std::cos(1.0)},
+                      FnCase{"tan", 0.5, std::tan(0.5)},
+                      FnCase{"exp", 2.0, std::exp(2.0)},
+                      FnCase{"ln", 2.0, std::log(2.0)},
+                      FnCase{"sqrt", 9.0, 3.0},
+                      FnCase{"abs", -4.0, 4.0},
+                      FnCase{"sigmoid", 0.0, 0.5},
+                      FnCase{"relu", -2.0, 0.0},
+                      FnCase{"relu", 2.0, 2.0},
+                      FnCase{"tanh", 0.7, std::tanh(0.7)},
+                      FnCase{"erf", 0.3, std::erf(0.3)},
+                      FnCase{"sign", -7.0, -1.0},
+                      FnCase{"floor", 2.7, 2.0},
+                      FnCase{"ceil", 2.2, 3.0},
+                      FnCase{"gauss", 2.0, std::exp(-4.0)}));
+
+// --- reductions -------------------------------------------------------------
+
+TEST(Reduce, SumProdMaxMin)
+{
+    const auto out = run1(
+        "main(input float x[4], output float s, output float p,"
+        " output float mx, output float mn) {"
+        " index i[0:3]; s = sum[i](x[i]); p = prod[i](x[i]);"
+        " mx = max[i](x[i]); mn = min[i](x[i]); }",
+        {{"x", Tensor::vec({3, -1, 4, 2})}});
+    EXPECT_EQ(out.at("s").scalarValue(), 8.0);
+    EXPECT_EQ(out.at("p").scalarValue(), -24.0);
+    EXPECT_EQ(out.at("mx").scalarValue(), 4.0);
+    EXPECT_EQ(out.at("mn").scalarValue(), -1.0);
+}
+
+TEST(Reduce, GuardExcludesDiagonal)
+{
+    Tensor a = Tensor::fromFlat(Shape{3, 3},
+                                {9, 1, 2, 3, 9, 4, 5, 6, 9});
+    const auto out = run1(
+        "main(input float A[3][3], output float s) {"
+        " index i[0:2], j[0:2]; s = sum[i][j: j != i](A[i][j]); }",
+        {{"A", a}});
+    EXPECT_EQ(out.at("s").scalarValue(), 21.0);
+}
+
+TEST(Reduce, GuardMayReferenceFreeIndices)
+{
+    // Lower-triangular row sums: s[i] = sum over j <= i.
+    Tensor a = Tensor::fromFlat(Shape{3, 3},
+                                {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    const auto out = run1(
+        "main(input float A[3][3], output float s[3]) {"
+        " index i[0:2], j[0:2]; s[i] = sum[j: j <= i](A[i][j]); }",
+        {{"A", a}});
+    EXPECT_EQ(out.at("s").at(int64_t{0}), 1.0);
+    EXPECT_EQ(out.at("s").at(int64_t{1}), 9.0);
+    EXPECT_EQ(out.at("s").at(int64_t{2}), 24.0);
+}
+
+TEST(Reduce, PartialReductionKeepsFreeAxis)
+{
+    Tensor a = Tensor::fromFlat(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const auto out = run1("main(input float A[2][3], output float s[2]) {"
+                          " index i[0:1], j[0:2];"
+                          " s[i] = sum[j](A[i][j]); }",
+                          {{"A", a}});
+    EXPECT_EQ(out.at("s").at(int64_t{0}), 6.0);
+    EXPECT_EQ(out.at("s").at(int64_t{1}), 15.0);
+}
+
+TEST(Reduce, CustomReductionFoldsFirstElementAsInit)
+{
+    const auto out = run1(
+        "reduction absmax(a, b) = abs(a) > abs(b) ? a : b;"
+        "main(input float x[4], output float m) {"
+        " index i[0:3]; m = absmax[i](x[i]); }",
+        {{"x", Tensor::vec({3, -7, 5, 1})}});
+    EXPECT_EQ(out.at("m").scalarValue(), -7.0);
+}
+
+TEST(Reduce, GuardedOutBuiltinMaxReadsZero)
+{
+    const auto out = run1("main(input float x[3], output float m[3]) {"
+                          " index i[0:2], j[0:2];"
+                          " m[i] = max[j: j < i](x[j]); }",
+                          {{"x", Tensor::vec({5, 2, 9})}});
+    // i = 0 has an empty guard set: defined as 0.
+    EXPECT_EQ(out.at("m").at(int64_t{0}), 0.0);
+    EXPECT_EQ(out.at("m").at(int64_t{1}), 5.0);
+    EXPECT_EQ(out.at("m").at(int64_t{2}), 5.0);
+}
+
+TEST(Reduce, IndexAsDataInsideBody)
+{
+    const auto out = run1("main(input float x[4], output float s) {"
+                          " index i[0:3]; s = sum[i](x[i]*i); }",
+                          {{"x", Tensor::vec({1, 1, 1, 1})}});
+    EXPECT_EQ(out.at("s").scalarValue(), 6.0);
+}
+
+// --- complex ----------------------------------------------------------------
+
+TEST(Complex, ArithmeticAndConjugate)
+{
+    Tensor x(DType::Complex, Shape{2});
+    x.cat(0) = {1.0, 2.0};
+    x.cat(1) = {3.0, -1.0};
+    const auto out = run1(
+        "main(input complex x[2], output complex y[2],"
+        " output float p[2]) {"
+        " index i[0:1]; y[i] = x[i]*x[i]; p[i] = re(x[i]*conj(x[i])); }",
+        {{"x", x}});
+    EXPECT_NEAR(std::abs(out.at("y").cat(0) -
+                         std::complex<double>(-3.0, 4.0)),
+                0.0, 1e-12);
+    EXPECT_NEAR(out.at("p").at(int64_t{0}), 5.0, 1e-12);
+    EXPECT_NEAR(out.at("p").at(int64_t{1}), 10.0, 1e-12);
+}
+
+TEST(Complex, SumReduction)
+{
+    Tensor x(DType::Complex, Shape{3});
+    x.cat(0) = {1.0, 1.0};
+    x.cat(1) = {2.0, -1.0};
+    x.cat(2) = {0.5, 0.5};
+    const auto out = run1("main(input complex x[3], output complex s) {"
+                          " index i[0:2]; s = sum[i](x[i]); }",
+                          {{"x", x}});
+    EXPECT_NEAR(std::abs(out.at("s").cat(0) -
+                         std::complex<double>(3.5, 0.5)),
+                0.0, 1e-12);
+}
+
+TEST(Complex, MinReductionRejected)
+{
+    Tensor x(DType::Complex, Shape{2});
+    EXPECT_THROW(run1("main(input complex x[2], output complex m) {"
+                      " index i[0:1]; m = min[i](x[i]); }",
+                      {{"x", x}}),
+                 UserError);
+}
+
+TEST(Complex, ExpAndSqrtFollowStdComplex)
+{
+    Tensor x(DType::Complex, Shape{2});
+    x.cat(0) = {0.3, 1.2};
+    x.cat(1) = {-1.0, 0.5};
+    const auto out = run1(
+        "main(input complex x[2], output complex e[2],"
+        " output complex r[2]) {"
+        " index i[0:1]; e[i] = exp(x[i]); r[i] = sqrt(x[i]); }",
+        {{"x", x}});
+    for (int64_t i = 0; i < 2; ++i) {
+        EXPECT_LT(std::abs(out.at("e").cat(i) - std::exp(x.cat(i))),
+                  1e-12);
+        EXPECT_LT(std::abs(out.at("r").cat(i) - std::sqrt(x.cat(i))),
+                  1e-12);
+    }
+}
+
+TEST(Complex, DivisionMatchesStdComplex)
+{
+    Tensor a(DType::Complex, Shape{1});
+    Tensor b(DType::Complex, Shape{1});
+    a.cat(0) = {3.0, -2.0};
+    b.cat(0) = {0.5, 1.5};
+    const auto out = run1("main(input complex a[1], input complex b[1],"
+                          " output complex q[1]) {"
+                          " index i[0:0]; q[i] = a[i]/b[i]; }",
+                          {{"a", a}, {"b", b}});
+    EXPECT_LT(std::abs(out.at("q").cat(0) - a.cat(0) / b.cat(0)), 1e-12);
+}
+
+// --- state / invocation semantics --------------------------------------------
+
+TEST(State, CarriesAcrossInvocations)
+{
+    auto g = ir::compileToSrdfg(
+        "main(state float acc, input float x) { acc = acc + x; }");
+    Interpreter it(*g);
+    it.setInput("acc", Tensor::scalar(0.0));
+    it.setInput("x", Tensor::scalar(2.5));
+    for (int i = 0; i < 4; ++i)
+        it.run();
+    EXPECT_EQ(it.output("acc").scalarValue(), 10.0);
+    EXPECT_EQ(it.invocations(), 4);
+}
+
+TEST(State, PassThroughWhenUnwritten)
+{
+    auto g = ir::compileToSrdfg(
+        "main(state float s[2], input float x, output float y) {"
+        " y = s[0] + x; }");
+    Interpreter it(*g);
+    it.setInput("s", Tensor::vec({7, 8}));
+    it.setInput("x", Tensor::scalar(1.0));
+    it.run();
+    it.run();
+    EXPECT_EQ(it.output("y").scalarValue(), 8.0);
+}
+
+TEST(State, InnerComponentStateBinding)
+{
+    auto g = ir::compileToSrdfg(R"(
+counter(state float c, input float step) {
+    c = c + step;
+}
+main(state float total, input float dt) {
+    RBT: counter(total, dt);
+}
+)");
+    Interpreter it(*g);
+    it.setInput("total", Tensor::scalar(100.0));
+    it.setInput("dt", Tensor::scalar(5.0));
+    it.run();
+    it.run();
+    EXPECT_EQ(it.output("total").scalarValue(), 110.0);
+}
+
+// --- execution statistics vs analytic op counts -------------------------------
+
+TEST(ExecStats, MatchesAnalyticCountExactlyOnGuardFreeGraphs)
+{
+    // The analytic scalarOpCount() drives every cost model; a real run
+    // must count the same operations.
+    for (const char *src : {
+             "main(input float A[6][7], input float x[7],"
+             " output float y[6]) {"
+             " index i[0:6], j[0:5]; y[j] = sum[i](A[j][i]*x[i]); }",
+             "main(input float x[32], output float y[32]) {"
+             " index i[0:31]; y[i] = sigmoid(x[i]*2 + 1); }",
+             "main(input float a[4][4], input float b[4][4],"
+             " output float c[4][4]) {"
+             " index i[0:3], j[0:3], k[0:3];"
+             " c[i][j] = sum[k](a[i][k]*b[k][j]); }",
+         }) {
+        auto g = ir::compileToSrdfg(src);
+        interp::ExecStats stats;
+        std::map<std::string, Tensor> in;
+        for (ir::ValueId v : g->inputs) {
+            const auto &md = g->value(v).md;
+            Tensor t(DType::Float, md.shape);
+            for (int64_t i = 0; i < t.numel(); ++i)
+                t.at(i) = 0.5;
+            in[md.name] = t;
+        }
+        evaluate(*g, in, &stats);
+        EXPECT_EQ(stats.scalarOps(), g->scalarOpCount()) << src;
+    }
+}
+
+TEST(ExecStats, GuardsOnlyReduceActualCombines)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float A[8][8], output float s) {"
+        " index i[0:7], j[0:7]; s = sum[i][j: j != i](A[i][j]); }");
+    interp::ExecStats stats;
+    Tensor a(DType::Float, Shape{8, 8});
+    evaluate(*g, {{"A", a}}, &stats);
+    // Guards are fully counted; combines cannot exceed the analytic
+    // full-domain estimate.
+    EXPECT_EQ(stats.guardEvals, 64);
+    EXPECT_LE(stats.reduceCombines, g->scalarOpCount());
+    EXPECT_EQ(stats.reduceCombines, 55); // 56 surviving elements - 1
+}
+
+TEST(ExecStats, AccumulatesAcrossInvocationsAndComponents)
+{
+    auto g = ir::compileToSrdfg(R"(
+step(state float acc[4], input float x[4]) {
+    index i[0:3];
+    acc[i] = acc[i] + x[i]*2;
+}
+main(state float acc[4], input float x[4]) {
+    RBT: step(acc, x);
+}
+)");
+    interp::Interpreter it(*g);
+    it.setInput("acc", Tensor(DType::Float, Shape{4}));
+    it.setInput("x", Tensor::vec({1, 2, 3, 4}));
+    it.run();
+    it.run();
+    it.run();
+    EXPECT_EQ(it.stats().scalarOps(), 3 * g->scalarOpCount());
+}
+
+TEST(ExecStats, MovesTrackedSeparately)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[16], output float y[16]) {"
+        " index i[0:15]; y[i] = x[15-i]; }");
+    interp::ExecStats stats;
+    Tensor x(DType::Float, Shape{16});
+    evaluate(*g, {{"x", x}}, &stats);
+    EXPECT_EQ(stats.scalarOps(), 0); // a pure reversal is data movement
+    EXPECT_EQ(stats.moveElems, 16);
+}
+
+// --- errors ------------------------------------------------------------------
+
+TEST(Errors, UnknownInputName)
+{
+    auto g = ir::compileToSrdfg("main(input float x, output float y) {"
+                                " y = x; }");
+    Interpreter it(*g);
+    EXPECT_THROW(it.setInput("z", Tensor::scalar(1.0)), UserError);
+}
+
+TEST(Errors, ShapeMismatchOnBind)
+{
+    auto g = ir::compileToSrdfg("main(input float x[3], output float y) {"
+                                " y = x[0]; }");
+    Interpreter it(*g);
+    EXPECT_THROW(it.setInput("x", Tensor::vec({1, 2})), UserError);
+}
+
+TEST(Errors, UnboundInputAtRun)
+{
+    auto g = ir::compileToSrdfg("main(input float x, output float y) {"
+                                " y = x; }");
+    Interpreter it(*g);
+    EXPECT_THROW(it.run(), UserError);
+    EXPECT_FALSE(it.ready());
+}
+
+TEST(Errors, OutOfBoundsGather)
+{
+    ir::BuildOptions opts;
+    opts.paramConsts["k"] = 5;
+    auto g = ir::compileToSrdfg(
+        "main(input float x[4], param int k, output float y) {"
+        " y = x[k]; }",
+        opts);
+    EXPECT_THROW(evaluate(*g, {{"x", Tensor::vec({1, 2, 3, 4})}}),
+                 UserError);
+}
+
+} // namespace
+} // namespace polymath

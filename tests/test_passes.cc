@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Pass framework tests: each pass's specific rewrites plus the invariant
+ * that the standard pipeline preserves program semantics on every Table
+ * III-style structure.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "interp/interpreter.h"
+#include "passes/pass.h"
+#include "passes/passes.h"
+#include "lower/lower.h"
+#include "srdfg/builder.h"
+#include "srdfg/traversal.h"
+#include "targets/common/op_sets.h"
+#include "workloads/programs.h"
+
+namespace polymath {
+namespace {
+
+using pass::PassManager;
+
+int64_t
+countOp(const ir::Graph &g, const std::string &op)
+{
+    int64_t n = 0;
+    ir::forEachNodeRecursive(g, [&](const ir::Graph &, const ir::Node &node) {
+        n += node.op == op;
+    });
+    return n;
+}
+
+int64_t
+countKind(const ir::Graph &g, ir::NodeKind kind)
+{
+    int64_t n = 0;
+    ir::forEachNodeRecursive(g, [&](const ir::Graph &, const ir::Node &node) {
+        n += node.kind == kind;
+    });
+    return n;
+}
+
+TEST(ConstantFolding, FoldsScalarExpressions)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x, output float y) { y = x * (2 + 3*4); }");
+    PassManager pm;
+    pm.add(pass::createConstantFolding());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    // 2 + 3*4 collapses to one constant; only the final mul remains.
+    EXPECT_EQ(countOp(*g, "mul"), 1);
+    EXPECT_EQ(countOp(*g, "add"), 0);
+    auto out = interp::evaluate(*g, {{"x", Tensor::scalar(2.0)}});
+    EXPECT_EQ(out.at("y").scalarValue(), 28.0);
+}
+
+TEST(ConstantFolding, DoesNotFoldScatterStores)
+{
+    auto g = ir::compileToSrdfg(
+        "main(output float y[4]) { index i[0:3]; y[0] = 7; y[i] = y[i]; }");
+    PassManager pm;
+    pm.add(pass::createConstantFolding());
+    EXPECT_NO_THROW(pm.run(*g));
+    g->validate();
+}
+
+TEST(Simplify, MulByOneBecomesMove)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[4], output float y[4]) {"
+        " index i[0:3]; y[i] = x[i]*1; }");
+    PassManager pm;
+    pm.add(pass::createSimplify());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(countOp(*g, "mul"), 0);
+    auto out = interp::evaluate(*g, {{"x", Tensor::vec({1, 2, 3, 4})}});
+    EXPECT_EQ(out.at("y").at(int64_t{3}), 4.0);
+}
+
+TEST(Simplify, AddZeroAndMulZero)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[4], output float y[4], output float z[4]) {"
+        " index i[0:3]; y[i] = x[i] + 0; z[i] = x[i]*0; }");
+    PassManager pm;
+    pm.add(pass::createSimplify());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(countOp(*g, "add"), 0);
+    EXPECT_EQ(countOp(*g, "mul"), 0);
+    auto out = interp::evaluate(*g, {{"x", Tensor::vec({1, 2, 3, 4})}});
+    EXPECT_EQ(out.at("y").at(int64_t{1}), 2.0);
+    EXPECT_EQ(out.at("z").at(int64_t{1}), 0.0);
+}
+
+TEST(Simplify, SelectOnConstantCondition)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float a[2], input float b[2], output float y[2]) {"
+        " index i[0:1]; y[i] = 1 > 2 ? a[i] : b[i]; }");
+    PassManager pm;
+    pm.add(pass::createConstantFolding());
+    pm.add(pass::createSimplify());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(countOp(*g, "select"), 0);
+    auto out = interp::evaluate(
+        *g, {{"a", Tensor::vec({1, 1})}, {"b", Tensor::vec({5, 6})}});
+    EXPECT_EQ(out.at("y").at(int64_t{0}), 5.0);
+}
+
+TEST(Cse, MergesDuplicateSubexpressions)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[8], input float w[8], output float a,"
+        " output float b) {"
+        " index i[0:7];"
+        " a = sum[i](w[i]*x[i]);"
+        " b = sum[i](w[i]*x[i]) + 1; }");
+    const auto before = countKind(*g, ir::NodeKind::Reduce);
+    PassManager pm;
+    pm.add(pass::createCse());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(before, 2);
+    EXPECT_EQ(countKind(*g, ir::NodeKind::Reduce), 1);
+    EXPECT_EQ(countOp(*g, "mul"), 1);
+
+    Rng rng(1);
+    Tensor x(DType::Float, Shape{8});
+    Tensor w(DType::Float, Shape{8});
+    for (int64_t i = 0; i < 8; ++i) {
+        x.at(i) = rng.gaussian();
+        w.at(i) = rng.gaussian();
+    }
+    auto out = interp::evaluate(*g, {{"x", x}, {"w", w}});
+    EXPECT_NEAR(out.at("b").scalarValue() - out.at("a").scalarValue(), 1.0,
+                1e-12);
+}
+
+TEST(Cse, DeduplicatesConstants)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x, output float y, output float z) {"
+        " y = x + 5; z = x - 5; }");
+    PassManager pm;
+    pm.add(pass::createCse());
+    pm.run(*g);
+    EXPECT_EQ(countKind(*g, ir::NodeKind::Constant), 1);
+}
+
+TEST(Dce, RemovesUnreachableChains)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[4], output float y[4]) {"
+        " index i[0:3];"
+        " float dead1[4], dead2[4];"
+        " dead1[i] = x[i]*3;"
+        " dead2[i] = dead1[i] + 1;"
+        " y[i] = x[i]; }");
+    PassManager pm;
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(countOp(*g, "mul"), 0);
+    EXPECT_EQ(countOp(*g, "add"), 0);
+    g->validate();
+}
+
+TEST(Dce, KeepsStateUpdates)
+{
+    auto g = ir::compileToSrdfg(
+        "main(state float acc, input float x) { acc = acc + x; }");
+    PassManager pm;
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    EXPECT_EQ(countOp(*g, "add"), 1);
+}
+
+TEST(ShapeCheck, PassesOnValidGraphs)
+{
+    auto g = ir::compileToSrdfg(wl::mobileRobotProgram());
+    PassManager pm;
+    pm.add(pass::createShapeCheck());
+    const auto results = pm.run(*g);
+    EXPECT_FALSE(results[0].changed);
+}
+
+TEST(AlgebraicCombination, FusesAddOfTwoMatvecComponents)
+{
+    auto g = ir::compileToSrdfg(R"(
+mvmul(input float A[m][n], input float B[n], output float C[m]) {
+    index i[0:n-1], j[0:m-1];
+    C[j] = sum[i](A[j][i]*B[i]);
+}
+main(input float A[4][3], input float B[4][5], input float x[3],
+     input float z[5], output float y[4]) {
+    index j[0:3];
+    float p[4], q[4];
+    DA: mvmul(A, x, p);
+    DA: mvmul(B, z, q);
+    y[j] = p[j] + q[j];
+}
+)");
+    Rng rng(3);
+    std::map<std::string, Tensor> in;
+    for (const auto &[name, shape] :
+         std::map<std::string, Shape>{{"A", Shape{4, 3}},
+                                      {"B", Shape{4, 5}},
+                                      {"x", Shape{3}},
+                                      {"z", Shape{5}}}) {
+        Tensor t(DType::Float, shape);
+        for (int64_t i = 0; i < t.numel(); ++i)
+            t.at(i) = rng.gaussian();
+        in[name] = t;
+    }
+    const auto before = interp::evaluate(*g, in);
+
+    PassManager pm;
+    pm.add(pass::createAlgebraicCombination());
+    pm.add(pass::createDeadNodeElimination());
+    const auto results = pm.runToFixpoint(*g);
+    bool fused = false;
+    for (const auto &r : results)
+        fused |= r.name == "algebraic-combination" && r.changed;
+    EXPECT_TRUE(fused);
+
+    // The two component matvecs are replaced by one concatenated product.
+    EXPECT_EQ(countKind(*g, ir::NodeKind::Component), 0);
+    EXPECT_EQ(countKind(*g, ir::NodeKind::Reduce), 1);
+
+    const auto after = interp::evaluate(*g, in);
+    EXPECT_LT(Tensor::maxAbsDiff(before.at("y"), after.at("y")), 1e-12);
+}
+
+TEST(AlgebraicCombination, FusesStatementLevelMatvecs)
+{
+    auto g = ir::compileToSrdfg(R"(
+main(input float A[4][3], input float B[4][5], input float x[3],
+     input float z[5], output float y[4]) {
+    index j[0:3], i[0:2], k[0:4];
+    float p[4], q[4];
+    p[j] = sum[i](A[j][i]*x[i]);
+    q[j] = sum[k](B[j][k]*z[k]);
+    y[j] = p[j] + q[j];
+}
+)");
+    PassManager pm;
+    pm.add(pass::createAlgebraicCombination());
+    const auto results = pm.run(*g);
+    EXPECT_TRUE(results[0].changed);
+    g->validate();
+}
+
+TEST(AlgebraicCombination, DoesNotFuseTransposedAccess)
+{
+    // x[i]*A[i][j] sums over the FIRST axis of A (A^T v): the canonical
+    // matcher must not fire, and semantics must survive the attempt.
+    auto g = ir::compileToSrdfg(R"(
+main(input float A[3][4], input float B[4][5], input float x[3],
+     input float z[5], output float y[4]) {
+    index j[0:3], i[0:2], k[0:4];
+    float p[4], q[4];
+    p[j] = sum[i](x[i]*A[i][j]);
+    q[j] = sum[k](B[j][k]*z[k]);
+    y[j] = p[j] + q[j];
+}
+)");
+    Rng rng(13);
+    std::map<std::string, Tensor> in;
+    for (const auto &[name, shape] :
+         std::map<std::string, Shape>{{"A", Shape{3, 4}},
+                                      {"B", Shape{4, 5}},
+                                      {"x", Shape{3}},
+                                      {"z", Shape{5}}}) {
+        Tensor t(DType::Float, shape);
+        for (int64_t i = 0; i < t.numel(); ++i)
+            t.at(i) = rng.gaussian();
+        in[name] = t;
+    }
+    const auto before = interp::evaluate(*g, in);
+    PassManager pm;
+    pm.add(pass::createAlgebraicCombination());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    g->validate();
+    const auto after = interp::evaluate(*g, in);
+    EXPECT_LT(Tensor::maxAbsDiff(before.at("y"), after.at("y")), 1e-12);
+}
+
+TEST(AlgebraicCombination, LeavesNonMatvecAddsAlone)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float a[4], input float b[4], output float y[4]) {"
+        " index i[0:3]; y[i] = a[i] + b[i]; }");
+    PassManager pm;
+    pm.add(pass::createAlgebraicCombination());
+    const auto results = pm.run(*g);
+    EXPECT_FALSE(results[0].changed);
+}
+
+// Semantics preservation sweep over representative workloads.
+class PipelinePreservation : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PipelinePreservation, StandardPipelineKeepsOutputs)
+{
+    std::string src;
+    const std::string which = GetParam();
+    if (which == "mobile_robot")
+        src = wl::mobileRobotProgram();
+    else if (which == "kmeans")
+        src = wl::kmeansProgram(12, 5, 3);
+    else if (which == "logreg")
+        src = wl::logregProgram(16, 6);
+    else if (which == "blks")
+        src = wl::blackScholesProgram(8);
+    else if (which == "bfs")
+        src = wl::bfsProgram(10);
+
+    auto g = ir::compileToSrdfg(src);
+
+    // Bind every input deterministically.
+    Rng rng(11);
+    std::map<std::string, Tensor> in;
+    for (ir::ValueId v : g->inputs) {
+        const auto &md = g->value(v).md;
+        Tensor t(md.dtype == DType::Complex ? DType::Complex : DType::Float,
+                 md.shape);
+        for (int64_t i = 0; i < t.numel(); ++i) {
+            if (t.isComplex())
+                t.cat(i) = {rng.uniform(0.5, 2.0), rng.uniform(-1.0, 1.0)};
+            else
+                t.at(i) = rng.uniform(0.5, 2.0);
+        }
+        in[md.name] = t;
+    }
+    const auto before = interp::evaluate(*g, in);
+
+    auto pm = pass::standardPipeline();
+    pm.runToFixpoint(*g);
+    g->validate();
+    const auto after = interp::evaluate(*g, in);
+
+    for (const auto &[name, tensor] : before) {
+        ASSERT_TRUE(after.count(name)) << name;
+        EXPECT_LT(Tensor::maxAbsDiff(tensor, after.at(name)), 1e-9)
+            << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PipelinePreservation,
+                         ::testing::Values("mobile_robot", "kmeans",
+                                           "logreg", "blks", "bfs"));
+
+TEST(IdentityElision, ComposesGatherIntoConsumer)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x[16], output float y[4]) {"
+        " index i[0:3];"
+        " float t[8];"
+        " t[i] = x[2*i];"          // pure strided gather (partial write)
+        " y[i] = t[i] + 1; }");
+    // The gather above is a *partial* write (t has 8 slots, 4 written):
+    // elision must NOT fire on it.
+    PassManager pm;
+    pm.add(pass::createIdentityElision());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    g->validate();
+    auto out = interp::evaluate(*g, {{"x", [] {
+        Tensor t(DType::Float, Shape{16});
+        for (int64_t i = 0; i < 16; ++i)
+            t.at(i) = static_cast<double>(i);
+        return t;
+    }()}});
+    EXPECT_EQ(out.at("y").at(int64_t{3}), 7.0);
+
+    // Full-coverage gather: elision fires and the move disappears.
+    auto g2 = ir::compileToSrdfg(
+        "main(input float x[16], output float y[4]) {"
+        " index i[0:3];"
+        " float t[4];"
+        " t[i] = x[2*i];"
+        " y[i] = t[i] + 1; }");
+    const auto before = countOp(*g2, "identity");
+    PassManager pm2;
+    pm2.add(pass::createIdentityElision());
+    pm2.add(pass::createDeadNodeElimination());
+    pm2.runToFixpoint(*g2);
+    g2->validate();
+    EXPECT_LT(countOp(*g2, "identity"), before);
+    auto out2 = interp::evaluate(*g2, {{"x", [] {
+        Tensor t(DType::Float, Shape{16});
+        for (int64_t i = 0; i < 16; ++i)
+            t.at(i) = static_cast<double>(i);
+        return t;
+    }()}});
+    EXPECT_EQ(out2.at("y").at(int64_t{3}), 7.0);
+}
+
+TEST(IdentityElision, PreservesSemanticsAfterLoweringFft)
+{
+    auto g = ir::compileToSrdfg(wl::fftProgram(64));
+    const auto signal = [] {
+        Tensor t(DType::Complex, Shape{64});
+        Rng rng(4);
+        for (int64_t i = 0; i < 64; ++i)
+            t.cat(i) = {rng.gaussian(), rng.gaussian()};
+        return t;
+    }();
+    std::map<std::string, Tensor> in = {{"x", signal}};
+    {
+        Tensor tw(DType::Complex, Shape{32});
+        for (int64_t j = 0; j < 32; ++j) {
+            const double ang = -2.0 * 3.14159265358979323846 *
+                               static_cast<double>(j) / 64.0;
+            tw.cat(j) = {std::cos(ang), std::sin(ang)};
+        }
+        in["tw"] = tw;
+    }
+    const auto before = interp::evaluate(*g, in);
+
+    // Splice everything to one level, then elide and re-check.
+    lower::SupportedOps om;
+    om[lang::Domain::DSP] = target::scalarAluOps();
+    om[lang::Domain::DSP].insert({"sum", "re", "im", "conj"});
+    lower::lowerGraph(*g, om, lang::Domain::DSP);
+    PassManager pm;
+    pm.add(pass::createIdentityElision());
+    pm.add(pass::createDeadNodeElimination());
+    pm.runToFixpoint(*g);
+    g->validate();
+    const auto after = interp::evaluate(*g, in);
+    EXPECT_LT(Tensor::maxAbsDiff(before.at("y"), after.at("y")), 1e-12);
+}
+
+TEST(PassManager, ReportsTimingsAndFixpointTerminates)
+{
+    auto g = ir::compileToSrdfg(wl::mobileRobotProgram());
+    auto pm = pass::standardPipeline();
+    const auto results = pm.runToFixpoint(*g, 3);
+    EXPECT_GE(results.size(), pm.size());
+    EXPECT_LE(results.size(), pm.size() * 3);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.name.empty());
+}
+
+} // namespace
+} // namespace polymath

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Property-based tests.
+ *
+ * 1. Expression fuzzing: random PMLang scalar expressions are generated
+ *    alongside a direct C++ evaluation of the same tree; the whole stack
+ *    (parse -> sema -> srDFG -> interpret) must agree, before and after
+ *    the optimization pipeline.
+ * 2. Parametric sweeps: FFT correctness across sizes on random signals,
+ *    gather/scatter stride sweeps, reduction-guard sweeps.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/strings.h"
+#include "interp/interpreter.h"
+#include "passes/pass.h"
+#include "pmlang/format.h"
+#include "pmlang/parser.h"
+#include "pmlang/sema.h"
+#include "srdfg/builder.h"
+#include "workloads/datasets.h"
+#include "workloads/programs.h"
+#include "workloads/reference.h"
+
+namespace polymath {
+namespace {
+
+/** Random expression tree over three scalar inputs, emitted as PMLang
+ *  text and evaluated directly while being generated. Division is kept
+ *  total (denominator = |expr| + 1) and exponentials bounded. */
+class ExprFuzzer
+{
+  public:
+    explicit ExprFuzzer(uint64_t seed) : rng_(seed) {}
+
+    /** Returns {pmlang text, expected value} for inputs a, b, c. */
+    std::pair<std::string, double> generate(double a, double b, double c,
+                                            int depth = 0)
+    {
+        const int choice =
+            static_cast<int>(rng_.uniformInt(depth >= 4 ? 2 : 8));
+        switch (choice) {
+          case 0: { // leaf: variable
+            const int which = static_cast<int>(rng_.uniformInt(3));
+            const char *names[] = {"a", "b", "c"};
+            const double vals[] = {a, b, c};
+            return {names[which], vals[which]};
+          }
+          case 1: { // leaf: literal
+            const double v =
+                std::floor(rng_.uniform(-4.0, 4.0) * 4.0) / 4.0;
+            char buffer[32];
+            std::snprintf(buffer, sizeof buffer, "%.2f", v);
+            return {buffer, std::stod(buffer)};
+          }
+          case 2: { // addition / subtraction / multiplication
+            auto [lt, lv] = generate(a, b, c, depth + 1);
+            auto [rt, rv] = generate(a, b, c, depth + 1);
+            const int op = static_cast<int>(rng_.uniformInt(3));
+            const char *ops[] = {" + ", " - ", "*"};
+            const double vals[] = {lv + rv, lv - rv, lv * rv};
+            return {"(" + lt + ops[op] + rt + ")", vals[op]};
+          }
+          case 3: { // total division
+            auto [lt, lv] = generate(a, b, c, depth + 1);
+            auto [rt, rv] = generate(a, b, c, depth + 1);
+            return {"(" + lt + " / (abs(" + rt + ") + 1))",
+                    lv / (std::abs(rv) + 1.0)};
+          }
+          case 4: { // bounded unary builtin
+            auto [t, v] = generate(a, b, c, depth + 1);
+            const int fn = static_cast<int>(rng_.uniformInt(6));
+            const char *names[] = {"sin",     "cos",  "tanh",
+                                   "sigmoid", "abs",  "gauss"};
+            const double vals[] = {std::sin(v),
+                                   std::cos(v),
+                                   std::tanh(v),
+                                   1.0 / (1.0 + std::exp(-v)),
+                                   std::abs(v),
+                                   std::exp(-v * v)};
+            return {std::string(names[fn]) + "(" + t + ")", vals[fn]};
+          }
+          case 5: { // ternary on a comparison
+            auto [ct, cv] = generate(a, b, c, depth + 1);
+            auto [tt, tv] = generate(a, b, c, depth + 1);
+            auto [et, ev] = generate(a, b, c, depth + 1);
+            return {"(" + ct + " > 0 ? " + tt + " : " + et + ")",
+                    cv > 0.0 ? tv : ev};
+          }
+          case 6: { // min/max builtins
+            auto [lt, lv] = generate(a, b, c, depth + 1);
+            auto [rt, rv] = generate(a, b, c, depth + 1);
+            if (rng_.uniformInt(2) == 0)
+                return {"min(" + lt + ", " + rt + ")", std::min(lv, rv)};
+            return {"max(" + lt + ", " + rt + ")", std::max(lv, rv)};
+          }
+          default: { // negation
+            auto [t, v] = generate(a, b, c, depth + 1);
+            return {"(-" + t + ")", -v};
+          }
+        }
+    }
+
+  private:
+    Rng rng_;
+};
+
+class ExpressionFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ExpressionFuzz, StackAgreesWithDirectEvaluation)
+{
+    Rng inputs(GetParam() * 7919 + 13);
+    const double a = inputs.uniform(-3.0, 3.0);
+    const double b = inputs.uniform(-3.0, 3.0);
+    const double c = inputs.uniform(-3.0, 3.0);
+
+    ExprFuzzer fuzzer(GetParam());
+    for (int round = 0; round < 10; ++round) {
+        const auto [text, expected] = fuzzer.generate(a, b, c);
+        const std::string src =
+            "main(input float a, input float b, input float c,"
+            " output float y) { y = " +
+            text + "; }";
+        auto graph = ir::compileToSrdfg(src);
+        const std::map<std::string, Tensor> binds = {
+            {"a", Tensor::scalar(a)},
+            {"b", Tensor::scalar(b)},
+            {"c", Tensor::scalar(c)}};
+        const auto out = interp::evaluate(*graph, binds);
+        ASSERT_NEAR(out.at("y").scalarValue(), expected, 1e-9) << text;
+
+        // The optimization pipeline must not change the value.
+        auto pipeline = pass::standardPipeline();
+        pipeline.runToFixpoint(*graph);
+        const auto optimized = interp::evaluate(*graph, binds);
+        ASSERT_NEAR(optimized.at("y").scalarValue(), expected, 1e-9)
+            << "after passes: " << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- parametric sweeps -------------------------------------------------------
+
+class StrideSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(StrideSweep, GatherScatterRoundTrip)
+{
+    const int64_t stride = GetParam();
+    const int64_t n = 8;
+    ir::BuildOptions opts;
+    opts.paramConsts["s"] = stride;
+    auto graph = ir::compileToSrdfg(format(
+        R"(main(input float x[%lld], param int s, output float y[%lld]) {
+    index i[0:%lld];
+    float packed[%lld];
+    packed[i] = x[i*s];
+    y[i*s] = packed[i]*10;
+})",
+        static_cast<long long>(n * stride), static_cast<long long>(n * stride),
+        static_cast<long long>(n - 1), static_cast<long long>(n)),
+        opts);
+    Tensor x(DType::Float, Shape{n * stride});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<double>(i);
+    const auto out = interp::evaluate(*graph, {{"x", x}});
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(out.at("y").at(i * stride),
+                  static_cast<double>(i * stride * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+class GuardSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(GuardSweep, BandedSumMatchesDirect)
+{
+    const int64_t band = GetParam();
+    const int64_t n = 12;
+    ir::BuildOptions opts;
+    opts.paramConsts["w"] = band;
+    auto graph = ir::compileToSrdfg(
+        "main(input float A[12][12], param int w, output float s) {"
+        " index i[0:11], j[0:11];"
+        " s = sum[i][j: (j - i <= w) && (i - j <= w)](A[i][j]); }",
+        opts);
+    Rng rng(band + 77);
+    Tensor a(DType::Float, Shape{n, n});
+    double expect = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            a.at({i, j}) = rng.uniform(-1, 1);
+            if (j - i <= band && i - j <= band)
+                expect += a.at({i, j});
+        }
+    }
+    const auto out = interp::evaluate(*graph, {{"A", a}});
+    EXPECT_NEAR(out.at("s").scalarValue(), expect, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, GuardSweep, ::testing::Values(0, 1, 3, 11));
+
+class FftRandomSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FftRandomSweep, MatchesReferenceOnRandomSignals)
+{
+    const int64_t n = 128;
+    auto graph = ir::compileToSrdfg(wl::fftProgram(n));
+    Rng rng(GetParam());
+    Tensor signal(DType::Complex, Shape{n});
+    for (int64_t i = 0; i < n; ++i)
+        signal.cat(i) = {rng.gaussian(), rng.gaussian()};
+    const auto out = interp::evaluate(
+        *graph, {{"x", signal}, {"tw", wl::twiddleTable(n)}});
+    EXPECT_LT(Tensor::maxAbsDiff(out.at("y"), wl::ref::fftTensor(signal)),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftRandomSweep,
+                         ::testing::Range<uint64_t>(1, 7));
+
+class FormatterRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FormatterRoundTrip, CanonicalFormIsStableAndEquivalent)
+{
+    std::string src;
+    const std::string which = GetParam();
+    if (which == "mobile_robot")
+        src = wl::mobileRobotProgram();
+    else if (which == "hexacopter")
+        src = wl::hexacopterProgram();
+    else if (which == "bfs")
+        src = wl::bfsProgram(16);
+    else if (which == "kmeans")
+        src = wl::kmeansProgram(10, 4, 2);
+    else if (which == "fft")
+        src = wl::fftProgram(32);
+    else if (which == "blks")
+        src = wl::blackScholesProgram(8);
+    else if (which == "brainstimul")
+        src = wl::brainStimulProgram();
+
+    const auto original = lang::parse(src);
+    const std::string canon = lang::formatProgram(original);
+    const auto reparsed = lang::parse(canon);
+
+    // Idempotence: formatting the canonical form is a fixpoint.
+    EXPECT_EQ(lang::formatProgram(reparsed), canon) << which;
+
+    // Semantic equivalence: analyzable, and the built srDFGs agree in
+    // structure and exact op counts.
+    lang::analyze(reparsed);
+    auto g1 = ir::compileToSrdfg(src);
+    auto g2 = ir::compileToSrdfg(canon);
+    EXPECT_EQ(g1->scalarOpCount(), g2->scalarOpCount()) << which;
+    EXPECT_EQ(g1->liveNodeCount(), g2->liveNodeCount()) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FormatterRoundTrip,
+                         ::testing::Values("mobile_robot", "hexacopter",
+                                           "bfs", "kmeans", "fft", "blks",
+                                           "brainstimul"));
+
+TEST(Formatter, FuzzedExpressionsRoundTrip)
+{
+    ExprFuzzer fuzzer(99);
+    for (int round = 0; round < 30; ++round) {
+        const auto [text, value] = fuzzer.generate(1.0, 2.0, 3.0);
+        (void)value;
+        const std::string src =
+            "main(input float a, input float b, input float c,"
+            " output float y) { y = " +
+            text + "; }";
+        const auto program = lang::parse(src);
+        const std::string canon = lang::formatProgram(program);
+        EXPECT_EQ(lang::formatProgram(lang::parse(canon)), canon) << text;
+    }
+}
+
+} // namespace
+} // namespace polymath

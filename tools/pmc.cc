@@ -1,0 +1,274 @@
+/**
+ * @file
+ * pmc — the PolyMath compiler driver.
+ *
+ * Compiles a PMLang file through any prefix of the stack and prints the
+ * result: the srDFG at all granularities, Graphviz, statistics, the
+ * per-accelerator IR after Algorithms 1/2, or a simulated execution on
+ * the SoC. `pmc --help` documents the flags; examples/pmlang/ has inputs.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "lower/lower.h"
+#include "pmlang/format.h"
+#include "pmlang/parser.h"
+#include "pmlang/sema.h"
+#include "passes/pass.h"
+#include "soc/soc.h"
+#include "targets/deco/chain_mapper.h"
+#include "targets/tabla/scheduler.h"
+#include "srdfg/builder.h"
+#include "srdfg/printer.h"
+#include "srdfg/serialize.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace polymath;
+
+struct Options
+{
+    std::string file;
+    std::string entry = "main";
+    std::map<std::string, int64_t> params;
+    bool printIr = false;
+    bool dot = false;
+    bool json = false;
+    bool formatSource = false;
+    bool stats = false;
+    bool optimize = false;
+    std::string target;   // domain keyword, e.g. "DA"
+    bool simulate = false;
+    bool schedule = false;
+    int64_t invocations = 1;
+    bool listTargets = false;
+};
+
+void
+usage()
+{
+    std::fputs(
+        "usage: pmc [options] <file.pm | ->\n"
+        "\n"
+        "  --entry <name>        entry component (default: main)\n"
+        "  --param <name>=<int>  bind a scalar param at compile time\n"
+        "                        (repeatable)\n"
+        "  --print-ir            print the srDFG (all recursion levels)\n"
+        "  --dot                 print Graphviz for the top levels\n"
+        "  --json                print the srDFG as JSON\n"
+        "  --format              pretty-print the program canonically\n"
+        "  --stats               print node/depth/op statistics\n"
+        "  --optimize            run the standard pass pipeline first\n"
+        "  --target <DOMAIN>     lower + translate for the domain's\n"
+        "                        accelerator (RBT|GA|DSP|DA|DL, or ALL to\n"
+        "                        honor per-statement annotations) and\n"
+        "                        print the accelerator program(s)\n"
+        "  --simulate            with --target: simulate on the SoC\n"
+        "  --schedule            with --target DA/DSP: print the PE list\n"
+        "                        schedule / DSP chain mapping\n"
+        "  --invocations <n>     invocation count for --simulate\n"
+        "  --list-targets        print the registered accelerators\n",
+        stderr);
+}
+
+lang::Domain
+domainFromKeyword(const std::string &word)
+{
+    if (word == "ALL") return lang::Domain::None; // per-statement tags
+    if (word == "RBT") return lang::Domain::RBT;
+    if (word == "GA") return lang::Domain::GA;
+    if (word == "DSP") return lang::Domain::DSP;
+    if (word == "DA") return lang::Domain::DA;
+    if (word == "DL") return lang::Domain::DL;
+    fatal("unknown domain '" + word +
+          "' (expected RBT|GA|DSP|DA|DL or ALL)");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--entry") {
+            opts.entry = next();
+        } else if (arg == "--param") {
+            const auto binding = next();
+            const auto eq = binding.find('=');
+            if (eq == std::string::npos)
+                fatal("--param expects name=value");
+            opts.params[binding.substr(0, eq)] =
+                std::stoll(binding.substr(eq + 1));
+        } else if (arg == "--print-ir") {
+            opts.printIr = true;
+        } else if (arg == "--dot") {
+            opts.dot = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--format") {
+            opts.formatSource = true;
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--optimize") {
+            opts.optimize = true;
+        } else if (arg == "--target") {
+            opts.target = next();
+        } else if (arg == "--simulate") {
+            opts.simulate = true;
+        } else if (arg == "--schedule") {
+            opts.schedule = true;
+        } else if (arg == "--invocations") {
+            opts.invocations = std::stoll(next());
+        } else if (arg == "--list-targets") {
+            opts.listTargets = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            fatal("unknown option " + arg);
+        } else if (opts.file.empty()) {
+            opts.file = arg;
+        } else {
+            fatal("multiple input files given");
+        }
+    }
+    return opts;
+}
+
+std::string
+readInput(const std::string &file)
+{
+    if (file == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        return buffer.str();
+    }
+    std::ifstream in(file);
+    if (!in)
+        fatal("cannot open '" + file + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int
+run(const Options &opts)
+{
+    if (opts.listTargets) {
+        const auto registry = target::standardRegistry();
+        for (const auto &spec : registry.specs()) {
+            std::printf("%-14s domain %-4s  %zu supported ops\n",
+                        spec.name.c_str(),
+                        lang::toString(spec.domain).c_str(),
+                        spec.supportedOps.size());
+        }
+        if (opts.file.empty())
+            return 0;
+    }
+    if (opts.file.empty()) {
+        usage();
+        return 2;
+    }
+
+    const std::string source = readInput(opts.file);
+    if (opts.formatSource) {
+        const auto program = lang::parse(source);
+        lang::analyze(program, opts.entry);
+        std::printf("%s", lang::formatProgram(program).c_str());
+        return 0;
+    }
+    ir::BuildOptions build;
+    build.entry = opts.entry;
+    build.paramConsts = opts.params;
+    auto graph = ir::compileToSrdfg(source, build);
+
+    if (opts.optimize) {
+        auto pipeline = pass::standardPipeline();
+        for (const auto &result : pipeline.runToFixpoint(*graph)) {
+            if (result.changed)
+                std::fprintf(stderr, "pmc: pass %s changed the graph\n",
+                             result.name.c_str());
+        }
+    }
+
+    bool did_something = false;
+    if (opts.stats) {
+        std::printf("%s\n", ir::graphStats(*graph).c_str());
+        did_something = true;
+    }
+    if (opts.printIr) {
+        std::printf("%s", ir::printGraph(*graph).c_str());
+        did_something = true;
+    }
+    if (opts.dot) {
+        std::printf("%s", ir::toDot(*graph).c_str());
+        did_something = true;
+    }
+    if (opts.json) {
+        std::printf("%s\n", ir::toJson(*graph).c_str());
+        did_something = true;
+    }
+    if (!opts.target.empty()) {
+        const auto domain = domainFromKeyword(opts.target);
+        const auto registry = target::standardRegistry();
+        lower::lowerGraph(*graph, registry.supportedOpsByDomain(), domain);
+        const auto compiled =
+            lower::compileProgram(*graph, registry, domain);
+        std::printf("%s", compiled.str().c_str());
+        if (opts.schedule) {
+            for (const auto &partition : compiled.partitions) {
+                if (partition.accel == "TABLA") {
+                    std::printf("TABLA PE schedule:\n%s",
+                                target::listSchedule(partition, {})
+                                    .str()
+                                    .c_str());
+                } else if (partition.accel == "DECO") {
+                    std::printf("DECO chain mapping:\n%s",
+                                target::mapChains(partition, {})
+                                    .str()
+                                    .c_str());
+                }
+            }
+        }
+        if (opts.simulate) {
+            soc::SocRuntime runtime;
+            target::WorkloadProfile profile;
+            profile.invocations = opts.invocations;
+            const auto result = runtime.execute(compiled, profile);
+            std::printf("simulated: %s\n", result.total.str().c_str());
+        }
+        did_something = true;
+    }
+    if (!did_something)
+        std::printf("%s", ir::printGraph(*graph).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const polymath::UserError &e) {
+        std::fprintf(stderr, "pmc: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pmc: internal error: %s\n", e.what());
+        return 70;
+    }
+}
