@@ -1,0 +1,81 @@
+#include "core/diagnostics.h"
+
+namespace polymath {
+
+std::string
+toString(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "diagnostic";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string out;
+    if (loc.valid())
+        out += loc.str() + ": ";
+    out += toString(severity) + ": " + message;
+    return out;
+}
+
+void
+DiagnosticEngine::report(Severity severity, const std::string &message,
+                         SourceLoc loc)
+{
+    if (severity == Severity::Error)
+        ++errors_;
+    else if (severity == Severity::Warning)
+        ++warnings_;
+    diags_.push_back(Diagnostic{severity, message, loc});
+}
+
+void
+DiagnosticEngine::error(const std::string &message, SourceLoc loc)
+{
+    report(Severity::Error, message, loc);
+}
+
+void
+DiagnosticEngine::warning(const std::string &message, SourceLoc loc)
+{
+    report(Severity::Warning, message, loc);
+}
+
+void
+DiagnosticEngine::note(const std::string &message, SourceLoc loc)
+{
+    report(Severity::Note, message, loc);
+}
+
+std::string
+DiagnosticEngine::str() const
+{
+    std::string out;
+    for (const auto &d : diags_)
+        out += d.str() + "\n";
+    return out;
+}
+
+void
+DiagnosticEngine::throwIfErrors() const
+{
+    for (const auto &d : diags_) {
+        if (d.severity == Severity::Error)
+            throw UserError(d.message, d.loc);
+    }
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    errors_ = 0;
+    warnings_ = 0;
+}
+
+} // namespace polymath

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-error diagnostics engine.
+ *
+ * Historically the stack followed the gem5 fatal/panic model: the first
+ * user error aborts compilation. A DiagnosticEngine instead *accumulates*
+ * errors and warnings (each with an optional SourceLoc) so one run over a
+ * PMLang file can surface every problem it contains — the parser recovers
+ * at statement boundaries and keeps going, and `lower::compile` degrades
+ * unregistered domains to host execution with a warning instead of dying.
+ *
+ * Components that receive a DiagnosticEngine report into it; components
+ * that do not keep the original throw-on-first-error behavior, so the
+ * engine is strictly opt-in and existing callers are unaffected.
+ */
+#ifndef POLYMATH_CORE_DIAGNOSTICS_H_
+#define POLYMATH_CORE_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace polymath {
+
+/** Diagnostic severity, ordered from least to most severe. */
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/** Printable name: "note", "warning", "error". */
+std::string toString(Severity severity);
+
+/** One accumulated diagnostic. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string message;
+    SourceLoc loc;
+
+    /** Renders "LINE:COL: error: message" (location omitted if unknown). */
+    std::string str() const;
+};
+
+/** Accumulates diagnostics instead of aborting on the first error. */
+class DiagnosticEngine
+{
+  public:
+    void report(Severity severity, const std::string &message,
+                SourceLoc loc = {});
+    void error(const std::string &message, SourceLoc loc = {});
+    void warning(const std::string &message, SourceLoc loc = {});
+    void note(const std::string &message, SourceLoc loc = {});
+
+    bool hasErrors() const { return errors_ > 0; }
+    bool empty() const { return diags_.empty(); }
+    size_t errorCount() const { return errors_; }
+    size_t warningCount() const { return warnings_; }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** All diagnostics, one per line, in report order. */
+    std::string str() const;
+
+    /** Throws UserError carrying the first error, if any was collected
+     *  (bridge back into throw-style callers). */
+    void throwIfErrors() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t errors_ = 0;
+    size_t warnings_ = 0;
+};
+
+} // namespace polymath
+
+#endif // POLYMATH_CORE_DIAGNOSTICS_H_

@@ -12,7 +12,7 @@ SourceLoc::str() const
 
 UserError::UserError(const std::string &message, SourceLoc loc)
     : std::runtime_error(loc.valid() ? loc.str() + ": " + message : message),
-      loc_(loc)
+      message_(message), loc_(loc)
 {
 }
 

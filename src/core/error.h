@@ -35,7 +35,12 @@ class UserError : public std::runtime_error
     /** Location in PMLang source, if the error is tied to one. */
     SourceLoc loc() const { return loc_; }
 
+    /** The message without the location prefix what() carries (used by
+     *  DiagnosticEngine, which tracks locations separately). */
+    const std::string &message() const { return message_; }
+
   private:
+    std::string message_;
     SourceLoc loc_;
 };
 

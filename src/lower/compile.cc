@@ -170,9 +170,15 @@ affinitySchedule(const Graph &graph,
 
 CompiledProgram
 compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
-               Domain default_domain)
+               Domain default_domain, DiagnosticEngine *diag)
 {
     CompiledProgram out;
+
+    // Degraded execution target for domains with no registered
+    // accelerator: generic translation, host-CPU execution on the SoC.
+    AcceleratorSpec host_spec;
+    host_spec.name = kHostAccel;
+    std::set<Domain> degraded_domains;
 
     // Producer partition per value (graph inputs: -1).
     std::vector<int> partition_of_value(graph.values.size(), -1);
@@ -187,10 +193,15 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
         current->accel = spec.name;
     };
 
+    auto domain_name = [](Domain dom) {
+        return lang::toString(dom).empty() ? "<none>" : lang::toString(dom);
+    };
     auto accel_of = [&](const Node &node) -> std::string {
         const Domain dom =
             node.domain != Domain::None ? node.domain : default_domain;
         const AcceleratorSpec *spec = registry.specFor(dom, node.op);
+        if (!spec && diag)
+            return host_spec.name;
         return spec ? spec->name : "";
     };
     for (NodeId id : affinitySchedule(graph, accel_of)) {
@@ -199,9 +210,18 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
             node.domain != Domain::None ? node.domain : default_domain;
         const AcceleratorSpec *spec = registry.specFor(dom, node.op);
         if (!spec) {
-            fatal("no accelerator registered for domain " +
-                  (lang::toString(dom).empty() ? "<none>"
-                                               : lang::toString(dom)));
+            if (!diag) {
+                fatal("no accelerator registered for domain " +
+                      domain_name(dom));
+            }
+            if (degraded_domains.insert(dom).second) {
+                diag->warning("no accelerator registered for domain " +
+                              domain_name(dom) +
+                              "; degrading its nodes to a host-CPU "
+                              "partition");
+            }
+            host_spec.domain = dom;
+            spec = &host_spec;
         }
 
         if (!current || current->accel != spec->name)

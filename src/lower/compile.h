@@ -17,9 +17,14 @@
 
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "lower/accel_spec.h"
 
 namespace polymath::lower {
+
+/** Accelerator name of partitions degraded to host-CPU execution (the SoC
+ *  runtime has no backend of this name, so they always run on the host). */
+inline constexpr const char *kHostAccel = "host-cpu";
 
 /** One schedulable unit: a maximal same-domain run of the lowered graph. */
 struct Partition
@@ -65,11 +70,16 @@ struct CompiledProgram
  * Algorithm 2 over a lowered top-level graph.
  * @p default_domain is used for untagged nodes (single-domain workloads
  * built without per-statement annotations).
- * @throws UserError when a node's domain has no registered accelerator.
+ *
+ * Without a DiagnosticEngine, an unregistered accelerator domain throws
+ * UserError. With one, the nodes of such a domain degrade gracefully to a
+ * kHostAccel partition (generic translation; the SoC runtime executes it
+ * on the host CPU) and a warning is recorded per degraded domain.
  */
 CompiledProgram compileProgram(const ir::Graph &graph,
                                const AcceleratorRegistry &registry,
-                               Domain default_domain = Domain::None);
+                               Domain default_domain = Domain::None,
+                               DiagnosticEngine *diag = nullptr);
 
 } // namespace polymath::lower
 

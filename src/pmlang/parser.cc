@@ -58,7 +58,23 @@ parse(const std::string &source)
     return parser.parseProgram();
 }
 
-Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens))
+Program
+parseWithRecovery(const std::string &source, DiagnosticEngine &diag)
+{
+    std::vector<Token> tokens;
+    try {
+        Lexer lexer(source);
+        tokens = lexer.lexAll();
+    } catch (const UserError &e) {
+        diag.error(e.message(), e.loc());
+        return {};
+    }
+    Parser parser(std::move(tokens), &diag);
+    return parser.parseProgram();
+}
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine *diag)
+    : toks_(std::move(tokens)), diag_(diag)
 {
     if (toks_.empty() || !toks_.back().is(Tok::Eof))
         panic("token stream must end with Eof");
@@ -107,17 +123,54 @@ Parser::errorHere(const std::string &message) const
     fatal(message + " (found " + tokName(peek().kind) + ")", peek().loc);
 }
 
+void
+Parser::synchronizeStmt()
+{
+    while (!check(Tok::Eof)) {
+        if (match(Tok::Semicolon))
+            return;
+        const Tok k = peek().kind;
+        if (k == Tok::RBrace || k == Tok::KwIndex || k == Tok::KwReduction ||
+            typeFor(k) || domainFor(k) != Domain::None) {
+            return;
+        }
+        advance();
+    }
+}
+
+void
+Parser::synchronizeTopLevel()
+{
+    while (!check(Tok::Eof)) {
+        if (check(Tok::KwReduction))
+            return;
+        if (check(Tok::Ident) && peek(1).is(Tok::LParen))
+            return;
+        advance();
+    }
+}
+
 Program
 Parser::parseProgram()
 {
     Program prog;
     while (!check(Tok::Eof)) {
-        if (check(Tok::KwReduction)) {
-            prog.reductions.push_back(parseReduction());
-        } else if (check(Tok::Ident)) {
-            prog.components.push_back(parseComponent());
-        } else {
-            errorHere("expected component or reduction declaration");
+        const size_t before = pos_;
+        try {
+            if (check(Tok::KwReduction)) {
+                prog.reductions.push_back(parseReduction());
+            } else if (check(Tok::Ident)) {
+                prog.components.push_back(parseComponent());
+            } else {
+                errorHere("expected component or reduction declaration");
+            }
+        } catch (const UserError &e) {
+            if (!diag_)
+                throw;
+            diag_->error(e.message(), e.loc());
+            if (pos_ == before)
+                advance();
+            synchronizeTopLevel();
         }
     }
     return prog;
@@ -155,8 +208,21 @@ Parser::parseComponent()
     }
     expect(Tok::RParen, "after component arguments");
     expect(Tok::LBrace, "at component body");
-    while (!check(Tok::RBrace) && !check(Tok::Eof))
-        comp.body.push_back(parseStmt());
+    while (!check(Tok::RBrace) && !check(Tok::Eof)) {
+        if (!diag_) {
+            comp.body.push_back(parseStmt());
+            continue;
+        }
+        const size_t before = pos_;
+        try {
+            comp.body.push_back(parseStmt());
+        } catch (const UserError &e) {
+            diag_->error(e.message(), e.loc());
+            if (pos_ == before)
+                advance();
+            synchronizeStmt();
+        }
+    }
     expect(Tok::RBrace, "at end of component body");
     return comp;
 }

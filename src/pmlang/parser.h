@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "pmlang/ast.h"
 #include "pmlang/token.h"
 
@@ -19,11 +20,24 @@ namespace polymath::lang {
  */
 Program parse(const std::string &source);
 
+/**
+ * Parses PMLang source text, recovering from syntax errors at statement
+ * and declaration boundaries so every error in the file lands in @p diag
+ * in one pass. Returns the (possibly partial) program of the statements
+ * that did parse; callers must check diag.hasErrors() before using it.
+ * Lexical errors are unrecoverable and yield an empty program with one
+ * diagnostic.
+ */
+Program parseWithRecovery(const std::string &source, DiagnosticEngine &diag);
+
 /** Internal parser class; exposed for unit tests of sub-productions. */
 class Parser
 {
   public:
-    explicit Parser(std::vector<Token> tokens);
+    /** With a DiagnosticEngine, syntax errors are collected and the parser
+     *  resynchronizes; without one, the first error throws UserError. */
+    explicit Parser(std::vector<Token> tokens,
+                    DiagnosticEngine *diag = nullptr);
 
     /** Parses a whole translation unit. */
     Program parseProgram();
@@ -38,6 +52,14 @@ class Parser
     bool match(Tok kind);
     const Token &expect(Tok kind, const std::string &context);
     [[noreturn]] void errorHere(const std::string &message) const;
+
+    /** Error recovery: skip tokens to a statement boundary (past a ';' or
+     *  up to a token that can begin a statement / close the body). */
+    void synchronizeStmt();
+
+    /** Error recovery: skip tokens to the next plausible top-level
+     *  declaration start. */
+    void synchronizeTopLevel();
 
     ComponentDecl parseComponent();
     ReductionDecl parseReduction();
@@ -62,6 +84,7 @@ class Parser
 
     std::vector<Token> toks_;
     size_t pos_ = 0;
+    DiagnosticEngine *diag_ = nullptr;
 };
 
 } // namespace polymath::lang

@@ -1,0 +1,162 @@
+#include "soc/fault.h"
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/strings.h"
+
+namespace polymath::soc {
+
+std::string
+toString(FaultClass fault)
+{
+    switch (fault) {
+      case FaultClass::AcceleratorUnavailable: return "accel-unavailable";
+      case FaultClass::DmaFailure: return "dma-failure";
+      case FaultClass::WatchdogTimeout: return "watchdog-timeout";
+    }
+    return "fault";
+}
+
+std::string
+toString(DegradationPolicy policy)
+{
+    switch (policy) {
+      case DegradationPolicy::RetryThenHostFallback:
+        return "retry-then-host-fallback";
+      case DegradationPolicy::HostFallback: return "host-fallback";
+      case DegradationPolicy::Abort: return "abort";
+    }
+    return "policy";
+}
+
+DegradationPolicy
+FaultConfig::policyFor(FaultClass fault) const
+{
+    switch (fault) {
+      case FaultClass::AcceleratorUnavailable: return accelPolicy;
+      case FaultClass::DmaFailure: return dmaPolicy;
+      case FaultClass::WatchdogTimeout: return watchdogPolicy;
+    }
+    return accelPolicy;
+}
+
+void
+FaultConfig::validate() const
+{
+    auto rate = [](const char *field, double value) {
+        if (value < 0.0 || value > 1.0) {
+            fatal(format("FaultConfig.%s must be in [0, 1] (got %g)", field,
+                         value));
+        }
+    };
+    rate("accelUnavailableRate", accelUnavailableRate);
+    rate("dmaFailureRate", dmaFailureRate);
+    rate("watchdogRate", watchdogRate);
+    if (maxDmaRetries < 0)
+        fatal("FaultConfig.maxDmaRetries must be non-negative");
+    if (maxReexecutions < 0)
+        fatal("FaultConfig.maxReexecutions must be non-negative");
+    if (dmaRetryBackoffUs < 0.0)
+        fatal("FaultConfig.dmaRetryBackoffUs must be non-negative");
+}
+
+std::string
+FaultEvent::str() const
+{
+    return format("partition %d (%s): %s, %d retries%s", partition,
+                  accel.c_str(), toString(fault).c_str(), retries,
+                  fellBack ? ", fell back to host" : "");
+}
+
+double
+ReliabilityReport::availability() const
+{
+    if (offloadAttempts == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(hostFallbacks) /
+                     static_cast<double>(offloadAttempts);
+}
+
+double
+ReliabilityReport::slowdown() const
+{
+    return faultFreeSeconds > 0.0 ? actualSeconds / faultFreeSeconds : 1.0;
+}
+
+double
+ReliabilityReport::energyOverhead() const
+{
+    return faultFreeJoules > 0.0 ? actualJoules / faultFreeJoules : 1.0;
+}
+
+std::string
+ReliabilityReport::str() const
+{
+    std::string out = format(
+        "faults: %lld (accel %lld, dma %lld, watchdog %lld), "
+        "retries %lld, fallbacks %lld/%lld, availability %.3f, "
+        "slowdown %.3fx, energy %.3fx",
+        static_cast<long long>(faultsInjected),
+        static_cast<long long>(accelFaults),
+        static_cast<long long>(dmaFaults),
+        static_cast<long long>(watchdogFaults),
+        static_cast<long long>(retriesSpent),
+        static_cast<long long>(hostFallbacks),
+        static_cast<long long>(offloadAttempts), availability(), slowdown(),
+        energyOverhead());
+    for (const auto &event : events)
+        out += "\n  " + event.str();
+    return out;
+}
+
+FaultModel::FaultModel(FaultConfig config) : config_(config)
+{
+    config_.validate();
+}
+
+double
+FaultModel::draw(int partition, FaultClass fault, int attempt) const
+{
+    // Stateless draw: hash the coordinates into a one-shot SplitMix64
+    // stream. Thresholding the same draw means fault sets are monotone in
+    // the rate — raising a rate only ever adds faults for a fixed seed.
+    const uint64_t key = (static_cast<uint64_t>(partition) << 24) ^
+                         (static_cast<uint64_t>(fault) << 16) ^
+                         static_cast<uint64_t>(attempt + 1);
+    Rng rng(config_.seed ^ (key * 0x9e3779b97f4a7c15ull));
+    rng.next(); // decorrelate nearby keys
+    return rng.uniform();
+}
+
+bool
+FaultModel::acceleratorUnavailable(int partition) const
+{
+    return config_.accelUnavailableRate > 0.0 &&
+           draw(partition, FaultClass::AcceleratorUnavailable, 0) <
+               config_.accelUnavailableRate;
+}
+
+bool
+FaultModel::dmaFails(int partition, int attempt) const
+{
+    return config_.dmaFailureRate > 0.0 &&
+           draw(partition, FaultClass::DmaFailure, attempt) <
+               config_.dmaFailureRate;
+}
+
+bool
+FaultModel::watchdogFires(int partition, int attempt) const
+{
+    return config_.watchdogRate > 0.0 &&
+           draw(partition, FaultClass::WatchdogTimeout, attempt) <
+               config_.watchdogRate;
+}
+
+double
+FaultModel::backoffSeconds(int attempt) const
+{
+    return config_.dmaRetryBackoffUs * 1e-6 *
+           static_cast<double>(1ll << (attempt < 62 ? attempt : 62));
+}
+
+} // namespace polymath::soc

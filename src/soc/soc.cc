@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/error.h"
+#include "core/strings.h"
+
 namespace polymath::soc {
 
 SocRuntime::SocRuntime()
@@ -10,9 +13,11 @@ SocRuntime::SocRuntime()
 }
 
 SocRuntime::SocRuntime(std::vector<std::unique_ptr<Backend>> backends,
-                       target::SocConfig config)
-    : backends_(std::move(backends)), config_(config)
+                       target::SocConfig config, FaultModel faults)
+    : backends_(std::move(backends)), config_(config),
+      faults_(std::move(faults))
 {
+    config_.validate();
 }
 
 SocResult
@@ -21,62 +26,216 @@ SocRuntime::execute(const lower::CompiledProgram &program,
                     const std::set<std::string> &accelerated,
                     const std::map<std::string, double> &host_eff) const
 {
+    if (!faults_.enabled())
+        return executeInternal(program, profile, accelerated, host_eff,
+                               nullptr);
+
+    SocResult result =
+        executeInternal(program, profile, accelerated, host_eff, &faults_);
+    const SocResult fault_free =
+        executeInternal(program, profile, accelerated, host_eff, nullptr);
+    result.reliability.actualSeconds = result.total.seconds;
+    result.reliability.actualJoules = result.total.joules;
+    result.reliability.faultFreeSeconds = fault_free.total.seconds;
+    result.reliability.faultFreeJoules = fault_free.total.joules;
+    return result;
+}
+
+SocResult
+SocRuntime::executeInternal(const lower::CompiledProgram &program,
+                            const WorkloadProfile &profile,
+                            const std::set<std::string> &accelerated,
+                            const std::map<std::string, double> &host_eff,
+                            const FaultModel *faults) const
+{
     SocResult result;
+    ReliabilityReport &rel = result.reliability;
     result.total.machine = "PolyMath SoC";
 
     const double invocations = static_cast<double>(profile.invocations);
 
-    for (const auto &partition : program.partitions) {
+    // Host execution of one partition's kernels. A *deliberate* host
+    // placement runs the calibrated native library (host_eff); a
+    // fault-triggered degradation runs the compiler's portable host
+    // lowering instead, at a configured fraction of that efficiency.
+    auto host_part = [&](const lower::Partition &partition,
+                         bool degraded) {
+        target::WorkloadCost cost =
+            target::hostPartitionCost(partition, profile);
+        auto eff = host_eff.find(partition.accel);
+        if (eff != host_eff.end())
+            cost.cpuEff = eff->second;
+        if (degraded) {
+            const double native =
+                cost.cpuEff > 0
+                    ? cost.cpuEff
+                    : target::CpuModel::domainEfficiency(
+                          cost.domain, cost.irregular);
+            cost.cpuEff = native * config_.hostFallbackEff;
+        }
+        return host_.simulate(cost);
+    };
+
+    // Accelerator execution of one partition, with the serialized DMA
+    // between DRAM and the accelerator's local memory: param and state
+    // tensors are placed once; inputs/outputs move every invocation. The
+    // backend already overlaps streaming with compute; the SoC adds the
+    // DMA setup + transfer. Transfer *bandwidth* is already the backend's
+    // DRAM model (memorySeconds); the host adds DMA setup latency per
+    // invocation plus the one-time param/state placement.
+    struct AccelRun
+    {
+        PerfReport part;
+        double transferSeconds = 0.0;
+        double transferJoules = 0.0;
+    };
+    auto accel_part = [&](const lower::Partition &partition,
+                          const Backend *backend) {
+        AccelRun run;
+        run.part = backend->simulate(partition, profile);
+        const auto dma = target::dmaBreakdown(partition);
+        const double per_run_s = config_.perTransferUs * 1e-6;
+        const double once_s =
+            static_cast<double>(dma.oneTimeBytes) / (config_.dmaGBs * 1e9);
+        run.transferSeconds = once_s + per_run_s * invocations;
+        const int64_t moved =
+            dma.oneTimeBytes +
+            static_cast<int64_t>(
+                static_cast<double>(dma.perRunBytes) * invocations);
+        run.transferJoules =
+            static_cast<double>(moved) * config_.dramPjPerByte * 1e-12;
+        run.part.seconds += run.transferSeconds;
+        run.part.joules += run.transferJoules;
+        return run;
+    };
+
+    bool any_offload = false;
+    for (size_t pi = 0; pi < program.partitions.size(); ++pi) {
+        const auto &partition = program.partitions[pi];
+        const int p = static_cast<int>(pi);
         const bool offload =
             accelerated.empty() || accelerated.count(partition.accel) > 0;
+        any_offload = any_offload || offload;
         const Backend *backend =
             offload ? target::findBackend(backends_, partition.accel)
                     : nullptr;
 
         PerfReport part;
-        if (backend) {
-            part = backend->simulate(partition, profile);
+        if (backend && faults) {
+            ++rel.offloadAttempts;
+            const FaultConfig &fc = faults->config();
+            bool fall_back = false;
+            double overhead_s = 0.0;
+            double overhead_j = 0.0;
 
-            // DMA between DRAM and the accelerator's local memory: param
-            // and state tensors are placed once; inputs/outputs move every
-            // invocation. The backend already overlaps streaming with
-            // compute; the SoC adds the serialized DMA setup + transfer.
-            // Transfer *bandwidth* is already the backend's DRAM model
-            // (memorySeconds); the host adds DMA setup latency per
-            // invocation plus the one-time param/state placement.
-            const auto dma = target::dmaBreakdown(partition);
-            const double per_run_s = config_.perTransferUs * 1e-6;
-            const double once_s =
-                static_cast<double>(dma.oneTimeBytes) /
-                (config_.dmaGBs * 1e9);
-            const double transfer_s = once_s + per_run_s * invocations;
-            const int64_t moved =
-                dma.oneTimeBytes +
-                static_cast<int64_t>(
-                    static_cast<double>(dma.perRunBytes) * invocations);
-            const double transfer_j =
-                static_cast<double>(moved) * config_.dramPjPerByte * 1e-12;
+            // Permanent accelerator loss. Retrying cannot help, so both
+            // non-Abort policies degrade straight to the host.
+            if (faults->acceleratorUnavailable(p)) {
+                ++rel.faultsInjected;
+                ++rel.accelFaults;
+                if (fc.accelPolicy == DegradationPolicy::Abort) {
+                    fatal(format("SoC: accelerator '%s' unavailable for "
+                                 "partition %d",
+                                 partition.accel.c_str(), p));
+                }
+                fall_back = true;
+                rel.events.push_back(
+                    FaultEvent{FaultClass::AcceleratorUnavailable, p,
+                               partition.accel, 0, true});
+            }
 
-            result.transferSeconds += transfer_s;
-            result.transferJoules += transfer_j;
-            part.seconds += transfer_s;
-            part.joules += transfer_j;
+            // Transient DMA failures: retry with exponential backoff until
+            // the budget runs out, then degrade.
+            if (!fall_back) {
+                int attempt = 0;
+                int retries = 0;
+                bool faulted = false;
+                while (faults->dmaFails(p, attempt)) {
+                    faulted = true;
+                    ++rel.faultsInjected;
+                    ++rel.dmaFaults;
+                    if (fc.dmaPolicy == DegradationPolicy::Abort) {
+                        fatal(format(
+                            "SoC: DMA transfer failed for partition %d "
+                            "(%s)",
+                            p, partition.accel.c_str()));
+                    }
+                    if (fc.dmaPolicy == DegradationPolicy::HostFallback ||
+                        attempt >= fc.maxDmaRetries) {
+                        fall_back = true;
+                        break;
+                    }
+                    overhead_s += faults->backoffSeconds(attempt);
+                    ++rel.retriesSpent;
+                    ++retries;
+                    ++attempt;
+                }
+                if (faulted) {
+                    rel.events.push_back(FaultEvent{FaultClass::DmaFailure,
+                                                    p, partition.accel,
+                                                    retries, fall_back});
+                }
+            }
+
+            // Watchdog overruns: each re-execution repeats the whole
+            // partition (compute + DMA), so the wasted runs stay in the
+            // bill even if the partition ultimately degrades.
+            if (!fall_back) {
+                const AccelRun run = accel_part(partition, backend);
+                int attempt = 0;
+                int reruns = 0;
+                bool faulted = false;
+                while (faults->watchdogFires(p, attempt)) {
+                    faulted = true;
+                    ++rel.faultsInjected;
+                    ++rel.watchdogFaults;
+                    if (fc.watchdogPolicy == DegradationPolicy::Abort) {
+                        fatal(format("SoC: watchdog timeout on partition "
+                                     "%d (%s)",
+                                     p, partition.accel.c_str()));
+                    }
+                    if (fc.watchdogPolicy ==
+                            DegradationPolicy::HostFallback ||
+                        attempt >= fc.maxReexecutions) {
+                        fall_back = true;
+                        break;
+                    }
+                    overhead_s += run.part.seconds;
+                    overhead_j += run.part.joules;
+                    ++rel.retriesSpent;
+                    ++reruns;
+                    ++attempt;
+                }
+                if (faulted) {
+                    rel.events.push_back(
+                        FaultEvent{FaultClass::WatchdogTimeout, p,
+                                   partition.accel, reruns, fall_back});
+                }
+                if (!fall_back) {
+                    part = run.part;
+                    result.transferSeconds += run.transferSeconds;
+                    result.transferJoules += run.transferJoules;
+                } else {
+                    // The overrun that exhausted the budget is wasted too.
+                    overhead_s += run.part.seconds;
+                    overhead_j += run.part.joules;
+                }
+            }
+
+            if (fall_back) {
+                ++rel.hostFallbacks;
+                part = host_part(partition, /*degraded=*/true);
+            }
+            part.seconds += overhead_s;
+            part.joules += overhead_j;
+            part.overheadSeconds += overhead_s;
+        } else if (backend) {
+            const AccelRun run = accel_part(partition, backend);
+            result.transferSeconds += run.transferSeconds;
+            result.transferJoules += run.transferJoules;
+            part = run.part;
         } else {
-            // Host execution of this partition's kernels.
-            target::WorkloadCost cost;
-            cost.domain = partition.domain;
-            cost.flops = static_cast<int64_t>(
-                static_cast<double>(partition.flops()) * profile.scale);
-            cost.bytes = partition.loadBytes() + partition.storeBytes();
-            cost.kernels =
-                static_cast<int64_t>(partition.fragments.size());
-            cost.invocations = profile.invocations;
-            cost.parallelWidth = profile.parallelWidth;
-            cost.irregular = profile.edges > 0;
-            auto eff = host_eff.find(partition.accel);
-            if (eff != host_eff.end())
-                cost.cpuEff = eff->second;
-            part = host_.simulate(cost);
+            part = host_part(partition, /*degraded=*/false);
         }
         result.partitions.push_back(part);
         result.total += part;
@@ -86,14 +245,11 @@ SocRuntime::execute(const lower::CompiledProgram &program,
     // at full CPU power when the whole app is on the CPU, at a marshaling
     // share of it when kernels are offloaded.
     if (profile.hostGlueSeconds > 0) {
-        bool any_offload = false;
-        for (const auto &partition : program.partitions) {
-            any_offload |= accelerated.empty() ||
-                           accelerated.count(partition.accel) > 0;
-        }
         const double glue_s = profile.hostGlueSeconds * invocations;
         result.total.seconds += glue_s;
-        result.total.joules += glue_s * (any_offload ? 15.0 : 80.0);
+        result.total.joules +=
+            glue_s * (any_offload ? config_.glueOffloadWatts
+                                  : config_.glueCpuWatts);
     }
 
     // Host manager: dependency tracking + DMA initiation while running.

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lower/compile.h"
+#include "soc/fault.h"
 #include "targets/common/backend.h"
 #include "targets/cpu/cpu_model.h"
 
@@ -39,6 +40,10 @@ struct SocResult
     double transferSeconds = 0.0;
     double transferJoules = 0.0;
 
+    /** Fault/degradation accounting; all-zero when no fault model is
+     *  active (the resilience layer is zero-cost when disabled). */
+    ReliabilityReport reliability;
+
     /** Fraction of end-to-end runtime spent moving data. */
     double communicationFraction() const
     {
@@ -57,8 +62,15 @@ class SocRuntime
 {
   public:
     SocRuntime();
+
+    /** @throws UserError when @p config fails SocConfig::validate(). */
     SocRuntime(std::vector<std::unique_ptr<Backend>> backends,
-               target::SocConfig config);
+               target::SocConfig config, FaultModel faults = {});
+
+    /** Installs (or clears, with a default FaultModel) fault injection for
+     *  subsequent execute() calls. */
+    void setFaultModel(FaultModel faults) { faults_ = std::move(faults); }
+    const FaultModel &faultModel() const { return faults_; }
 
     /**
      * Executes @p program under @p profile. Partitions whose accelerator
@@ -66,6 +78,12 @@ class SocRuntime
      * host CPU (with no DMA). An empty set means "accelerate everything".
      * @p host_eff optionally calibrates the host library efficiency per
      * partition accel-name (see WorkloadCost::cpuEff).
+     *
+     * With an enabled fault model, injected faults are handled per the
+     * configured DegradationPolicy (retry with exponential DMA backoff,
+     * transparent host fallback, or Abort => UserError) and
+     * SocResult::reliability reports the damage; with faults disabled the
+     * result is bit-identical to the fault-free path.
      */
     SocResult execute(const lower::CompiledProgram &program,
                       const WorkloadProfile &profile,
@@ -79,9 +97,17 @@ class SocRuntime
     }
 
   private:
+    SocResult executeInternal(
+        const lower::CompiledProgram &program,
+        const WorkloadProfile &profile,
+        const std::set<std::string> &accelerated,
+        const std::map<std::string, double> &host_eff,
+        const FaultModel *faults) const;
+
     std::vector<std::unique_ptr<Backend>> backends_;
     target::SocConfig config_;
     target::CpuModel host_;
+    FaultModel faults_;
 };
 
 } // namespace polymath::soc

@@ -38,6 +38,56 @@ dmaBreakdown(const lower::Partition &partition)
     return out;
 }
 
+WorkloadCost
+hostPartitionCost(const lower::Partition &partition,
+                  const WorkloadProfile &profile)
+{
+    WorkloadCost cost;
+    cost.domain = partition.domain;
+    cost.kernels = static_cast<int64_t>(partition.fragments.size());
+    cost.invocations = profile.invocations;
+    cost.parallelWidth = profile.parallelWidth;
+    cost.irregular = profile.edges > 0;
+    cost.bytes = partition.loadBytes() + partition.storeBytes();
+    double flops =
+        static_cast<double>(partition.flops()) * profile.scale;
+    if (profile.edges > 0) {
+        // Per-edge/per-vertex op rates from the compiled instance,
+        // applied to the deployed dataset — the same derivation the
+        // Graphicionado model uses (graphicionado.cc).
+        double per_edge = 0.0;
+        double per_vertex = 0.0;
+        for (const auto &frag : partition.fragments) {
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            double points = 1.0;
+            for (const auto &[key, v] : frag.attrs) {
+                if (key.rfind("dim", 0) == 0)
+                    points *= static_cast<double>(v);
+            }
+            const double ops =
+                points > 0
+                    ? static_cast<double>(frag.flops) / points
+                    : 0.0;
+            const bool edge_domain =
+                frag.attrs.count("dim1") > 0 ||
+                frag.attrs.count("reduce_extent") > 0;
+            if (edge_domain)
+                per_edge += ops;
+            else
+                per_vertex += ops;
+        }
+        const double edges = static_cast<double>(profile.edges);
+        const double vertices = static_cast<double>(profile.vertices);
+        flops = per_edge * edges + per_vertex * vertices;
+        // 8 B per edge streamed each sweep, 16 B of properties per vertex.
+        cost.bytes =
+            static_cast<int64_t>(edges * 8.0 + vertices * 16.0);
+    }
+    cost.flops = static_cast<int64_t>(flops);
+    return cost;
+}
+
 std::vector<bool>
 invariantFragments(const lower::Partition &partition)
 {

@@ -19,6 +19,7 @@
 #include "lower/compile.h"
 #include "targets/common/machine_config.h"
 #include "targets/common/perf_report.h"
+#include "targets/common/workload_cost.h"
 
 namespace polymath::target {
 
@@ -81,6 +82,18 @@ struct DmaBreakdown
 };
 
 DmaBreakdown dmaBreakdown(const lower::Partition &partition);
+
+/**
+ * Host-CPU view of one partition's deployed-scale cost, for partitions
+ * the SoC keeps (or degrades onto) the host. Dense domains scale the
+ * compiled-instance flops by profile.scale; graph analytics compiles the
+ * per-vertex program, so deployed work scales with the dataset's V/E
+ * exactly as the Graphicionado model derives it, and the edge stream
+ * dominates DRAM traffic. cpuEff is left at 0 (domain default) — callers
+ * overlay their calibrated native-library efficiencies.
+ */
+WorkloadCost hostPartitionCost(const lower::Partition &partition,
+                               const WorkloadProfile &profile);
 
 /** Cycle-relevant work of a fragment: scalar flops plus identity-move
  *  elements (copies/concats occupy lanes even though they are not

@@ -1,6 +1,37 @@
 #include "targets/common/machine_config.h"
 
+#include "core/error.h"
+#include "core/strings.h"
+
 namespace polymath::target {
+
+void
+SocConfig::validate() const
+{
+    auto positive = [](const char *field, double value) {
+        if (!(value > 0.0)) {
+            fatal(format("SocConfig.%s must be positive (got %g)", field,
+                         value));
+        }
+    };
+    auto non_negative = [](const char *field, double value) {
+        if (value < 0.0) {
+            fatal(format("SocConfig.%s must be non-negative (got %g)",
+                         field, value));
+        }
+    };
+    positive("dmaGBs", dmaGBs);
+    positive("perTransferUs", perTransferUs);
+    positive("hostWatts", hostWatts);
+    non_negative("dramPjPerByte", dramPjPerByte);
+    non_negative("glueOffloadWatts", glueOffloadWatts);
+    non_negative("glueCpuWatts", glueCpuWatts);
+    if (!(hostFallbackEff > 0.0) || hostFallbackEff > 1.0) {
+        fatal(format("SocConfig.hostFallbackEff must be in (0, 1] "
+                     "(got %g)",
+                     hostFallbackEff));
+    }
+}
 
 MachineConfig
 xeonConfig()

@@ -77,6 +77,25 @@ struct SocConfig
     double perTransferUs = 4.0;   ///< DMA setup + host manager dispatch
     double hostWatts = 5.0;       ///< light-weight host manager core
     double dramPjPerByte = 20.0;  ///< DRAM access energy
+
+    /** Host CPU power while running per-invocation glue: the marshaling
+     *  share when kernels are offloaded vs. the full CPU package power
+     *  when the whole application stays on the CPU. */
+    double glueOffloadWatts = 15.0;
+    double glueCpuWatts = 80.0;
+
+    /** Fraction of the tuned native-library efficiency the host achieves
+     *  when a partition *degrades* onto it at runtime: a fault-triggered
+     *  fallback runs the compiler's portable host lowering, not the
+     *  Table II hand-optimized library the cpuEff calibrations assume.
+     *  In (0, 1]; 1 models fallback into the native library itself. */
+    double hostFallbackEff = 0.25;
+
+    /** Rejects configurations the DMA/energy model would divide by zero
+     *  on or produce negative costs from.
+     *  @throws UserError on non-positive dmaGBs/perTransferUs/hostWatts
+     *  or negative energy/glue coefficients. */
+    void validate() const;
 };
 
 SocConfig socConfig();

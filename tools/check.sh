@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + ctest under the default (Release) configuration
+# and again under ASan/UBSan (see CMakePresets.json). Run from anywhere;
+# operates on the repo root. `tools/check.sh default` or
+# `tools/check.sh asan` runs a single configuration.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+if [ $# -gt 0 ]; then
+    presets=("$@")
+else
+    presets=(default asan)
+fi
+
+for preset in "${presets[@]}"; do
+    echo "== [$preset] configure =="
+    cmake --preset "$preset"
+    echo "== [$preset] build =="
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "== [$preset] test =="
+    ctest --preset "$preset" -j "$jobs"
+done
+
+echo "check.sh: all configurations passed"

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "core/error.h"
 #include "core/strings.h"
 #include "lower/lower.h"
@@ -50,6 +51,8 @@ struct Options
     bool schedule = false;
     int64_t invocations = 1;
     bool listTargets = false;
+    double faultRate = 0.0;
+    uint64_t faultSeed = 0x5eed;
 };
 
 void
@@ -75,6 +78,10 @@ usage()
         "  --schedule            with --target DA/DSP: print the PE list\n"
         "                        schedule / DSP chain mapping\n"
         "  --invocations <n>     invocation count for --simulate\n"
+        "  --fault-rate <r>      with --simulate: inject accelerator/DMA/\n"
+        "                        watchdog faults at rate r in [0,1] and\n"
+        "                        print the reliability report\n"
+        "  --fault-seed <n>      seed for deterministic fault injection\n"
         "  --list-targets        print the registered accelerators\n",
         stderr);
 }
@@ -90,6 +97,34 @@ domainFromKeyword(const std::string &word)
     if (word == "DL") return lang::Domain::DL;
     fatal("unknown domain '" + word +
           "' (expected RBT|GA|DSP|DA|DL or ALL)");
+}
+
+int64_t
+parseInt(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t used = 0;
+        const int64_t value = std::stoll(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        fatal(flag + " expects an integer (got '" + text + "')");
+    }
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        fatal(flag + " expects a number (got '" + text + "')");
+    }
 }
 
 Options
@@ -111,7 +146,7 @@ parseArgs(int argc, char **argv)
             if (eq == std::string::npos)
                 fatal("--param expects name=value");
             opts.params[binding.substr(0, eq)] =
-                std::stoll(binding.substr(eq + 1));
+                parseInt("--param", binding.substr(eq + 1));
         } else if (arg == "--print-ir") {
             opts.printIr = true;
         } else if (arg == "--dot") {
@@ -131,7 +166,12 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--schedule") {
             opts.schedule = true;
         } else if (arg == "--invocations") {
-            opts.invocations = std::stoll(next());
+            opts.invocations = parseInt("--invocations", next());
+        } else if (arg == "--fault-rate") {
+            opts.faultRate = parseDouble("--fault-rate", next());
+        } else if (arg == "--fault-seed") {
+            opts.faultSeed =
+                static_cast<uint64_t>(parseInt("--fault-seed", next()));
         } else if (arg == "--list-targets") {
             opts.listTargets = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -184,6 +224,20 @@ run(const Options &opts)
     }
 
     const std::string source = readInput(opts.file);
+
+    // Pre-flight syntax check with statement-level error recovery so one
+    // run surfaces *every* syntax error, not just the first.
+    {
+        DiagnosticEngine diag;
+        lang::parseWithRecovery(source, diag);
+        if (!diag.empty())
+            std::fputs(diag.str().c_str(), stderr);
+        if (diag.hasErrors()) {
+            std::fprintf(stderr, "pmc: %zu error(s)\n", diag.errorCount());
+            return 1;
+        }
+    }
+
     if (opts.formatSource) {
         const auto program = lang::parse(source);
         lang::analyze(program, opts.entry);
@@ -245,10 +299,22 @@ run(const Options &opts)
         }
         if (opts.simulate) {
             soc::SocRuntime runtime;
+            if (opts.faultRate != 0) { // negative => validation error
+                soc::FaultConfig faults;
+                faults.seed = opts.faultSeed;
+                faults.accelUnavailableRate = opts.faultRate / 5.0;
+                faults.dmaFailureRate = opts.faultRate;
+                faults.watchdogRate = opts.faultRate / 2.0;
+                runtime.setFaultModel(soc::FaultModel(faults));
+            }
             target::WorkloadProfile profile;
             profile.invocations = opts.invocations;
             const auto result = runtime.execute(compiled, profile);
             std::printf("simulated: %s\n", result.total.str().c_str());
+            if (opts.faultRate > 0) {
+                std::printf("reliability: %s\n",
+                            result.reliability.str().c_str());
+            }
         }
         did_something = true;
     }
@@ -262,13 +328,20 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
+    // Exit codes: 0 success, 1 user error (bad program/config, printed as
+    // a formatted diagnostic with its source location), 2 internal error.
     try {
         return run(parseArgs(argc, argv));
     } catch (const polymath::UserError &e) {
-        std::fprintf(stderr, "pmc: error: %s\n", e.what());
+        const polymath::Diagnostic diag{polymath::Severity::Error,
+                                        e.message(), e.loc()};
+        std::fprintf(stderr, "pmc: %s\n", diag.str().c_str());
         return 1;
+    } catch (const polymath::InternalError &e) {
+        std::fprintf(stderr, "pmc: %s\n", e.what()); // "internal error: …"
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "pmc: internal error: %s\n", e.what());
-        return 70;
+        return 2;
     }
 }
