@@ -7,8 +7,11 @@
  * Completes the per-backend fidelity ladder (see docs/MODELS.md).
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "targets/deco/chain_mapper.h"
@@ -17,43 +20,50 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const auto backends = target::standardBackends();
     const auto *deco = target::findBackend(backends, "DECO");
 
+    const std::vector<const char *> ids = {"FFT-8192", "FFT-16384",
+                                           "DCT-1024", "DCT-2048"};
+    const auto rows = driver.map(
+        static_cast<int64_t>(ids.size()), [&](int64_t i) {
+            const auto &bench =
+                wl::benchmarkById(ids[static_cast<size_t>(i)]);
+            const auto compiled = wl::compileBenchmarkCached(
+                bench.source, bench.buildOpts, registry, bench.domain,
+                driver.cache());
+            const auto &partition = compiled->partitions.front();
+
+            target::WorkloadProfile once = bench.profile;
+            once.invocations = 1;
+            const auto analytic = deco->simulate(partition, once);
+            const double analytic_cycles =
+                analytic.computeSeconds * deco->machine().freqGhz * 1e9;
+
+            target::ChainConfig config;
+            config.dspBlocks = deco->machine().computeUnits;
+            const auto mapped = target::mapChains(partition, config);
+
+            return std::vector<std::string>{
+                bench.id, format("%zu", mapped.chains.size()),
+                format("%.1f", mapped.avgChainLength()),
+                format("%lld", static_cast<long long>(mapped.waves)),
+                format("%.0f", analytic_cycles),
+                format("%lld", static_cast<long long>(mapped.cycles)),
+                format("%.2fx", static_cast<double>(mapped.cycles) /
+                                    analytic_cycles),
+                report::percent(mapped.dspUtilization)};
+        });
+
     report::Table table({"Benchmark", "Chains", "Avg fused len", "Waves",
                          "Analytic (cyc)", "Mapped (cyc)", "Ratio",
                          "DSP util"});
-
-    for (const char *id :
-         {"FFT-8192", "FFT-16384", "DCT-1024", "DCT-2048"}) {
-        const auto &bench = wl::benchmarkById(id);
-        const auto compiled = wl::compileBenchmark(
-            bench.source, bench.buildOpts, registry, bench.domain);
-        const auto &partition = compiled.partitions.front();
-
-        target::WorkloadProfile once = bench.profile;
-        once.invocations = 1;
-        const auto analytic = deco->simulate(partition, once);
-        const double analytic_cycles =
-            analytic.computeSeconds * deco->machine().freqGhz * 1e9;
-
-        target::ChainConfig config;
-        config.dspBlocks = deco->machine().computeUnits;
-        const auto mapped = target::mapChains(partition, config);
-
-        table.addRow(
-            {bench.id, format("%zu", mapped.chains.size()),
-             format("%.1f", mapped.avgChainLength()),
-             format("%lld", static_cast<long long>(mapped.waves)),
-             format("%.0f", analytic_cycles),
-             format("%lld", static_cast<long long>(mapped.cycles)),
-             format("%.2fx", static_cast<double>(mapped.cycles) /
-                                 analytic_cycles),
-             report::percent(mapped.dspUtilization)});
-    }
+    for (const auto &row : rows)
+        table.addRow(row);
     std::printf("DECO chain mapper vs analytic level model\n"
                 "(per-invocation steady-state cycles. Ratios below 1x are "
                 "headroom: a hand-mapped chain design streams stages "

@@ -6,12 +6,18 @@
  * (BrainStimul) / 2.06x (OptionPricing) over the best single-domain
  * choice, with communication overheads of 23.4%/17.0% runtime and
  * 21.8%/12.4% energy.
+ *
+ * Apps compile through the suite driver's cache, and the per-combination
+ * simulations fan out across the pool (-jN); tables are aggregated
+ * serially so the report is identical at every jobs count.
  */
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "driver.h"
 #include "report/report.h"
 #include "soc/soc.h"
 #include "workloads/suite.h"
@@ -56,14 +62,15 @@ comboLabel(const std::vector<const wl::AppKernel *> &combo)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
-    soc::SocRuntime runtime;
+    const soc::SocRuntime runtime;
 
-    for (const auto &app : wl::tableIV()) {
-        const auto compiled = wl::compileBenchmark(
-            app.source, app.buildOpts, registry, lang::Domain::None);
+    for (const auto &entry : driver.compileTableIV(registry)) {
+        const auto &app = *entry.app;
+        const auto &compiled = *entry.program;
 
         std::map<std::string, double> host_eff;
         for (const auto &kernel : app.kernels)
@@ -73,28 +80,43 @@ main()
         const auto cpu_only = runtime.execute(
             compiled, app.profile, {"<none>"}, host_eff);
 
+        struct ComboRow
+        {
+            std::vector<std::string> cells;
+            double runtime_gain;
+            size_t size;
+        };
+        const auto combos = combinations(app);
+        const auto rows = driver.map(
+            static_cast<int64_t>(combos.size()), [&](int64_t i) {
+                const auto &combo = combos[static_cast<size_t>(i)];
+                std::set<std::string> accels;
+                for (const auto *k : combo)
+                    accels.insert(k->accel);
+                const auto result =
+                    runtime.execute(compiled, app.profile, accels, host_eff);
+                const double rt =
+                    target::speedup(cpu_only.total, result.total);
+                const double en =
+                    target::energyReduction(cpu_only.total, result.total);
+                return ComboRow{
+                    {comboLabel(combo), report::times(rt),
+                     report::times(en),
+                     report::percent(result.communicationFraction()),
+                     report::percent(result.communicationEnergyFraction())},
+                    rt, combo.size()};
+            });
+
         report::Table table({"Accelerated", "Runtime", "Energy",
                              "Comm time", "Comm energy"});
         double best_single = 0.0;
         double all_accel = 0.0;
-        for (const auto &combo : combinations(app)) {
-            std::set<std::string> accels;
-            for (const auto *k : combo)
-                accels.insert(k->accel);
-            const auto result =
-                runtime.execute(compiled, app.profile, accels, host_eff);
-            const double rt = target::speedup(cpu_only.total, result.total);
-            const double en =
-                target::energyReduction(cpu_only.total, result.total);
-            if (combo.size() == 1)
-                best_single = std::max(best_single, rt);
-            if (combo.size() == app.kernels.size())
-                all_accel = rt;
-            table.addRow({comboLabel(combo), report::times(rt),
-                          report::times(en),
-                          report::percent(result.communicationFraction()),
-                          report::percent(
-                              result.communicationEnergyFraction())});
+        for (const auto &row : rows) {
+            if (row.size == 1)
+                best_single = std::max(best_single, row.runtime_gain);
+            if (row.size == app.kernels.size())
+                all_accel = row.runtime_gain;
+            table.addRow(row.cells);
         }
         std::printf("Figure 10 (%s): end-to-end improvement over CPU per "
                     "accelerated-domain combination\n",

@@ -5,12 +5,17 @@
  * accelerated-domain combination. Paper anchors for all-domains: 1.2x
  * runtime / 8.3x PPW vs Titan Xp and 1.8x / 2.8x vs Jetson for
  * BrainStimul; 1.5x / 9.2x and 1.4x / 1.9x for OptionPricing.
+ *
+ * Apps compile through the suite driver's cache, and the per-combination
+ * simulations fan out across the pool (-jN) with serial aggregation, so
+ * the report is identical at every jobs count.
  */
 #include <cstdio>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "driver.h"
 #include "report/report.h"
 #include "soc/soc.h"
 #include "targets/gpu/gpu_model.h"
@@ -19,16 +24,17 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const auto titan = target::GpuModel::titanXp();
     const auto jetson = target::GpuModel::jetson();
-    soc::SocRuntime runtime;
+    const soc::SocRuntime runtime;
 
-    for (const auto &app : wl::tableIV()) {
-        const auto compiled = wl::compileBenchmark(
-            app.source, app.buildOpts, registry, lang::Domain::None);
+    for (const auto &entry : driver.compileTableIV(registry)) {
+        const auto &app = *entry.app;
+        const auto &compiled = *entry.program;
         std::map<std::string, double> host_eff;
         for (const auto &kernel : app.kernels)
             host_eff[kernel.accel] = kernel.cpuEff;
@@ -44,8 +50,6 @@ main()
             g->joules += glue * 15.0;
         }
 
-        report::Table table({"Accelerated", "RT(Titan)", "PPW(Titan)",
-                             "RT(Jetson)", "PPW(Jetson)"});
         // Per-kernel rows then the full cross-domain row.
         std::vector<std::set<std::string>> combos;
         std::vector<std::string> labels;
@@ -63,18 +67,25 @@ main()
         combos.push_back(all);
         labels.push_back(all_label);
 
-        for (size_t i = 0; i < combos.size(); ++i) {
-            const auto result =
-                runtime.execute(compiled, app.profile, combos[i], host_eff);
-            table.addRow(
-                {labels[i],
-                 report::times(target::speedup(on_titan, result.total)),
-                 report::times(
-                     target::ppwImprovement(on_titan, result.total)),
-                 report::times(target::speedup(on_jetson, result.total)),
-                 report::times(
-                     target::ppwImprovement(on_jetson, result.total))});
-        }
+        const auto rows = driver.map(
+            static_cast<int64_t>(combos.size()), [&](int64_t i) {
+                const auto result = runtime.execute(
+                    compiled, app.profile, combos[static_cast<size_t>(i)],
+                    host_eff);
+                return std::vector<std::string>{
+                    labels[static_cast<size_t>(i)],
+                    report::times(target::speedup(on_titan, result.total)),
+                    report::times(
+                        target::ppwImprovement(on_titan, result.total)),
+                    report::times(target::speedup(on_jetson, result.total)),
+                    report::times(
+                        target::ppwImprovement(on_jetson, result.total))};
+            });
+
+        report::Table table({"Accelerated", "RT(Titan)", "PPW(Titan)",
+                             "RT(Jetson)", "PPW(Jetson)"});
+        for (const auto &row : rows)
+            table.addRow(row);
         std::printf("Figure 11 (%s): end-to-end improvement over GPUs\n%s\n",
                     app.id.c_str(), table.str().c_str());
     }

@@ -5,12 +5,18 @@
  * for BrainStimul, 76.9% for OptionPricing (76.8% average) — the
  * "automation overhead" of expressing the whole application in PMLang
  * instead of manually stitching native stacks.
+ *
+ * Apps compile through the suite driver's cache, and the per-partition
+ * simulations fan out across the pool (-jN) with serial aggregation, so
+ * the report is identical at every jobs count.
  */
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "workloads/suite.h"
@@ -57,42 +63,59 @@ expertPartition(const lower::Partition &compiled)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const auto backends = target::standardBackends();
 
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double pct;
+    };
     std::vector<double> all_pcts;
-    for (const auto &app : wl::tableIV()) {
-        const auto compiled = wl::compileBenchmark(
-            app.source, app.buildOpts, registry, lang::Domain::None);
+    for (const auto &entry : driver.compileTableIV(registry)) {
+        const auto &app = *entry.app;
+        const auto &compiled = *entry.program;
+
+        const auto rows = driver.map(
+            static_cast<int64_t>(compiled.partitions.size()),
+            [&](int64_t i) -> std::optional<Row> {
+                const auto &partition =
+                    compiled.partitions[static_cast<size_t>(i)];
+                const auto *backend =
+                    target::findBackend(backends, partition.accel);
+                if (!backend)
+                    return std::nullopt;
+                const auto poly = backend->simulate(partition, app.profile);
+                const auto expert = backend->simulate(
+                    expertPartition(partition), app.profile);
+                // As in Fig. 9: both move the same data, so the expert edge
+                // is in compute/scheduling structure plus per-kernel launch.
+                const double poly_t =
+                    poly.computeSeconds + poly.overheadSeconds;
+                const double expert_t =
+                    expert.computeSeconds + expert.overheadSeconds;
+                if (poly_t <= 0)
+                    return std::nullopt;
+                const double pct = std::min(1.0, expert_t / poly_t);
+                return Row{{partition.accel,
+                            format("%.4g", poly_t * 1e6),
+                            format("%.4g", expert_t * 1e6),
+                            report::percent(pct)},
+                           pct};
+            });
 
         report::Table table({"Kernel (partition)", "PolyMath compute (us)",
                              "Hand-tuned compute (us)", "% of optimal"});
         std::vector<double> pcts;
-        for (const auto &partition : compiled.partitions) {
-            const auto *backend =
-                target::findBackend(backends, partition.accel);
-            if (!backend)
+        for (const auto &row : rows) {
+            if (!row)
                 continue;
-            const auto poly = backend->simulate(partition, app.profile);
-            const auto expert =
-                backend->simulate(expertPartition(partition), app.profile);
-            // As in Fig. 9: both move the same data, so the expert edge
-            // is in compute/scheduling structure plus per-kernel launch.
-            const double poly_t =
-                poly.computeSeconds + poly.overheadSeconds;
-            const double expert_t =
-                expert.computeSeconds + expert.overheadSeconds;
-            if (poly_t <= 0)
-                continue;
-            const double pct = std::min(1.0, expert_t / poly_t);
-            pcts.push_back(pct);
-            all_pcts.push_back(pct);
-            table.addRow({partition.accel,
-                          format("%.4g", poly_t * 1e6),
-                          format("%.4g", expert_t * 1e6),
-                          report::percent(pct)});
+            pcts.push_back(row->pct);
+            all_pcts.push_back(row->pct);
+            table.addRow(row->cells);
         }
         table.addRow({"Average (" + app.id + ")", "", "",
                       report::percent(report::mean(pcts))});

@@ -4,11 +4,16 @@
  * on their domain accelerators over the Xeon CPU baseline, for the fifteen
  * Table III workloads. The paper reports geomeans of ~3.3x runtime and
  * ~18.1x energy.
+ *
+ * Per-workload compile + simulation runs through the suite driver (-jN);
+ * geomeans and the table are aggregated serially from the ordered results
+ * so the report is identical at every jobs count.
  */
 #include <cstdio>
 #include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "soc/soc.h"
 #include "targets/cpu/cpu_model.h"
@@ -17,31 +22,43 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const target::CpuModel cpu;
-    soc::SocRuntime runtime;
+    const soc::SocRuntime runtime;
+
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double speedup;
+        double energy;
+    };
+    const auto rows = driver.mapTableIII(
+        registry,
+        [&](const wl::Benchmark &bench,
+            const lower::CompiledProgram &compiled) {
+            const auto accel = runtime.execute(compiled, bench.profile);
+            const auto host = cpu.simulate(bench.cpuCost());
+
+            const double sp = target::speedup(host, accel.total);
+            const double en = target::energyReduction(host, accel.total);
+            return Row{{bench.id, lang::toString(bench.domain), bench.accel,
+                        format("%.4g", host.seconds * 1e3),
+                        format("%.4g", accel.total.seconds * 1e3),
+                        report::times(sp), report::times(en)},
+                       sp, en};
+        });
 
     report::Table table({"Benchmark", "Domain", "Accelerator",
                          "CPU (ms)", "Accel (ms)", "Runtime", "Energy"});
     std::vector<double> speedups;
     std::vector<double> energies;
-
-    for (const auto &bench : wl::tableIII()) {
-        const auto compiled = wl::compileBenchmark(
-            bench.source, bench.buildOpts, registry, bench.domain);
-        const auto accel = runtime.execute(compiled, bench.profile);
-        const auto host = cpu.simulate(bench.cpuCost());
-
-        const double sp = target::speedup(host, accel.total);
-        const double en = target::energyReduction(host, accel.total);
-        speedups.push_back(sp);
-        energies.push_back(en);
-        table.addRow({bench.id, lang::toString(bench.domain), bench.accel,
-                      format("%.4g", host.seconds * 1e3),
-                      format("%.4g", accel.total.seconds * 1e3),
-                      report::times(sp), report::times(en)});
+    for (const auto &row : rows) {
+        speedups.push_back(row.speedup);
+        energies.push_back(row.energy);
+        table.addRow(row.cells);
     }
     table.addRow({"Geomean", "", "", "", "",
                   report::times(report::geomean(speedups)),

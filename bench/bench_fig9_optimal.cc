@@ -5,12 +5,16 @@
  * reports an 83.9% average, with robotics lowest (unique data semantics),
  * DECO reduced (stage balance), ElecUse low (small size amortizes the
  * extra srDFG operations poorly), and deep learning near-optimal.
+ *
+ * Routed through the suite driver (-jN) with serial aggregation, so the
+ * report is identical at every jobs count.
  */
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "workloads/suite.h"
@@ -18,40 +22,51 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const auto backends = target::standardBackends();
+
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double pct;
+    };
+    const auto rows = driver.mapTableIII(
+        registry,
+        [&](const wl::Benchmark &bench,
+            const lower::CompiledProgram &compiled) {
+            const auto *backend = target::findBackend(backends, bench.accel);
+            if (!backend || compiled.partitions.empty())
+                fatal("benchmark " + bench.id + " produced no partition");
+            const auto &partition = compiled.partitions.front();
+
+            const auto poly = backend->simulate(partition, bench.profile);
+            const auto opt = backend->simulate(
+                wl::optimalPartition(bench, partition), bench.profile);
+
+            // Both designs stream the same operands, so the comparison is
+            // on the compute/scheduling structure the expert controls; a
+            // hand tuning can only match, not beat, the shared memory roof.
+            const double poly_t = poly.computeSeconds + poly.overheadSeconds;
+            const double opt_t = opt.computeSeconds + opt.overheadSeconds;
+            const double pct =
+                poly_t > 0 ? std::min(1.0, opt_t / poly_t) : 1.0;
+            return Row{{bench.id, bench.accel,
+                        format("%.4g", poly_t * 1e3),
+                        format("%.4g", opt_t * 1e3),
+                        report::percent(pct)},
+                       pct};
+        });
 
     report::Table table(
         {"Benchmark", "Accel", "PolyMath compute (ms)", "Hand-tuned compute (ms)",
          "% of optimal"});
     std::vector<double> percents;
-
-    for (const auto &bench : wl::tableIII()) {
-        const auto compiled = wl::compileBenchmark(
-            bench.source, bench.buildOpts, registry, bench.domain);
-        const auto *backend = target::findBackend(backends, bench.accel);
-        if (!backend || compiled.partitions.empty())
-            fatal("benchmark " + bench.id + " produced no partition");
-        const auto &partition = compiled.partitions.front();
-
-        const auto poly = backend->simulate(partition, bench.profile);
-        const auto opt = backend->simulate(
-            wl::optimalPartition(bench, partition), bench.profile);
-
-        // Both designs stream the same operands, so the comparison is on
-        // the compute/scheduling structure the expert controls; a hand
-        // tuning can only match, not beat, the shared memory roof.
-        const double poly_t = poly.computeSeconds + poly.overheadSeconds;
-        const double opt_t = opt.computeSeconds + opt.overheadSeconds;
-        const double pct =
-            poly_t > 0 ? std::min(1.0, opt_t / poly_t) : 1.0;
-        percents.push_back(pct);
-        table.addRow({bench.id, bench.accel,
-                      format("%.4g", poly_t * 1e3),
-                      format("%.4g", opt_t * 1e3),
-                      report::percent(pct)});
+    for (const auto &row : rows) {
+        percents.push_back(row.pct);
+        table.addRow(row.cells);
     }
     table.addRow({"Average", "", "", "",
                   report::percent(report::mean(percents))});

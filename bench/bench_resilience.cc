@@ -10,13 +10,20 @@
  * rate only adds faults). Reported per rate: geomean slowdown and
  * energy overhead vs. the fault-free run, aggregate availability, and
  * the retry/fallback tallies.
+ *
+ * Workloads compile through the suite driver's cache and the per-rate
+ * sweeps fan out across the pool (-jN); each rate owns its SocRuntime and
+ * the fault draws are seed-keyed, so the table is identical at every jobs
+ * count.
  */
 #include <cmath>
 #include <cstdio>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "soc/soc.h"
+#include "targets/common/backend.h"
 #include "workloads/suite.h"
 
 using namespace polymath;
@@ -46,46 +53,32 @@ workloadSeed(uint64_t seed, size_t workload)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint64_t kSeed = 0x5eed;
     const double kRates[] = {0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 0.75, 1.0};
+    const int64_t kNumRates =
+        static_cast<int64_t>(sizeof(kRates) / sizeof(kRates[0]));
 
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
+    const auto workloads = driver.compileTableIII(registry);
 
-    struct Compiled
-    {
-        std::string id;
-        lower::CompiledProgram program;
-        target::WorkloadProfile profile;
-        std::map<std::string, double> hostEff;
-    };
-    std::vector<Compiled> workloads;
-    for (const auto &bench : wl::tableIII()) {
-        Compiled c;
-        c.id = bench.id;
-        c.program = wl::compileBenchmark(bench.source, bench.buildOpts,
-                                         registry, bench.domain);
-        c.profile = bench.profile;
-        // Calibrated host-library efficiency for fallback execution.
-        c.hostEff[bench.accel] = bench.cpuEff;
-        workloads.push_back(std::move(c));
-    }
-
-    report::Table table({"Fault rate", "Geomean slowdown",
-                         "Geomean energy", "Availability", "Faults",
-                         "Retries", "Fallbacks"});
-    for (const double rate : kRates) {
+    const auto rows = driver.map(kNumRates, [&](int64_t ri) {
+        const double rate = kRates[ri];
         soc::SocRuntime runtime;
         double log_slowdown = 0.0;
         double log_energy = 0.0;
         int64_t faults = 0, retries = 0, fallbacks = 0, attempts = 0;
         for (size_t i = 0; i < workloads.size(); ++i) {
-            const auto &wl = workloads[i];
+            const auto &bench = *workloads[i].bench;
+            // Calibrated host-library efficiency for fallback execution.
+            const std::map<std::string, double> host_eff{
+                {bench.accel, bench.cpuEff}};
             runtime.setFaultModel(soc::FaultModel(
                 configFor(rate, workloadSeed(kSeed, i))));
-            const auto r =
-                runtime.execute(wl.program, wl.profile, {}, wl.hostEff);
+            const auto r = runtime.execute(*workloads[i].program,
+                                           bench.profile, {}, host_eff);
             log_slowdown += std::log(rate > 0 ? r.reliability.slowdown()
                                               : 1.0);
             log_energy += std::log(
@@ -102,12 +95,18 @@ main()
             attempts > 0 ? 1.0 - static_cast<double>(fallbacks) /
                                      static_cast<double>(attempts)
                          : 1.0;
-        table.addRow({format("%.2f", rate), format("%.4fx", geomean),
-                      format("%.4fx", geomean_energy),
-                      format("%.3f", availability),
-                      std::to_string(faults), std::to_string(retries),
-                      std::to_string(fallbacks)});
-    }
+        return std::vector<std::string>{
+            format("%.2f", rate), format("%.4fx", geomean),
+            format("%.4fx", geomean_energy), format("%.3f", availability),
+            std::to_string(faults), std::to_string(retries),
+            std::to_string(fallbacks)};
+    });
+
+    report::Table table({"Fault rate", "Geomean slowdown",
+                         "Geomean energy", "Availability", "Faults",
+                         "Retries", "Fallbacks"});
+    for (const auto &row : rows)
+        table.addRow(row);
     std::printf("Resilience sweep: Table III workloads on the SoC, "
                 "seed 0x%llx\n%s\n",
                 static_cast<unsigned long long>(kSeed),

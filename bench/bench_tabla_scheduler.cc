@@ -6,8 +6,11 @@
  * paper figure; it validates the cost model (DESIGN.md §1).
  */
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "targets/tabla/scheduler.h"
@@ -16,48 +19,55 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     const auto backends = target::standardBackends();
     const auto *tabla = target::findBackend(backends, "TABLA");
 
+    const std::vector<const char *> ids = {"MovieL-100K", "MovieL-20M",
+                                           "DigitCluster", "ElecUse"};
+    const auto rows = driver.map(
+        static_cast<int64_t>(ids.size()), [&](int64_t i) {
+            const auto &bench =
+                wl::benchmarkById(ids[static_cast<size_t>(i)]);
+            const auto compiled = wl::compileBenchmarkCached(
+                bench.source, bench.buildOpts, registry, bench.domain,
+                driver.cache());
+            const auto &partition = compiled->partitions.front();
+
+            // Analytic per-invocation cycles (strip DMA/overhead terms).
+            target::WorkloadProfile once = bench.profile;
+            once.invocations = 1;
+            const auto analytic = tabla->simulate(partition, once);
+            const double analytic_cycles =
+                analytic.computeSeconds * tabla->machine().freqGhz * 1e9;
+
+            target::ScheduleConfig config;
+            config.pes = tabla->machine().computeUnits;
+            const auto schedule = target::listSchedule(partition, config);
+
+            int64_t frags = 0;
+            for (const auto &f : partition.fragments)
+                frags += f.opcode != "tload" && f.opcode != "tstore";
+
+            return std::vector<std::string>{
+                bench.id, format("%lld", static_cast<long long>(frags)),
+                format("%.0f", analytic_cycles),
+                format("%lld", static_cast<long long>(schedule.cycles)),
+                format("%.2fx",
+                       static_cast<double>(schedule.cycles) /
+                           analytic_cycles),
+                format("%lld", static_cast<long long>(schedule.busCycles)),
+                report::percent(schedule.peOccupancy)};
+        });
+
     report::Table table({"Benchmark", "Fragments", "Analytic (cyc)",
                          "Scheduled (cyc)", "Ratio", "Bus (cyc)",
                          "PE occupancy"});
-
-    for (const char *id :
-         {"MovieL-100K", "MovieL-20M", "DigitCluster", "ElecUse"}) {
-        const auto &bench = wl::benchmarkById(id);
-        const auto compiled = wl::compileBenchmark(
-            bench.source, bench.buildOpts, registry, bench.domain);
-        const auto &partition = compiled.partitions.front();
-
-        // Analytic per-invocation cycles (strip DMA/overhead terms).
-        target::WorkloadProfile once = bench.profile;
-        once.invocations = 1;
-        const auto analytic = tabla->simulate(partition, once);
-        const double analytic_cycles =
-            analytic.computeSeconds * tabla->machine().freqGhz * 1e9;
-
-        target::ScheduleConfig config;
-        config.pes = tabla->machine().computeUnits;
-        const auto schedule = target::listSchedule(partition, config);
-
-        int64_t frags = 0;
-        for (const auto &f : partition.fragments)
-            frags += f.opcode != "tload" && f.opcode != "tstore";
-
-        table.addRow(
-            {bench.id, format("%lld", static_cast<long long>(frags)),
-             format("%.0f", analytic_cycles),
-             format("%lld", static_cast<long long>(schedule.cycles)),
-             format("%.2fx",
-                    static_cast<double>(schedule.cycles) /
-                        analytic_cycles),
-             format("%lld", static_cast<long long>(schedule.busCycles)),
-             report::percent(schedule.peOccupancy)});
-    }
+    for (const auto &row : rows)
+        table.addRow(row);
     std::printf("Event-driven TABLA list scheduler vs analytic level "
                 "model\n(per-invocation compute cycles; the scheduler "
                 "serializes operand fetches the analytic model assumes "

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "workloads/suite.h"
@@ -15,8 +16,9 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     using lang::Domain;
     const std::vector<std::pair<std::string, Domain>> domains = {
         {"Robotics", Domain::RBT},        {"Graph Analytics", Domain::GA},
@@ -56,24 +58,29 @@ main()
     // backend is registered AND a representative Table III workload of
     // that domain compiles through lowering + translation for it.
     const auto registry = target::standardRegistry();
-    std::vector<std::string> poly_row = {"PolyMath (this repo)"};
-    for (const auto &[name, dom] : domains) {
-        bool ok = registry.forDomain(dom) != nullptr;
-        if (ok) {
-            for (const auto &bench : wl::tableIII()) {
-                if (bench.domain != dom)
-                    continue;
-                try {
-                    wl::compileBenchmark(bench.source, bench.buildOpts,
-                                         registry, bench.domain);
-                } catch (const std::exception &) {
-                    ok = false;
+    const auto marks = driver.map(
+        static_cast<int64_t>(domains.size()), [&](int64_t i) {
+            const auto dom = domains[static_cast<size_t>(i)].second;
+            bool ok = registry.forDomain(dom) != nullptr;
+            if (ok) {
+                for (const auto &bench : wl::tableIII()) {
+                    if (bench.domain != dom)
+                        continue;
+                    try {
+                        wl::compileBenchmarkCached(
+                            bench.source, bench.buildOpts, registry,
+                            bench.domain, driver.cache());
+                    } catch (const std::exception &) {
+                        ok = false;
+                    }
+                    break;
                 }
-                break;
             }
-        }
+            return ok;
+        });
+    std::vector<std::string> poly_row = {"PolyMath (this repo)"};
+    for (const bool ok : marks)
         poly_row.push_back(ok ? "yes" : "-");
-    }
     poly_row.push_back("cross-domain multi-acceleration");
     table.addRow(std::move(poly_row));
 

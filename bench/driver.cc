@@ -1,0 +1,120 @@
+#include "driver.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "core/error.h"
+#include "core/strings.h"
+
+namespace polymath::bench {
+
+namespace {
+
+int
+parseJobsValue(const char *text)
+{
+    int value = 0;
+    const char *end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, value);
+    if (ec != std::errc{} || ptr != end || value < 0)
+        fatal(std::string("-j/--jobs expects a non-negative integer "
+                          "(got '") +
+              text + "')");
+    return value;
+}
+
+} // namespace
+
+DriverOptions
+parseDriverArgs(int argc, char **argv)
+{
+    DriverOptions opts;
+    opts.jobs = core::defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "-j") == 0 ||
+            std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal(std::string("missing value after ") + arg);
+            opts.jobs = parseJobsValue(argv[++i]);
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            opts.jobs = parseJobsValue(arg + 2); // -jN combined form
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = parseJobsValue(arg + 7);
+        } else if (std::strcmp(arg, "--driver-stats") == 0) {
+            opts.stats = true;
+        }
+    }
+    opts.jobs = core::resolveJobs(opts.jobs);
+    return opts;
+}
+
+Driver::Driver(DriverOptions options)
+    : options_(options), cache_(lower::CompileCache::global())
+{
+    options_.jobs = core::resolveJobs(options_.jobs);
+}
+
+Driver::Driver(int argc, char **argv)
+    : Driver(parseDriverArgs(argc, argv))
+{
+}
+
+Driver::~Driver()
+{
+    reportStats();
+}
+
+std::vector<CompiledBenchmark>
+Driver::compileTableIII(const lower::AcceleratorRegistry &registry) const
+{
+    const auto &table = wl::tableIII();
+    auto programs = map(
+        static_cast<int64_t>(table.size()), [&](int64_t i) {
+            const auto &b = table[static_cast<size_t>(i)];
+            return wl::compileBenchmarkCached(b.source, b.buildOpts,
+                                              registry, b.domain, cache_);
+        });
+    std::vector<CompiledBenchmark> out;
+    out.reserve(table.size());
+    for (size_t i = 0; i < table.size(); ++i)
+        out.push_back(CompiledBenchmark{&table[i], std::move(programs[i])});
+    return out;
+}
+
+std::vector<CompiledApp>
+Driver::compileTableIV(const lower::AcceleratorRegistry &registry) const
+{
+    const auto &table = wl::tableIV();
+    auto programs = map(
+        static_cast<int64_t>(table.size()), [&](int64_t i) {
+            const auto &a = table[static_cast<size_t>(i)];
+            return wl::compileBenchmarkCached(a.source, a.buildOpts,
+                                              registry, lang::Domain::None,
+                                              cache_);
+        });
+    std::vector<CompiledApp> out;
+    out.reserve(table.size());
+    for (size_t i = 0; i < table.size(); ++i)
+        out.push_back(CompiledApp{&table[i], std::move(programs[i])});
+    return out;
+}
+
+std::string
+Driver::statsLine() const
+{
+    return format("driver: jobs=%d cache: %lld hits, %lld misses "
+                  "(%.0f%% hit rate, %zu programs)",
+                  options_.jobs, static_cast<long long>(cache_.hits()),
+                  static_cast<long long>(cache_.misses()),
+                  cache_.hitRate() * 100.0, cache_.size());
+}
+
+void
+Driver::reportStats(std::FILE *out) const
+{
+    if (options_.stats)
+        std::fprintf(out, "%s\n", statsLine().c_str());
+}
+
+} // namespace polymath::bench

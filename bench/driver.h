@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared parallel suite driver for the bench harness.
+ *
+ * Every bench_* main used to recompile and simulate the Table III/IV
+ * workloads serially and from scratch. The driver centralizes that loop:
+ * workloads compile through the process-wide content-addressed
+ * CompileCache and fan out across a fixed-size thread pool, with results
+ * returned in table order so the rendered reports are *bit-identical* to
+ * a serial run (`-j1` and `-jN` must produce the same bytes; see
+ * tests/test_driver.cc).
+ *
+ * Knobs: `-j N` / `--jobs N` / `--jobs=N` on any bench binary, or the
+ * `POLYMATH_JOBS` environment variable (0 = all hardware threads).
+ * Default is serial. `--driver-stats` prints jobs + cache hit counters
+ * to stderr after the run (stderr, so report output stays identical).
+ */
+#ifndef POLYMATH_BENCH_DRIVER_H_
+#define POLYMATH_BENCH_DRIVER_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "lower/compile_cache.h"
+#include "workloads/suite.h"
+
+namespace polymath::bench {
+
+/** Command-line / environment configuration for a suite run. */
+struct DriverOptions
+{
+    /** Worker threads; <= 1 means serial, 0 means all hardware threads. */
+    int jobs = 1;
+
+    /** Print cache/pool statistics to stderr after the run. */
+    bool stats = false;
+};
+
+/**
+ * Parses `-j`/`--jobs`/`--driver-stats` out of argv (the flags every
+ * bench main accepts), leaving unrecognized arguments alone. Starts from
+ * the POLYMATH_JOBS environment default. @throws UserError on a
+ * malformed jobs value.
+ */
+DriverOptions parseDriverArgs(int argc, char **argv);
+
+/** One compiled Table III workload, in table order. */
+struct CompiledBenchmark
+{
+    const wl::Benchmark *bench = nullptr;
+    std::shared_ptr<const lower::CompiledProgram> program;
+};
+
+/** One compiled Table IV application, in table order. */
+struct CompiledApp
+{
+    const wl::EndToEndApp *app = nullptr;
+    std::shared_ptr<const lower::CompiledProgram> program;
+};
+
+/** The suite driver: pool + cache + deterministic aggregation. */
+class Driver
+{
+  public:
+    explicit Driver(DriverOptions options = {});
+
+    /** Convenience: parseDriverArgs + construct. */
+    Driver(int argc, char **argv);
+
+    ~Driver();
+
+    int jobs() const { return options_.jobs; }
+    lower::CompileCache &cache() const { return cache_; }
+
+    /**
+     * Deterministic parallel map: returns {fn(0), ..., fn(n-1)} in index
+     * order regardless of the jobs count. Serial when jobs <= 1.
+     */
+    template <class Fn>
+    auto map(int64_t n, Fn &&fn) const
+    {
+        return core::parallelMap(options_.jobs, n, std::forward<Fn>(fn));
+    }
+
+    /**
+     * Compiles all Table III workloads (cached + parallel), then applies
+     * @p fn to each (benchmark, compiled program) pair — also in the
+     * pool — and returns the per-benchmark results in table order.
+     */
+    template <class Fn>
+    auto mapTableIII(const lower::AcceleratorRegistry &registry,
+                     Fn &&fn) const
+    {
+        const auto compiled = compileTableIII(registry);
+        return map(static_cast<int64_t>(compiled.size()),
+                   [&](int64_t i) {
+                       const auto &c = compiled[static_cast<size_t>(i)];
+                       return fn(*c.bench, *c.program);
+                   });
+    }
+
+    /** mapTableIII's analogue for the Table IV applications. */
+    template <class Fn>
+    auto mapTableIV(const lower::AcceleratorRegistry &registry,
+                    Fn &&fn) const
+    {
+        const auto compiled = compileTableIV(registry);
+        return map(static_cast<int64_t>(compiled.size()),
+                   [&](int64_t i) {
+                       const auto &c = compiled[static_cast<size_t>(i)];
+                       return fn(*c.app, *c.program);
+                   });
+    }
+
+    /** Compiles the whole Table III suite (cached), in table order. */
+    std::vector<CompiledBenchmark> compileTableIII(
+        const lower::AcceleratorRegistry &registry) const;
+
+    /** Compiles both Table IV applications (cached), in table order. */
+    std::vector<CompiledApp> compileTableIV(
+        const lower::AcceleratorRegistry &registry) const;
+
+    /** Jobs + cache statistics line, e.g. for --driver-stats. */
+    std::string statsLine() const;
+
+    /** Prints statsLine() to @p out when --driver-stats was given. */
+    void reportStats(std::FILE *out = stderr) const;
+
+  private:
+    DriverOptions options_;
+    lower::CompileCache &cache_;
+};
+
+} // namespace polymath::bench
+
+#endif // POLYMATH_BENCH_DRIVER_H_

@@ -1,0 +1,72 @@
+#include "core/thread_pool.h"
+
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace polymath::core {
+
+int
+defaultJobs()
+{
+    const char *env = std::getenv("POLYMATH_JOBS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || value < 0)
+        return 1;
+    return resolveJobs(static_cast<int>(value));
+}
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    // Oversubscription beyond the core count is allowed (like make -j):
+    // determinism must not depend on the machine, so a -j4 run on one
+    // core still exercises four workers. A hard cap bounds runaway input.
+    return jobs < kMaxJobs ? jobs : kMaxJobs;
+}
+
+ThreadPool::ThreadPool(int jobs)
+{
+    const int n = resolveJobs(jobs);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task(); // packaged_task captures exceptions into the future
+    }
+}
+
+} // namespace polymath::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fixed-size thread pool for the parallel suite driver.
+ *
+ * The pool exists to fan independent compile/simulate work across cores
+ * while keeping reports *bit-identical* to a serial run: work items are
+ * submitted as index-addressed tasks and results land in an output vector
+ * slot per index, so aggregation order never depends on thread timing.
+ *
+ * With `jobs <= 1` every helper runs the work inline on the calling
+ * thread — no threads are spawned and the semantics (including exception
+ * propagation order) are exactly those of a plain loop. This is the
+ * default unless the user opts in via `-j`/`POLYMATH_JOBS`.
+ */
+#ifndef POLYMATH_CORE_THREAD_POOL_H_
+#define POLYMATH_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace polymath::core {
+
+/**
+ * Worker count from the environment: `POLYMATH_JOBS` when set to a
+ * positive integer (0 means "all hardware threads"), else 1 (serial).
+ * Malformed values fall back to 1 rather than erroring — the knob is a
+ * performance hint, not configuration.
+ */
+int defaultJobs();
+
+/** Upper bound on worker threads (defensive cap, not a tuning knob). */
+inline constexpr int kMaxJobs = 256;
+
+/** Resolves a jobs request: 0 (or negative) means "all hardware
+ *  threads"; positive values pass through, capped at kMaxJobs.
+ *  Oversubscription past the core count is allowed. */
+int resolveJobs(int jobs);
+
+/** Fixed-size pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p jobs workers (resolved via resolveJobs()). */
+    explicit ThreadPool(int jobs);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int jobs() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueues @p task; the future carries its result or exception. */
+    template <class Fn>
+    auto submit(Fn &&task) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(task));
+        std::future<R> result = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push([packaged] { (*packaged)(); });
+        }
+        ready_.notify_one();
+        return result;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    bool stopping_ = false;
+};
+
+/**
+ * Deterministic parallel map: evaluates `fn(i)` for every i in [0, n)
+ * and returns the results indexed by i — the output is independent of
+ * scheduling. With `jobs <= 1` (or n <= 1) the loop runs inline. The
+ * first exception thrown by any task is rethrown after all tasks finish.
+ */
+template <class Fn>
+auto
+parallelMap(int jobs, int64_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn, int64_t>>
+{
+    using R = std::invoke_result_t<Fn, int64_t>;
+    std::vector<R> out;
+    jobs = resolveJobs(jobs);
+    if (jobs <= 1 || n <= 1) {
+        out.reserve(static_cast<size_t>(n > 0 ? n : 0));
+        for (int64_t i = 0; i < n; ++i)
+            out.push_back(fn(i));
+        return out;
+    }
+    ThreadPool pool(jobs);
+    std::vector<std::future<R>> futures;
+    futures.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+    out.reserve(static_cast<size_t>(n));
+    std::exception_ptr first_error;
+    for (auto &f : futures) {
+        try {
+            out.push_back(f.get());
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return out;
+}
+
+} // namespace polymath::core
+
+#endif // POLYMATH_CORE_THREAD_POOL_H_

@@ -1,0 +1,149 @@
+#include "lower/compile_cache.h"
+
+#include "core/strings.h"
+
+namespace polymath::lower {
+
+std::string
+compileCacheKey(const std::string &source, const ir::BuildOptions &opts,
+                Domain default_domain, const AcceleratorRegistry &registry)
+{
+    // Field separators use '\x1f' (unit separator) so that no field can
+    // run into its neighbor and alias another key.
+    std::string key;
+    key.reserve(source.size() + 256);
+    key += "src\x1f";
+    key += source;
+    key += "\x1f""entry\x1f";
+    key += opts.entry;
+    key += "\x1f""params\x1f";
+    for (const auto &[name, value] : opts.paramConsts) {
+        key += name;
+        key += '=';
+        key += std::to_string(value);
+        key += ';';
+    }
+    key += "\x1f""domain\x1f";
+    key += lang::toString(default_domain);
+    key += "\x1f""registry\x1f";
+    // Registration order matters (first spec per domain is the default),
+    // so the key renders specs in order, each with its sorted op-set and
+    // preferred components.
+    for (const auto &spec : registry.specs()) {
+        key += spec.name;
+        key += '@';
+        key += lang::toString(spec.domain);
+        key += '[';
+        for (const auto &op : spec.supportedOps) { // std::set: sorted
+            key += op;
+            key += ',';
+        }
+        key += "][";
+        for (const auto &comp : spec.preferredComponents) {
+            key += comp;
+            key += ',';
+        }
+        key += "];";
+    }
+    return key;
+}
+
+uint64_t
+contentHash(const std::string &key)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull; // FNV prime
+    }
+    return h;
+}
+
+std::shared_ptr<const CompiledProgram>
+CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
+{
+    std::promise<std::shared_ptr<const CompiledProgram>> promise;
+    Entry entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            ++misses_;
+            entry = promise.get_future().share();
+            entries_.emplace(key, entry);
+            owner = true;
+        } else {
+            ++hits_;
+            entry = it->second;
+        }
+    }
+    if (!owner) {
+        // May block while the owning thread compiles; rethrows its error.
+        return entry.get();
+    }
+    try {
+        auto program =
+            std::make_shared<const CompiledProgram>(compile());
+        promise.set_value(program);
+        return program;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        {
+            // Evict so a later request can retry instead of replaying the
+            // captured exception forever.
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+        throw;
+    }
+}
+
+int64_t
+CompileCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+int64_t
+CompileCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+double
+CompileCache::hitRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
+size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+CompileCache &
+CompileCache::global()
+{
+    static CompileCache cache;
+    return cache;
+}
+
+} // namespace polymath::lower

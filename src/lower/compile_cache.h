@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Content-addressed compile cache for the parallel suite driver.
+ *
+ * The PMLang -> srDFG -> lower -> translate chain is pure: its output is
+ * fully determined by the source text, the build options, the default
+ * domain, and the registry's op-sets. The cache exploits that by keying
+ * memoized CompiledPrograms on exactly those ingredients, so repeated
+ * compilations of one benchmark (fault-sweep repetitions, multiple
+ * figures over the same Table III suite, repeated pmc inputs) pay the
+ * pipeline cost once.
+ *
+ * Thread-safety: getOrCompile() is safe to call concurrently, and
+ * concurrent requests for the same key are coalesced (single-flight) —
+ * one caller compiles, the rest block on the shared future and count as
+ * hits. Cached programs are immutable (shared_ptr<const CompiledProgram>),
+ * which is what makes sharing across driver threads sound; this is also
+ * why compileProgram() must stay re-entrant (see DESIGN.md).
+ */
+#ifndef POLYMATH_LOWER_COMPILE_CACHE_H_
+#define POLYMATH_LOWER_COMPILE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "lower/compile.h"
+#include "srdfg/builder.h"
+
+namespace polymath::lower {
+
+/**
+ * Canonical cache key for one compilation: a deterministic rendering of
+ * (source text, build options, default domain, registry op-sets). Two
+ * compilations with equal keys produce bit-identical CompiledPrograms.
+ */
+std::string compileCacheKey(const std::string &source,
+                            const ir::BuildOptions &opts,
+                            Domain default_domain,
+                            const AcceleratorRegistry &registry);
+
+/** 64-bit FNV-1a of @p key (the content address used for display). */
+uint64_t contentHash(const std::string &key);
+
+/** Memoizes compiled programs by content key. */
+class CompileCache
+{
+  public:
+    using CompileFn = std::function<CompiledProgram()>;
+
+    /**
+     * Returns the cached program for @p key, compiling via @p compile on
+     * the first request. Concurrent identical requests coalesce onto one
+     * compilation. If @p compile throws, the error propagates to every
+     * coalesced caller and the key is evicted so a later call can retry.
+     */
+    std::shared_ptr<const CompiledProgram> getOrCompile(
+        const std::string &key, const CompileFn &compile);
+
+    /** Requests served from the cache (including coalesced waits). */
+    int64_t hits() const;
+    /** Requests that ran the compiler. */
+    int64_t misses() const;
+    /** hits / (hits + misses); 0 when empty. */
+    double hitRate() const;
+    /** Distinct programs currently cached. */
+    size_t size() const;
+
+    /** Drops all entries and resets the counters. */
+    void clear();
+
+    /** Process-wide cache shared by the bench driver and pmc. */
+    static CompileCache &global();
+
+  private:
+    using Entry =
+        std::shared_future<std::shared_ptr<const CompiledProgram>>;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+} // namespace polymath::lower
+
+#endif // POLYMATH_LOWER_COMPILE_CACHE_H_

@@ -69,6 +69,13 @@ class Cse : public Pass
         for (ir::NodeId id : ir::topoOrder(graph)) {
             Node *node = graph.node(id);
             std::string key;
+            if (node->kind != NodeKind::Component && node->outs.empty()) {
+                // Every value-producing node must have an output access;
+                // keying on outs[0] below would be UB on a malformed
+                // graph, so fail loudly instead.
+                panic("cse: node '" + node->op + "' (id " +
+                      std::to_string(node->id) + ") has no outputs");
+            }
             if (node->kind == NodeKind::Constant) {
                 char bits[sizeof(double)];
                 std::memcpy(bits, &node->cval, sizeof(double));

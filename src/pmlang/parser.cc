@@ -1,5 +1,6 @@
 #include "pmlang/parser.h"
 
+#include <charconv>
 #include <utility>
 
 #include "pmlang/lexer.h"
@@ -509,7 +510,17 @@ Parser::parsePrimary()
         e->kind = ExprKind::Number;
         e->loc = peek().loc;
         e->isIntLit = peek().is(Tok::IntLit);
-        e->value = std::stod(peek().text);
+        // from_chars, not stod: stod honors the global locale and lets
+        // out-of-range literals (1e999) escape as std::out_of_range
+        // instead of a positioned diagnostic.
+        const std::string &text = peek().text;
+        const char *begin = text.data();
+        const char *end = begin + text.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, e->value);
+        if (ec == std::errc::result_out_of_range)
+            errorHere("number literal out of range: " + text);
+        if (ec != std::errc{} || ptr != end)
+            errorHere("malformed number literal: " + text);
         advance();
         return e;
     }

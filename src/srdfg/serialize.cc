@@ -1,6 +1,9 @@
 #include "srdfg/serialize.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <variant>
 #include <vector>
@@ -175,7 +178,19 @@ class JsonParser
         }
         if (start == pos_)
             fatal("json: expected a value");
-        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+        // from_chars, not stod: stod honors the global locale (a
+        // comma-decimal locale rejects "1.5") and throws raw exceptions.
+        double value = 0;
+        const char *begin = text_.data() + start;
+        const char *end = text_.data() + pos_;
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec == std::errc::result_out_of_range)
+            fatal("json: number out of range: " +
+                  text_.substr(start, pos_ - start));
+        if (ec != std::errc{} || ptr != end)
+            fatal("json: malformed number: " +
+                  text_.substr(start, pos_ - start));
+        return JsonValue{value};
     }
 
     JsonValue parseArray()
@@ -225,6 +240,46 @@ class JsonParser
 // --------------------------------------------------------------------------
 // Emission.
 // --------------------------------------------------------------------------
+
+/**
+ * Locale-independent double → JSON. to_chars emits the shortest decimal
+ * string that round-trips to the same bits (so -0.0, subnormals and
+ * 1e308 all survive), where the old %.17g went through the C locale and
+ * could emit comma decimals. Infinities and NaN are not representable as
+ * JSON numbers, so they travel as the strings "inf"/"-inf"/"nan".
+ */
+std::string
+numberToJson(double value)
+{
+    if (std::isnan(value))
+        return "\"nan\"";
+    if (std::isinf(value))
+        return value < 0 ? "\"-inf\"" : "\"inf\"";
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    if (ec != std::errc{})
+        panic("json: double does not fit the to_chars buffer");
+    return std::string(buf, ptr);
+}
+
+/** Inverse of numberToJson: a plain number or one of the non-finite
+ *  marker strings. */
+double
+numberFromJson(const JsonValue &v)
+{
+    if (std::holds_alternative<std::string>(v.data)) {
+        const auto &s = std::get<std::string>(v.data);
+        if (s == "nan")
+            return std::numeric_limits<double>::quiet_NaN();
+        if (s == "inf")
+            return std::numeric_limits<double>::infinity();
+        if (s == "-inf")
+            return -std::numeric_limits<double>::infinity();
+        fatal("json: expected a number or inf/-inf/nan, got \"" + s +
+              "\"");
+    }
+    return v.num();
+}
 
 std::string
 quote(const std::string &s)
@@ -473,7 +528,7 @@ emitGraph(const Graph &graph, std::string *out)
             emitAccess(node->outs[a], out);
         }
         *out += format("],\"base\":%d", node->base);
-        *out += format(",\"cval\":%.17g", node->cval);
+        *out += ",\"cval\":" + numberToJson(node->cval);
         if (node->hasPredicate) {
             *out += ",\"pred\":";
             emitIndexExpr(node->predicate, out);
@@ -549,7 +604,7 @@ readGraph(const JsonValue &v, const std::shared_ptr<IrContext> &context)
         for (const auto &ja : jn.at("outs").arr())
             node->outs.push_back(readAccess(ja));
         node->base = static_cast<ValueId>(jn.at("base").asInt());
-        node->cval = jn.at("cval").num();
+        node->cval = numberFromJson(jn.at("cval"));
         if (jn.obj().count("pred")) {
             node->predicate = readIndexExpr(jn.at("pred"));
             node->hasPredicate = true;

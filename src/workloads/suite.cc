@@ -64,6 +64,19 @@ compileBenchmark(const std::string &source, const ir::BuildOptions &opts,
     return lower::compileProgram(*graph, registry, default_domain);
 }
 
+std::shared_ptr<const lower::CompiledProgram>
+compileBenchmarkCached(const std::string &source,
+                       const ir::BuildOptions &opts,
+                       const lower::AcceleratorRegistry &registry,
+                       Domain default_domain, lower::CompileCache &cache)
+{
+    const std::string key =
+        lower::compileCacheKey(source, opts, default_domain, registry);
+    return cache.getOrCompile(key, [&] {
+        return compileBenchmark(source, opts, registry, default_domain);
+    });
+}
+
 namespace {
 
 /** Builds one Table III entry; deployed flops defaulting to the compiled

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lower/compile.h"
+#include "lower/compile_cache.h"
 #include "srdfg/builder.h"
 #include "targets/common/backend.h"
 #include "targets/common/workload_cost.h"
@@ -109,6 +110,17 @@ std::unique_ptr<ir::Graph> buildGraph(const std::string &source,
 lower::CompiledProgram compileBenchmark(
     const std::string &source, const ir::BuildOptions &opts,
     const lower::AcceleratorRegistry &registry, lang::Domain default_domain);
+
+/**
+ * compileBenchmark() through a content-addressed CompileCache: the first
+ * request for a given (source, opts, registry, domain) compiles, later
+ * identical requests (other figures over the same suite, fault-sweep
+ * repetitions) return the memoized immutable program. Thread-safe.
+ */
+std::shared_ptr<const lower::CompiledProgram> compileBenchmarkCached(
+    const std::string &source, const ir::BuildOptions &opts,
+    const lower::AcceleratorRegistry &registry, lang::Domain default_domain,
+    lower::CompileCache &cache);
 
 /**
  * Synthesizes the "expert hand-tuned" partition of a benchmark for the

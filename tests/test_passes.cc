@@ -153,6 +153,26 @@ TEST(Cse, DeduplicatesConstants)
     EXPECT_EQ(countKind(*g, ir::NodeKind::Constant), 1);
 }
 
+TEST(Cse, FailsLoudlyOnOutputLessNode)
+{
+    // A value-producing node with no output access is a malformed graph;
+    // CSE keys on outs[0], so it must panic with a diagnosable message
+    // instead of indexing into an empty vector (UB).
+    auto g = ir::compileToSrdfg(
+        "main(input float x, output float y) { y = x + 5; }");
+    g->addNode(ir::NodeKind::Map, "mul"); // no output access attached
+    PassManager pm;
+    pm.add(pass::createCse());
+    try {
+        pm.run(*g);
+        FAIL() << "expected an InternalError for the output-less node";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("no outputs"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Dce, RemovesUnreachableChains)
 {
     auto g = ir::compileToSrdfg(

@@ -201,6 +201,54 @@ TEST(Parser, ErrorsCarryLocation)
     }
 }
 
+TEST(Parser, OverflowingLiteralIsAPositionedUserError)
+{
+    // 1e999 exceeds the double range; it must surface as a diagnostic
+    // with a line:column, not escape as a raw std::out_of_range.
+    const std::string src =
+        "main(input float x, output float y) {\n"
+        "  y = x * 1e999;\n"
+        "}\n";
+    try {
+        parse(src);
+        FAIL() << "expected a UserError for 1e999";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_TRUE(e.loc().valid());
+        EXPECT_EQ(e.loc().line, 2);
+    }
+}
+
+TEST(Parser, OverflowingLiteralRecoversIntoDiagnostics)
+{
+    // With a diagnostic engine attached, the overflow is collected like
+    // any other syntax error and the rest of the program still parses.
+    const std::string src =
+        "main(input float x, output float y) {\n"
+        "  float a;\n"
+        "  a = 1e999;\n"
+        "  y = x;\n"
+        "}\n";
+    DiagnosticEngine diag;
+    const auto prog = parseWithRecovery(src, diag);
+    EXPECT_EQ(diag.errorCount(), 1u) << diag.str();
+    ASSERT_FALSE(diag.diagnostics().empty());
+    EXPECT_TRUE(diag.diagnostics().front().loc.valid());
+    EXPECT_EQ(diag.diagnostics().front().loc.line, 3);
+    ASSERT_EQ(prog.components.size(), 1u);
+}
+
+TEST(Parser, ExtremeButFiniteLiteralsParseExactly)
+{
+    const auto e = parseExprText("1e308");
+    ASSERT_EQ(e->kind, ExprKind::Number);
+    EXPECT_EQ(e->value, 1e308);
+    EXPECT_EQ(parseExprText("5e-324")->value, 5e-324);
+    EXPECT_EQ(parseExprText("0.1")->value, 0.1);
+}
+
 // --- semantic analysis ----------------------------------------------------
 
 void

@@ -9,7 +9,12 @@
  * 2. Parametric sweeps: FFT correctness across sizes on random signals,
  *    gather/scatter stride sweeps, reduction-guard sweeps.
  */
+#include <charconv>
+#include <clocale>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
@@ -20,12 +25,29 @@
 #include "pmlang/parser.h"
 #include "pmlang/sema.h"
 #include "srdfg/builder.h"
+#include "srdfg/serialize.h"
 #include "workloads/datasets.h"
 #include "workloads/programs.h"
 #include "workloads/reference.h"
 
 namespace polymath {
 namespace {
+
+/** Locale-independent PMLang literal text for @p v: snprintf("%f") honors
+ *  the global C locale (comma decimals under de_DE would produce
+ *  unparseable programs), to_chars never does. */
+std::string
+literalText(double v)
+{
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    EXPECT_EQ(ec, std::errc{});
+    std::string text(buf, ptr);
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos)
+        text += ".0"; // keep it a float literal
+    return text;
+}
 
 /** Random expression tree over three scalar inputs, emitted as PMLang
  *  text and evaluated directly while being generated. Division is kept
@@ -48,12 +70,11 @@ class ExprFuzzer
             const double vals[] = {a, b, c};
             return {names[which], vals[which]};
           }
-          case 1: { // leaf: literal
+          case 1: { // leaf: literal (a multiple of 0.25, exactly
+                    // representable, so text == value)
             const double v =
                 std::floor(rng_.uniform(-4.0, 4.0) * 4.0) / 4.0;
-            char buffer[32];
-            std::snprintf(buffer, sizeof buffer, "%.2f", v);
-            return {buffer, std::stod(buffer)};
+            return {literalText(v), v};
           }
           case 2: { // addition / subtraction / multiplication
             auto [lt, lv] = generate(a, b, c, depth + 1);
@@ -274,6 +295,168 @@ INSTANTIATE_TEST_SUITE_P(Workloads, FormatterRoundTrip,
                          ::testing::Values("mobile_robot", "hexacopter",
                                            "bfs", "kmeans", "fft", "blks",
                                            "brainstimul"));
+
+// --- serialization vs. extreme doubles and locales ---------------------------
+
+uint64_t
+bitsOf(double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+/** Round-trips one constant value through toJson/fromJson and returns the
+ *  restored cval. */
+double
+roundTripCval(double cval)
+{
+    auto g = ir::compileToSrdfg(
+        "main(input float x, output float y) { y = x + 1.5; }");
+    ir::Node *constant = nullptr;
+    for (const auto &node : g->nodes) {
+        if (node && node->kind == ir::NodeKind::Constant)
+            constant = node.get();
+    }
+    EXPECT_NE(constant, nullptr);
+    constant->cval = cval;
+    const auto restored = ir::fromJson(ir::toJson(*g), g->context);
+    for (const auto &node : restored->nodes) {
+        if (node && node->kind == ir::NodeKind::Constant)
+            return node->cval;
+    }
+    ADD_FAILURE() << "restored graph lost its constant node";
+    return 0.0;
+}
+
+class ExtremeDoubleRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ExtremeDoubleRoundTrip, ConstantsSurviveSerializationBitExact)
+{
+    const double value = GetParam();
+    const double restored = roundTripCval(value);
+    // Bit-exact, which EXPECT_EQ is not: it treats -0.0 == 0.0 and can
+    // never match NaN. (NaN payloads are not preserved — any NaN encodes
+    // as "nan" — so NaN round-trips to the canonical quiet NaN.)
+    if (std::isnan(value))
+        EXPECT_TRUE(std::isnan(restored));
+    else
+        EXPECT_EQ(bitsOf(restored), bitsOf(value))
+            << "restored " << restored << " != " << value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, ExtremeDoubleRoundTrip,
+    ::testing::Values(std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::quiet_NaN(),
+                      1e308, -1e308,
+                      std::numeric_limits<double>::max(),
+                      std::numeric_limits<double>::denorm_min(),  // 5e-324
+                      -std::numeric_limits<double>::denorm_min(),
+                      std::numeric_limits<double>::min(),
+                      std::numeric_limits<double>::epsilon(),
+                      -0.0, 0.0, 1.0 / 3.0, 0.1, -123456.789e-30));
+
+TEST(ExtremeDoubleRoundTripTest, FuzzedBitPatternsSurvive)
+{
+    Rng rng(2024);
+    int tried = 0;
+    for (int i = 0; tried < 200 && i < 1000; ++i) {
+        // Random bit patterns cover the exponent range far better than
+        // random uniforms; skip NaNs (payloads are canonicalized).
+        const uint64_t bits = rng.next();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof v);
+        if (std::isnan(v))
+            continue;
+        ++tried;
+        ASSERT_EQ(bitsOf(roundTripCval(v)), bits) << "value " << v;
+    }
+    EXPECT_GE(tried, 100);
+}
+
+/** Pins the global C locale to a comma-decimal locale for one scope.
+ *  Skips silently (pinned() == false) when none is installed. */
+class CommaLocaleGuard
+{
+  public:
+    CommaLocaleGuard()
+    {
+        const char *current = std::setlocale(LC_ALL, nullptr);
+        saved_ = current ? current : "C";
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+              "fr_FR.utf8", "fr_FR", "it_IT.UTF-8", "es_ES.UTF-8"}) {
+            if (std::setlocale(LC_ALL, name)) {
+                pinned_ = name;
+                break;
+            }
+        }
+    }
+    ~CommaLocaleGuard() { std::setlocale(LC_ALL, saved_.c_str()); }
+
+    const char *pinned() const { return pinned_; }
+
+  private:
+    std::string saved_;
+    const char *pinned_ = nullptr;
+};
+
+TEST(LocaleIndependence, ParseAndSerializeUnderCommaDecimalLocale)
+{
+    const CommaLocaleGuard guard;
+    if (!guard.pinned())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+    EXPECT_STREQ(probe, "1,5")
+        << "locale " << guard.pinned() << " does not use comma decimals";
+
+    // PMLang float literals parse with from_chars, immune to the locale.
+    auto g = ir::compileToSrdfg(
+        "main(input float x, output float y) { y = x * 1.5; }");
+    const auto out = interp::evaluate(*g, {{"x", Tensor::scalar(2.0)}});
+    EXPECT_EQ(out.at("y").scalarValue(), 3.0);
+
+    // JSON stays dot-decimal on the way out and parses on the way in.
+    const auto json = ir::toJson(*g);
+    EXPECT_NE(json.find("1.5"), std::string::npos);
+    EXPECT_EQ(json.find("1,5"), std::string::npos);
+    const auto restored = ir::fromJson(json, g->context);
+    const auto out2 =
+        interp::evaluate(*restored, {{"x", Tensor::scalar(2.0)}});
+    EXPECT_EQ(out2.at("y").scalarValue(), 3.0);
+
+    // Fractional round-trip values survive a comma-locale process too.
+    EXPECT_EQ(bitsOf(roundTripCval(0.1)), bitsOf(0.1));
+    EXPECT_EQ(bitsOf(roundTripCval(-1e308)), bitsOf(-1e308));
+}
+
+TEST(LocaleIndependence, FuzzedExpressionsEvaluateUnderCommaDecimalLocale)
+{
+    const CommaLocaleGuard guard;
+    if (!guard.pinned())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    ExprFuzzer fuzzer(7);
+    for (int round = 0; round < 5; ++round) {
+        const auto [text, expected] = fuzzer.generate(0.5, -1.25, 2.0);
+        const std::string src =
+            "main(input float a, input float b, input float c,"
+            " output float y) { y = " +
+            text + "; }";
+        auto graph = ir::compileToSrdfg(src);
+        const auto out = interp::evaluate(
+            *graph, {{"a", Tensor::scalar(0.5)},
+                     {"b", Tensor::scalar(-1.25)},
+                     {"c", Tensor::scalar(2.0)}});
+        ASSERT_NEAR(out.at("y").scalarValue(), expected, 1e-9) << text;
+    }
+}
 
 TEST(Formatter, FuzzedExpressionsRoundTrip)
 {

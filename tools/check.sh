@@ -3,6 +3,13 @@
 # and again under ASan/UBSan (see CMakePresets.json). Run from anywhere;
 # operates on the repo root. `tools/check.sh default` or
 # `tools/check.sh asan` runs a single configuration.
+#
+# The ASan pass re-runs the suite twice more to pin down the two
+# environment axes the stack promises independence from:
+#   1. a comma-decimal locale (LC_ALL=de_DE.UTF-8 or the closest
+#      installed equivalent) — parse/serialize must not consult it;
+#   2. POLYMATH_JOBS=4 — the parallel suite driver must be sanitizer-
+#      clean and produce the same results as serial runs.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,6 +22,18 @@ else
     presets=(default asan)
 fi
 
+# Closest installed comma-decimal locale, empty if none (the in-process
+# locale tests GTEST_SKIP themselves in that case, so the run still
+# covers everything else).
+comma_locale=""
+for candidate in de_DE.UTF-8 de_DE.utf8 de_DE fr_FR.UTF-8 fr_FR.utf8 \
+                 fr_FR it_IT.UTF-8 it_IT.utf8 es_ES.UTF-8 es_ES.utf8; do
+    if locale -a 2>/dev/null | grep -qix "$candidate"; then
+        comma_locale="$candidate"
+        break
+    fi
+done
+
 for preset in "${presets[@]}"; do
     echo "== [$preset] configure =="
     cmake --preset "$preset"
@@ -22,6 +41,16 @@ for preset in "${presets[@]}"; do
     cmake --build --preset "$preset" -j "$jobs"
     echo "== [$preset] test =="
     ctest --preset "$preset" -j "$jobs"
+    if [ "$preset" = asan ]; then
+        if [ -n "$comma_locale" ]; then
+            echo "== [$preset] test (LC_ALL=$comma_locale) =="
+            LC_ALL="$comma_locale" ctest --preset "$preset" -j "$jobs"
+        else
+            echo "== [$preset] test (comma locale): none installed, skipped =="
+        fi
+        echo "== [$preset] test (POLYMATH_JOBS=4) =="
+        POLYMATH_JOBS=4 ctest --preset "$preset" -j "$jobs"
+    fi
 done
 
 echo "check.sh: all configurations passed"

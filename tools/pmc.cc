@@ -2,11 +2,15 @@
  * @file
  * pmc — the PolyMath compiler driver.
  *
- * Compiles a PMLang file through any prefix of the stack and prints the
- * result: the srDFG at all granularities, Graphviz, statistics, the
- * per-accelerator IR after Algorithms 1/2, or a simulated execution on
- * the SoC. `pmc --help` documents the flags; examples/pmlang/ has inputs.
+ * Compiles one or more PMLang files through any prefix of the stack and
+ * prints the result: the srDFG at all granularities, Graphviz, statistics,
+ * the per-accelerator IR after Algorithms 1/2, or a simulated execution on
+ * the SoC. With several inputs the files compile in parallel (`-j N` /
+ * `POLYMATH_JOBS`), but stdout/stderr are emitted in input order so output
+ * never depends on the jobs count. `pmc --help` documents the flags;
+ * examples/pmlang/ has inputs.
  */
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +22,7 @@
 #include "core/diagnostics.h"
 #include "core/error.h"
 #include "core/strings.h"
+#include "core/thread_pool.h"
 #include "lower/lower.h"
 #include "pmlang/format.h"
 #include "pmlang/parser.h"
@@ -37,7 +42,7 @@ using namespace polymath;
 
 struct Options
 {
-    std::string file;
+    std::vector<std::string> files;
     std::string entry = "main";
     std::map<std::string, int64_t> params;
     bool printIr = false;
@@ -53,13 +58,14 @@ struct Options
     bool listTargets = false;
     double faultRate = 0.0;
     uint64_t faultSeed = 0x5eed;
+    int jobs = 1;
 };
 
 void
 usage()
 {
     std::fputs(
-        "usage: pmc [options] <file.pm | ->\n"
+        "usage: pmc [options] <file.pm ... | ->\n"
         "\n"
         "  --entry <name>        entry component (default: main)\n"
         "  --param <name>=<int>  bind a scalar param at compile time\n"
@@ -82,6 +88,10 @@ usage()
         "                        watchdog faults at rate r in [0,1] and\n"
         "                        print the reliability report\n"
         "  --fault-seed <n>      seed for deterministic fault injection\n"
+        "  -j, --jobs <n>        compile multiple inputs with n worker\n"
+        "                        threads (0 = all hardware threads;\n"
+        "                        default POLYMATH_JOBS or 1); output stays\n"
+        "                        in input order\n"
         "  --list-targets        print the registered accelerators\n",
         stderr);
 }
@@ -99,38 +109,38 @@ domainFromKeyword(const std::string &word)
           "' (expected RBT|GA|DSP|DA|DL or ALL)");
 }
 
+// Numeric flags parse with from_chars: locale-independent by
+// specification, unlike the stoll/stod family (DESIGN.md §"Locale").
+
 int64_t
 parseInt(const std::string &flag, const std::string &text)
 {
-    try {
-        size_t used = 0;
-        const int64_t value = std::stoll(text, &used);
-        if (used != text.size())
-            throw std::invalid_argument(text);
-        return value;
-    } catch (const std::exception &) {
+    int64_t value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
         fatal(flag + " expects an integer (got '" + text + "')");
-    }
+    return value;
 }
 
 double
 parseDouble(const std::string &flag, const std::string &text)
 {
-    try {
-        size_t used = 0;
-        const double value = std::stod(text, &used);
-        if (used != text.size())
-            throw std::invalid_argument(text);
-        return value;
-    } catch (const std::exception &) {
+    double value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
         fatal(flag + " expects a number (got '" + text + "')");
-    }
+    return value;
 }
 
 Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
+    opts.jobs = core::defaultJobs();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -172,6 +182,20 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--fault-seed") {
             opts.faultSeed =
                 static_cast<uint64_t>(parseInt("--fault-seed", next()));
+        } else if (arg == "-j" || arg == "--jobs") {
+            opts.jobs = static_cast<int>(parseInt("--jobs", next()));
+            if (opts.jobs < 0)
+                fatal("--jobs expects a non-negative integer");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs =
+                static_cast<int>(parseInt("--jobs", arg.substr(7)));
+            if (opts.jobs < 0)
+                fatal("--jobs expects a non-negative integer");
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            opts.jobs = static_cast<int>(
+                parseInt("-j", arg.substr(2))); // -jN combined form
+            if (opts.jobs < 0)
+                fatal("-j expects a non-negative integer");
         } else if (arg == "--list-targets") {
             opts.listTargets = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -179,12 +203,11 @@ parseArgs(int argc, char **argv)
             std::exit(0);
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             fatal("unknown option " + arg);
-        } else if (opts.file.empty()) {
-            opts.file = arg;
         } else {
-            fatal("multiple input files given");
+            opts.files.push_back(arg);
         }
     }
+    opts.jobs = core::resolveJobs(opts.jobs);
     return opts;
 }
 
@@ -204,26 +227,15 @@ readInput(const std::string &file)
     return buffer.str();
 }
 
+/**
+ * Compiles one input and renders its stdout/stderr into strings, so
+ * parallel multi-file runs can replay the streams in input order.
+ */
 int
-run(const Options &opts)
+runFile(const Options &opts, const std::string &file, std::string &out,
+        std::string &err)
 {
-    if (opts.listTargets) {
-        const auto registry = target::standardRegistry();
-        for (const auto &spec : registry.specs()) {
-            std::printf("%-14s domain %-4s  %zu supported ops\n",
-                        spec.name.c_str(),
-                        lang::toString(spec.domain).c_str(),
-                        spec.supportedOps.size());
-        }
-        if (opts.file.empty())
-            return 0;
-    }
-    if (opts.file.empty()) {
-        usage();
-        return 2;
-    }
-
-    const std::string source = readInput(opts.file);
+    const std::string source = readInput(file);
 
     // Pre-flight syntax check with statement-level error recovery so one
     // run surfaces *every* syntax error, not just the first.
@@ -231,9 +243,9 @@ run(const Options &opts)
         DiagnosticEngine diag;
         lang::parseWithRecovery(source, diag);
         if (!diag.empty())
-            std::fputs(diag.str().c_str(), stderr);
+            err += diag.str();
         if (diag.hasErrors()) {
-            std::fprintf(stderr, "pmc: %zu error(s)\n", diag.errorCount());
+            err += format("pmc: %zu error(s)\n", diag.errorCount());
             return 1;
         }
     }
@@ -241,7 +253,7 @@ run(const Options &opts)
     if (opts.formatSource) {
         const auto program = lang::parse(source);
         lang::analyze(program, opts.entry);
-        std::printf("%s", lang::formatProgram(program).c_str());
+        out += lang::formatProgram(program);
         return 0;
     }
     ir::BuildOptions build;
@@ -253,26 +265,26 @@ run(const Options &opts)
         auto pipeline = pass::standardPipeline();
         for (const auto &result : pipeline.runToFixpoint(*graph)) {
             if (result.changed)
-                std::fprintf(stderr, "pmc: pass %s changed the graph\n",
-                             result.name.c_str());
+                err += format("pmc: pass %s changed the graph\n",
+                              result.name.c_str());
         }
     }
 
     bool did_something = false;
     if (opts.stats) {
-        std::printf("%s\n", ir::graphStats(*graph).c_str());
+        out += ir::graphStats(*graph) + "\n";
         did_something = true;
     }
     if (opts.printIr) {
-        std::printf("%s", ir::printGraph(*graph).c_str());
+        out += ir::printGraph(*graph);
         did_something = true;
     }
     if (opts.dot) {
-        std::printf("%s", ir::toDot(*graph).c_str());
+        out += ir::toDot(*graph);
         did_something = true;
     }
     if (opts.json) {
-        std::printf("%s\n", ir::toJson(*graph).c_str());
+        out += ir::toJson(*graph) + "\n";
         did_something = true;
     }
     if (!opts.target.empty()) {
@@ -281,19 +293,15 @@ run(const Options &opts)
         lower::lowerGraph(*graph, registry.supportedOpsByDomain(), domain);
         const auto compiled =
             lower::compileProgram(*graph, registry, domain);
-        std::printf("%s", compiled.str().c_str());
+        out += compiled.str();
         if (opts.schedule) {
             for (const auto &partition : compiled.partitions) {
                 if (partition.accel == "TABLA") {
-                    std::printf("TABLA PE schedule:\n%s",
-                                target::listSchedule(partition, {})
-                                    .str()
-                                    .c_str());
+                    out += "TABLA PE schedule:\n" +
+                           target::listSchedule(partition, {}).str();
                 } else if (partition.accel == "DECO") {
-                    std::printf("DECO chain mapping:\n%s",
-                                target::mapChains(partition, {})
-                                    .str()
-                                    .c_str());
+                    out += "DECO chain mapping:\n" +
+                           target::mapChains(partition, {}).str();
                 }
             }
         }
@@ -310,17 +318,82 @@ run(const Options &opts)
             target::WorkloadProfile profile;
             profile.invocations = opts.invocations;
             const auto result = runtime.execute(compiled, profile);
-            std::printf("simulated: %s\n", result.total.str().c_str());
+            out += format("simulated: %s\n", result.total.str().c_str());
             if (opts.faultRate > 0) {
-                std::printf("reliability: %s\n",
-                            result.reliability.str().c_str());
+                out += format("reliability: %s\n",
+                              result.reliability.str().c_str());
             }
         }
         did_something = true;
     }
     if (!did_something)
-        std::printf("%s", ir::printGraph(*graph).c_str());
+        out += ir::printGraph(*graph);
     return 0;
+}
+
+/** runFile with the process-level exception policy applied per input. */
+int
+runFileGuarded(const Options &opts, const std::string &file,
+               std::string &out, std::string &err)
+{
+    // Exit codes: 0 success, 1 user error (bad program/config, printed as
+    // a formatted diagnostic with its source location), 2 internal error.
+    try {
+        return runFile(opts, file, out, err);
+    } catch (const UserError &e) {
+        const Diagnostic diag{Severity::Error, e.message(), e.loc()};
+        err += format("pmc: %s\n", diag.str().c_str());
+        return 1;
+    } catch (const InternalError &e) {
+        err += format("pmc: %s\n", e.what()); // "internal error: …"
+        return 2;
+    } catch (const std::exception &e) {
+        err += format("pmc: internal error: %s\n", e.what());
+        return 2;
+    }
+}
+
+int
+run(const Options &opts)
+{
+    if (opts.listTargets) {
+        const auto registry = target::standardRegistry();
+        for (const auto &spec : registry.specs()) {
+            std::printf("%-14s domain %-4s  %zu supported ops\n",
+                        spec.name.c_str(),
+                        lang::toString(spec.domain).c_str(),
+                        spec.supportedOps.size());
+        }
+        if (opts.files.empty())
+            return 0;
+    }
+    if (opts.files.empty()) {
+        usage();
+        return 2;
+    }
+
+    struct FileResult
+    {
+        std::string out;
+        std::string err;
+        int code = 0;
+    };
+    const auto results = core::parallelMap(
+        opts.jobs, static_cast<int64_t>(opts.files.size()),
+        [&](int64_t i) {
+            FileResult r;
+            r.code = runFileGuarded(opts, opts.files[static_cast<size_t>(i)],
+                                    r.out, r.err);
+            return r;
+        });
+
+    int code = 0;
+    for (const auto &r : results) {
+        std::fputs(r.out.c_str(), stdout);
+        std::fputs(r.err.c_str(), stderr);
+        code = std::max(code, r.code);
+    }
+    return code;
 }
 
 } // namespace
@@ -328,8 +401,6 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    // Exit codes: 0 success, 1 user error (bad program/config, printed as
-    // a formatted diagnostic with its source location), 2 internal error.
     try {
         return run(parseArgs(argc, argv));
     } catch (const polymath::UserError &e) {
