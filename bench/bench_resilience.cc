@@ -21,6 +21,7 @@
 
 #include "core/strings.h"
 #include "driver.h"
+#include "obs/metrics.h"
 #include "report/report.h"
 #include "soc/soc.h"
 #include "targets/common/backend.h"
@@ -50,6 +51,18 @@ workloadSeed(uint64_t seed, size_t workload)
     return seed ^ ((workload + 1) * 0x9e3779b97f4a7c15ull);
 }
 
+/** One sweep row: rendered cells plus the raw tallies they came from,
+ *  kept so the totals can be cross-checked against the SoC runtime's
+ *  MetricsRegistry counters after the sweep. */
+struct SweepRow
+{
+    std::vector<std::string> cells;
+    int64_t faults = 0;
+    int64_t retries = 0;
+    int64_t fallbacks = 0;
+    int64_t attempts = 0;
+};
+
 } // namespace
 
 int
@@ -69,7 +82,11 @@ main(int argc, char **argv)
         soc::SocRuntime runtime;
         double log_slowdown = 0.0;
         double log_energy = 0.0;
-        int64_t faults = 0, retries = 0, fallbacks = 0, attempts = 0;
+        SweepRow row;
+        int64_t &faults = row.faults;
+        int64_t &retries = row.retries;
+        int64_t &fallbacks = row.fallbacks;
+        int64_t &attempts = row.attempts;
         for (size_t i = 0; i < workloads.size(); ++i) {
             const auto &bench = *workloads[i].bench;
             // Calibrated host-library efficiency for fallback execution.
@@ -95,18 +112,19 @@ main(int argc, char **argv)
             attempts > 0 ? 1.0 - static_cast<double>(fallbacks) /
                                      static_cast<double>(attempts)
                          : 1.0;
-        return std::vector<std::string>{
+        row.cells = {
             format("%.2f", rate), format("%.4fx", geomean),
             format("%.4fx", geomean_energy), format("%.3f", availability),
             std::to_string(faults), std::to_string(retries),
             std::to_string(fallbacks)};
+        return row;
     });
 
     report::Table table({"Fault rate", "Geomean slowdown",
                          "Geomean energy", "Availability", "Faults",
                          "Retries", "Fallbacks"});
     for (const auto &row : rows)
-        table.addRow(row);
+        table.addRow(row.cells);
     std::printf("Resilience sweep: Table III workloads on the SoC, "
                 "seed 0x%llx\n%s\n",
                 static_cast<unsigned long long>(kSeed),
@@ -114,5 +132,41 @@ main(int argc, char **argv)
     std::printf("Policies: accel-unavailable => host fallback; DMA "
                 "failure => retry w/ exponential backoff then host "
                 "fallback; watchdog => re-execute then host fallback.\n");
-    return 0;
+
+    // Cross-check: the SoC runtime publishes its fault accounting through
+    // the MetricsRegistry (soc.faults.*); the totals must agree with the
+    // per-row ReliabilityReport tallies summed above. Any disagreement
+    // means an instrumentation bug, so fail loudly — on stderr, keeping
+    // stdout byte-identical to an unchecked run.
+    SweepRow total;
+    for (const auto &row : rows) {
+        total.faults += row.faults;
+        total.retries += row.retries;
+        total.fallbacks += row.fallbacks;
+        total.attempts += row.attempts;
+    }
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    const auto check = [](const char *name, int64_t metric,
+                          int64_t tallied) {
+        if (metric == tallied)
+            return true;
+        std::fprintf(stderr,
+                     "bench_resilience: metric %s = %lld disagrees with "
+                     "summed ReliabilityReport tally %lld\n",
+                     name, static_cast<long long>(metric),
+                     static_cast<long long>(tallied));
+        return false;
+    };
+    bool ok = true;
+    ok &= check("soc.faults.injected",
+                snap.counter("soc.faults.injected"), total.faults);
+    ok &= check("soc.faults.retries", snap.counter("soc.faults.retries"),
+                total.retries);
+    ok &= check("soc.faults.host_fallbacks",
+                snap.counter("soc.faults.host_fallbacks"),
+                total.fallbacks);
+    ok &= check("soc.faults.offload_attempts",
+                snap.counter("soc.faults.offload_attempts"),
+                total.attempts);
+    return ok ? 0 : 1;
 }

@@ -2,9 +2,12 @@
 
 #include <charconv>
 #include <cstring>
+#include <exception>
 
 #include "core/error.h"
+#include "core/logging.h"
 #include "core/strings.h"
+#include "obs/export.h"
 
 namespace polymath::bench {
 
@@ -43,6 +46,12 @@ parseDriverArgs(int argc, char **argv)
             opts.jobs = parseJobsValue(arg + 7);
         } else if (std::strcmp(arg, "--driver-stats") == 0) {
             opts.stats = true;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (i + 1 >= argc)
+                fatal("missing value after --trace");
+            opts.tracePath = argv[++i];
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
         }
     }
     opts.jobs = core::resolveJobs(opts.jobs);
@@ -50,9 +59,11 @@ parseDriverArgs(int argc, char **argv)
 }
 
 Driver::Driver(DriverOptions options)
-    : options_(options), cache_(lower::CompileCache::global())
+    : options_(std::move(options)), cache_(lower::CompileCache::global())
 {
     options_.jobs = core::resolveJobs(options_.jobs);
+    if (!options_.tracePath.empty())
+        obs::TraceRecorder::global().setEnabled(true);
 }
 
 Driver::Driver(int argc, char **argv)
@@ -63,6 +74,16 @@ Driver::Driver(int argc, char **argv)
 Driver::~Driver()
 {
     reportStats();
+    if (options_.tracePath.empty())
+        return;
+    // Destructors must not throw; a failed trace write is a warning, not
+    // a bench failure (the report already went to stdout).
+    try {
+        obs::writeChromeTrace(obs::TraceRecorder::global(),
+                              options_.tracePath);
+    } catch (const std::exception &e) {
+        warn(std::string("driver: cannot write trace: ") + e.what());
+    }
 }
 
 std::vector<CompiledBenchmark>
@@ -103,9 +124,10 @@ Driver::compileTableIV(const lower::AcceleratorRegistry &registry) const
 std::string
 Driver::statsLine() const
 {
-    return format("driver: jobs=%d cache: %lld hits, %lld misses "
-                  "(%.0f%% hit rate, %zu programs)",
+    return format("driver: jobs=%d cache: %lld hits (%lld coalesced), "
+                  "%lld misses (%.0f%% hit rate, %zu programs)",
                   options_.jobs, static_cast<long long>(cache_.hits()),
+                  static_cast<long long>(cache_.coalesced()),
                   static_cast<long long>(cache_.misses()),
                   cache_.hitRate() * 100.0, cache_.size());
 }

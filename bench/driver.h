@@ -14,16 +14,21 @@
  * `POLYMATH_JOBS` environment variable (0 = all hardware threads).
  * Default is serial. `--driver-stats` prints jobs + cache hit counters
  * to stderr after the run (stderr, so report output stays identical).
+ * `--trace <out.json>` records the whole run — per-job wall-clock spans
+ * from every pool worker plus the compiler/SoC instrumentation beneath
+ * them — and writes Chrome-trace JSON on driver destruction.
  */
 #ifndef POLYMATH_BENCH_DRIVER_H_
 #define POLYMATH_BENCH_DRIVER_H_
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/thread_pool.h"
 #include "lower/compile_cache.h"
+#include "obs/trace.h"
 #include "workloads/suite.h"
 
 namespace polymath::bench {
@@ -36,6 +41,10 @@ struct DriverOptions
 
     /** Print cache/pool statistics to stderr after the run. */
     bool stats = false;
+
+    /** When non-empty, enable the global TraceRecorder and write
+     *  Chrome-trace JSON here when the driver is destroyed. */
+    std::string tracePath;
 };
 
 /**
@@ -81,7 +90,17 @@ class Driver
     template <class Fn>
     auto map(int64_t n, Fn &&fn) const
     {
-        return core::parallelMap(options_.jobs, n, std::forward<Fn>(fn));
+        // Each job gets a wall-clock span on its worker's track, so a
+        // traced run shows how the pool filled. fn is shared across
+        // workers (parallelMap already requires it to be thread-safe).
+        return core::parallelMap(options_.jobs, n, [&fn, n](int64_t i) {
+            obs::Span span("driver:job", "driver");
+            if (span.active()) {
+                span.arg("index", i);
+                span.arg("of", n);
+            }
+            return fn(i);
+        });
     }
 
     /**

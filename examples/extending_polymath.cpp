@@ -62,7 +62,7 @@ class Systolic256 : public target::Backend
         return s;
     }
 
-    target::PerfReport simulate(
+    target::PerfReport simulateImpl(
         const lower::Partition &partition,
         const target::WorkloadProfile &profile) const override
     {

@@ -1,37 +1,50 @@
 #include "core/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace polymath {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+// The level is read on every inform/warn call from any thread (the -jN
+// pool workers log freely), so it must be atomic; relaxed ordering is
+// enough for a verbosity switch. Output itself is serialized through a
+// mutex so concurrent messages never interleave mid-line.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_output_mutex;
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string &message)
 {
-    if (g_level >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info) {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
         std::fprintf(stderr, "info: %s\n", message.c_str());
+    }
 }
 
 void
 warn(const std::string &message)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn) {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
         std::fprintf(stderr, "warn: %s\n", message.c_str());
+    }
 }
 
 } // namespace polymath

@@ -5,6 +5,11 @@
  * inform() — normal operating messages.
  * warn()   — something may be off; execution continues.
  * Both honor a global verbosity switch so tests and benches stay quiet.
+ *
+ * Thread-safety contract: every function here may be called from any
+ * thread (the `-jN` pool workers log freely). The level is an atomic,
+ * and message output is serialized so concurrent inform()/warn() calls
+ * never interleave mid-line.
  */
 #ifndef POLYMATH_CORE_LOGGING_H_
 #define POLYMATH_CORE_LOGGING_H_

@@ -3,6 +3,8 @@
 #include <set>
 
 #include "core/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "srdfg/traversal.h"
 
 namespace polymath::lower {
@@ -172,6 +174,8 @@ CompiledProgram
 compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
                Domain default_domain, DiagnosticEngine *diag)
 {
+    auto &recorder = obs::TraceRecorder::global();
+    obs::Span compile_span("lower:compile", "compile");
     CompiledProgram out;
 
     // Degraded execution target for domains with no registered
@@ -185,7 +189,27 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
 
     Partition *current = nullptr;
     int current_index = -1;
+
+    // Per-partition compile spans: each maximal same-accelerator run of
+    // the schedule gets a wall-clock span covering its translation.
+    int64_t partition_span_start = 0;
+    auto close_partition_span = [&]() {
+        if (!recorder.enabled() || !current)
+            return;
+        const int64_t now = recorder.nowMicros();
+        recorder.completeReal(
+            format("compile:partition[%d] %s", current_index,
+                   current->accel.c_str()),
+            "compile", partition_span_start, now - partition_span_start,
+            {obs::TraceArg::str("accel", current->accel),
+             obs::TraceArg::num(
+                 "fragments",
+                 static_cast<int64_t>(current->fragments.size()))});
+    };
     auto open_partition = [&](Domain dom, const AcceleratorSpec &spec) {
+        close_partition_span();
+        if (recorder.enabled())
+            partition_span_start = recorder.nowMicros();
         out.partitions.push_back(Partition{});
         current = &out.partitions.back();
         current_index = static_cast<int>(out.partitions.size()) - 1;
@@ -296,6 +320,8 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
                 current_index;
     }
 
+    close_partition_span();
+
     // Graph outputs leave the last producing partitions.
     for (ValueId v : graph.outputs) {
         const int src = partition_of_value[static_cast<size_t>(v)];
@@ -311,6 +337,15 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
                 transferFragment(graph, v, false));
         }
     }
+
+    auto &metrics = obs::MetricsRegistry::global();
+    metrics.counter("compile.runs").add(1);
+    metrics.counter("compile.partitions")
+        .add(static_cast<int64_t>(out.partitions.size()));
+    metrics.counter("compile.boundary_bytes").add(out.transferBytes());
+    compile_span.arg("partitions",
+                     static_cast<int64_t>(out.partitions.size()));
+    compile_span.arg("boundary_bytes", out.transferBytes());
     return out;
 }
 

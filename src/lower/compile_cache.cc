@@ -1,6 +1,10 @@
 #include "lower/compile_cache.h"
 
+#include <chrono>
+
 #include "core/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polymath::lower {
 
@@ -62,9 +66,11 @@ contentHash(const std::string &key)
 std::shared_ptr<const CompiledProgram>
 CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
 {
+    auto &metrics = obs::MetricsRegistry::global();
     std::promise<std::shared_ptr<const CompiledProgram>> promise;
     Entry entry;
     bool owner = false;
+    bool coalesced = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -76,12 +82,25 @@ CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
         } else {
             ++hits_;
             entry = it->second;
+            coalesced = entry.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready;
+            if (coalesced)
+                ++coalesced_;
         }
     }
     if (!owner) {
-        // May block while the owning thread compiles; rethrows its error.
+        metrics.counter("compile_cache.hits").add(1);
+        if (coalesced) {
+            metrics.counter("compile_cache.coalesced").add(1);
+            // May block while the owning thread compiles; rethrows its
+            // error. The span makes the blocked wait visible on the
+            // worker's wall-clock track.
+            obs::Span span("cache:coalesced-wait", "cache");
+            return entry.get();
+        }
         return entry.get();
     }
+    metrics.counter("compile_cache.misses").add(1);
     try {
         auto program =
             std::make_shared<const CompiledProgram>(compile());
@@ -113,6 +132,13 @@ CompileCache::misses() const
     return misses_;
 }
 
+int64_t
+CompileCache::coalesced() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return coalesced_;
+}
+
 double
 CompileCache::hitRate() const
 {
@@ -137,6 +163,7 @@ CompileCache::clear()
     entries_.clear();
     hits_ = 0;
     misses_ = 0;
+    coalesced_ = 0;
 }
 
 CompileCache &

@@ -65,6 +65,9 @@ class CompileCache
     int64_t hits() const;
     /** Requests that ran the compiler. */
     int64_t misses() const;
+    /** Hits that blocked on an in-flight compilation (single-flight
+     *  coalescing) rather than finding a finished entry. */
+    int64_t coalesced() const;
     /** hits / (hits + misses); 0 when empty. */
     double hitRate() const;
     /** Distinct programs currently cached. */
@@ -84,6 +87,7 @@ class CompileCache
     std::map<std::string, Entry> entries_;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
+    int64_t coalesced_ = 0;
 };
 
 } // namespace polymath::lower

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "passes/rewrite.h"
 
 namespace polymath::lower {
@@ -88,6 +89,8 @@ effectiveDomain(const Node &node, Domain fallback)
 void
 lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
 {
+    obs::Span span("lower:graph", "lower");
+    span.arg("nodes_before", graph.liveNodeCount());
     // Iterate until stable: splicing appends nodes that may themselves
     // need lowering.
     bool changed = true;
@@ -126,6 +129,7 @@ lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
         }
     }
     graph.validate();
+    span.arg("nodes_after", graph.liveNodeCount());
 }
 
 } // namespace polymath::lower

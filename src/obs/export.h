@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace/metrics exporters (docs/OBSERVABILITY.md).
+ *
+ * The Chrome-trace exporter renders a TraceRecorder's events in the
+ * trace-event JSON format that chrome://tracing and https://ui.perfetto.dev
+ * load directly: one "complete" ('X') event per span with ts/dur in
+ * microseconds, instant ('i') events for point occurrences, and process
+ * metadata naming the wall-clock (pid 1) and SoC virtual-time (pid 2)
+ * timelines.
+ */
+#ifndef POLYMATH_OBS_EXPORT_H_
+#define POLYMATH_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace polymath::obs {
+
+/** Renders the recorded events as a Chrome-trace JSON document. */
+std::string chromeTraceJson(const TraceRecorder &recorder);
+
+/** Writes chromeTraceJson() to @p path. @throws UserError on I/O error. */
+void writeChromeTrace(const TraceRecorder &recorder,
+                      const std::string &path);
+
+} // namespace polymath::obs
+
+#endif // POLYMATH_OBS_EXPORT_H_

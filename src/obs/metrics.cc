@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <charconv>
+
+#include "core/strings.h"
+
+namespace polymath::obs {
+
+void
+Histogram::observe(int64_t value)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    int64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    const uint64_t magnitude =
+        value > 0 ? static_cast<uint64_t>(value) : 0u;
+    const int bucket = std::bit_width(magnitude); // 0 for value <= 0
+    buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+HistogramStats
+Histogram::stats() const
+{
+    HistogramStats s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    if (s.count > 0) {
+        s.min = min_.load(std::memory_order_relaxed);
+        s.max = max_.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+int64_t
+Histogram::bucket(int index) const
+{
+    if (index < 0 || index >= kBuckets)
+        return 0;
+    return buckets_[index].load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(INT64_MAX, std::memory_order_relaxed);
+    max_.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+int64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+}
+
+namespace {
+
+/** Locale-independent double rendering (DESIGN.md §"Locale"). */
+std::string
+doubleText(double value)
+{
+    char buf[64];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), value,
+                      std::chars_format::general, 17);
+    return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::str() const
+{
+    std::string out;
+    for (const auto &[name, value] : counters)
+        out += format("%-44s %lld\n", name.c_str(),
+                      static_cast<long long>(value));
+    for (const auto &[name, value] : gauges)
+        out += format("%-44s %s\n", name.c_str(),
+                      doubleText(value).c_str());
+    for (const auto &[name, h] : histograms) {
+        out += format("%-44s count %lld  sum %lld  min %lld  max %lld  "
+                      "mean %s\n",
+                      name.c_str(), static_cast<long long>(h.count),
+                      static_cast<long long>(h.sum),
+                      static_cast<long long>(h.min),
+                      static_cast<long long>(h.max),
+                      doubleText(h.mean()).c_str());
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::json() const
+{
+    // Metric names are [A-Za-z0-9._-] by convention, so no escaping is
+    // needed; keep it that way when adding instruments.
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out += first ? "" : ",";
+        out += '"';
+        out += name;
+        out += "\":";
+        out += std::to_string(value);
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out += first ? "" : ",";
+        out += '"';
+        out += name;
+        out += "\":";
+        out += doubleText(value);
+        first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out += first ? "" : ",";
+        out += '"';
+        out += name;
+        out += "\":{\"count\":";
+        out += std::to_string(h.count);
+        out += ",\"sum\":";
+        out += std::to_string(h.sum);
+        out += ",\"min\":";
+        out += std::to_string(h.min);
+        out += ",\"max\":";
+        out += std::to_string(h.max);
+        out += ",\"mean\":";
+        out += doubleText(h.mean());
+        out += '}';
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        snap.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms_)
+        snap.histograms[name] = h->stats();
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        c->reset();
+    for (const auto &[name, g] : gauges_)
+        g->reset();
+    for (const auto &[name, h] : histograms_)
+        h->reset();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace polymath::obs

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Process-wide metrics registry (docs/OBSERVABILITY.md).
+ *
+ * Named counters, gauges, and histograms with lock-free updates: the
+ * registry hands out stable references (instruments are never destroyed,
+ * reset() only zeroes them), so hot paths pay one relaxed atomic op per
+ * update and can cache the reference across calls. Unlike tracing, metrics
+ * are always on — they never print unless a stats dump is requested, so
+ * reports stay byte-identical — and they are how layers expose counts the
+ * caller would otherwise re-derive: compile-cache hits/misses/coalesces,
+ * per-pass change counts, SoC DMA bytes and partition counts, and the
+ * fault-injection retry/fallback tallies of the resilience layer.
+ */
+#ifndef POLYMATH_OBS_METRICS_H_
+#define POLYMATH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace polymath::obs {
+
+/** Monotonic (well, signed-delta) event count. */
+class Counter
+{
+  public:
+    void add(int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Aggregated view of a histogram at one point in time. */
+struct HistogramStats
+{
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0; ///< 0 when count == 0
+    int64_t max = 0;
+
+    double mean() const
+    {
+        return count > 0
+                   ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+};
+
+/** Distribution of non-negative integer samples (e.g. pass micros,
+ *  partition byte counts): count/sum/min/max plus power-of-two buckets. */
+class Histogram
+{
+  public:
+    /** Bucket i counts samples whose bit width is i (~[2^(i-1), 2^i)). */
+    static constexpr int kBuckets = 63;
+
+    void observe(int64_t value);
+
+    HistogramStats stats() const;
+
+    /** Samples in bucket @p index (see kBuckets). */
+    int64_t bucket(int index) const;
+
+    void reset();
+
+  private:
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> min_{INT64_MAX};
+    std::atomic<int64_t> max_{INT64_MIN};
+    std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+/** Point-in-time copy of every instrument, for printing/asserting. */
+struct MetricsSnapshot
+{
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+
+    /** Counter value, 0 when absent (snapshots are assert-friendly). */
+    int64_t counter(const std::string &name) const;
+
+    /** Flat `name value` text dump, sorted by name. */
+    std::string str() const;
+
+    /** JSON object {"counters":{},"gauges":{},"histograms":{}}. */
+    std::string json() const;
+};
+
+/** Named-instrument registry; all accessors are thread-safe. */
+class MetricsRegistry
+{
+  public:
+    /** Finds or creates an instrument. The reference stays valid for the
+     *  registry's lifetime (instruments are never removed). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zeroes every instrument, keeping identities (cached references
+     *  remain valid). */
+    void reset();
+
+    /** The process-wide registry every instrumentation site feeds. */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace polymath::obs
+
+#endif // POLYMATH_OBS_METRICS_H_

@@ -1,0 +1,204 @@
+#include "obs/trace.h"
+
+#include <cmath>
+
+namespace polymath::obs {
+
+TraceArg
+TraceArg::num(std::string key, int64_t value)
+{
+    return TraceArg{std::move(key), std::to_string(value), true};
+}
+
+TraceArg
+TraceArg::str(std::string key, std::string value)
+{
+    return TraceArg{std::move(key), std::move(value), false};
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+TraceRecorder::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+int64_t
+TraceRecorder::nowMicros() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+int64_t
+TraceRecorder::threadRank()
+{
+    static std::atomic<int64_t> next{0};
+    thread_local int64_t rank = next.fetch_add(1);
+    return rank;
+}
+
+void
+TraceRecorder::record(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::completeReal(std::string name, std::string cat, int64_t ts,
+                            int64_t dur, std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'X';
+    ev.pid = kRealPid;
+    ev.tid = threadRank();
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+TraceRecorder::instant(std::string name, std::string cat,
+                       std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'i';
+    ev.pid = kRealPid;
+    ev.tid = threadRank();
+    ev.ts = nowMicros();
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+int64_t
+TraceRecorder::newVirtualTrack()
+{
+    return next_virtual_track_.fetch_add(1);
+}
+
+namespace {
+
+int64_t
+virtualMicros(double seconds)
+{
+    return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+} // namespace
+
+void
+TraceRecorder::virtualSpan(std::string name, std::string cat, int64_t track,
+                           double start_seconds, double duration_seconds,
+                           std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'X';
+    ev.pid = kVirtualPid;
+    ev.tid = track;
+    ev.ts = virtualMicros(start_seconds);
+    ev.dur = virtualMicros(duration_seconds);
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+TraceRecorder::virtualInstant(std::string name, std::string cat,
+                              int64_t track, double at_seconds,
+                              std::vector<TraceArg> args)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'i';
+    ev.pid = kVirtualPid;
+    ev.tid = track;
+    ev.ts = virtualMicros(at_seconds);
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+Span::Span(const char *name, const char *cat, TraceRecorder &recorder)
+{
+    if (!recorder.enabled())
+        return; // zero-cost path: one relaxed load, nothing allocated
+    recorder_ = &recorder;
+    event_.name = name;
+    event_.cat = cat;
+    event_.ts = recorder.nowMicros();
+}
+
+Span::~Span()
+{
+    if (!recorder_)
+        return;
+    event_.ph = 'X';
+    event_.pid = kRealPid;
+    event_.tid = TraceRecorder::threadRank();
+    event_.dur = recorder_->nowMicros() - event_.ts;
+    recorder_->record(std::move(event_));
+}
+
+void
+Span::arg(const char *key, const std::string &value)
+{
+    if (recorder_)
+        event_.args.push_back(TraceArg::str(key, value));
+}
+
+void
+Span::arg(const char *key, int64_t value)
+{
+    if (recorder_)
+        event_.args.push_back(TraceArg::num(key, value));
+}
+
+void
+Span::rename(std::string name)
+{
+    if (recorder_)
+        event_.name = std::move(name);
+}
+
+} // namespace polymath::obs

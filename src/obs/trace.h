@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tracing spans for the whole stack (docs/OBSERVABILITY.md).
+ *
+ * A TraceRecorder collects timestamped events from every layer of the
+ * pipeline — PMLang parse/sema, the pass pipeline, Algorithms 1/2, the
+ * compile cache, the backend simulators, and the SoC runtime — into one
+ * process-wide timeline that exports as Chrome-trace JSON (chrome://tracing
+ * or Perfetto). Two timelines coexist in one trace:
+ *
+ *   - pid kRealPid: wall-clock spans measured with steady_clock, one tid
+ *     per OS thread (the `-jN` pool workers show up as parallel tracks);
+ *   - pid kVirtualPid: *virtual-time* spans whose timestamps are simulated
+ *     seconds — each SocRuntime::execute lays its per-partition compute and
+ *     DMA spans on a fresh virtual track starting at t=0.
+ *
+ * The recorder is disabled by default and the instrumentation is zero-cost
+ * in that state: Span constructors read one relaxed atomic and touch
+ * nothing else, so un-traced runs produce byte-identical reports (verified
+ * by tests/test_obs.cc and tests/test_driver.cc).
+ */
+#ifndef POLYMATH_OBS_TRACE_H_
+#define POLYMATH_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace polymath::obs {
+
+/** Chrome-trace process id of the wall-clock timeline. */
+inline constexpr int kRealPid = 1;
+
+/** Chrome-trace process id of the simulated SoC timeline. */
+inline constexpr int kVirtualPid = 2;
+
+/** One key/value annotation on an event ("args" in Chrome trace). */
+struct TraceArg
+{
+    std::string key;
+    std::string value;
+    bool numeric = false; ///< render unquoted in JSON
+
+    static TraceArg num(std::string key, int64_t value);
+    static TraceArg str(std::string key, std::string value);
+};
+
+/** One trace event (Chrome trace-event format). */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = 'X'; ///< 'X' complete span, 'i' instant
+    int pid = kRealPid;
+    int64_t tid = 0; ///< thread rank (real) or virtual track
+    int64_t ts = 0;  ///< microseconds since recorder epoch / virtual zero
+    int64_t dur = 0; ///< span duration in microseconds ('X' only)
+    std::vector<TraceArg> args;
+};
+
+/** Thread-safe, process-wide event sink. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder();
+
+    /** Turns recording on or off. Off (the default) makes every record
+     *  call and Span a no-op. */
+    void setEnabled(bool on);
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds of wall-clock time since the recorder was created. */
+    int64_t nowMicros() const;
+
+    /** Small dense id of the calling thread, stable for its lifetime. */
+    static int64_t threadRank();
+
+    /** Appends @p event verbatim (no-op when disabled). */
+    void record(TraceEvent event);
+
+    /** Records a completed wall-clock span at an explicit [ts, ts+dur]. */
+    void completeReal(std::string name, std::string cat, int64_t ts,
+                      int64_t dur, std::vector<TraceArg> args = {});
+
+    /** Records an instant event at the current wall-clock time. */
+    void instant(std::string name, std::string cat,
+                 std::vector<TraceArg> args = {});
+
+    /** Reserves a fresh track (tid) on the virtual timeline; each
+     *  simulated execution gets its own so runs do not overlap. */
+    int64_t newVirtualTrack();
+
+    /** Records a span of simulated time on virtual track @p track. */
+    void virtualSpan(std::string name, std::string cat, int64_t track,
+                     double start_seconds, double duration_seconds,
+                     std::vector<TraceArg> args = {});
+
+    /** Records an instant event on the virtual timeline. */
+    void virtualInstant(std::string name, std::string cat, int64_t track,
+                        double at_seconds,
+                        std::vector<TraceArg> args = {});
+
+    /** Copies out the events recorded so far. */
+    std::vector<TraceEvent> snapshot() const;
+
+    size_t eventCount() const;
+
+    /** Drops all recorded events (the enabled flag is unchanged). */
+    void clear();
+
+    /** The process-wide recorder every instrumentation site feeds. */
+    static TraceRecorder &global();
+
+  private:
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<int64_t> next_virtual_track_{0};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII wall-clock span: opens at construction, records at destruction.
+ * When the recorder is disabled, construction reads one relaxed atomic
+ * and everything else is a no-op — safe to leave in hot paths.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *cat = "",
+                  TraceRecorder &recorder = TraceRecorder::global());
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** True when the span will be recorded (recorder was enabled). */
+    bool active() const { return recorder_ != nullptr; }
+
+    /** Annotates the span; no-ops when inactive. */
+    void arg(const char *key, const std::string &value);
+    void arg(const char *key, int64_t value);
+
+    /** Replaces the span name (for names only worth building when
+     *  tracing); no-ops when inactive. */
+    void rename(std::string name);
+
+  private:
+    TraceRecorder *recorder_ = nullptr;
+    TraceEvent event_;
+};
+
+} // namespace polymath::obs
+
+#endif // POLYMATH_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "passes/passes.h"
 
 namespace polymath::pass {
@@ -29,15 +31,29 @@ PassManager::add(std::unique_ptr<Pass> pass)
 std::vector<PassResult>
 PassManager::run(ir::Graph &graph) const
 {
+    auto &recorder = obs::TraceRecorder::global();
+    auto &metrics = obs::MetricsRegistry::global();
     std::vector<PassResult> results;
     for (const auto &pass : passes_) {
-        const auto start = std::chrono::steady_clock::now();
         PassResult r;
         r.name = pass->name();
+        // One timing measurement serves both the PassResult and the
+        // trace span, so the two views can never disagree.
+        const int64_t span_ts = recorder.enabled() ? recorder.nowMicros()
+                                                   : 0;
+        const auto start = std::chrono::steady_clock::now();
         r.changed = pass->run(graph);
         r.micros = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+        if (recorder.enabled()) {
+            recorder.completeReal(
+                "pass:" + r.name, "pass", span_ts, r.micros,
+                {obs::TraceArg::num("changed", r.changed ? 1 : 0)});
+        }
+        metrics.histogram("pass." + r.name + ".micros").observe(r.micros);
+        if (r.changed)
+            metrics.counter("pass." + r.name + ".changed").add(1);
         if (r.changed)
             graph.validate();
         results.push_back(std::move(r));
@@ -48,9 +64,12 @@ PassManager::run(ir::Graph &graph) const
 std::vector<PassResult>
 PassManager::runToFixpoint(ir::Graph &graph, int max_rounds) const
 {
+    obs::Span span("pass:fixpoint", "pass");
     std::vector<PassResult> all;
+    int rounds = 0;
     for (int round = 0; round < max_rounds; ++round) {
         auto results = run(graph);
+        ++rounds;
         bool changed = false;
         for (const auto &r : results)
             changed |= r.changed;
@@ -59,6 +78,7 @@ PassManager::runToFixpoint(ir::Graph &graph, int max_rounds) const
         if (!changed)
             break;
     }
+    span.arg("rounds", rounds);
     return all;
 }
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <utility>
 
+#include "obs/trace.h"
 #include "pmlang/lexer.h"
 
 namespace polymath::lang {
@@ -54,6 +55,8 @@ makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
 Program
 parse(const std::string &source)
 {
+    obs::Span span("pmlang:parse", "frontend");
+    span.arg("bytes", static_cast<int64_t>(source.size()));
     Lexer lexer(source);
     Parser parser(lexer.lexAll());
     return parser.parseProgram();

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pmlang/builtins.h"
 
 namespace polymath::lang {
@@ -563,6 +564,8 @@ checkReduction(const ReductionDecl &red)
 void
 analyze(const Program &prog, const std::string &entry)
 {
+    obs::Span span("pmlang:sema", "frontend");
+    span.arg("components", static_cast<int64_t>(prog.components.size()));
     std::set<std::string> names;
     for (const auto &comp : prog.components) {
         if (!names.insert(comp.name).second)

@@ -4,6 +4,8 @@
 
 #include "core/error.h"
 #include "core/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace polymath::soc {
 
@@ -26,14 +28,23 @@ SocRuntime::execute(const lower::CompiledProgram &program,
                     const std::set<std::string> &accelerated,
                     const std::map<std::string, double> &host_eff) const
 {
+    obs::Span span("soc:execute", "soc");
+    if (span.active()) {
+        span.arg("partitions",
+                 static_cast<int64_t>(program.partitions.size()));
+        span.arg("invocations", profile.invocations);
+        span.arg("faults", faults_.enabled() ? int64_t{1} : int64_t{0});
+    }
     if (!faults_.enabled())
         return executeInternal(program, profile, accelerated, host_eff,
-                               nullptr);
+                               nullptr, /*primary=*/true);
 
     SocResult result =
-        executeInternal(program, profile, accelerated, host_eff, &faults_);
+        executeInternal(program, profile, accelerated, host_eff, &faults_,
+                        /*primary=*/true);
     const SocResult fault_free =
-        executeInternal(program, profile, accelerated, host_eff, nullptr);
+        executeInternal(program, profile, accelerated, host_eff, nullptr,
+                        /*primary=*/false);
     result.reliability.actualSeconds = result.total.seconds;
     result.reliability.actualJoules = result.total.joules;
     result.reliability.faultFreeSeconds = fault_free.total.seconds;
@@ -46,11 +57,19 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
                             const WorkloadProfile &profile,
                             const std::set<std::string> &accelerated,
                             const std::map<std::string, double> &host_eff,
-                            const FaultModel *faults) const
+                            const FaultModel *faults, bool primary) const
 {
     SocResult result;
     ReliabilityReport &rel = result.reliability;
     result.total.machine = "PolyMath SoC";
+
+    // Virtual timeline: one fresh track per primary execution, DMA and
+    // compute spans laid out in simulated seconds starting at t=0.
+    auto &recorder = obs::TraceRecorder::global();
+    const bool trace = primary && recorder.enabled();
+    const int64_t vtrack = trace ? recorder.newVirtualTrack() : 0;
+    double vclock = 0.0;
+    int64_t dma_bytes = 0;
 
     const double invocations = static_cast<double>(profile.invocations);
 
@@ -102,6 +121,7 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
             dma.oneTimeBytes +
             static_cast<int64_t>(
                 static_cast<double>(dma.perRunBytes) * invocations);
+        dma_bytes += moved;
         run.transferJoules =
             static_cast<double>(moved) * config_.dramPjPerByte * 1e-12;
         run.part.seconds += run.transferSeconds;
@@ -120,6 +140,8 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
             offload ? target::findBackend(backends_, partition.accel)
                     : nullptr;
 
+        const size_t events_before = rel.events.size();
+        double part_transfer = 0.0;
         PerfReport part;
         if (backend && faults) {
             ++rel.offloadAttempts;
@@ -213,6 +235,7 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
                 }
                 if (!fall_back) {
                     part = run.part;
+                    part_transfer = run.transferSeconds;
                     result.transferSeconds += run.transferSeconds;
                     result.transferJoules += run.transferJoules;
                 } else {
@@ -231,6 +254,7 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
             part.overheadSeconds += overhead_s;
         } else if (backend) {
             const AccelRun run = accel_part(partition, backend);
+            part_transfer = run.transferSeconds;
             result.transferSeconds += run.transferSeconds;
             result.transferJoules += run.transferJoules;
             part = run.part;
@@ -239,6 +263,40 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
         }
         result.partitions.push_back(part);
         result.total += part;
+
+        if (trace) {
+            // Fault instants mark the partition's start on the timeline;
+            // DMA occupies [vclock, vclock+transfer], compute the rest of
+            // the partition's simulated time.
+            for (size_t ei = events_before; ei < rel.events.size(); ++ei) {
+                const FaultEvent &ev = rel.events[ei];
+                recorder.virtualInstant(
+                    "fault:" + toString(ev.fault), "fault", vtrack, vclock,
+                    {obs::TraceArg::num("partition", ev.partition),
+                     obs::TraceArg::str("accel", ev.accel),
+                     obs::TraceArg::num("retries", ev.retries),
+                     obs::TraceArg::num("fell_back", ev.fellBack ? 1 : 0)});
+            }
+            if (part_transfer > 0.0) {
+                recorder.virtualSpan(
+                    format("dma[%d] %s", p, partition.accel.c_str()),
+                    "dma", vtrack, vclock, part_transfer,
+                    {obs::TraceArg::num("bytes",
+                                        partition.loadBytes() +
+                                            partition.storeBytes())});
+            }
+            recorder.virtualSpan(
+                format("compute[%d] %s", p,
+                       part.machine.empty() ? partition.accel.c_str()
+                                            : part.machine.c_str()),
+                "compute", vtrack, vclock + part_transfer,
+                std::max(0.0, part.seconds - part_transfer),
+                {obs::TraceArg::str("accel", partition.accel),
+                 obs::TraceArg::num(
+                     "fragments",
+                     static_cast<int64_t>(partition.fragments.size()))});
+            vclock += part.seconds;
+        }
     }
 
     // Host glue (marshaling, I/O): runs on the host CPU every invocation,
@@ -256,6 +314,22 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
     const double host_j = config_.hostWatts * result.total.seconds;
     result.total.joules += host_j;
     result.transferJoules += host_j * 0.5; // manager mostly drives DMA
+
+    if (primary) {
+        auto &metrics = obs::MetricsRegistry::global();
+        metrics.counter("soc.executions").add(1);
+        metrics.counter("soc.partitions")
+            .add(static_cast<int64_t>(program.partitions.size()));
+        metrics.counter("soc.dma.bytes").add(dma_bytes);
+        if (faults) {
+            metrics.counter("soc.faults.injected").add(rel.faultsInjected);
+            metrics.counter("soc.faults.retries").add(rel.retriesSpent);
+            metrics.counter("soc.faults.host_fallbacks")
+                .add(rel.hostFallbacks);
+            metrics.counter("soc.faults.offload_attempts")
+                .add(rel.offloadAttempts);
+        }
+    }
     return result;
 }
 

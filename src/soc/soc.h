@@ -97,12 +97,16 @@ class SocRuntime
     }
 
   private:
+    /** @p primary is false for the internal fault-free reference run that
+     *  execute() uses to price fault overhead — that run must not emit
+     *  observability spans/metrics, or every faulty execution would show
+     *  up twice on the timeline. */
     SocResult executeInternal(
         const lower::CompiledProgram &program,
         const WorkloadProfile &profile,
         const std::set<std::string> &accelerated,
         const std::map<std::string, double> &host_eff,
-        const FaultModel *faults) const;
+        const FaultModel *faults, bool primary) const;
 
     std::vector<std::unique_ptr<Backend>> backends_;
     target::SocConfig config_;

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pmlang/builtins.h"
 #include "pmlang/parser.h"
 #include "pmlang/sema.h"
@@ -1028,6 +1029,8 @@ std::unique_ptr<Graph>
 buildSrdfg(std::shared_ptr<const lang::Program> program,
            const BuildOptions &options)
 {
+    obs::Span span("srdfg:build", "frontend");
+    span.arg("entry", options.entry);
     auto context = std::make_shared<IrContext>();
     context->program = program;
     for (const auto &red : program->reductions)

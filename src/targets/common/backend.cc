@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "targets/deco/deco.h"
 #include "targets/graphicionado/graphicionado.h"
 #include "targets/hyperstreams/hyperstreams.h"
@@ -10,6 +12,23 @@
 #include "targets/vta/vta.h"
 
 namespace polymath::target {
+
+PerfReport
+Backend::simulate(const lower::Partition &partition,
+                  const WorkloadProfile &profile) const
+{
+    obs::MetricsRegistry::global()
+        .counter("backend." + name() + ".simulate_calls")
+        .add(1);
+    obs::Span span("backend:simulate", "backend");
+    if (span.active()) {
+        span.arg("accel", name());
+        span.arg("fragments",
+                 static_cast<int64_t>(partition.fragments.size()));
+        span.arg("invocations", profile.invocations);
+    }
+    return simulateImpl(partition, profile);
+}
 
 int64_t
 fragmentWork(const lower::IrFragment &frag)

@@ -66,9 +66,21 @@ class Backend
     /** Registration for the compilation algorithms (Ot, md, +d). */
     virtual lower::AcceleratorSpec spec() const = 0;
 
-    /** Simulates one compiled partition under @p profile. */
-    virtual PerfReport simulate(const lower::Partition &partition,
-                                const WorkloadProfile &profile) const = 0;
+    /**
+     * Simulates one compiled partition under @p profile. Non-virtual so
+     * every scheduler/estimator invocation — from the SoC runtime, the
+     * benches, or tests — passes one choke point that feeds the
+     * observability layer (a `backend:simulate` span and per-accelerator
+     * call counter); backends implement simulateImpl().
+     */
+    PerfReport simulate(const lower::Partition &partition,
+                        const WorkloadProfile &profile) const;
+
+  protected:
+    /** The backend's scheduler/cost model (docs/ADDING_A_BACKEND.md). */
+    virtual PerfReport simulateImpl(const lower::Partition &partition,
+                                    const WorkloadProfile &profile)
+        const = 0;
 };
 
 /** DMA traffic of a partition split by type modifier: `param`/`state`

@@ -45,7 +45,7 @@ DecoBackend::stageImbalance(const lower::Partition &partition)
 }
 
 PerfReport
-DecoBackend::simulate(const lower::Partition &partition,
+DecoBackend::simulateImpl(const lower::Partition &partition,
                       const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

@@ -21,7 +21,7 @@ class DecoBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::DSP; }
     MachineConfig machine() const override { return decoConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 
     /** Stage imbalance of the compiled pipeline: max/mean level work

@@ -57,7 +57,7 @@ GraphicionadoBackend::spec() const
 }
 
 PerfReport
-GraphicionadoBackend::simulate(const lower::Partition &partition,
+GraphicionadoBackend::simulateImpl(const lower::Partition &partition,
                                const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

@@ -21,7 +21,7 @@ class GraphicionadoBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::GA; }
     MachineConfig machine() const override { return graphicionadoConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 };
 

@@ -34,7 +34,7 @@ HyperstreamsBackend::spec() const
 }
 
 PerfReport
-HyperstreamsBackend::simulate(const lower::Partition &partition,
+HyperstreamsBackend::simulateImpl(const lower::Partition &partition,
                               const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

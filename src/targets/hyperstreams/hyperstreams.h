@@ -20,7 +20,7 @@ class HyperstreamsBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::DA; }
     MachineConfig machine() const override { return hyperstreamsConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 };
 

@@ -36,7 +36,7 @@ RoboxBackend::spec() const
 }
 
 PerfReport
-RoboxBackend::simulate(const lower::Partition &partition,
+RoboxBackend::simulateImpl(const lower::Partition &partition,
                        const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

@@ -20,7 +20,7 @@ class RoboxBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::RBT; }
     MachineConfig machine() const override { return roboxConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 };
 

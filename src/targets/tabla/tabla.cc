@@ -23,7 +23,7 @@ TablaBackend::spec() const
 }
 
 PerfReport
-TablaBackend::simulate(const lower::Partition &partition,
+TablaBackend::simulateImpl(const lower::Partition &partition,
                        const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

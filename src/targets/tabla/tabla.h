@@ -21,7 +21,7 @@ class TablaBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::DA; }
     MachineConfig machine() const override { return tablaConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 };
 

@@ -38,7 +38,7 @@ VtaBackend::spec() const
 }
 
 PerfReport
-VtaBackend::simulate(const lower::Partition &partition,
+VtaBackend::simulateImpl(const lower::Partition &partition,
                      const WorkloadProfile &profile) const
 {
     const MachineConfig m = machine();

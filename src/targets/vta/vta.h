@@ -21,7 +21,7 @@ class VtaBackend : public Backend
     lang::Domain domain() const override { return lang::Domain::DL; }
     MachineConfig machine() const override { return vtaConfig(); }
     lower::AcceleratorSpec spec() const override;
-    PerfReport simulate(const lower::Partition &partition,
+    PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;
 };
 

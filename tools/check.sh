@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + ctest under the default (Release) configuration
-# and again under ASan/UBSan (see CMakePresets.json). Run from anywhere;
-# operates on the repo root. `tools/check.sh default` or
-# `tools/check.sh asan` runs a single configuration.
+# Tier-1 gate: build + ctest under the default (Release) configuration,
+# again under ASan/UBSan, and a focused ThreadSanitizer pass (see
+# CMakePresets.json). Run from anywhere; operates on the repo root.
+# `tools/check.sh default`, `tools/check.sh asan`, or `tools/check.sh
+# tsan` runs a single configuration.
 #
 # The ASan pass re-runs the suite twice more to pin down the two
 # environment axes the stack promises independence from:
@@ -10,6 +11,11 @@
 #      installed equivalent) — parse/serialize must not consult it;
 #   2. POLYMATH_JOBS=4 — the parallel suite driver must be sanitizer-
 #      clean and produce the same results as serial runs.
+#
+# The TSan pass builds only the concurrency-heavy binaries (test_obs,
+# test_driver, pmc), runs those tests with POLYMATH_JOBS=4 so the pool,
+# compile cache, and trace recorder race under the sanitizer, and smoke-
+# checks that `pmc --trace` emits loadable Chrome-trace JSON.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +25,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 if [ $# -gt 0 ]; then
     presets=("$@")
 else
-    presets=(default asan)
+    presets=(default asan tsan)
 fi
 
 # Closest installed comma-decimal locale, empty if none (the in-process
@@ -37,6 +43,22 @@ done
 for preset in "${presets[@]}"; do
     echo "== [$preset] configure =="
     cmake --preset "$preset"
+    if [ "$preset" = tsan ]; then
+        echo "== [$preset] build (test_obs test_driver pmc) =="
+        cmake --build --preset tsan -j "$jobs" \
+            --target test_obs test_driver pmc
+        echo "== [$preset] test (POLYMATH_JOBS=4) =="
+        POLYMATH_JOBS=4 ctest --test-dir build-tsan -j "$jobs" \
+            --output-on-failure -R '^(test_obs|test_driver)$'
+        echo "== [$preset] pmc --trace smoke =="
+        trace_json="$(mktemp /tmp/polymath-trace.XXXXXX.json)"
+        build-tsan/tools/pmc --trace "$trace_json" \
+            examples/pmlang/affine.pm > /dev/null
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            "$trace_json"
+        rm -f "$trace_json"
+        continue
+    fi
     echo "== [$preset] build =="
     cmake --build --preset "$preset" -j "$jobs"
     echo "== [$preset] test =="

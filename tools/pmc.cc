@@ -23,7 +23,11 @@
 #include "core/error.h"
 #include "core/strings.h"
 #include "core/thread_pool.h"
+#include "lower/compile_cache.h"
 #include "lower/lower.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pmlang/format.h"
 #include "pmlang/parser.h"
 #include "pmlang/sema.h"
@@ -59,6 +63,7 @@ struct Options
     double faultRate = 0.0;
     uint64_t faultSeed = 0x5eed;
     int jobs = 1;
+    std::string tracePath;
 };
 
 void
@@ -92,6 +97,12 @@ usage()
         "                        threads (0 = all hardware threads;\n"
         "                        default POLYMATH_JOBS or 1); output stays\n"
         "                        in input order\n"
+        "  --trace <out.json>    record a Chrome-trace/Perfetto timeline\n"
+        "                        of the run (wall-clock compile spans plus\n"
+        "                        the simulated SoC's virtual timeline);\n"
+        "                        with --stats and several inputs, also\n"
+        "                        print cache and per-pass timing summaries\n"
+        "                        to stderr\n"
         "  --list-targets        print the registered accelerators\n",
         stderr);
 }
@@ -196,6 +207,8 @@ parseArgs(int argc, char **argv)
                 parseInt("-j", arg.substr(2))); // -jN combined form
             if (opts.jobs < 0)
                 fatal("-j expects a non-negative integer");
+        } else if (arg == "--trace") {
+            opts.tracePath = next();
         } else if (arg == "--list-targets") {
             opts.listTargets = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -225,6 +238,47 @@ readInput(const std::string &file)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
+}
+
+/**
+ * Shadow full-stack run for --trace: when the user's flags stop short of
+ * the SoC (no --target), the rest of the pipeline re-runs purely for the
+ * timeline, so a plain `pmc --trace out.json foo.pm` already shows
+ * parse -> passes -> lower -> per-partition compile -> virtual-time SoC
+ * execution. The program's domain is unknown here, so the common domains
+ * are tried in turn and the first that compiles is executed. Output is
+ * discarded and failures are swallowed: tracing must never change pmc's
+ * observable behavior.
+ */
+void
+traceShadowRun(const Options &opts, const std::string &source)
+{
+    const auto try_domain = [&](lang::Domain domain) {
+        try {
+            ir::BuildOptions build;
+            build.entry = opts.entry;
+            build.paramConsts = opts.params;
+            auto graph = ir::compileToSrdfg(source, build);
+            pass::standardPipeline().runToFixpoint(*graph);
+            const auto registry = target::standardRegistry();
+            lower::lowerGraph(*graph, registry.supportedOpsByDomain(),
+                              domain);
+            const auto compiled =
+                lower::compileProgram(*graph, registry, domain);
+            target::WorkloadProfile profile;
+            profile.invocations = opts.invocations;
+            soc::SocRuntime().execute(compiled, profile);
+            return true;
+        } catch (...) {
+            return false;
+        }
+    };
+    using lang::Domain;
+    for (const Domain domain : {Domain::DA, Domain::GA, Domain::DSP,
+                                Domain::RBT, Domain::DL}) {
+        if (try_domain(domain))
+            return;
+    }
 }
 
 /**
@@ -290,9 +344,29 @@ runFile(const Options &opts, const std::string &file, std::string &out,
     if (!opts.target.empty()) {
         const auto domain = domainFromKeyword(opts.target);
         const auto registry = target::standardRegistry();
-        lower::lowerGraph(*graph, registry.supportedOpsByDomain(), domain);
-        const auto compiled =
-            lower::compileProgram(*graph, registry, domain);
+        // Compile through the process-wide cache so repeated inputs in a
+        // multi-file run pay the lower+translate cost once. The cache key
+        // covers (source, build options, domain, registry) but not the
+        // pass pipeline, so the --optimize flag is appended to keep
+        // optimized and unoptimized programs distinct.
+        const std::string key =
+            lower::compileCacheKey(source, build, domain, registry) +
+            (opts.optimize ? "\x1f"
+                             "optimize\x1f"
+                             "1"
+                           : "\x1f"
+                             "optimize\x1f"
+                             "0");
+        const auto compiled_ptr =
+            lower::CompileCache::global().getOrCompile(key, [&] {
+                auto fresh = ir::compileToSrdfg(source, build);
+                if (opts.optimize)
+                    pass::standardPipeline().runToFixpoint(*fresh);
+                lower::lowerGraph(*fresh, registry.supportedOpsByDomain(),
+                                  domain);
+                return lower::compileProgram(*fresh, registry, domain);
+            });
+        const lower::CompiledProgram &compiled = *compiled_ptr;
         out += compiled.str();
         if (opts.schedule) {
             for (const auto &partition : compiled.partitions) {
@@ -323,11 +397,25 @@ runFile(const Options &opts, const std::string &file, std::string &out,
                 out += format("reliability: %s\n",
                               result.reliability.str().c_str());
             }
+        } else if (obs::TraceRecorder::global().enabled()) {
+            // --trace without --simulate: shadow-execute the compiled
+            // program so the trace still carries the virtual SoC
+            // timeline. Output is discarded and failures are swallowed —
+            // tracing must never change pmc's observable behavior.
+            try {
+                soc::SocRuntime runtime;
+                target::WorkloadProfile profile;
+                profile.invocations = opts.invocations;
+                runtime.execute(compiled, profile);
+            } catch (...) {
+            }
         }
         did_something = true;
     }
     if (!did_something)
         out += ir::printGraph(*graph);
+    if (opts.target.empty() && obs::TraceRecorder::global().enabled())
+        traceShadowRun(opts, source);
     return 0;
 }
 
@@ -353,6 +441,47 @@ runFileGuarded(const Options &opts, const std::string &file,
     }
 }
 
+/**
+ * Multi-file --stats summary: compile-cache counters plus a per-pass
+ * timing table from the metrics registry. Goes to stderr so per-file
+ * stdout stays identical to a single-file run.
+ */
+void
+printCompileSummary()
+{
+    const auto &cache = lower::CompileCache::global();
+    std::fprintf(stderr,
+                 "pmc: compile cache: %lld hits (%lld coalesced), "
+                 "%lld misses, %zu programs\n",
+                 static_cast<long long>(cache.hits()),
+                 static_cast<long long>(cache.coalesced()),
+                 static_cast<long long>(cache.misses()), cache.size());
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    const std::string prefix = "pass.";
+    const std::string suffix = ".micros";
+    bool header = false;
+    for (const auto &[name, h] : snap.histograms) {
+        if (name.rfind(prefix, 0) != 0 ||
+            name.size() <= prefix.size() + suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        if (!header) {
+            std::fprintf(stderr, "pmc: %-24s %6s %12s %10s %8s\n", "pass",
+                         "runs", "total_us", "mean_us", "changed");
+            header = true;
+        }
+        const std::string pass_name = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        const int64_t changed =
+            snap.counter(prefix + pass_name + ".changed");
+        std::fprintf(stderr, "pmc: %-24s %6lld %12lld %10.1f %8lld\n",
+                     pass_name.c_str(), static_cast<long long>(h.count),
+                     static_cast<long long>(h.sum), h.mean(),
+                     static_cast<long long>(changed));
+    }
+}
+
 int
 run(const Options &opts)
 {
@@ -371,6 +500,8 @@ run(const Options &opts)
         usage();
         return 2;
     }
+    if (!opts.tracePath.empty())
+        obs::TraceRecorder::global().setEnabled(true);
 
     struct FileResult
     {
@@ -393,6 +524,11 @@ run(const Options &opts)
         std::fputs(r.err.c_str(), stderr);
         code = std::max(code, r.code);
     }
+    if (!opts.tracePath.empty())
+        obs::writeChromeTrace(obs::TraceRecorder::global(),
+                              opts.tracePath);
+    if (opts.stats && opts.files.size() > 1)
+        printCompileSummary();
     return code;
 }
 
