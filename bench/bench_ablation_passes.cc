@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "lower/lower.h"
 #include "passes/pass.h"
 #include "passes/passes.h"
@@ -53,8 +54,9 @@ compileWith(const wl::Benchmark &bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     const auto registry = target::standardRegistry();
     soc::SocRuntime runtime;
 
@@ -98,11 +100,13 @@ main()
             }
             if (full_time == 0.0)
                 full_time = result.total.seconds;
+            driver.record(bench.id + "/" + config.label, "seconds",
+                          result.total.seconds);
             table.addRow({bench.id, config.label, std::to_string(frags),
                           std::to_string(groups),
-                          format("%.4g", result.total.seconds * 1e3),
-                          format("%.2fx",
-                                 result.total.seconds / full_time)});
+                          formatG(result.total.seconds * 1e3, 4),
+                          formatF(result.total.seconds / full_time, 2) +
+                              "x"});
         }
     }
     std::printf("Pass ablation (fragments/group ops after translation, "

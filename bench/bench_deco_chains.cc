@@ -48,14 +48,21 @@ main(int argc, char **argv)
             config.dspBlocks = deco->machine().computeUnits;
             const auto mapped = target::mapChains(partition, config);
 
+            const double ratio =
+                static_cast<double>(mapped.cycles) / analytic_cycles;
+            driver.record(bench.id, "analytic_cycles", analytic_cycles);
+            driver.record(bench.id, "mapped_cycles",
+                          static_cast<double>(mapped.cycles));
+            driver.record(bench.id, "map_ratio", ratio);
+            driver.record(bench.id, "dsp_utilization",
+                          mapped.dspUtilization);
             return std::vector<std::string>{
                 bench.id, format("%zu", mapped.chains.size()),
-                format("%.1f", mapped.avgChainLength()),
+                formatF(mapped.avgChainLength(), 1),
                 format("%lld", static_cast<long long>(mapped.waves)),
-                format("%.0f", analytic_cycles),
+                formatF(analytic_cycles, 0),
                 format("%lld", static_cast<long long>(mapped.cycles)),
-                format("%.2fx", static_cast<double>(mapped.cycles) /
-                                    analytic_cycles),
+                formatF(ratio, 2) + "x",
                 report::percent(mapped.dspUtilization)};
         });
 

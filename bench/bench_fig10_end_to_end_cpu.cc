@@ -17,6 +17,7 @@
 #include <set>
 #include <vector>
 
+#include "core/strings.h"
 #include "driver.h"
 #include "report/report.h"
 #include "soc/soc.h"
@@ -122,8 +123,13 @@ main(int argc, char **argv)
                     "accelerated-domain combination\n",
                     app.id.c_str());
         std::printf("%s", table.str().c_str());
-        std::printf("cross-domain gain over best single-domain: %.2fx\n\n",
-                    best_single > 0 ? all_accel / best_single : 0.0);
+        const double gain =
+            best_single > 0 ? all_accel / best_single : 0.0;
+        driver.record(app.id, "cross_domain_gain", gain);
+        driver.record(app.id, "best_single_speedup", best_single);
+        driver.record(app.id, "all_accel_speedup", all_accel);
+        std::printf("cross-domain gain over best single-domain: %sx\n\n",
+                    formatF(gain, 2).c_str());
     }
     std::printf("(paper: gaps of 1.85x for BrainStimul and 2.06x for "
                 "OptionPricing)\n");

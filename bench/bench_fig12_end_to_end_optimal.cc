@@ -100,9 +100,11 @@ main(int argc, char **argv)
                 if (poly_t <= 0)
                     return std::nullopt;
                 const double pct = std::min(1.0, expert_t / poly_t);
+                driver.record(app.id + "/" + partition.accel,
+                              "pct_of_optimal", pct);
                 return Row{{partition.accel,
-                            format("%.4g", poly_t * 1e6),
-                            format("%.4g", expert_t * 1e6),
+                            formatG(poly_t * 1e6, 4),
+                            formatG(expert_t * 1e6, 4),
                             report::percent(pct)},
                            pct};
             });
@@ -117,6 +119,7 @@ main(int argc, char **argv)
             all_pcts.push_back(row->pct);
             table.addRow(row->cells);
         }
+        driver.record(app.id, "avg_pct_of_optimal", report::mean(pcts));
         table.addRow({"Average (" + app.id + ")", "", "",
                       report::percent(report::mean(pcts))});
         std::printf("Figure 12 (%s)\n%s\n", app.id.c_str(),

@@ -39,8 +39,9 @@ main()
                 "DESIGN.md for the substitution)\n"
                 "(paper: LOC reduction 3.3x/1.8x, avg 2.5x; time reduction "
                 "2.6x/1.2x, avg 1.9x)\n\n%s\n"
-                "Time model: minutes = LOC x rate; PMLang rate is %.2fx "
+                "Time model: minutes = LOC x rate; PMLang rate is %sx "
                 "Python's (six-minute language intro).\n",
-                table.str().c_str(), wl::kPmlangUnfamiliarity);
+                table.str().c_str(),
+                formatF(wl::kPmlangUnfamiliarity, 2).c_str());
     return 0;
 }

@@ -44,9 +44,13 @@ main(int argc, char **argv)
 
             const double sp = target::speedup(host, accel.total);
             const double en = target::energyReduction(host, accel.total);
+            driver.record(bench.id, "cpu_seconds", host.seconds);
+            driver.record(bench.id, "accel_seconds", accel.total.seconds);
+            driver.record(bench.id, "speedup", sp);
+            driver.record(bench.id, "energy_reduction", en);
             return Row{{bench.id, lang::toString(bench.domain), bench.accel,
-                        format("%.4g", host.seconds * 1e3),
-                        format("%.4g", accel.total.seconds * 1e3),
+                        formatG(host.seconds * 1e3, 4),
+                        formatG(accel.total.seconds * 1e3, 4),
                         report::times(sp), report::times(en)},
                        sp, en};
         });
@@ -60,6 +64,9 @@ main(int argc, char **argv)
         energies.push_back(row.energy);
         table.addRow(row.cells);
     }
+    driver.record("geomean", "speedup", report::geomean(speedups));
+    driver.record("geomean", "energy_reduction",
+                  report::geomean(energies));
     table.addRow({"Geomean", "", "", "", "",
                   report::times(report::geomean(speedups)),
                   report::times(report::geomean(energies))});

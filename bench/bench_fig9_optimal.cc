@@ -53,9 +53,12 @@ main(int argc, char **argv)
             const double opt_t = opt.computeSeconds + opt.overheadSeconds;
             const double pct =
                 poly_t > 0 ? std::min(1.0, opt_t / poly_t) : 1.0;
+            driver.record(bench.id, "poly_compute_seconds", poly_t);
+            driver.record(bench.id, "opt_compute_seconds", opt_t);
+            driver.record(bench.id, "pct_of_optimal", pct);
             return Row{{bench.id, bench.accel,
-                        format("%.4g", poly_t * 1e3),
-                        format("%.4g", opt_t * 1e3),
+                        formatG(poly_t * 1e3, 4),
+                        formatG(opt_t * 1e3, 4),
                         report::percent(pct)},
                        pct};
         });
@@ -68,6 +71,7 @@ main(int argc, char **argv)
         percents.push_back(row.pct);
         table.addRow(row.cells);
     }
+    driver.record("average", "pct_of_optimal", report::mean(percents));
     table.addRow({"Average", "", "", "",
                   report::percent(report::mean(percents))});
 

@@ -112,9 +112,13 @@ main(int argc, char **argv)
             attempts > 0 ? 1.0 - static_cast<double>(fallbacks) /
                                      static_cast<double>(attempts)
                          : 1.0;
+        const std::string rate_id = "rate=" + formatF(rate, 2);
+        driver.record(rate_id, "geomean_slowdown", geomean);
+        driver.record(rate_id, "geomean_energy", geomean_energy);
+        driver.record(rate_id, "availability", availability);
         row.cells = {
-            format("%.2f", rate), format("%.4fx", geomean),
-            format("%.4fx", geomean_energy), format("%.3f", availability),
+            formatF(rate, 2), formatF(geomean, 4) + "x",
+            formatF(geomean_energy, 4) + "x", formatF(availability, 3),
             std::to_string(faults), std::to_string(retries),
             std::to_string(fallbacks)};
         return row;

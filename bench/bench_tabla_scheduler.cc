@@ -52,13 +52,18 @@ main(int argc, char **argv)
             for (const auto &f : partition.fragments)
                 frags += f.opcode != "tload" && f.opcode != "tstore";
 
+            const double ratio =
+                static_cast<double>(schedule.cycles) / analytic_cycles;
+            driver.record(bench.id, "analytic_cycles", analytic_cycles);
+            driver.record(bench.id, "scheduled_cycles",
+                          static_cast<double>(schedule.cycles));
+            driver.record(bench.id, "schedule_ratio", ratio);
+            driver.record(bench.id, "pe_occupancy", schedule.peOccupancy);
             return std::vector<std::string>{
                 bench.id, format("%lld", static_cast<long long>(frags)),
-                format("%.0f", analytic_cycles),
+                formatF(analytic_cycles, 0),
                 format("%lld", static_cast<long long>(schedule.cycles)),
-                format("%.2fx",
-                       static_cast<double>(schedule.cycles) /
-                           analytic_cycles),
+                formatF(ratio, 2) + "x",
                 format("%lld", static_cast<long long>(schedule.busCycles)),
                 report::percent(schedule.peOccupancy)};
         });

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/common/backend.h"
 #include "targets/cpu/cpu_model.h"
@@ -15,8 +16,9 @@
 using namespace polymath;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Driver driver(argc, argv);
     report::Table t5({"Domain", "PolyMath Accelerator",
                       "Baseline Framework (modeled)"});
     t5.addRow({"Robotics", "RoboX (ASIC)", "ACADO / cuBLAS"});
@@ -31,15 +33,19 @@ main()
     report::Table t6({"Machine", "Freq (GHz)", "Units", "Peak (Gop/s)",
                       "DRAM (GB/s)", "On-chip", "Power (W)"});
     auto add = [&](const target::MachineConfig &m) {
-        t6.addRow({m.name, format("%.2f", m.freqGhz),
+        driver.record(m.name, "freq_ghz", m.freqGhz);
+        driver.record(m.name, "peak_gops", m.peakFlops() / 1e9);
+        driver.record(m.name, "dram_gbs", m.dramGBs);
+        driver.record(m.name, "watts", m.watts);
+        t6.addRow({m.name, formatF(m.freqGhz, 2),
                    std::to_string(m.computeUnits),
-                   format("%.1f", m.peakFlops() / 1e9),
-                   format("%.1f", m.dramGBs),
+                   formatF(m.peakFlops() / 1e9, 1),
+                   formatF(m.dramGBs, 1),
                    m.onChipBytes ? format("%lld KB",
                                           static_cast<long long>(
                                               m.onChipBytes / 1024))
                                  : std::string("-"),
-                   format("%.1f", m.watts)});
+                   formatF(m.watts, 1)});
     };
     add(target::xeonConfig());
     add(target::titanXpConfig());

@@ -54,15 +54,20 @@ main(int argc, char **argv)
                 config);
             const auto traced = trace.toReport(config);
 
+            driver.record(bench.id, "analytic_seconds",
+                          analytic.seconds);
+            driver.record(bench.id, "traced_seconds", traced.seconds);
+            driver.record(bench.id, "trace_ratio",
+                          traced.seconds / analytic.seconds);
             return std::vector<std::string>{
                 bench.id,
                 format("%lld", static_cast<long long>(graph.edges())),
-                format("%.3f", analytic.seconds * 1e3),
-                format("%.3f", traced.seconds * 1e3),
-                format("%.2fx", traced.seconds / analytic.seconds),
-                format("%.3f",
-                       static_cast<double>(trace.bankConflicts) /
-                           static_cast<double>(trace.edgesProcessed)),
+                formatF(analytic.seconds * 1e3, 3),
+                formatF(traced.seconds * 1e3, 3),
+                formatF(traced.seconds / analytic.seconds, 2) + "x",
+                formatF(static_cast<double>(trace.bankConflicts) /
+                            static_cast<double>(trace.edgesProcessed),
+                        3),
                 trace.scratchpadResident ? "yes" : "no"};
         });
 

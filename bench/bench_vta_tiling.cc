@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/strings.h"
+#include "driver.h"
 #include "report/report.h"
 #include "targets/vta/tiler.h"
 
@@ -17,7 +18,7 @@ using namespace polymath;
 namespace {
 
 void
-reportNetwork(const char *name,
+reportNetwork(const bench::Driver &driver, const char *name,
               const std::vector<target::LayerShape> &layers,
               bool per_layer)
 {
@@ -33,11 +34,11 @@ reportNetwork(const char *name,
         total_macs += static_cast<double>(layer.macs());
         table.addRow(
             {layer.name,
-             format("%.1f", static_cast<double>(layer.macs()) / 1e6),
+             formatF(static_cast<double>(layer.macs()) / 1e6, 1),
              format("%lldx%lld", static_cast<long long>(plan.tileRows),
                     static_cast<long long>(plan.tileCols)),
              format("%lld", static_cast<long long>(plan.tiles)),
-             format("%.0f", static_cast<double>(plan.totalCycles) / 1e3),
+             formatF(static_cast<double>(plan.totalCycles) / 1e3, 0),
              report::percent(plan.utilization),
              report::percent(plan.totalCycles > 0
                                  ? static_cast<double>(plan.loadCycles) /
@@ -55,23 +56,29 @@ reportNetwork(const char *name,
     std::printf("Tile-level VTA planner on %s (one inference)\n\n", name);
     if (per_layer)
         std::printf("%s\n", table.str().c_str());
-    std::printf("tiled total: %.1f ms   analytic backend estimate: %.1f ms "
-                "  ratio %.2fx\n"
+    driver.record(name, "tiled_seconds", total_seconds);
+    driver.record(name, "analytic_seconds", analytic_seconds);
+    driver.record(name, "ratio", total_seconds / analytic_seconds);
+    std::printf("tiled total: %s ms   analytic backend estimate: %s ms "
+                "  ratio %sx\n"
                 "(the planner is a lower bound: it assumes perfect "
                 "instruction streaming and no layout transforms; the "
                 "analytic model's 0.35 GEMM efficiency folds those real "
                 "VTA costs in, so it sits above the bound by design)\n",
-                total_seconds * 1e3, analytic_seconds * 1e3,
-                total_seconds / analytic_seconds);
+                formatF(total_seconds * 1e3, 1).c_str(),
+                formatF(analytic_seconds * 1e3, 1).c_str(),
+                formatF(total_seconds / analytic_seconds, 2).c_str());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    reportNetwork("ResNet-18", target::resnet18Layers(), true);
+    const bench::Driver driver(argc, argv);
+    reportNetwork(driver, "ResNet-18", target::resnet18Layers(), true);
     std::printf("\n");
-    reportNetwork("MobileNet-V1", target::mobilenetLayers(), false);
+    reportNetwork(driver, "MobileNet-V1", target::mobilenetLayers(),
+                  false);
     return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/logging.h"
 #include "core/strings.h"
 #include "obs/export.h"
+#include "report/artifact.h"
 
 namespace polymath::bench {
 
@@ -33,6 +34,15 @@ parseDriverArgs(int argc, char **argv)
 {
     DriverOptions opts;
     opts.jobs = core::defaultJobs();
+    if (argc > 0 && argv[0] != nullptr) {
+        std::string name = argv[0];
+        const size_t slash = name.find_last_of('/');
+        if (slash != std::string::npos)
+            name.erase(0, slash + 1);
+        if (name.rfind("bench_", 0) == 0)
+            name.erase(0, 6);
+        opts.benchName = name;
+    }
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "-j") == 0 ||
@@ -52,6 +62,12 @@ parseDriverArgs(int argc, char **argv)
             opts.tracePath = argv[++i];
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             opts.tracePath = arg + 8;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 >= argc)
+                fatal("missing value after --json");
+            opts.jsonPath = argv[++i];
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            opts.jsonPath = arg + 7;
         }
     }
     opts.jobs = core::resolveJobs(opts.jobs);
@@ -74,16 +90,43 @@ Driver::Driver(int argc, char **argv)
 Driver::~Driver()
 {
     reportStats();
+    // Destructors must not throw; a failed trace/artifact write is a
+    // warning, not a bench failure (the report already went to stdout).
+    if (!options_.jsonPath.empty()) {
+        try {
+            report::BenchArtifact artifact;
+            artifact.name = options_.benchName;
+            artifact.git = report::buildGitDescribe();
+            artifact.config = report::buildConfig();
+            artifact.jobs = options_.jobs;
+            {
+                std::lock_guard<std::mutex> lock(artifactMutex_);
+                for (const auto &[bench, metric, value] : artifactRows_)
+                    artifact.add(bench, metric, value);
+            }
+            artifact.write(options_.jsonPath);
+        } catch (const std::exception &e) {
+            warn(std::string("driver: cannot write artifact: ") + e.what());
+        }
+    }
     if (options_.tracePath.empty())
         return;
-    // Destructors must not throw; a failed trace write is a warning, not
-    // a bench failure (the report already went to stdout).
     try {
         obs::writeChromeTrace(obs::TraceRecorder::global(),
                               options_.tracePath);
     } catch (const std::exception &e) {
         warn(std::string("driver: cannot write trace: ") + e.what());
     }
+}
+
+void
+Driver::record(const std::string &benchmark, const std::string &metric,
+               double value) const
+{
+    if (options_.jsonPath.empty())
+        return;
+    std::lock_guard<std::mutex> lock(artifactMutex_);
+    artifactRows_.emplace_back(benchmark, metric, value);
 }
 
 std::vector<CompiledBenchmark>
@@ -125,11 +168,12 @@ std::string
 Driver::statsLine() const
 {
     return format("driver: jobs=%d cache: %lld hits (%lld coalesced), "
-                  "%lld misses (%.0f%% hit rate, %zu programs)",
+                  "%lld misses (",
                   options_.jobs, static_cast<long long>(cache_.hits()),
                   static_cast<long long>(cache_.coalesced()),
-                  static_cast<long long>(cache_.misses()),
-                  cache_.hitRate() * 100.0, cache_.size());
+                  static_cast<long long>(cache_.misses())) +
+           formatF(cache_.hitRate() * 100.0, 0) +
+           format("%% hit rate, %zu programs)", cache_.size());
 }
 
 void

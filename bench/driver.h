@@ -17,13 +17,19 @@
  * `--trace <out.json>` records the whole run — per-job wall-clock spans
  * from every pool worker plus the compiler/SoC instrumentation beneath
  * them — and writes Chrome-trace JSON on driver destruction.
+ * `--json <out.json>` writes the numbers behind the rendered report as a
+ * schema-versioned bench artifact (report/artifact.h) on destruction;
+ * bench mains feed it via Driver::record(). tools/bench_compare diffs
+ * two artifacts for the perf-regression gate.
  */
 #ifndef POLYMATH_BENCH_DRIVER_H_
 #define POLYMATH_BENCH_DRIVER_H_
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/thread_pool.h"
@@ -45,6 +51,14 @@ struct DriverOptions
     /** When non-empty, enable the global TraceRecorder and write
      *  Chrome-trace JSON here when the driver is destroyed. */
     std::string tracePath;
+
+    /** When non-empty, write a bench artifact (every Driver::record()
+     *  call) here when the driver is destroyed. */
+    std::string jsonPath;
+
+    /** Artifact identity; parseDriverArgs derives it from argv[0]
+     *  ("bench/bench_fig7_cpu_comparison" -> "fig7_cpu_comparison"). */
+    std::string benchName;
 };
 
 /**
@@ -147,9 +161,20 @@ class Driver
     /** Prints statsLine() to @p out when --driver-stats was given. */
     void reportStats(std::FILE *out = stderr) const;
 
+    /**
+     * Records one artifact row (thread-safe; bench mains call this from
+     * inside map lambdas). A no-op without `--json`, so instrumented
+     * benches cost nothing on the default path.
+     */
+    void record(const std::string &benchmark, const std::string &metric,
+                double value) const;
+
   private:
     DriverOptions options_;
     lower::CompileCache &cache_;
+    mutable std::mutex artifactMutex_;
+    mutable std::vector<std::tuple<std::string, std::string, double>>
+        artifactRows_;
 };
 
 } // namespace polymath::bench

@@ -1,8 +1,11 @@
 #include "core/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <system_error>
 
 namespace polymath {
 
@@ -20,6 +23,41 @@ format(const char *fmt, ...)
         std::vsnprintf(out.data(), out.size() + 1, fmt, args);
     va_end(args);
     return out;
+}
+
+namespace {
+
+std::string
+toCharsFloat(double value, std::chars_format fmt, int precision)
+{
+    // to_chars with an explicit precision is specified to produce the
+    // same characters printf would under the "C" locale ('g'/'f'
+    // conversion), making the result locale-independent by construction.
+    // Non-finite values render as printf's "inf"/"-inf"/"nan".
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value < 0 ? "-inf" : "inf";
+    char buf[512]; // %f of 1e308 needs ~310 characters
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), value, fmt, precision);
+    if (ec != std::errc{})
+        return "?"; // cannot happen with the buffer above
+    return std::string(buf, ptr);
+}
+
+} // namespace
+
+std::string
+formatG(double value, int precision)
+{
+    return toCharsFloat(value, std::chars_format::general, precision);
+}
+
+std::string
+formatF(double value, int precision)
+{
+    return toCharsFloat(value, std::chars_format::fixed, precision);
 }
 
 std::vector<std::string>

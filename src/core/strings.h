@@ -14,6 +14,17 @@ namespace polymath {
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Locale-independent `%.<precision>g` via std::to_chars: byte-identical
+ * to printf under the "C" locale, but immune to comma-decimal locales
+ * (printf's %g consults the global locale; see DESIGN.md §"Locale").
+ * Report/table code must use these instead of format("%g"/"%f").
+ */
+std::string formatG(double value, int precision);
+
+/** Locale-independent `%.<precision>f` via std::to_chars. */
+std::string formatF(double value, int precision);
+
 /** Splits @p s on @p sep; keeps empty fields. */
 std::vector<std::string> split(const std::string &s, char sep);
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Schema-versioned bench result artifacts and the perf-regression diff
+ * (docs/OBSERVABILITY.md §"Bench artifacts").
+ *
+ * Every bench binary can serialize the numbers behind its rendered table
+ * as JSON (`--json <out>`), carrying enough provenance to interpret a
+ * stale file: schema version, bench name, git describe of the build, the
+ * jobs count, and the build configuration. `compareArtifacts` diffs two
+ * such files metric-by-metric under per-metric relative tolerances — the
+ * engine of tools/bench_compare and the check.sh perf gate.
+ */
+#ifndef POLYMATH_REPORT_ARTIFACT_H_
+#define POLYMATH_REPORT_ARTIFACT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace polymath::report {
+
+/** The results of one bench binary, one row per (benchmark, metric). */
+struct BenchArtifact
+{
+    /** Version tag written into every file; fromJson rejects others. */
+    static constexpr const char *kSchema = "polymath-bench/1";
+
+    /** Bench binary identity, e.g. "fig7_cpu_comparison". */
+    std::string name;
+
+    // Provenance.
+    std::string git;    ///< `git describe` of the producing build
+    std::string config; ///< build configuration (e.g. "Release")
+    int jobs = 1;       ///< driver jobs used for the run
+
+    struct Metric
+    {
+        std::string benchmark; ///< workload id ("linear_regression", ...)
+        std::string metric;    ///< metric id ("speedup", "seconds", ...)
+        double value = 0.0;
+    };
+
+    std::vector<Metric> metrics;
+
+    /** Appends one row. */
+    void add(const std::string &benchmark, const std::string &metric,
+             double value);
+
+    /** Serializes (locale-independent, rows sorted by benchmark then
+     *  metric so concurrent producers serialize deterministically). */
+    std::string json() const;
+
+    /** Parses an artifact; @throws UserError on malformed input or a
+     *  schema version this build does not understand. */
+    static BenchArtifact fromJson(const std::string &text);
+
+    /** json() to @p path; @throws UserError when unwritable. */
+    void write(const std::string &path) const;
+
+    /** fromJson over the contents of @p path; @throws UserError. */
+    static BenchArtifact read(const std::string &path);
+};
+
+/** Tolerances for compareArtifacts. */
+struct CompareOptions
+{
+    /** Default two-sided relative tolerance: a metric regresses when
+     *  |cur - base| > tol * max(|base|, |cur|). The cost models are
+     *  deterministic, so the default is exact-modulo-roundoff. */
+    double relTol = 1e-9;
+
+    /** Per-metric-id overrides (e.g. {"speedup", 0.05}). */
+    std::map<std::string, double> metricTol;
+};
+
+/** Verdict for one compared metric row. */
+struct MetricDiff
+{
+    enum class Status
+    {
+        Ok,                ///< within tolerance
+        Changed,           ///< outside tolerance
+        MissingInCurrent,  ///< baseline row the candidate lacks
+        MissingInBaseline, ///< candidate row the baseline lacks
+    };
+
+    std::string benchmark;
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    double relError = 0.0;
+    Status status = Status::Ok;
+
+    /** One human-readable line ("ok" rows included). */
+    std::string str() const;
+};
+
+/** Full diff of two artifacts. */
+struct CompareResult
+{
+    std::vector<MetricDiff> diffs;
+    int compared = 0; ///< rows present on both sides
+
+    /** True when every row matched within tolerance on both sides. */
+    bool ok() const;
+
+    /** Multi-line report of every non-Ok row (or "all N metrics within
+     *  tolerance"). */
+    std::string summary() const;
+};
+
+/**
+ * Diffs @p current against @p baseline. Any out-of-tolerance value and
+ * any row present on only one side makes ok() false: a vanished metric
+ * is a silent coverage loss, not a pass.
+ */
+CompareResult compareArtifacts(const BenchArtifact &baseline,
+                               const BenchArtifact &current,
+                               const CompareOptions &options = {});
+
+/** Provenance baked into this build (CMake POLYMATH_GIT_DESCRIBE;
+ *  "unknown" outside a git checkout). */
+std::string buildGitDescribe();
+
+/** Build configuration string baked into this build. */
+std::string buildConfig();
+
+} // namespace polymath::report
+
+#endif // POLYMATH_REPORT_ARTIFACT_H_

@@ -51,10 +51,15 @@ Table::str() const
 double
 geomean(std::span<const double> values)
 {
+    // Zero/negative entries have no logarithm and non-finite entries
+    // (e.g. the +inf a zero-cost candidate produces in speedup()) would
+    // absorb every other sample, so both are skipped; an input with no
+    // usable entries — including an empty one — yields 0.0, which no
+    // real geomean can produce and therefore reads as "no data".
     double log_sum = 0.0;
     int64_t n = 0;
     for (double v : values) {
-        if (v <= 0)
+        if (v <= 0 || !std::isfinite(v))
             continue;
         log_sum += std::log(v);
         ++n;
@@ -75,13 +80,15 @@ mean(std::span<const double> values)
 std::string
 times(double value)
 {
-    return format("%.1fx", value);
+    // formatF, not printf %f: bench tables must render identically under
+    // every locale (no decimal-comma output under e.g. de_DE).
+    return formatF(value, 1) + "x";
 }
 
 std::string
 percent(double value)
 {
-    return format("%.1f%%", value * 100.0);
+    return formatF(value * 100.0, 1) + "%";
 }
 
 } // namespace polymath::report

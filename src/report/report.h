@@ -29,16 +29,19 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Geometric mean; zero/negative entries are skipped. */
+/** Geometric mean. Zero, negative, and non-finite entries are skipped
+ *  (an all-skipped or empty input returns 0.0 — "no data", a value a
+ *  real geomean cannot produce). */
 double geomean(std::span<const double> values);
 
-/** Arithmetic mean. */
+/** Arithmetic mean (0.0 for an empty input). */
 double mean(std::span<const double> values);
 
-/** "3.3x" style multiplier formatting. */
+/** "3.3x" style multiplier formatting (locale-independent). */
 std::string times(double value);
 
-/** "83.9%" style percentage formatting (value in [0,1]). */
+/** "83.9%" style percentage formatting, value in [0,1]
+ *  (locale-independent). */
 std::string percent(double value);
 
 } // namespace polymath::report

@@ -92,18 +92,19 @@ ReliabilityReport::energyOverhead() const
 std::string
 ReliabilityReport::str() const
 {
-    std::string out = format(
-        "faults: %lld (accel %lld, dma %lld, watchdog %lld), "
-        "retries %lld, fallbacks %lld/%lld, availability %.3f, "
-        "slowdown %.3fx, energy %.3fx",
-        static_cast<long long>(faultsInjected),
-        static_cast<long long>(accelFaults),
-        static_cast<long long>(dmaFaults),
-        static_cast<long long>(watchdogFaults),
-        static_cast<long long>(retriesSpent),
-        static_cast<long long>(hostFallbacks),
-        static_cast<long long>(offloadAttempts), availability(), slowdown(),
-        energyOverhead());
+    std::string out =
+        format("faults: %lld (accel %lld, dma %lld, watchdog %lld), "
+               "retries %lld, fallbacks %lld/%lld, availability ",
+               static_cast<long long>(faultsInjected),
+               static_cast<long long>(accelFaults),
+               static_cast<long long>(dmaFaults),
+               static_cast<long long>(watchdogFaults),
+               static_cast<long long>(retriesSpent),
+               static_cast<long long>(hostFallbacks),
+               static_cast<long long>(offloadAttempts)) +
+        formatF(availability(), 3) + ", slowdown " +
+        formatF(slowdown(), 3) + "x, energy " +
+        formatF(energyOverhead(), 3) + "x";
     for (const auto &event : events)
         out += "\n  " + event.str();
     return out;

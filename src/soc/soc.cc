@@ -6,6 +6,7 @@
 #include "core/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "targets/common/cost_ledger.h"
 
 namespace polymath::soc {
 
@@ -126,6 +127,17 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
             static_cast<double>(moved) * config_.dramPjPerByte * 1e-12;
         run.part.seconds += run.transferSeconds;
         run.part.joules += run.transferJoules;
+        if (run.part.ledger) {
+            // Keep the ledger's sums-to-totals invariant across the SoC's
+            // additions. Safe to mutate: `run.part` owns the only alias of
+            // this ledger until the run is copied out. The moved bytes are
+            // already attributed to the backend's own dma entries, so this
+            // entry carries time and energy only.
+            auto &e = run.part.ledger->add("soc:dma setup+placement", "dma");
+            e.seconds = run.transferSeconds;
+            e.joules = run.transferJoules;
+            e.bound = target::BoundClass::Memory;
+        }
         return run;
     };
 

@@ -49,7 +49,7 @@ printLevel(const Graph &graph, const PrintOptions &opts, int depth,
         switch (node.kind) {
           case NodeKind::Constant:
             *out += accessStr(graph, node.outs[0], names) + " = const " +
-                    format("%g", node.cval);
+                    formatG(node.cval, 6);
             break;
           case NodeKind::Map:
           case NodeKind::Reduce: {

@@ -8,294 +8,26 @@
 #include <variant>
 #include <vector>
 
+#include "core/json.h"
 #include "core/strings.h"
 
 namespace polymath::ir {
 
 namespace {
 
-// --------------------------------------------------------------------------
-// Minimal JSON value + parser (no external dependencies).
-// --------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue
-{
-    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-                 JsonObject>
-        data = nullptr;
-
-    bool isNull() const
-    {
-        return std::holds_alternative<std::nullptr_t>(data);
-    }
-    double num() const
-    {
-        if (!std::holds_alternative<double>(data))
-            fatal("json: expected number");
-        return std::get<double>(data);
-    }
-    int64_t asInt() const { return static_cast<int64_t>(num()); }
-    const std::string &str() const
-    {
-        if (!std::holds_alternative<std::string>(data))
-            fatal("json: expected string");
-        return std::get<std::string>(data);
-    }
-    const JsonArray &arr() const
-    {
-        if (!std::holds_alternative<JsonArray>(data))
-            fatal("json: expected array");
-        return std::get<JsonArray>(data);
-    }
-    const JsonObject &obj() const
-    {
-        if (!std::holds_alternative<JsonObject>(data))
-            fatal("json: expected object");
-        return std::get<JsonObject>(data);
-    }
-    const JsonValue &at(const std::string &key) const
-    {
-        const auto &o = obj();
-        auto it = o.find(key);
-        if (it == o.end())
-            fatal("json: missing key '" + key + "'");
-        return it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue parse()
-    {
-        auto v = parseValue();
-        skipWs();
-        if (pos_ != text_.size())
-            fatal("json: trailing characters");
-        return v;
-    }
-
-  private:
-    void skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fatal("json: unexpected end of input");
-        return text_[pos_];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fatal(format("json: expected '%c' at offset %zu", c, pos_));
-        ++pos_;
-    }
-
-    JsonValue parseValue()
-    {
-        const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return JsonValue{parseString()};
-        if (c == 't') {
-            literal("true");
-            return JsonValue{true};
-        }
-        if (c == 'f') {
-            literal("false");
-            return JsonValue{false};
-        }
-        if (c == 'n') {
-            literal("null");
-            return JsonValue{nullptr};
-        }
-        return parseNumber();
-    }
-
-    void literal(const char *word)
-    {
-        skipWs();
-        for (const char *p = word; *p; ++p) {
-            if (pos_ >= text_.size() || text_[pos_] != *p)
-                fatal("json: bad literal");
-            ++pos_;
-        }
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    fatal("json: bad escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  default: fatal("json: unsupported escape");
-                }
-            }
-            out += c;
-        }
-        if (pos_ >= text_.size())
-            fatal("json: unterminated string");
-        ++pos_; // closing quote
-        return out;
-    }
-
-    JsonValue parseNumber()
-    {
-        skipWs();
-        const size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E')) {
-            ++pos_;
-        }
-        if (start == pos_)
-            fatal("json: expected a value");
-        // from_chars, not stod: stod honors the global locale (a
-        // comma-decimal locale rejects "1.5") and throws raw exceptions.
-        double value = 0;
-        const char *begin = text_.data() + start;
-        const char *end = text_.data() + pos_;
-        const auto [ptr, ec] = std::from_chars(begin, end, value);
-        if (ec == std::errc::result_out_of_range)
-            fatal("json: number out of range: " +
-                  text_.substr(start, pos_ - start));
-        if (ec != std::errc{} || ptr != end)
-            fatal("json: malformed number: " +
-                  text_.substr(start, pos_ - start));
-        return JsonValue{value};
-    }
-
-    JsonValue parseArray()
-    {
-        expect('[');
-        JsonArray out;
-        if (peek() == ']') {
-            ++pos_;
-            return JsonValue{std::move(out)};
-        }
-        while (true) {
-            out.push_back(parseValue());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return JsonValue{std::move(out)};
-        }
-    }
-
-    JsonValue parseObject()
-    {
-        expect('{');
-        JsonObject out;
-        if (peek() == '}') {
-            ++pos_;
-            return JsonValue{std::move(out)};
-        }
-        while (true) {
-            const std::string key = parseString();
-            expect(':');
-            out.emplace(key, parseValue());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return JsonValue{std::move(out)};
-        }
-    }
-
-    const std::string &text_;
-    size_t pos_ = 0;
-};
+// The JSON value/parser and locale-independent number emission live
+// in core/json (shared with the bench artifact pipeline); local
+// aliases keep the serializer body unchanged.
+using JsonValue = json::Value;
+using JsonArray = json::Array;
+using JsonObject = json::Object;
+using json::numberFromJson;
+using json::numberToJson;
+using json::quote;
 
 // --------------------------------------------------------------------------
 // Emission.
 // --------------------------------------------------------------------------
-
-/**
- * Locale-independent double → JSON. to_chars emits the shortest decimal
- * string that round-trips to the same bits (so -0.0, subnormals and
- * 1e308 all survive), where the old %.17g went through the C locale and
- * could emit comma decimals. Infinities and NaN are not representable as
- * JSON numbers, so they travel as the strings "inf"/"-inf"/"nan".
- */
-std::string
-numberToJson(double value)
-{
-    if (std::isnan(value))
-        return "\"nan\"";
-    if (std::isinf(value))
-        return value < 0 ? "\"-inf\"" : "\"inf\"";
-    char buf[32];
-    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-    if (ec != std::errc{})
-        panic("json: double does not fit the to_chars buffer");
-    return std::string(buf, ptr);
-}
-
-/** Inverse of numberToJson: a plain number or one of the non-finite
- *  marker strings. */
-double
-numberFromJson(const JsonValue &v)
-{
-    if (std::holds_alternative<std::string>(v.data)) {
-        const auto &s = std::get<std::string>(v.data);
-        if (s == "nan")
-            return std::numeric_limits<double>::quiet_NaN();
-        if (s == "inf")
-            return std::numeric_limits<double>::infinity();
-        if (s == "-inf")
-            return -std::numeric_limits<double>::infinity();
-        fatal("json: expected a number or inf/-inf/nan, got \"" + s +
-              "\"");
-    }
-    return v.num();
-}
-
-std::string
-quote(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out += c;
-    }
-    return out + "\"";
-}
 
 const char *
 exprKindName(IndexExpr::Kind kind)
@@ -629,10 +361,9 @@ toJson(const Graph &graph)
 std::unique_ptr<Graph>
 fromJson(const std::string &json, std::shared_ptr<IrContext> context)
 {
-    JsonParser parser(json);
     if (!context)
         context = std::make_shared<IrContext>();
-    auto graph = readGraph(parser.parse(), context);
+    auto graph = readGraph(json::parse(json), context);
     graph->validate();
     return graph;
 }

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "targets/common/cost_ledger.h"
 #include "targets/deco/deco.h"
 #include "targets/graphicionado/graphicionado.h"
 #include "targets/hyperstreams/hyperstreams.h"
@@ -27,7 +28,12 @@ Backend::simulate(const lower::Partition &partition,
                  static_cast<int64_t>(partition.fragments.size()));
         span.arg("invocations", profile.invocations);
     }
-    return simulateImpl(partition, profile);
+    PerfReport report = simulateImpl(partition, profile);
+    // Every profiled simulation must hand back a ledger whose column sums
+    // reproduce the report totals — catch attribution bugs loudly here,
+    // at the one point all six backends pass through.
+    verifyLedger(report);
+    return report;
 }
 
 int64_t

@@ -1,6 +1,10 @@
 #include "targets/common/perf_report.h"
 
+#include <cmath>
+#include <limits>
+
 #include "core/strings.h"
+#include "targets/common/cost_ledger.h"
 
 namespace polymath::target {
 
@@ -9,6 +13,7 @@ PerfReport::operator+=(const PerfReport &other)
 {
     if (machine.empty())
         machine = other.machine;
+    const double prior_seconds = seconds;
     seconds += other.seconds;
     joules += other.joules;
     computeSeconds += other.computeSeconds;
@@ -16,43 +21,80 @@ PerfReport::operator+=(const PerfReport &other)
     overheadSeconds += other.overheadSeconds;
     flops += other.flops;
     dramBytes += other.dramBytes;
-    // Utilization of a sequential composition: flop-weighted is the useful
-    // summary; recompute from totals when both present.
-    if (seconds > 0 && flops > 0 && other.seconds > 0)
-        utilization = (utilization + other.utilization) / 2.0;
+    // Utilization of a sequential composition: time-weighted from the
+    // accumulated totals, so chaining any number of partitions is
+    // associative and order-independent (a pairwise average is neither).
+    if (seconds > 0) {
+        utilization = (utilization * prior_seconds +
+                       other.utilization * other.seconds) /
+                      seconds;
+    }
+    if (other.ledger) {
+        // Merge into a fresh ledger: `ledger` may be aliased by earlier
+        // copies of this report (and `other`'s is immutable by contract).
+        auto merged = std::make_shared<CostLedger>();
+        merged->machine = machine;
+        if (ledger)
+            merged->append(*ledger);
+        else
+            merged->partitionCount = 0;
+        merged->append(*other.ledger);
+        merged->peakFlops = other.ledger->peakFlops;
+        merged->dramGBs = other.ledger->dramGBs;
+        if (ledger) {
+            merged->peakFlops =
+                std::max(merged->peakFlops, ledger->peakFlops);
+            merged->dramGBs = std::max(merged->dramGBs, ledger->dramGBs);
+        }
+        ledger = std::move(merged);
+    }
     return *this;
 }
 
 std::string
 PerfReport::str() const
 {
-    return format("%s: %.4g ms, %.4g mJ, %.3g W, %lld flops, %lld B dram, "
-                  "util %.1f%%",
-                  machine.c_str(), seconds * 1e3, joules * 1e3, watts(),
-                  static_cast<long long>(flops),
-                  static_cast<long long>(dramBytes), utilization * 100.0);
+    // formatG, not printf %g: report lines must render identically under
+    // every locale (the bench tables embed them verbatim).
+    return machine + ": " + formatG(seconds * 1e3, 4) + " ms, " +
+           formatG(joules * 1e3, 4) + " mJ, " + formatG(watts(), 3) +
+           " W, " + std::to_string(flops) + " flops, " +
+           std::to_string(dramBytes) + " B dram, util " +
+           formatF(utilization * 100.0, 1) + "%";
 }
+
+namespace {
+
+/** Shared zero-candidate convention of the improvement ratios: +inf for
+ *  a free candidate against a costly baseline, 1.0 for free vs. free. */
+double
+improvement(double baseline, double candidate)
+{
+    if (candidate > 0)
+        return baseline / candidate;
+    return baseline > 0 ? std::numeric_limits<double>::infinity() : 1.0;
+}
+
+} // namespace
 
 double
 speedup(const PerfReport &baseline, const PerfReport &candidate)
 {
-    return candidate.seconds > 0 ? baseline.seconds / candidate.seconds
-                                 : 0.0;
+    return improvement(baseline.seconds, candidate.seconds);
 }
 
 double
 energyReduction(const PerfReport &baseline, const PerfReport &candidate)
 {
-    return candidate.joules > 0 ? baseline.joules / candidate.joules : 0.0;
+    return improvement(baseline.joules, candidate.joules);
 }
 
 double
 ppwImprovement(const PerfReport &baseline, const PerfReport &candidate)
 {
     // perf-per-watt = (1/t)/W = 1/(t*W); improvement = (t_b*W_b)/(t_c*W_c).
-    const double b = baseline.seconds * baseline.watts();
-    const double c = candidate.seconds * candidate.watts();
-    return c > 0 ? b / c : 0.0;
+    return improvement(baseline.seconds * baseline.watts(),
+                       candidate.seconds * candidate.watts());
 }
 
 } // namespace polymath::target

@@ -6,9 +6,12 @@
 #define POLYMATH_TARGETS_COMMON_PERF_REPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace polymath::target {
+
+struct CostLedger;
 
 /** Result of simulating one partition (or whole program) on a machine. */
 struct PerfReport
@@ -25,6 +28,13 @@ struct PerfReport
     int64_t dramBytes = 0;    ///< off-chip traffic
     double utilization = 0.0; ///< achieved / peak compute
 
+    /** Per-fragment cost attribution (cost_ledger.h); null unless
+     *  profiling was enabled during simulation. Copies of a report alias
+     *  one ledger, which is treated as immutable once simulate()
+     *  returns; operator+= always builds a fresh merged ledger rather
+     *  than mutating either side's. */
+    std::shared_ptr<CostLedger> ledger;
+
     double watts() const { return seconds > 0 ? joules / seconds : 0.0; }
 
     /** Accumulates another report (sequential composition). */
@@ -33,14 +43,21 @@ struct PerfReport
     std::string str() const;
 };
 
-/** runtime improvement of b over a: time_a / time_b. */
+/**
+ * Runtime improvement of candidate over baseline: time_b / time_c.
+ * Edge cases are explicit: a zero-second candidate is infinitely faster
+ * (+inf) when the baseline took time, and 1.0 (a tie) when both are
+ * zero-second — never a silent 0.0, which would read as a slowdown.
+ */
 double speedup(const PerfReport &baseline, const PerfReport &candidate);
 
-/** energy improvement of b over a: joules_a / joules_b. */
+/** Energy improvement of candidate over baseline: joules_b / joules_c,
+ *  with the same explicit zero-candidate convention as speedup(). */
 double energyReduction(const PerfReport &baseline,
                        const PerfReport &candidate);
 
-/** performance-per-watt improvement of candidate over baseline. */
+/** Performance-per-watt improvement of candidate over baseline, with
+ *  the same explicit zero-candidate convention as speedup(). */
 double ppwImprovement(const PerfReport &baseline,
                       const PerfReport &candidate);
 

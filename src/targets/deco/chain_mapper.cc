@@ -25,12 +25,13 @@ ChainMap::avgChainLength() const
 std::string
 ChainMap::str() const
 {
-    std::string out = format(
-        "%zu chains over %lld waves, %lld cycles (+%lld fill), DSP "
-        "utilization %.1f%%\n",
-        chains.size(), static_cast<long long>(waves),
-        static_cast<long long>(cycles),
-        static_cast<long long>(fillCycles), dspUtilization * 100.0);
+    std::string out =
+        format("%zu chains over %lld waves, %lld cycles (+%lld fill), DSP "
+               "utilization ",
+               chains.size(), static_cast<long long>(waves),
+               static_cast<long long>(cycles),
+               static_cast<long long>(fillCycles)) +
+        formatF(dspUtilization * 100.0, 1) + "%\n";
     for (const auto &chain : chains) {
         out += format("  wave %lld, %lld elems:",
                       static_cast<long long>(chain.wave),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "targets/common/cost_ledger.h"
 #include "targets/common/op_sets.h"
 
 namespace polymath::target {
@@ -128,6 +129,44 @@ GraphicionadoBackend::simulateImpl(const lower::Partition &partition,
                                 (m.peakFlops() * kStageDepth * r.seconds))
             : 0.0;
     r.joules = m.watts * r.seconds;
+
+    if (CostLedger *ledger = beginLedger(r, r.machine)) {
+        // The model prices two phase pools (edge pipeline, vertex apply);
+        // each fragment's raw weight is its ops-per-point share of its
+        // phase's pool. Flop weights are re-derived on the deployed
+        // dataset so edge- and vertex-domain fragments scale by E and V
+        // respectively, matching r.flops.
+        const double edge_pool = edge_cycles * random_penalty * iters / hz;
+        const double vertex_pool = vertex_cycles * iters / hz;
+        double edge_attr = 0.0;
+        double vertex_attr = 0.0;
+        size_t i = 0;
+        for (const auto &frag : partition.fragments) {
+            const size_t index = i++;
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            const double ops = opsPerPoint(frag);
+            const bool edge_domain = isEdgeDomain(frag);
+            double raw = 0.0;
+            if (edge_domain && ops_per_edge > 0)
+                raw = edge_pool * ops / ops_per_edge;
+            else if (!edge_domain && ops_per_vertex > 0)
+                raw = vertex_pool * ops / ops_per_vertex;
+            CostEntry &e =
+                ledger->addFragment(static_cast<int>(index), frag, raw);
+            e.flops = ops * (edge_domain ? edges : vertices) * iters;
+            (edge_domain ? edge_attr : vertex_attr) += raw;
+        }
+        // The max(ops, 1) pipeline floor leaves pool time no fragment
+        // claims (pure traversal with no per-point arithmetic).
+        ledger->addComputeResidual("edge-pipeline traversal floor",
+                                   edge_pool - edge_attr);
+        ledger->addComputeResidual("vertex-apply traversal floor",
+                                   vertex_pool - vertex_attr);
+        ledger->addDma(vertex_bytes, edges * 8.0 * iters, m.dramGBs);
+        ledger->addOverhead(r.overheadSeconds);
+        finalizeLedger(r, m);
+    }
     return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "targets/common/cost_ledger.h"
 #include "targets/common/op_sets.h"
 
 namespace polymath::target {
@@ -80,6 +81,35 @@ HyperstreamsBackend::simulateImpl(const lower::Partition &partition,
             ? static_cast<double>(r.flops) / (m.peakFlops() * r.seconds)
             : 0.0;
     r.joules = m.watts * r.seconds;
+
+    if (CostLedger *ledger = beginLedger(r, r.machine)) {
+        // Per-fragment cycles (elements + fill, or flops over stages)
+        // are computed independently and summed, so attribution is exact.
+        size_t i = 0;
+        for (const auto &frag : partition.fragments) {
+            const size_t index = i++;
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            double frag_cycles = 0.0;
+            auto it = frag.attrs.find("elements");
+            if (it != frag.attrs.end() && it->second > 0) {
+                frag_cycles =
+                    static_cast<double>(it->second) + kPipelineDepth;
+            } else {
+                frag_cycles = std::ceil(
+                    static_cast<double>(frag.flops) /
+                    static_cast<double>(m.computeUnits));
+            }
+            const double raw =
+                frag_cycles * profile.scale * invocations / hz;
+            ledger->addFragment(static_cast<int>(index), frag, raw);
+        }
+        ledger->addDma(static_cast<double>(dma.oneTimeBytes),
+                       static_cast<double>(dma.perRunBytes) * invocations,
+                       m.dramGBs);
+        ledger->addOverhead(r.overheadSeconds);
+        finalizeLedger(r, m);
+    }
     return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "targets/common/cost_ledger.h"
 #include "targets/common/op_sets.h"
 
 namespace polymath::target {
@@ -87,6 +88,29 @@ RoboxBackend::simulateImpl(const lower::Partition &partition,
             ? static_cast<double>(r.flops) / (m.peakFlops() * r.seconds)
             : 0.0;
     r.joules = m.watts * r.seconds;
+
+    if (CostLedger *ledger = beginLedger(r, r.machine)) {
+        // The sequencer is serial, so the per-fragment issue cost
+        // (ceil(work/lanes) + 8 sequencer cycles) is exact — no residual.
+        for (size_t i = 0; i < partition.fragments.size(); ++i) {
+            const auto &frag = partition.fragments[i];
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            const int64_t work = fragmentWork(frag);
+            if (work <= 0)
+                continue;
+            const double c =
+                std::ceil(static_cast<double>(work) / lanes) + 8.0;
+            const double raw =
+                (invariant[i] ? c : c * profile.scale * invocations) / hz;
+            ledger->addFragment(static_cast<int>(i), frag, raw);
+        }
+        ledger->addDma(static_cast<double>(dma.oneTimeBytes),
+                       static_cast<double>(dma.perRunBytes) * invocations,
+                       m.dramGBs);
+        ledger->addOverhead(r.overheadSeconds);
+        finalizeLedger(r, m);
+    }
     return r;
 }
 

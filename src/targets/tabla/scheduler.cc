@@ -14,11 +14,10 @@ namespace polymath::target {
 std::string
 ScheduleResult::str() const
 {
-    std::string out = format("makespan %lld cycles, bus %lld, occupancy "
-                             "%.1f%%\n",
+    std::string out = format("makespan %lld cycles, bus %lld, occupancy ",
                              static_cast<long long>(cycles),
-                             static_cast<long long>(busCycles),
-                             peOccupancy * 100.0);
+                             static_cast<long long>(busCycles)) +
+                      formatF(peOccupancy * 100.0, 1) + "%\n";
     for (const auto &sf : fragments) {
         out += format("  [%6lld, %6lld) %s\n",
                       static_cast<long long>(sf.startCycle),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "targets/common/cost_ledger.h"
 #include "targets/common/op_sets.h"
 
 namespace polymath::target {
@@ -87,6 +88,34 @@ TablaBackend::simulateImpl(const lower::Partition &partition,
             ? static_cast<double>(r.flops) / (m.peakFlops() * r.seconds)
             : 0.0;
     r.joules = m.watts * r.seconds;
+
+    if (CostLedger *ledger = beginLedger(r, r.machine)) {
+        // Raw per-fragment weight: its share of the PE array's issue
+        // slots, in (pre-overlap) seconds. The ceil() rounding, the PU
+        // reduction trees, and the inter-level bus turnarounds are level
+        // costs, not fragment costs — they land in one residual entry.
+        double attributed = 0.0;
+        size_t i = 0;
+        for (const auto &frag : partition.fragments) {
+            const size_t index = i++;
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            const double slots =
+                static_cast<double>(fragmentWork(frag)) / pes / hz;
+            const double raw =
+                invariant[index] ? slots
+                                 : slots * profile.scale * invocations;
+            ledger->addFragment(static_cast<int>(index), frag, raw);
+            attributed += raw;
+        }
+        ledger->addComputeResidual("reduce-tree+bus turnaround",
+                                   r.computeSeconds - attributed);
+        ledger->addDma(static_cast<double>(dma.oneTimeBytes),
+                       static_cast<double>(dma.perRunBytes) * invocations,
+                       m.dramGBs);
+        ledger->addOverhead(r.overheadSeconds);
+        finalizeLedger(r, m);
+    }
     return r;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "targets/common/cost_ledger.h"
+
 namespace polymath::target {
 
 namespace {
@@ -98,6 +100,40 @@ VtaBackend::simulateImpl(const lower::Partition &partition,
             : 0.0;
     r.joules = m.watts * r.seconds;
     (void)hz;
+
+    if (CostLedger *ledger = beginLedger(r, r.machine)) {
+        // Layer time is a plain sum of flops/(peak*eff) terms, so the
+        // per-layer attribution is exact. DMA splits by traffic class:
+        // weights (resident or re-streamed) vs. activations.
+        size_t i = 0;
+        for (const auto &frag : partition.fragments) {
+            const size_t index = i++;
+            if (frag.opcode == "tload" || frag.opcode == "tstore")
+                continue;
+            const double eff = isGemmLayer(frag.opcode) ? 0.35 : 0.10;
+            const double raw = static_cast<double>(frag.flops) /
+                               (peak * eff) * profile.scale * invocations;
+            ledger->addFragment(static_cast<int>(index), frag, raw);
+        }
+        const double bw = m.dramGBs * 1e9;
+        if (weight_stream > 0) {
+            CostEntry &w = ledger->add(weights_resident
+                                           ? "dma:weights (resident)"
+                                           : "dma:weights (streamed)",
+                                       "dma");
+            w.dramBytes = weight_stream * profile.scale;
+            w.seconds = w.dramBytes / bw;
+            w.bound = BoundClass::Memory;
+        }
+        if (act_bytes > 0) {
+            CostEntry &a = ledger->add("dma:activations", "dma");
+            a.dramBytes = act_bytes * invocations * profile.scale;
+            a.seconds = a.dramBytes / bw;
+            a.bound = BoundClass::Memory;
+        }
+        ledger->addOverhead(r.overheadSeconds);
+        finalizeLedger(r, m);
+    }
     return r;
 }
 

@@ -63,6 +63,25 @@ for preset in "${presets[@]}"; do
     cmake --build --preset "$preset" -j "$jobs"
     echo "== [$preset] test =="
     ctest --preset "$preset" -j "$jobs"
+    if [ "$preset" = default ]; then
+        # Perf-regression gate: re-run the fast bench subset and diff
+        # the JSON artifacts against the checked-in baselines. The cost
+        # models are deterministic, so any drift is a real change; on
+        # failure the fresh artifact is kept for inspection (promote it
+        # to bench/baselines/ when the change is intentional).
+        echo "== [$preset] bench perf gate =="
+        for bench in fig7_cpu_comparison fig9_optimal; do
+            artifact="$(mktemp "/tmp/polymath-bench-$bench.XXXXXX.json")"
+            "build/bench/bench_$bench" -j4 --json "$artifact" > /dev/null
+            if ! build/tools/bench_compare \
+                    "bench/baselines/$bench.json" "$artifact"; then
+                echo "bench perf gate: $bench regressed;" \
+                     "current artifact kept at $artifact" >&2
+                exit 1
+            fi
+            rm -f "$artifact"
+        done
+    fi
     if [ "$preset" = asan ]; then
         if [ -n "$comma_locale" ]; then
             echo "== [$preset] test (LC_ALL=$comma_locale) =="

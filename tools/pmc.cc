@@ -21,6 +21,7 @@
 
 #include "core/diagnostics.h"
 #include "core/error.h"
+#include "core/json.h"
 #include "core/strings.h"
 #include "core/thread_pool.h"
 #include "lower/compile_cache.h"
@@ -33,6 +34,7 @@
 #include "pmlang/sema.h"
 #include "passes/pass.h"
 #include "soc/soc.h"
+#include "targets/common/cost_ledger.h"
 #include "targets/deco/chain_mapper.h"
 #include "targets/tabla/scheduler.h"
 #include "srdfg/builder.h"
@@ -58,6 +60,9 @@ struct Options
     std::string target;   // domain keyword, e.g. "DA"
     bool simulate = false;
     bool schedule = false;
+    bool profile = false;
+    std::string profileJsonPath;
+    int64_t profileTopN = 10;
     int64_t invocations = 1;
     bool listTargets = false;
     double faultRate = 0.0;
@@ -88,6 +93,13 @@ usage()
         "  --simulate            with --target: simulate on the SoC\n"
         "  --schedule            with --target DA/DSP: print the PE list\n"
         "                        schedule / DSP chain mapping\n"
+        "  --profile             with --target: simulate with per-fragment\n"
+        "                        cost ledgers and print a hotspot/roofline\n"
+        "                        table per partition (implies --simulate)\n"
+        "  --profile-top <n>     rows per hotspot table (default 10)\n"
+        "  --profile-json <out>  write the full profile (report totals +\n"
+        "                        every ledger entry) as JSON; single input\n"
+        "                        only\n"
         "  --invocations <n>     invocation count for --simulate\n"
         "  --fault-rate <r>      with --simulate: inject accelerator/DMA/\n"
         "                        watchdog faults at rate r in [0,1] and\n"
@@ -186,6 +198,14 @@ parseArgs(int argc, char **argv)
             opts.simulate = true;
         } else if (arg == "--schedule") {
             opts.schedule = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--profile-top") {
+            opts.profileTopN = parseInt("--profile-top", next());
+            if (opts.profileTopN < 1)
+                fatal("--profile-top expects a positive integer");
+        } else if (arg == "--profile-json") {
+            opts.profileJsonPath = next();
         } else if (arg == "--invocations") {
             opts.invocations = parseInt("--invocations", next());
         } else if (arg == "--fault-rate") {
@@ -221,6 +241,12 @@ parseArgs(int argc, char **argv)
         }
     }
     opts.jobs = core::resolveJobs(opts.jobs);
+    if (opts.profile || !opts.profileJsonPath.empty()) {
+        if (opts.target.empty())
+            fatal("--profile requires --target (profiles are attributed "
+                  "over the compiled accelerator partitions)");
+        opts.simulate = true;
+    }
     return opts;
 }
 
@@ -397,6 +423,32 @@ runFile(const Options &opts, const std::string &file, std::string &out,
                 out += format("reliability: %s\n",
                               result.reliability.str().c_str());
             }
+            if (opts.profile) {
+                for (size_t pi = 0; pi < result.partitions.size(); ++pi) {
+                    out += format("partition %zu ", pi);
+                    out += target::profileTable(
+                        result.partitions[pi],
+                        static_cast<int>(opts.profileTopN));
+                }
+            }
+            if (!opts.profileJsonPath.empty()) {
+                std::string doc = "{\"schema\":\"polymath-profile/1\"";
+                doc += ",\"file\":" + json::quote(file);
+                doc += ",\"partitions\":[";
+                for (size_t pi = 0; pi < result.partitions.size(); ++pi) {
+                    if (pi)
+                        doc += ",";
+                    doc += target::profileJson(result.partitions[pi]);
+                }
+                doc += "],\"total\":" +
+                       target::profileJson(result.total) + "}\n";
+                std::ofstream json_out(opts.profileJsonPath,
+                                       std::ios::binary);
+                if (!json_out)
+                    fatal("cannot open '" + opts.profileJsonPath +
+                          "' for writing");
+                json_out << doc;
+            }
         } else if (obs::TraceRecorder::global().enabled()) {
             // --trace without --simulate: shadow-execute the compiled
             // program so the trace still carries the virtual SoC
@@ -500,6 +552,11 @@ run(const Options &opts)
         usage();
         return 2;
     }
+    if (!opts.profileJsonPath.empty() && opts.files.size() > 1)
+        fatal("--profile-json supports a single input file (the profile "
+              "document identifies one program)");
+    if (opts.profile || !opts.profileJsonPath.empty())
+        target::setProfilingEnabled(true);
     if (!opts.tracePath.empty())
         obs::TraceRecorder::global().setEnabled(true);
 
