@@ -51,10 +51,11 @@ class Systolic256 : public target::Backend
         // The whole point: this target consumes matvecs *whole*. The
         // srDFG's recursive granularity means no new compiler code is
         // needed for that — Algorithm 1 simply does not splice them.
-        s.supportedOps = {"mvmul", "const", "identity"};
-        s.preferredComponents = {"mvmul"};
-        s.translators["mvmul"] = [](const ir::Graph &g,
-                                    const ir::Node &n) {
+        const ir::Op mvmul = ir::Op::intern("mvmul");
+        s.supportedOps = {mvmul, ir::OpCode::Const, ir::OpCode::Identity};
+        s.preferredComponents = {mvmul};
+        s.translators[mvmul] = [](const ir::Graph &g,
+                                  const ir::Node &n) {
             auto frag = lower::genericTranslate(g, n);
             frag.opcode = "systolic/gemv";
             return frag;

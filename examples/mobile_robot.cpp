@@ -43,7 +43,7 @@ main()
             auto scalar = ir::materializeScalar(level, node);
             std::printf("one '%s' group node expands into %lld scalar "
                         "nodes at the finest granularity\n\n",
-                        node.op.c_str(),
+                        node.op.str().c_str(),
                         static_cast<long long>(scalar->liveNodeCount()));
         });
 

@@ -31,26 +31,14 @@ evalKernel(const lang::Expr &e, double a, double b,
         return e.name == red.paramA ? a : b;
       case ExprKind::Unary: {
         const double x = evalKernel(*e.lhs, a, b, red);
-        return e.op == "neg" ? -x : (x == 0.0 ? 1.0 : 0.0);
+        return lang::resolveUnaryOp(e.op) == lang::UnaryOp::Neg
+                   ? -x
+                   : (x == 0.0 ? 1.0 : 0.0);
       }
       case ExprKind::Binary: {
         const double l = evalKernel(*e.lhs, a, b, red);
         const double r = evalKernel(*e.rhs, a, b, red);
-        if (e.op == "+") return l + r;
-        if (e.op == "-") return l - r;
-        if (e.op == "*") return l * r;
-        if (e.op == "/") return l / r;
-        if (e.op == "%") return std::fmod(l, r);
-        if (e.op == "^") return std::pow(l, r);
-        if (e.op == "<") return l < r;
-        if (e.op == "<=") return l <= r;
-        if (e.op == ">") return l > r;
-        if (e.op == ">=") return l >= r;
-        if (e.op == "==") return l == r;
-        if (e.op == "!=") return l != r;
-        if (e.op == "&&") return l != 0.0 && r != 0.0;
-        if (e.op == "||") return l != 0.0 || r != 0.0;
-        panic("bad kernel operator " + e.op);
+        return lang::applyBinaryOp(lang::resolveBinaryOp(e.op), l, r);
       }
       case ExprKind::Ternary:
         return evalKernel(*e.lhs, a, b, red) != 0.0
@@ -224,7 +212,7 @@ GraphRunner::execMap(const Node &node)
     const bool int_out = out_md.dtype == DType::Int;
     const bool bin_out = out_md.dtype == DType::Bin;
     if (stats_) {
-        if (node.op == "identity")
+        if (node.op == ir::OpCode::Identity)
             stats_->moveElems += node.domainSize();
         else
             stats_->mapOps += node.domainSize();
@@ -265,19 +253,22 @@ GraphRunner::execReduce(const Node &node)
     const auto &out_md = graph_.value(node.outs[0].value).md;
     Tensor out(out_md.dtype, out_md.shape);
 
-    const bool builtin = lang::isBuiltinReduction(node.op);
+    const bool builtin = ir::isBuiltinReductionOp(node.op);
+    const ir::OpCode rcode = node.op.code();
     const lang::ReductionDecl *custom = nullptr;
     if (!builtin) {
-        auto it = graph_.context->reductions.find(node.op);
+        auto it = graph_.context->reductions.find(node.op.str());
         if (it == graph_.context->reductions.end())
-            panic("unknown reduction '" + node.op + "'");
+            panic("unknown reduction '" + node.op.str() + "'");
         custom = it->second;
     }
 
     const bool complex_in = !node.ins[0].isIndexOperand() &&
                             tensorOf(node.ins[0].value).isComplex();
-    if (complex_in && (!builtin || (node.op != "sum" && node.op != "prod")))
+    if (complex_in && rcode != ir::OpCode::Sum &&
+        rcode != ir::OpCode::Prod) {
         fatal("only sum/prod reductions are defined on complex data");
+    }
 
     std::vector<int64_t> extents;
     for (const auto &v : node.domainVars)
@@ -288,10 +279,10 @@ GraphRunner::execReduce(const Node &node)
     std::vector<std::complex<double>> cacc;
     if (complex_in && out.isComplex())
         cacc.assign(static_cast<size_t>(out.numel()),
-                    {node.op == "prod" ? 1.0 : 0.0, 0.0});
+                    {rcode == ir::OpCode::Prod ? 1.0 : 0.0, 0.0});
 
     if (builtin && !complex_in) {
-        const double init = lang::reductionIdentity(node.op);
+        const double init = lang::reductionIdentity(node.op.str());
         for (int64_t i = 0; i < out.numel(); ++i)
             out.at(i) = init;
     }
@@ -309,7 +300,7 @@ GraphRunner::execReduce(const Node &node)
             ++stats_->reduceCombines;
         if (complex_in) {
             const auto x = readComplex(node.ins[0], point);
-            if (node.op == "sum")
+            if (rcode == ir::OpCode::Sum)
                 cacc[static_cast<size_t>(out_flat)] += x;
             else
                 cacc[static_cast<size_t>(out_flat)] *= x;
@@ -319,7 +310,15 @@ GraphRunner::execReduce(const Node &node)
         const double x = readReal(node.ins[0], point);
         double &acc = out.at(out_flat);
         if (builtin) {
-            acc = lang::applyBuiltinReduction(node.op, acc, x);
+            // The combiner dispatches on the resolved opcode once per
+            // element — no string comparison in the reduction loop.
+            switch (rcode) {
+              case ir::OpCode::Sum: acc += x; break;
+              case ir::OpCode::Prod: acc *= x; break;
+              case ir::OpCode::Max: acc = acc > x ? acc : x; break;
+              case ir::OpCode::Min: acc = acc < x ? acc : x; break;
+              default: panic("unhandled builtin reduction");
+            }
         } else if (!touched[static_cast<size_t>(out_flat)]) {
             acc = x;
         } else {
@@ -340,7 +339,7 @@ GraphRunner::execReduce(const Node &node)
             if (!touched[static_cast<size_t>(i)] && !builtin)
                 out.at(i) = 0.0;
             if (!touched[static_cast<size_t>(i)] && builtin &&
-                (node.op == "max" || node.op == "min")) {
+                (rcode == ir::OpCode::Max || rcode == ir::OpCode::Min)) {
                 out.at(i) = 0.0;
             }
         }

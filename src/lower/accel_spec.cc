@@ -44,6 +44,7 @@ void
 AcceleratorRegistry::add(AcceleratorSpec spec)
 {
     specs_.push_back(std::move(spec));
+    omValid_ = false;
 }
 
 const AcceleratorSpec *
@@ -57,7 +58,7 @@ AcceleratorRegistry::forDomain(Domain domain) const
 }
 
 const AcceleratorSpec *
-AcceleratorRegistry::specFor(Domain domain, const std::string &op) const
+AcceleratorRegistry::specFor(Domain domain, ir::Op op) const
 {
     for (const auto &spec : specs_) {
         if (spec.domain == domain && spec.preferredComponents.count(op))
@@ -76,22 +77,23 @@ AcceleratorRegistry::byName(const std::string &name) const
     return nullptr;
 }
 
-std::map<Domain, std::set<std::string>>
+const std::map<Domain, ir::OpSet> &
 AcceleratorRegistry::supportedOpsByDomain() const
 {
-    std::map<Domain, std::set<std::string>> out;
-    for (const auto &spec : specs_) {
-        out[spec.domain].insert(spec.supportedOps.begin(),
-                                spec.supportedOps.end());
+    if (!omValid_) {
+        om_.clear();
+        for (const auto &spec : specs_)
+            om_[spec.domain].merge(spec.supportedOps);
+        omValid_ = true;
     }
-    return out;
+    return om_;
 }
 
 IrFragment
 genericTranslate(const ir::Graph &graph, const ir::Node &node)
 {
     IrFragment frag;
-    frag.opcode = node.op;
+    frag.opcode = node.op.str();
     frag.flops = node.scalarOpCount();
 
     auto arg_of = [&](ir::ValueId v) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "srdfg/graph.h"
+#include "srdfg/op.h"
 
 namespace polymath::lower {
 
@@ -83,25 +84,23 @@ struct AcceleratorSpec
     std::string name;   ///< e.g. "TABLA"
     Domain domain = Domain::None;
 
-    /** Ot: operation names this target's IR accepts directly. */
-    std::set<std::string> supportedOps;
+    /** Ot: operations this target's IR accepts directly (bitset over the
+     *  interned operation space — membership is O(1)). */
+    ir::OpSet supportedOps;
 
     /** md: per-op translation overrides. Ops in supportedOps without an
      *  entry use the generic structural translator. */
-    std::map<std::string, TranslateFn> translators;
+    std::map<ir::Op, TranslateFn> translators;
 
     /** +d: fragment combiner; default appends. */
     std::function<void(AccelProgram &, IrFragment)> combine;
 
-    /** Component names this accelerator should be chosen for, when several
+    /** Component ops this accelerator should be chosen for, when several
      *  accelerators serve the same domain (e.g. Black-Scholes on
      *  HyperStreams while logistic regression stays on TABLA). */
-    std::set<std::string> preferredComponents;
+    std::set<ir::Op> preferredComponents;
 
-    bool supports(const std::string &op) const
-    {
-        return supportedOps.count(op) > 0;
-    }
+    bool supports(ir::Op op) const { return supportedOps.contains(op); }
 };
 
 /** AccSpec of Algorithm 2: the accelerator chosen for each domain. */
@@ -117,19 +116,21 @@ class AcceleratorRegistry
 
     /** Spec chosen for one node: a same-domain spec preferring @p op,
      *  else the domain default. */
-    const AcceleratorSpec *specFor(Domain domain,
-                                   const std::string &op) const;
+    const AcceleratorSpec *specFor(Domain domain, ir::Op op) const;
 
     /** Spec by accelerator name; nullptr when absent. */
     const AcceleratorSpec *byName(const std::string &name) const;
 
-    /** The Om map of Algorithm 1: union of supported ops per domain. */
-    std::map<Domain, std::set<std::string>> supportedOpsByDomain() const;
+    /** The Om map of Algorithm 1: union of supported ops per domain.
+     *  Cached — rebuilt only after add(), not per compile. */
+    const std::map<Domain, ir::OpSet> &supportedOpsByDomain() const;
 
     const std::vector<AcceleratorSpec> &specs() const { return specs_; }
 
   private:
     std::vector<AcceleratorSpec> specs_;
+    mutable std::map<Domain, ir::OpSet> om_;
+    mutable bool omValid_ = false;
 };
 
 /** Builds the generic structural fragment for @p node (used when a spec

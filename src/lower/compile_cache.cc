@@ -38,13 +38,15 @@ compileCacheKey(const std::string &source, const ir::BuildOptions &opts,
         key += '@';
         key += lang::toString(spec.domain);
         key += '[';
-        for (const auto &op : spec.supportedOps) { // std::set: sorted
+        // sortedNames() matches the old std::set<std::string> iteration
+        // order, so cache keys survive the interned-op migration.
+        for (const auto &op : spec.supportedOps.sortedNames()) {
             key += op;
             key += ',';
         }
         key += "][";
         for (const auto &comp : spec.preferredComponents) {
-            key += comp;
+            key += comp.str();
             key += ',';
         }
         key += "];";

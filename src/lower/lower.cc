@@ -72,6 +72,9 @@ spliceComponent(Graph &graph, NodeId id)
             graph.value(out.value).producer = moved.id;
         }
     }
+    // The splice wires inputs with raw surgery; drop the use cache rather
+    // than replaying every move through the incremental helpers.
+    graph.touchUses();
     graph.eraseNode(id);
 }
 
@@ -105,11 +108,13 @@ lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
             const auto om_it = om.find(dom);
             // "@custom_reduce" in Ot admits any user-defined reduction
             // (vertex programs define their own combiners).
+            static const ir::Op custom_reduce =
+                ir::Op::intern("@custom_reduce");
             const bool supported =
                 om_it != om.end() &&
-                (om_it->second.count(node->op) > 0 ||
+                (om_it->second.contains(node->op) ||
                  (node->kind == NodeKind::Reduce &&
-                  om_it->second.count("@custom_reduce") > 0));
+                  om_it->second.contains(custom_reduce)));
             if (supported)
                 continue;
             if (node->kind == NodeKind::Component) {
@@ -121,7 +126,7 @@ lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
             } else if (node->kind == NodeKind::Constant) {
                 continue; // constants are always representable
             } else {
-                fatal("operation '" + node->op +
+                fatal("operation '" + node->op.str() +
                       "' is not supported by the accelerator for domain " +
                       (toString(dom).empty() ? "<none>" : toString(dom)) +
                       "; compilation fails for this target");

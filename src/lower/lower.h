@@ -14,15 +14,14 @@
 #define POLYMATH_LOWER_LOWER_H_
 
 #include <map>
-#include <set>
-#include <string>
 
 #include "srdfg/graph.h"
+#include "srdfg/op.h"
 
 namespace polymath::lower {
 
-/** Om of Algorithm 1: per-domain supported operation names. */
-using SupportedOps = std::map<lang::Domain, std::set<std::string>>;
+/** Om of Algorithm 1: per-domain supported operation sets (Ot bitsets). */
+using SupportedOps = std::map<lang::Domain, ir::OpSet>;
 
 /**
  * Lowers @p graph in place against @p om. A node's effective domain is its

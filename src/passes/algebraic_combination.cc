@@ -48,7 +48,7 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
         return std::nullopt;
 
     // Peel a whole-tensor identity move.
-    if (node->kind == NodeKind::Map && node->op == "identity" &&
+    if (node->kind == NodeKind::Map && node->op == ir::OpCode::Identity &&
         node->base < 0 && node->domainVars.size() == 1 &&
         !node->ins[0].isIndexOperand() &&
         isIdentityCoords(node->ins[0].coords) &&
@@ -86,7 +86,7 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
     }
 
     // Core pattern: Reduce(sum over k) of Map(mul) of A[j][k], x[k].
-    if (node->kind != NodeKind::Reduce || node->op != "sum" ||
+    if (node->kind != NodeKind::Reduce || node->op != ir::OpCode::Sum ||
         node->hasPredicate || node->domainVars.size() != 2 ||
         node->domainVars[0].reduced || !node->domainVars[1].reduced ||
         !isIdentityCoords(node->ins[0].coords) ||
@@ -95,7 +95,7 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
     }
     const auto mul_producer = g.value(node->ins[0].value).producer;
     const Node *mul = mul_producer >= 0 ? g.node(mul_producer) : nullptr;
-    if (!mul || mul->kind != NodeKind::Map || mul->op != "mul" ||
+    if (!mul || mul->kind != NodeKind::Map || mul->op != ir::OpCode::Mul ||
         mul->domainVars.size() != 2 ||
         mul->domainVars[0].extent != node->domainVars[0].extent ||
         mul->domainVars[1].extent != node->domainVars[1].extent) {
@@ -136,16 +136,16 @@ concatVectors(Graph &g, ValueId a, int64_t n1, ValueId b, int64_t n2,
     md.kind = ir::EdgeKind::Internal;
     md.shape = Shape{n1 + n2};
 
-    Node &s1 = g.addNode(NodeKind::Map, "identity");
+    Node &s1 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
     s1.domainVars.push_back(IndexVar{"k", n1, false});
-    s1.ins.push_back(Access{a, {IndexExpr::var(0)}});
+    g.addInput(s1, Access{a, {IndexExpr::var(0)}});
     const ValueId v1 = g.addValue(md, s1.id);
     s1.outs.push_back(Access{v1, {IndexExpr::var(0)}});
 
-    Node &s2 = g.addNode(NodeKind::Map, "identity");
+    Node &s2 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
     s2.domainVars.push_back(IndexVar{"k", n2, false});
-    s2.ins.push_back(Access{b, {IndexExpr::var(0)}});
-    s2.base = v1;
+    g.addInput(s2, Access{b, {IndexExpr::var(0)}});
+    g.setBase(s2, v1);
     const ValueId v2 = g.addValue(md, s2.id);
     s2.outs.push_back(
         Access{v2, {IndexExpr::binary(IndexExpr::Kind::Add,
@@ -164,18 +164,18 @@ concatMatrices(Graph &g, ValueId a, ValueId b, int64_t m, int64_t n1,
     md.kind = ir::EdgeKind::Internal;
     md.shape = Shape{m, n1 + n2};
 
-    Node &s1 = g.addNode(NodeKind::Map, "identity");
+    Node &s1 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
     s1.domainVars.push_back(IndexVar{"j", m, false});
     s1.domainVars.push_back(IndexVar{"k", n1, false});
-    s1.ins.push_back(Access{a, {IndexExpr::var(0), IndexExpr::var(1)}});
+    g.addInput(s1, Access{a, {IndexExpr::var(0), IndexExpr::var(1)}});
     const ValueId v1 = g.addValue(md, s1.id);
     s1.outs.push_back(Access{v1, {IndexExpr::var(0), IndexExpr::var(1)}});
 
-    Node &s2 = g.addNode(NodeKind::Map, "identity");
+    Node &s2 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
     s2.domainVars.push_back(IndexVar{"j", m, false});
     s2.domainVars.push_back(IndexVar{"k", n2, false});
-    s2.ins.push_back(Access{b, {IndexExpr::var(0), IndexExpr::var(1)}});
-    s2.base = v1;
+    g.addInput(s2, Access{b, {IndexExpr::var(0), IndexExpr::var(1)}});
+    g.setBase(s2, v1);
     const ValueId v2 = g.addValue(md, s2.id);
     s2.outs.push_back(
         Access{v2, {IndexExpr::var(0),
@@ -198,7 +198,7 @@ class AlgebraicCombination : public Pass
         const size_t node_count = graph.nodes.size();
         for (size_t i = 0; i < node_count; ++i) {
             Node *add = graph.nodes[i].get();
-            if (!add || add->kind != NodeKind::Map || add->op != "add" ||
+            if (!add || add->kind != NodeKind::Map || add->op != ir::OpCode::Add ||
                 add->base >= 0 || add->domainVars.size() != 1 ||
                 !isIdentityCoords(add->outs[0].coords) ||
                 add->outs[0].coords.size() != 1) {
@@ -227,12 +227,12 @@ class AlgebraicCombination : public Pass
                                lhs->n, rhs->n, dtype);
 
             const int64_t n = lhs->n + rhs->n;
-            Node &mul = graph.addNode(NodeKind::Map, "mul");
+            Node &mul = graph.addNode(NodeKind::Map, ir::OpCode::Mul);
             mul.domainVars.push_back(IndexVar{"j", lhs->m, false});
             mul.domainVars.push_back(IndexVar{"k", n, false});
-            mul.ins.push_back(
-                Access{ab, {IndexExpr::var(0), IndexExpr::var(1)}});
-            mul.ins.push_back(Access{xy, {IndexExpr::var(1)}});
+            graph.addInput(
+                mul, Access{ab, {IndexExpr::var(0), IndexExpr::var(1)}});
+            graph.addInput(mul, Access{xy, {IndexExpr::var(1)}});
             ir::EdgeMeta pmd;
             pmd.dtype = dtype;
             pmd.kind = ir::EdgeKind::Internal;
@@ -241,11 +241,11 @@ class AlgebraicCombination : public Pass
             mul.outs.push_back(
                 Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
 
-            Node &red = graph.addNode(NodeKind::Reduce, "sum");
+            Node &red = graph.addNode(NodeKind::Reduce, ir::OpCode::Sum);
             red.domainVars.push_back(IndexVar{"j", lhs->m, false});
             red.domainVars.push_back(IndexVar{"k", n, true});
-            red.ins.push_back(
-                Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
+            graph.addInput(
+                red, Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
 
             // The fused reduce takes over the add's output value, so names
             // and boundary roles are preserved; the stale chains die in DCE.

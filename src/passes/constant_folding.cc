@@ -61,9 +61,9 @@ class ConstantFolding : public Pass
                 ir::resolveScalarOp(node->op),
                 std::span<const double>(args, node->ins.size()));
             node->kind = NodeKind::Constant;
-            node->op = "const";
+            node->op = ir::OpCode::Const;
             node->cval = result;
-            node->ins.clear();
+            graph.setInputs(*node, {});
             node->outs[0].coords.clear();
             changed = true;
         }

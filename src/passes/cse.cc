@@ -1,5 +1,6 @@
 #include <cstring>
-#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "passes/passes.h"
 #include "passes/rewrite.h"
@@ -10,50 +11,81 @@ namespace polymath::pass {
 namespace {
 
 using ir::Access;
+using ir::IndexExpr;
 using ir::Node;
 using ir::NodeKind;
 
-std::string
-accessKey(const Access &a)
+/** Integer-tuple structural key of a node. Every field is appended with an
+ *  unambiguous prefix encoding (tag + count + payload), so two nodes share
+ *  a key iff they are structurally identical — no string rendering on the
+ *  compile path's hottest pass. */
+using NodeKey = std::vector<int64_t>;
+
+void
+encodeIndexExpr(const IndexExpr &e, NodeKey *key)
 {
-    std::string key = "v" + std::to_string(a.value);
-    const std::vector<std::string> no_names;
+    key->push_back(static_cast<int64_t>(e.kind()));
+    switch (e.kind()) {
+      case IndexExpr::Kind::Const:
+        key->push_back(e.constValue());
+        break;
+      case IndexExpr::Kind::Var:
+        key->push_back(e.varSlot());
+        break;
+      default:
+        key->push_back(static_cast<int64_t>(e.children().size()));
+        for (const auto &c : e.children())
+            encodeIndexExpr(c, key);
+    }
+}
+
+void
+encodeAccess(const Access &a, NodeKey *key)
+{
+    key->push_back(a.value);
+    key->push_back(static_cast<int64_t>(a.coords.size()));
     for (const auto &c : a.coords)
-        key += "[" + c.str(no_names) + "]";
-    return key;
+        encodeIndexExpr(c, key);
 }
 
-std::string
-nodeKey(const Node &node)
+void
+encodeNode(const ir::Graph &graph, const Node &node, NodeKey *key)
 {
-    std::string key = node.op + "|";
-    for (const auto &v : node.domainVars) {
-        key += std::to_string(v.extent);
-        key += v.reduced ? "r" : "f";
-        key += ",";
-    }
-    key += "|";
+    key->push_back(node.kind == NodeKind::Map ? 1 : 2);
+    key->push_back(static_cast<int64_t>(node.op.bits()));
+    key->push_back(static_cast<int64_t>(node.domainVars.size()));
+    for (const auto &v : node.domainVars)
+        key->push_back(v.extent * 2 + (v.reduced ? 1 : 0));
+    key->push_back(static_cast<int64_t>(node.ins.size()));
     for (const auto &in : node.ins)
-        key += accessKey(in) + ";";
-    key += "|b" + std::to_string(node.base);
-    if (node.hasPredicate) {
-        const std::vector<std::string> no_names;
-        key += "|p" + node.predicate.str(no_names);
-    }
-    key += "|o";
-    for (const auto &c : node.outs[0].coords) {
-        const std::vector<std::string> no_names;
-        key += "[" + c.str(no_names) + "]";
-    }
-    return key;
+        encodeAccess(in, key);
+    key->push_back(node.base);
+    key->push_back(node.hasPredicate ? 1 : 0);
+    if (node.hasPredicate)
+        encodeIndexExpr(node.predicate, key);
+    key->push_back(static_cast<int64_t>(node.outs[0].coords.size()));
+    for (const auto &c : node.outs[0].coords)
+        encodeIndexExpr(c, key);
+    const auto &md = graph.value(node.outs[0].value).md;
+    key->push_back(static_cast<int64_t>(md.dtype));
+    key->push_back(md.shape.rank());
+    for (int64_t d : md.shape.dims())
+        key->push_back(d);
 }
 
-std::string
-outShapeKey(const ir::Graph &graph, const Node &node)
+struct NodeKeyHash
 {
-    const auto &md = graph.value(node.outs[0].value).md;
-    return md.shape.str() + toString(md.dtype);
-}
+    size_t operator()(const NodeKey &key) const
+    {
+        // FNV-1a over the raw words.
+        uint64_t h = 1469598103934665603ull;
+        for (int64_t w : key) {
+            h ^= static_cast<uint64_t>(w);
+            h *= 1099511628211ull;
+        }
+        return static_cast<size_t>(h);
+    }
+};
 
 /** Hash-based common-subexpression elimination at one level. */
 class Cse : public Pass
@@ -65,34 +97,38 @@ class Cse : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         bool changed = false;
-        std::map<std::string, ir::ValueId> seen;
+        std::unordered_map<NodeKey, ir::ValueId, NodeKeyHash> seen;
+        NodeKey key;
         for (ir::NodeId id : ir::topoOrder(graph)) {
             Node *node = graph.node(id);
-            std::string key;
+            key.clear();
             if (node->kind != NodeKind::Component && node->outs.empty()) {
                 // Every value-producing node must have an output access;
                 // keying on outs[0] below would be UB on a malformed
                 // graph, so fail loudly instead.
-                panic("cse: node '" + node->op + "' (id " +
+                panic("cse: node '" + node->op.str() + "' (id " +
                       std::to_string(node->id) + ") has no outputs");
             }
             if (node->kind == NodeKind::Constant) {
-                char bits[sizeof(double)];
-                std::memcpy(bits, &node->cval, sizeof(double));
-                key = "const|" + std::string(bits, sizeof(double)) + "|" +
-                      toString(graph.value(node->outs[0].value).md.dtype);
+                key.push_back(0);
+                int64_t bits;
+                std::memcpy(&bits, &node->cval, sizeof(double));
+                key.push_back(bits);
+                key.push_back(static_cast<int64_t>(
+                    graph.value(node->outs[0].value).md.dtype));
             } else if (node->kind == NodeKind::Map ||
                        node->kind == NodeKind::Reduce) {
                 if (!isAnonymousIntermediate(graph, node->outs[0].value))
                     continue;
-                key = (node->kind == NodeKind::Map ? "m|" : "r|") +
-                      nodeKey(*node) + "|" + outShapeKey(graph, *node);
+                encodeNode(graph, *node, &key);
             } else {
                 continue; // components are never merged
             }
-            auto [it, inserted] = seen.emplace(key, node->outs[0].value);
-            if (inserted)
+            auto it = seen.find(key);
+            if (it == seen.end()) {
+                seen.emplace(key, node->outs[0].value);
                 continue;
+            }
             if (it->second == node->outs[0].value)
                 continue;
             if (node->kind == NodeKind::Constant &&

@@ -1,5 +1,3 @@
-#include <set>
-
 #include "passes/passes.h"
 
 namespace polymath::pass {
@@ -15,15 +13,17 @@ class DeadNodeElimination : public Pass
   protected:
     bool runOnLevel(ir::Graph &graph) override
     {
-        // Backward reachability from boundary outputs.
-        std::set<ir::ValueId> live_values;
+        // Backward reachability from boundary outputs (dense bitmap —
+        // value ids are small and contiguous).
+        std::vector<char> live_values(graph.values.size(), 0);
         std::vector<ir::ValueId> work(graph.outputs.begin(),
                                       graph.outputs.end());
         while (!work.empty()) {
             const ir::ValueId v = work.back();
             work.pop_back();
-            if (v < 0 || !live_values.insert(v).second)
+            if (v < 0 || live_values[static_cast<size_t>(v)])
                 continue;
+            live_values[static_cast<size_t>(v)] = 1;
             const auto producer = graph.value(v).producer;
             if (producer < 0)
                 continue;
@@ -46,7 +46,7 @@ class DeadNodeElimination : public Pass
                 continue;
             bool live = false;
             for (const auto &out : node->outs)
-                live = live || live_values.count(out.value) > 0;
+                live = live || live_values[static_cast<size_t>(out.value)];
             if (!live) {
                 graph.eraseNode(node->id);
                 changed = true;

@@ -15,7 +15,7 @@ using ir::NodeKind;
 bool
 isPureGather(const ir::Graph &graph, const Node &node)
 {
-    if (node.kind != NodeKind::Map || node.op != "identity" ||
+    if (node.kind != NodeKind::Map || node.op != ir::OpCode::Identity ||
         node.base >= 0 || node.ins.size() != 1 ||
         node.ins[0].isIndexOperand()) {
         return false;
@@ -60,7 +60,8 @@ class IdentityElision : public Pass
         for (auto &node : graph.nodes) {
             if (!node || node->kind == NodeKind::Constant)
                 continue;
-            for (auto &in : node->ins) {
+            for (size_t slot = 0; slot < node->ins.size(); ++slot) {
+                const Access &in = node->ins[slot];
                 if (in.isIndexOperand() || in.coords.empty())
                     continue;
                 const auto producer = graph.value(in.value).producer;
@@ -77,7 +78,7 @@ class IdentityElision : public Pass
                 composed.value = gather->ins[0].value;
                 for (const auto &c : gather->ins[0].coords)
                     composed.coords.push_back(c.substituted(in.coords));
-                in = std::move(composed);
+                graph.setInput(*node, slot, std::move(composed));
                 changed = true;
             }
         }

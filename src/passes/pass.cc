@@ -54,8 +54,18 @@ PassManager::run(ir::Graph &graph) const
         metrics.histogram("pass." + r.name + ".micros").observe(r.micros);
         if (r.changed)
             metrics.counter("pass." + r.name + ".changed").add(1);
-        if (r.changed)
+        if (r.changed) {
+            // Validation is skipped for passes that report no change (the
+            // graph is bit-identical); when it does run, its cost is
+            // attributed separately from the pass proper.
+            const auto vstart = std::chrono::steady_clock::now();
             graph.validate();
+            const int64_t vmicros =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - vstart)
+                    .count();
+            metrics.histogram("pass.validate.micros").observe(vmicros);
+        }
         results.push_back(std::move(r));
     }
     return results;

@@ -13,18 +13,23 @@ replaceUses(Graph &graph, ValueId from, ValueId to)
 {
     if (!(graph.value(from).md.shape == graph.value(to).md.shape))
         panic("replaceUses(): shape mismatch");
+    // Walk only the nodes the use cache says reference `from` (one entry
+    // per referencing access; the copy tolerates in-place rewiring).
+    const std::vector<ir::NodeId> users(graph.uses(from));
     int count = 0;
-    for (auto &node : graph.nodes) {
+    for (ir::NodeId id : users) {
+        ir::Node *node = graph.node(id);
         if (!node)
             continue;
-        for (auto &in : node->ins) {
-            if (in.value == from) {
-                in.value = to;
+        for (size_t i = 0; i < node->ins.size(); ++i) {
+            if (node->ins[i].value == from) {
+                graph.setInput(*node, i,
+                               ir::Access{to, node->ins[i].coords});
                 ++count;
             }
         }
         if (node->base == from) {
-            node->base = to;
+            graph.setBase(*node, to);
             ++count;
         }
     }
@@ -48,7 +53,7 @@ scalarConstOf(const Graph &graph, ValueId v)
 ValueId
 emitConstant(Graph &graph, double value, DType dtype)
 {
-    auto &node = graph.addNode(NodeKind::Constant, "const");
+    auto &node = graph.addNode(NodeKind::Constant, ir::OpCode::Const);
     node.cval = value;
     ir::EdgeMeta md;
     md.dtype = dtype;

@@ -44,7 +44,7 @@ class ShapeCheck : public Pass
             if (node->base >= 0)
                 continue; // partial writes inherit the base shape
             if (!(shape == Shape(free_extents))) {
-                panic("node '" + node->op + "' in graph '" + graph.name +
+                panic("node '" + node->op.str() + "' in graph '" + graph.name +
                       "' writes shape " + Shape(free_extents).str() +
                       " into value of shape " + shape.str());
             }

@@ -8,14 +8,14 @@ namespace {
 using ir::Access;
 using ir::Node;
 using ir::NodeKind;
+using ir::OpCode;
 
 /** Rewrites @p node into an identity move of @p kept. */
 void
-toIdentity(Node *node, Access kept)
+toIdentity(ir::Graph &graph, Node *node, Access kept)
 {
-    node->op = "identity";
-    node->ins.clear();
-    node->ins.push_back(std::move(kept));
+    node->op = OpCode::Identity;
+    graph.setInputs(*node, {std::move(kept)});
 }
 
 /** Rewrites @p node into a broadcast of constant @p value. */
@@ -25,7 +25,7 @@ toConstantBroadcast(ir::Graph &graph, Node *node, double value)
     const auto cv =
         emitConstant(graph, value,
                      graph.value(node->outs[0].value).md.dtype);
-    toIdentity(node, Access{cv, {}});
+    toIdentity(graph, node, Access{cv, {}});
 }
 
 /** Algebraic identities on Map nodes. */
@@ -53,48 +53,48 @@ class Simplify : public Pass
                 }
                 return scalarConstOf(graph, in.value);
             };
-            if (node->op == "add" || node->op == "sub") {
+            if (node->op == OpCode::Add || node->op == OpCode::Sub) {
                 const auto rhs = const_of(1);
                 if (rhs && *rhs == 0.0) {
-                    toIdentity(node, node->ins[0]);
+                    toIdentity(graph, node, node->ins[0]);
                     changed = true;
                     continue;
                 }
-                if (node->op == "add") {
+                if (node->op == OpCode::Add) {
                     const auto lhs = const_of(0);
                     if (lhs && *lhs == 0.0) {
-                        toIdentity(node, node->ins[1]);
+                        toIdentity(graph, node, node->ins[1]);
                         changed = true;
                         continue;
                     }
                 }
-            } else if (node->op == "mul") {
+            } else if (node->op == OpCode::Mul) {
                 const auto lhs = const_of(0);
                 const auto rhs = const_of(1);
                 if ((lhs && *lhs == 1.0)) {
-                    toIdentity(node, node->ins[1]);
+                    toIdentity(graph, node, node->ins[1]);
                     changed = true;
                 } else if (rhs && *rhs == 1.0) {
-                    toIdentity(node, node->ins[0]);
+                    toIdentity(graph, node, node->ins[0]);
                     changed = true;
                 } else if ((lhs && *lhs == 0.0) || (rhs && *rhs == 0.0)) {
                     toConstantBroadcast(graph, node, 0.0);
                     changed = true;
                 }
-            } else if (node->op == "div" || node->op == "pow") {
+            } else if (node->op == OpCode::Div || node->op == OpCode::Pow) {
                 const auto rhs = const_of(1);
                 if (rhs && *rhs == 1.0) {
-                    toIdentity(node, node->ins[0]);
+                    toIdentity(graph, node, node->ins[0]);
                     changed = true;
                 }
-            } else if (node->op == "select") {
+            } else if (node->op == OpCode::Select) {
                 const auto cond = const_of(0);
                 if (cond) {
-                    toIdentity(node,
+                    toIdentity(graph, node,
                                *cond != 0.0 ? node->ins[1] : node->ins[2]);
                     changed = true;
                 }
-            } else if (node->op == "neg") {
+            } else if (node->op == OpCode::Neg) {
                 // neg(neg(x)) -> identity(x)
                 const auto &in = node->ins[0];
                 if (!in.isIndexOperand()) {
@@ -110,12 +110,12 @@ class Simplify : public Pass
                     }
                     const bool inner_whole =
                         identity_read && p && p->kind == NodeKind::Map &&
-                        p->op == "neg" &&
+                        p->op == OpCode::Neg &&
                         p->domainVarNames() == node->domainVarNames() &&
                         isAnonymousIntermediate(graph, in.value);
                     if (inner_whole) {
                         Access a = p->ins[0];
-                        toIdentity(node, std::move(a));
+                        toIdentity(graph, node, std::move(a));
                         changed = true;
                     }
                 }

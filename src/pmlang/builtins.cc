@@ -124,4 +124,54 @@ applyBuiltinReduction(const std::string &name, double acc, double x)
     panic("applyBuiltinReduction(): unknown reduction " + name);
 }
 
+BinaryOp
+resolveBinaryOp(const std::string &op)
+{
+    static const std::unordered_map<std::string, BinaryOp> table = {
+        {"+", BinaryOp::Add},  {"-", BinaryOp::Sub},
+        {"*", BinaryOp::Mul},  {"/", BinaryOp::Div},
+        {"%", BinaryOp::Mod},  {"^", BinaryOp::Pow},
+        {"<", BinaryOp::Lt},   {"<=", BinaryOp::Le},
+        {">", BinaryOp::Gt},   {">=", BinaryOp::Ge},
+        {"==", BinaryOp::Eq},  {"!=", BinaryOp::Ne},
+        {"&&", BinaryOp::And}, {"||", BinaryOp::Or},
+    };
+    auto it = table.find(op);
+    if (it == table.end())
+        panic("unknown binary operator " + op);
+    return it->second;
+}
+
+UnaryOp
+resolveUnaryOp(const std::string &op)
+{
+    if (op == "neg")
+        return UnaryOp::Neg;
+    if (op == "!" || op == "not")
+        return UnaryOp::Not;
+    panic("unknown unary operator " + op);
+}
+
+double
+applyBinaryOp(BinaryOp op, double l, double r)
+{
+    switch (op) {
+      case BinaryOp::Add: return l + r;
+      case BinaryOp::Sub: return l - r;
+      case BinaryOp::Mul: return l * r;
+      case BinaryOp::Div: return l / r;
+      case BinaryOp::Mod: return std::fmod(l, r);
+      case BinaryOp::Pow: return std::pow(l, r);
+      case BinaryOp::Lt: return l < r;
+      case BinaryOp::Le: return l <= r;
+      case BinaryOp::Gt: return l > r;
+      case BinaryOp::Ge: return l >= r;
+      case BinaryOp::Eq: return l == r;
+      case BinaryOp::Ne: return l != r;
+      case BinaryOp::And: return l != 0.0 && r != 0.0;
+      case BinaryOp::Or: return l != 0.0 || r != 0.0;
+    }
+    panic("unhandled BinaryOp");
+}
+
 } // namespace polymath::lang

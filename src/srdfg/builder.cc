@@ -117,7 +117,7 @@ class GraphBuilder
     void buildCall(Frame &frame, const Stmt &stmt);
 
     Operand emitExpr(Frame &frame, const Expr &e, const VarContext &ctx);
-    Operand emitMapOp(Frame &frame, const std::string &op,
+    Operand emitMapOp(Frame &frame, Op op,
                       std::vector<Operand> operands, DType dtype,
                       const VarContext &ctx,
                       const std::set<std::string> &used);
@@ -148,33 +148,46 @@ class GraphBuilder
     std::shared_ptr<IrContext> context_;
 };
 
-/** Maps PMLang binary operator spellings to srDFG op names. */
-std::string
+/** Maps PMLang binary operator spellings to srDFG op codes. */
+OpCode
 mapBinaryOp(const std::string &op)
 {
-    if (op == "+") return "add";
-    if (op == "-") return "sub";
-    if (op == "*") return "mul";
-    if (op == "/") return "div";
-    if (op == "%") return "mod";
-    if (op == "^") return "pow";
-    if (op == "<") return "lt";
-    if (op == "<=") return "le";
-    if (op == ">") return "gt";
-    if (op == ">=") return "ge";
-    if (op == "==") return "eq";
-    if (op == "!=") return "ne";
-    if (op == "&&") return "and";
-    if (op == "||") return "or";
+    switch (lang::resolveBinaryOp(op)) {
+      case lang::BinaryOp::Add: return OpCode::Add;
+      case lang::BinaryOp::Sub: return OpCode::Sub;
+      case lang::BinaryOp::Mul: return OpCode::Mul;
+      case lang::BinaryOp::Div: return OpCode::Div;
+      case lang::BinaryOp::Mod: return OpCode::Mod;
+      case lang::BinaryOp::Pow: return OpCode::Pow;
+      case lang::BinaryOp::Lt: return OpCode::Lt;
+      case lang::BinaryOp::Le: return OpCode::Le;
+      case lang::BinaryOp::Gt: return OpCode::Gt;
+      case lang::BinaryOp::Ge: return OpCode::Ge;
+      case lang::BinaryOp::Eq: return OpCode::Eq;
+      case lang::BinaryOp::Ne: return OpCode::Ne;
+      case lang::BinaryOp::And: return OpCode::And;
+      case lang::BinaryOp::Or: return OpCode::Or;
+    }
     panic("unknown binary operator " + op);
 }
 
 bool
-isComparison(const std::string &op)
+isComparison(OpCode op)
 {
-    return op == "lt" || op == "le" || op == "gt" || op == "ge" ||
-           op == "eq" || op == "ne" || op == "and" || op == "or" ||
-           op == "not";
+    switch (op) {
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne:
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Not:
+        return true;
+      default:
+        return false;
+    }
 }
 
 std::unique_ptr<Graph>
@@ -478,7 +491,7 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
     }
 
     // Otherwise emit an explicit store node (gather+scatter move).
-    Node &store = frame.graph->addNode(NodeKind::Map, "identity");
+    Node &store = frame.graph->addNode(NodeKind::Map, OpCode::Identity);
     store.domain = frame.dom;
     for (size_t i = 0; i < ctx.names.size(); ++i) {
         store.domainVars.push_back(
@@ -536,7 +549,8 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
 
     auto sub = buildComponent(*callee, actuals, dom);
 
-    Node &call = frame.graph->addNode(NodeKind::Component, callee->name);
+    Node &call = frame.graph->addNode(NodeKind::Component,
+                                      Op::intern(callee->name));
     call.domain = dom;
 
     // Bind outer values to subgraph inputs, positionally.
@@ -583,7 +597,7 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
 Operand
 GraphBuilder::emitConstant(Frame &frame, double value, DType dtype)
 {
-    Node &node = frame.graph->addNode(NodeKind::Constant, "const");
+    Node &node = frame.graph->addNode(NodeKind::Constant, OpCode::Const);
     node.cval = value;
     EdgeMeta md;
     md.dtype = dtype;
@@ -640,8 +654,10 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         usedVars(frame, e, &used);
         std::vector<Operand> operands;
         operands.push_back(emitExpr(frame, *e.lhs, ctx));
-        const std::string op = e.op == "neg" ? "neg" : "not";
-        DType dt = op == "not" ? DType::Bin : operands[0].dtype;
+        const bool is_neg =
+            lang::resolveUnaryOp(e.op) == lang::UnaryOp::Neg;
+        const OpCode op = is_neg ? OpCode::Neg : OpCode::Not;
+        DType dt = is_neg ? operands[0].dtype : DType::Bin;
         return emitMapOp(frame, op, std::move(operands), dt, ctx, used);
       }
       case ExprKind::Binary: {
@@ -650,13 +666,13 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         std::vector<Operand> operands;
         operands.push_back(emitExpr(frame, *e.lhs, ctx));
         operands.push_back(emitExpr(frame, *e.rhs, ctx));
-        const std::string op = mapBinaryOp(e.op);
+        const OpCode op = mapBinaryOp(e.op);
         DType dt;
         if (isComparison(op)) {
             dt = DType::Bin;
         } else {
             dt = promote(operands[0].dtype, operands[1].dtype);
-            if (op == "div" && dt == DType::Int)
+            if (op == OpCode::Div && dt == DType::Int)
                 dt = DType::Float; // PMLang '/' is real division on data
         }
         return emitMapOp(frame, op, std::move(operands), dt, ctx, used);
@@ -669,8 +685,8 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         operands.push_back(emitExpr(frame, *e.rhs, ctx));
         operands.push_back(emitExpr(frame, *e.third, ctx));
         const DType dt = promote(operands[1].dtype, operands[2].dtype);
-        return emitMapOp(frame, "select", std::move(operands), dt, ctx,
-                         used);
+        return emitMapOp(frame, OpCode::Select, std::move(operands), dt,
+                         ctx, used);
       }
       case ExprKind::Call: {
         std::set<std::string> used;
@@ -688,7 +704,8 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
             (e.name == "re" || e.name == "im" || e.name == "abs")) {
             dt = DType::Float;
         }
-        return emitMapOp(frame, e.name, std::move(operands), dt, ctx, used);
+        return emitMapOp(frame, Op::intern(e.name), std::move(operands),
+                         dt, ctx, used);
       }
       case ExprKind::Reduce:
         return emitReduce(frame, e, ctx);
@@ -697,7 +714,7 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
 }
 
 Operand
-GraphBuilder::emitMapOp(Frame &frame, const std::string &op,
+GraphBuilder::emitMapOp(Frame &frame, Op op,
                         std::vector<Operand> operands, DType dtype,
                         const VarContext &ctx,
                         const std::set<std::string> &used)
@@ -775,7 +792,8 @@ GraphBuilder::emitReduce(Frame &frame, const Expr &e, const VarContext &ctx)
         }
     }
 
-    Node &node = frame.graph->addNode(NodeKind::Reduce, e.name);
+    Node &node = frame.graph->addNode(NodeKind::Reduce,
+                                      Op::intern(e.name));
     node.domain = frame.dom;
     std::vector<int> remap(inner.names.size(), -1);
     std::set<std::string> axis_names;
@@ -879,28 +897,33 @@ GraphBuilder::translateIndex(const Frame &frame, const Expr &e,
         return IndexExpr::constant(static_cast<int64_t>(it->second.cval));
       }
       case ExprKind::Unary: {
-        const auto kind = e.op == "neg" ? IndexExpr::Kind::Neg
-                                        : IndexExpr::Kind::Not;
+        const auto kind =
+            lang::resolveUnaryOp(e.op) == lang::UnaryOp::Neg
+                ? IndexExpr::Kind::Neg
+                : IndexExpr::Kind::Not;
         return IndexExpr::unary(kind, translateIndex(frame, *e.lhs, ctx));
       }
       case ExprKind::Binary: {
         IndexExpr::Kind kind;
-        if (e.op == "+") kind = IndexExpr::Kind::Add;
-        else if (e.op == "-") kind = IndexExpr::Kind::Sub;
-        else if (e.op == "*") kind = IndexExpr::Kind::Mul;
-        else if (e.op == "/") kind = IndexExpr::Kind::Div;
-        else if (e.op == "%") kind = IndexExpr::Kind::Mod;
-        else if (e.op == "<") kind = IndexExpr::Kind::Lt;
-        else if (e.op == "<=") kind = IndexExpr::Kind::Le;
-        else if (e.op == ">") kind = IndexExpr::Kind::Gt;
-        else if (e.op == ">=") kind = IndexExpr::Kind::Ge;
-        else if (e.op == "==") kind = IndexExpr::Kind::Eq;
-        else if (e.op == "!=") kind = IndexExpr::Kind::Ne;
-        else if (e.op == "&&") kind = IndexExpr::Kind::And;
-        else if (e.op == "||") kind = IndexExpr::Kind::Or;
-        else
-            fatal("operator '" + e.op + "' not allowed in index arithmetic",
+        switch (lang::resolveBinaryOp(e.op)) {
+          case lang::BinaryOp::Add: kind = IndexExpr::Kind::Add; break;
+          case lang::BinaryOp::Sub: kind = IndexExpr::Kind::Sub; break;
+          case lang::BinaryOp::Mul: kind = IndexExpr::Kind::Mul; break;
+          case lang::BinaryOp::Div: kind = IndexExpr::Kind::Div; break;
+          case lang::BinaryOp::Mod: kind = IndexExpr::Kind::Mod; break;
+          case lang::BinaryOp::Lt: kind = IndexExpr::Kind::Lt; break;
+          case lang::BinaryOp::Le: kind = IndexExpr::Kind::Le; break;
+          case lang::BinaryOp::Gt: kind = IndexExpr::Kind::Gt; break;
+          case lang::BinaryOp::Ge: kind = IndexExpr::Kind::Ge; break;
+          case lang::BinaryOp::Eq: kind = IndexExpr::Kind::Eq; break;
+          case lang::BinaryOp::Ne: kind = IndexExpr::Kind::Ne; break;
+          case lang::BinaryOp::And: kind = IndexExpr::Kind::And; break;
+          case lang::BinaryOp::Or: kind = IndexExpr::Kind::Or; break;
+          default:
+            fatal("operator '" + e.op +
+                      "' not allowed in index arithmetic",
                   e.loc);
+        }
         return IndexExpr::binary(kind, translateIndex(frame, *e.lhs, ctx),
                                  translateIndex(frame, *e.rhs, ctx));
       }
@@ -939,32 +962,34 @@ GraphBuilder::evalConstScalar(const Frame &frame, const Expr &e) const
         return it->second.cval;
       }
       case ExprKind::Unary:
-        if (e.op == "neg")
+        if (lang::resolveUnaryOp(e.op) == lang::UnaryOp::Neg)
             return -evalConstScalar(frame, *e.lhs);
         return evalConstScalar(frame, *e.lhs) == 0.0 ? 1.0 : 0.0;
       case ExprKind::Binary: {
         const double a = evalConstScalar(frame, *e.lhs);
         const double b = evalConstScalar(frame, *e.rhs);
-        if (e.op == "+") return a + b;
-        if (e.op == "-") return a - b;
-        if (e.op == "*") return a * b;
-        if (e.op == "/") {
+        switch (lang::resolveBinaryOp(e.op)) {
+          case lang::BinaryOp::Add: return a + b;
+          case lang::BinaryOp::Sub: return a - b;
+          case lang::BinaryOp::Mul: return a * b;
+          case lang::BinaryOp::Div:
             if (b == 0.0)
                 fatal("division by zero in constant expression", e.loc);
             // Integer semantics when both sides are integral.
             if (a == std::floor(a) && b == std::floor(b))
                 return std::trunc(a / b);
             return a / b;
-        }
-        if (e.op == "%") {
+          case lang::BinaryOp::Mod:
             if (b == 0.0)
                 fatal("modulo by zero in constant expression", e.loc);
             return static_cast<double>(static_cast<int64_t>(a) %
                                        static_cast<int64_t>(b));
+          case lang::BinaryOp::Pow: return std::pow(a, b);
+          default:
+            fatal("operator '" + e.op +
+                      "' not allowed in constant expression",
+                  e.loc);
         }
-        if (e.op == "^") return std::pow(a, b);
-        fatal("operator '" + e.op + "' not allowed in constant expression",
-              e.loc);
       }
       case ExprKind::Ternary:
         return evalConstScalar(frame, *e.lhs) != 0.0

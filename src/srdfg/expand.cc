@@ -33,19 +33,18 @@ constCoords(const Access &a, std::span<const int64_t> point)
 
 } // namespace
 
-std::string
-combinerOp(const std::string &reduction)
+Op
+combinerOp(Op reduction)
 {
-    if (reduction == "sum")
-        return "add";
-    if (reduction == "prod")
-        return "mul";
-    if (reduction == "max")
-        return "max";
-    if (reduction == "min")
-        return "min";
-    fatal("reduction '" + reduction +
-          "' has no single-op combiner; cannot materialize");
+    switch (reduction.code()) {
+      case OpCode::Sum: return OpCode::Add;
+      case OpCode::Prod: return OpCode::Mul;
+      case OpCode::Max: return OpCode::Max;
+      case OpCode::Min: return OpCode::Min;
+      default:
+        fatal("reduction '" + reduction.str() +
+              "' has no single-op combiner; cannot materialize");
+    }
 }
 
 std::unique_ptr<Graph>
@@ -54,15 +53,15 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
     if (node.kind != NodeKind::Map && node.kind != NodeKind::Reduce)
         fatal("only Map/Reduce nodes have a scalar expansion");
     if (node.domainSize() > max_nodes) {
-        fatal("scalar expansion of '" + node.op + "' needs " +
+        fatal("scalar expansion of '" + node.op.str() + "' needs " +
               std::to_string(node.domainSize()) + " nodes, budget is " +
               std::to_string(max_nodes));
     }
-    const std::string combiner =
+    const Op combiner =
         node.kind == NodeKind::Reduce ? combinerOp(node.op) : node.op;
 
     auto g = std::make_unique<Graph>();
-    g->name = node.op + "_scalar";
+    g->name = node.op.str() + "_scalar";
     g->domain = node.domain;
     g->context = parent.context;
 
@@ -92,7 +91,7 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
     // Current version of the output tensor (base-chained partial writes).
     ValueId out_version = node.base >= 0 ? vmap.at(node.base) : -1;
     auto scatter_write = [&](ValueId scalar, std::span<const int64_t> point) {
-        Node &store = g->addNode(NodeKind::Map, "identity");
+        Node &store = g->addNode(NodeKind::Map, OpCode::Identity);
         store.domain = node.domain;
         store.ins.push_back(Access{scalar, {}});
         store.base = out_version;
@@ -115,7 +114,7 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
                 op.domain = node.domain;
                 for (const auto &in : node.ins) {
                     if (in.isIndexOperand()) {
-                        Node &c = g->addNode(NodeKind::Constant, "const");
+                        Node &c = g->addNode(NodeKind::Constant, OpCode::Const);
                         c.cval =
                             static_cast<double>(in.coords[0].eval(point));
                         const ValueId cv = g->addValue(scalar_md, c.id);
@@ -162,7 +161,7 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
                 const Access mapped{vmap.at(node.ins[0].value),
                                     element.coords};
                 if (acc < 0) {
-                    Node &first = g->addNode(NodeKind::Map, "identity");
+                    Node &first = g->addNode(NodeKind::Map, OpCode::Identity);
                     first.domain = node.domain;
                     first.ins.push_back(mapped);
                     acc = g->addValue(scalar_md, first.id);
@@ -179,8 +178,8 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
             } while (!red_ext.empty() && nextPoint(&rpoint, red_ext));
             if (acc < 0) {
                 // Guard excluded every element: identity of the reduction.
-                Node &c = g->addNode(NodeKind::Constant, "const");
-                c.cval = lang::reductionIdentity(node.op);
+                Node &c = g->addNode(NodeKind::Constant, OpCode::Const);
+                c.cval = lang::reductionIdentity(node.op.str());
                 acc = g->addValue(scalar_md, c.id);
                 c.outs.push_back(Access{acc, {}});
             }

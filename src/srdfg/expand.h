@@ -33,8 +33,8 @@ std::unique_ptr<Graph> materializeScalar(const Graph &parent,
                                          const Node &node,
                                          int64_t max_nodes = 1 << 20);
 
-/** Scalar-op name of a built-in reduction's combiner ("sum" -> "add"). */
-std::string combinerOp(const std::string &reduction);
+/** Scalar op of a built-in reduction's combiner (sum -> add). */
+Op combinerOp(Op reduction);
 
 } // namespace polymath::ir
 

@@ -1,7 +1,7 @@
 #include "srdfg/graph.h"
 
+#include <algorithm>
 #include <set>
-#include <unordered_map>
 
 #include "core/error.h"
 
@@ -92,16 +92,18 @@ Graph::addValue(EdgeMeta md, NodeId producer)
     v.md = std::move(md);
     v.producer = producer;
     values.push_back(std::move(v));
+    if (usesValid_)
+        uses_.emplace_back();
     return values.back().id;
 }
 
 Node &
-Graph::addNode(NodeKind kind, std::string op)
+Graph::addNode(NodeKind kind, Op op)
 {
     auto n = std::make_unique<Node>();
     n->id = static_cast<NodeId>(nodes.size());
     n->kind = kind;
-    n->op = std::move(op);
+    n->op = op;
     n->domain = domain;
     nodes.push_back(std::move(n));
     return *nodes.back();
@@ -194,10 +196,105 @@ Graph::edges() const
 }
 
 void
+Graph::rebuildUses() const
+{
+    uses_.assign(values.size(), {});
+    for (const auto &node : nodes) {
+        if (!node)
+            continue;
+        for (const auto &in : node->ins) {
+            if (in.value >= 0)
+                uses_[static_cast<size_t>(in.value)].push_back(node->id);
+        }
+        if (node->base >= 0)
+            uses_[static_cast<size_t>(node->base)].push_back(node->id);
+    }
+    usesValid_ = true;
+}
+
+const std::vector<NodeId> &
+Graph::uses(ValueId v) const
+{
+    if (!usesValid_)
+        rebuildUses();
+    if (v < 0 || static_cast<size_t>(v) >= uses_.size())
+        panic("uses(): value id out of range");
+    return uses_[static_cast<size_t>(v)];
+}
+
+void
+Graph::noteUse(ValueId v, NodeId n)
+{
+    if (usesValid_ && v >= 0)
+        uses_[static_cast<size_t>(v)].push_back(n);
+}
+
+void
+Graph::dropUse(ValueId v, NodeId n)
+{
+    if (!usesValid_ || v < 0)
+        return;
+    auto &list = uses_[static_cast<size_t>(v)];
+    for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == n) {
+            list[i] = list.back();
+            list.pop_back();
+            return;
+        }
+    }
+    panic("use cache missing an entry being removed");
+}
+
+void
+Graph::addInput(Node &node, Access access)
+{
+    noteUse(access.value, node.id);
+    node.ins.push_back(std::move(access));
+}
+
+void
+Graph::setInput(Node &node, size_t slot, Access access)
+{
+    if (slot >= node.ins.size())
+        panic("setInput(): slot out of range");
+    if (node.ins[slot].value != access.value) {
+        dropUse(node.ins[slot].value, node.id);
+        noteUse(access.value, node.id);
+    }
+    node.ins[slot] = std::move(access);
+}
+
+void
+Graph::setInputs(Node &node, std::vector<Access> ins)
+{
+    for (const auto &in : node.ins)
+        dropUse(in.value, node.id);
+    node.ins = std::move(ins);
+    for (const auto &in : node.ins)
+        noteUse(in.value, node.id);
+}
+
+void
+Graph::setBase(Node &node, ValueId base)
+{
+    if (node.base != base) {
+        dropUse(node.base, node.id);
+        noteUse(base, node.id);
+    }
+    node.base = base;
+}
+
+void
 Graph::eraseNode(NodeId id)
 {
     if (id < 0 || static_cast<size_t>(id) >= nodes.size())
         panic("eraseNode(): id out of range");
+    if (const Node *node = nodes[static_cast<size_t>(id)].get();
+        node && usesValid_) {
+        for (const auto &in : node->ins)
+            dropUse(in.value, id);
+        dropUse(node->base, id);
+    }
     nodes[static_cast<size_t>(id)].reset();
 }
 
@@ -297,7 +394,7 @@ Graph::validate() const
                 panic("map must have one output");
             if (mapOpArity(node->op) !=
                 static_cast<int>(node->ins.size())) {
-                panic("map op '" + node->op + "' arity mismatch");
+                panic("map op '" + node->op.str() + "' arity mismatch");
             }
             break;
           case NodeKind::Reduce:
@@ -331,32 +428,35 @@ Graph::validate() const
                 panic("value's producer does not list it as an output");
         }
     }
-}
-
-int
-mapOpArity(const std::string &op)
-{
-    static const std::unordered_map<std::string, int> arity = {
-        {"add", 2},   {"sub", 2},  {"mul", 2},     {"div", 2},
-        {"mod", 2},   {"pow", 2},  {"min", 2},     {"max", 2},
-        {"lt", 2},    {"le", 2},   {"gt", 2},      {"ge", 2},
-        {"eq", 2},    {"ne", 2},   {"and", 2},     {"or", 2},
-        {"neg", 1},   {"not", 1},  {"identity", 1},
-        {"sin", 1},   {"cos", 1},  {"tan", 1},     {"exp", 1},
-        {"ln", 1},    {"log", 1},  {"sqrt", 1},    {"abs", 1},
-        {"sigmoid", 1}, {"relu", 1}, {"tanh", 1},  {"erf", 1},
-        {"sign", 1},  {"floor", 1}, {"ceil", 1},   {"gauss", 1},
-        {"re", 1},    {"im", 1},   {"conj", 1},
-        {"select", 3},
-    };
-    auto it = arity.find(op);
-    return it == arity.end() ? 0 : it->second;
-}
-
-bool
-isMoveOp(const std::string &op)
-{
-    return op == "identity";
+    if (usesValid_) {
+        // The incremental use cache must agree with a from-scratch
+        // recomputation, as multisets per value (a node appears once per
+        // referencing access, in no particular order).
+        std::vector<std::vector<NodeId>> fresh(values.size());
+        for (const auto &node : nodes) {
+            if (!node)
+                continue;
+            for (const auto &in : node->ins) {
+                if (in.value >= 0)
+                    fresh[static_cast<size_t>(in.value)].push_back(
+                        node->id);
+            }
+            if (node->base >= 0)
+                fresh[static_cast<size_t>(node->base)].push_back(node->id);
+        }
+        if (uses_.size() != fresh.size())
+            panic("use cache is stale: value count mismatch in graph " +
+                  this->name);
+        for (size_t v = 0; v < fresh.size(); ++v) {
+            auto cached = uses_[v];
+            auto &expect = fresh[v];
+            std::sort(cached.begin(), cached.end());
+            std::sort(expect.begin(), expect.end());
+            if (cached != expect)
+                panic("use cache is stale for value %" +
+                      std::to_string(v) + " in graph " + this->name);
+        }
+    }
 }
 
 } // namespace polymath::ir

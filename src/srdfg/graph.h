@@ -36,6 +36,7 @@
 #include "core/shape.h"
 #include "pmlang/ast.h"
 #include "srdfg/index_expr.h"
+#include "srdfg/op.h"
 
 namespace polymath::ir {
 
@@ -116,9 +117,12 @@ class Node
     NodeId id = -1;
     NodeKind kind = NodeKind::Map;
 
-    /** Operation name: scalar op ("add", "mul", "sigmoid", ...), group op
-     *  ("sum", "prod", custom reduction name), component name, or "const".*/
-    std::string op;
+    /** Operation: an interned name (op.h). Builtin scalar ops ("add",
+     *  "mul", "sigmoid", ...), group ops ("sum", "prod"), and "const"/
+     *  "identity" are OpCode enumerators; custom reduction names and
+     *  component names are interned symbols. op.str() is the exact source
+     *  spelling for printing/serialization. */
+    Op op;
 
     /** Target domain this node is annotated with / inherits. */
     Domain domain = Domain::None;
@@ -210,8 +214,11 @@ class Graph
     /** Creates a value; returns its id. */
     ValueId addValue(EdgeMeta md, NodeId producer = -1);
 
-    /** Creates a node of @p kind; returns a reference owned by the graph. */
-    Node &addNode(NodeKind kind, std::string op);
+    /** Creates a node of @p kind; returns a reference owned by the graph.
+     *  The node starts with no inputs, so the use cache stays valid; add
+     *  its inputs through addInput/setInputs (or touchUses() after raw
+     *  mutation). */
+    Node &addNode(NodeKind kind, Op op);
 
     Value &value(ValueId id);
     const Value &value(ValueId id) const;
@@ -231,7 +238,39 @@ class Graph
     /** Consumer node ids per value (index = ValueId). */
     std::vector<std::vector<NodeId>> consumers() const;
 
-    /** Erases node @p id (clears the slot; ids remain stable). */
+    /**
+     * Use list of value @p v: one entry per referencing access (every
+     * `ins` entry plus `base`) across the live nodes of this level, so a
+     * node appears once per reference. Built lazily on first call and
+     * maintained incrementally by eraseNode and the mutation helpers
+     * below — O(1) amortized instead of the O(V+E) consumers() rebuild.
+     * Raw writes to Node::ins/base must go through the helpers or be
+     * followed by touchUses(); validate() cross-checks the cache.
+     */
+    const std::vector<NodeId> &uses(ValueId v) const;
+
+    /** True when the use cache is currently live (uses() was called and
+     *  no raw mutation invalidated it). */
+    bool usesCached() const { return usesValid_; }
+
+    /** Drops the use cache after raw ins/base surgery (e.g. splicing a
+     *  subgraph); the next uses() call rebuilds it. */
+    void touchUses() { usesValid_ = false; }
+
+    /** Appends @p access to @p node's inputs, keeping the use cache. */
+    void addInput(Node &node, Access access);
+
+    /** Replaces input @p slot of @p node, keeping the use cache. */
+    void setInput(Node &node, size_t slot, Access access);
+
+    /** Replaces all inputs of @p node, keeping the use cache. */
+    void setInputs(Node &node, std::vector<Access> ins);
+
+    /** Sets @p node's base value, keeping the use cache. */
+    void setBase(Node &node, ValueId base);
+
+    /** Erases node @p id (clears the slot; ids remain stable), removing
+     *  its entries from the use cache. */
     void eraseNode(NodeId id);
 
     /** Deep copy (fresh subgraphs, same context pointer). */
@@ -241,17 +280,20 @@ class Graph
     ValueId findValueByName(const std::string &name) const;
 
     /** Internal consistency check; throws InternalError on violation.
-     *  Verifies access ranks, domain-slot ranges, producer links, and
-     *  boundary lists. */
+     *  Verifies access ranks, domain-slot ranges, producer links,
+     *  boundary lists, and — when the use cache is live — that it
+     *  matches a from-scratch recomputation. */
     void validate() const;
+
+  private:
+    /** Lazily built use lists (index = ValueId); see uses(). */
+    mutable std::vector<std::vector<NodeId>> uses_;
+    mutable bool usesValid_ = false;
+
+    void noteUse(ValueId v, NodeId n);
+    void dropUse(ValueId v, NodeId n);
+    void rebuildUses() const;
 };
-
-/** Returns the number of inputs op @p name expects at the Map level
- *  (1, 2, or 3); 0 for unknown names. */
-int mapOpArity(const std::string &op);
-
-/** True when @p op is a memory-movement-only op ("identity"). */
-bool isMoveOp(const std::string &op);
 
 } // namespace polymath::ir
 

@@ -1,41 +1,57 @@
 #include "srdfg/ops.h"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "core/error.h"
 
 namespace polymath::ir {
 
 ScalarOp
-resolveScalarOp(const std::string &name)
+resolveScalarOp(Op op)
 {
-    static const std::unordered_map<std::string, ScalarOp> table = {
-        {"add", ScalarOp::Add},         {"sub", ScalarOp::Sub},
-        {"mul", ScalarOp::Mul},         {"div", ScalarOp::Div},
-        {"mod", ScalarOp::Mod},         {"pow", ScalarOp::Pow},
-        {"min", ScalarOp::Min},         {"max", ScalarOp::Max},
-        {"lt", ScalarOp::Lt},           {"le", ScalarOp::Le},
-        {"gt", ScalarOp::Gt},           {"ge", ScalarOp::Ge},
-        {"eq", ScalarOp::Eq},           {"ne", ScalarOp::Ne},
-        {"and", ScalarOp::And},         {"or", ScalarOp::Or},
-        {"neg", ScalarOp::Neg},         {"not", ScalarOp::Not},
-        {"identity", ScalarOp::Identity}, {"select", ScalarOp::Select},
-        {"sin", ScalarOp::Sin},         {"cos", ScalarOp::Cos},
-        {"tan", ScalarOp::Tan},         {"exp", ScalarOp::Exp},
-        {"ln", ScalarOp::Ln},           {"log", ScalarOp::Ln},
-        {"sqrt", ScalarOp::Sqrt},       {"abs", ScalarOp::Abs},
-        {"sigmoid", ScalarOp::Sigmoid}, {"relu", ScalarOp::Relu},
-        {"tanh", ScalarOp::Tanh},       {"erf", ScalarOp::Erf},
-        {"sign", ScalarOp::Sign},       {"floor", ScalarOp::Floor},
-        {"ceil", ScalarOp::Ceil},       {"gauss", ScalarOp::Gauss},
-        {"re", ScalarOp::Re},           {"im", ScalarOp::Im},
-        {"conj", ScalarOp::Conj},
-    };
-    auto it = table.find(name);
-    if (it == table.end())
-        panic("interpreter: unknown map op '" + name + "'");
-    return it->second;
+    switch (op.code()) {
+      case OpCode::Add: return ScalarOp::Add;
+      case OpCode::Sub: return ScalarOp::Sub;
+      case OpCode::Mul: return ScalarOp::Mul;
+      case OpCode::Div: return ScalarOp::Div;
+      case OpCode::Mod: return ScalarOp::Mod;
+      case OpCode::Pow: return ScalarOp::Pow;
+      case OpCode::Min: return ScalarOp::Min;
+      case OpCode::Max: return ScalarOp::Max;
+      case OpCode::Lt: return ScalarOp::Lt;
+      case OpCode::Le: return ScalarOp::Le;
+      case OpCode::Gt: return ScalarOp::Gt;
+      case OpCode::Ge: return ScalarOp::Ge;
+      case OpCode::Eq: return ScalarOp::Eq;
+      case OpCode::Ne: return ScalarOp::Ne;
+      case OpCode::And: return ScalarOp::And;
+      case OpCode::Or: return ScalarOp::Or;
+      case OpCode::Neg: return ScalarOp::Neg;
+      case OpCode::Not: return ScalarOp::Not;
+      case OpCode::Identity: return ScalarOp::Identity;
+      case OpCode::Select: return ScalarOp::Select;
+      case OpCode::Sin: return ScalarOp::Sin;
+      case OpCode::Cos: return ScalarOp::Cos;
+      case OpCode::Tan: return ScalarOp::Tan;
+      case OpCode::Exp: return ScalarOp::Exp;
+      case OpCode::Ln: return ScalarOp::Ln;
+      case OpCode::Log: return ScalarOp::Ln;
+      case OpCode::Sqrt: return ScalarOp::Sqrt;
+      case OpCode::Abs: return ScalarOp::Abs;
+      case OpCode::Sigmoid: return ScalarOp::Sigmoid;
+      case OpCode::Relu: return ScalarOp::Relu;
+      case OpCode::Tanh: return ScalarOp::Tanh;
+      case OpCode::Erf: return ScalarOp::Erf;
+      case OpCode::Sign: return ScalarOp::Sign;
+      case OpCode::Floor: return ScalarOp::Floor;
+      case OpCode::Ceil: return ScalarOp::Ceil;
+      case OpCode::Gauss: return ScalarOp::Gauss;
+      case OpCode::Re: return ScalarOp::Re;
+      case OpCode::Im: return ScalarOp::Im;
+      case OpCode::Conj: return ScalarOp::Conj;
+      default:
+        panic("interpreter: unknown map op '" + op.str() + "'");
+    }
 }
 
 double

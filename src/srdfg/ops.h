@@ -9,7 +9,8 @@
 #include <complex>
 #include <cstdint>
 #include <span>
-#include <string>
+
+#include "srdfg/op.h"
 
 namespace polymath::ir {
 
@@ -22,9 +23,10 @@ enum class ScalarOp : uint8_t {
     Sign, Floor, Ceil, Gauss, Re, Im, Conj,
 };
 
-/** Maps an srDFG map-op name to its code.
- *  @throws InternalError on unknown names. */
-ScalarOp resolveScalarOp(const std::string &name);
+/** Maps an srDFG map op to its semantic code (a direct table lookup on
+ *  the OpCode; "ln" and "log" both resolve to ScalarOp::Ln).
+ *  @throws InternalError for ops without map-level semantics. */
+ScalarOp resolveScalarOp(Op op);
 
 /** Applies @p op to real arguments (size must match the op's arity). */
 double applyScalarOp(ScalarOp op, std::span<const double> args);

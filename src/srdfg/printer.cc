@@ -53,7 +53,8 @@ printLevel(const Graph &graph, const PrintOptions &opts, int depth,
             break;
           case NodeKind::Map:
           case NodeKind::Reduce: {
-            *out += accessStr(graph, node.outs[0], names) + " = " + node.op;
+            *out += accessStr(graph, node.outs[0], names) + " = " +
+                    node.op.str();
             if (!node.domainVars.empty()) {
                 *out += "{";
                 for (size_t i = 0; i < node.domainVars.size(); ++i) {
@@ -87,7 +88,7 @@ printLevel(const Graph &graph, const PrintOptions &opts, int depth,
                     *out += ", ";
                 *out += accessStr(graph, node.outs[i], names);
             }
-            *out += ") = " + node.op;
+            *out += ") = " + node.op.str();
             if (node.domain != Domain::None)
                 *out += " <" + lang::toString(node.domain) + ">";
             *out += "(";
@@ -128,11 +129,11 @@ dotLevel(const Graph &graph, int depth, int max_depth,
         const std::string id = prefix + "n" + std::to_string(node->id);
         if (node->subgraph && depth + 1 < max_depth) {
             *out += pad + "subgraph cluster_" + id + " {\n";
-            *out += pad + "  label=\"" + node->op + "\";\n";
+            *out += pad + "  label=\"" + node->op.str() + "\";\n";
             dotLevel(*node->subgraph, depth + 1, max_depth, id + "_", out);
             *out += pad + "}\n";
         } else {
-            *out += pad + id + " [label=\"" + node->op + "\"];\n";
+            *out += pad + id + " [label=\"" + node->op.str() + "\"];\n";
         }
     }
     // Edges at this level (value producer -> consumer).

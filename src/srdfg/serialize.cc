@@ -234,7 +234,7 @@ emitGraph(const Graph &graph, std::string *out)
             continue;
         }
         *out += "{\"kind\":" + quote(nodeKindName(node->kind));
-        *out += ",\"op\":" + quote(node->op);
+        *out += ",\"op\":" + quote(node->op.str());
         *out += ",\"domain\":" + quote(lang::toString(node->domain));
         *out += ",\"vars\":[";
         for (size_t d = 0; d < node->domainVars.size(); ++d) {
@@ -315,7 +315,7 @@ readGraph(const JsonValue &v, const std::shared_ptr<IrContext> &context)
         auto node = std::make_unique<Node>();
         node->id = static_cast<NodeId>(graph->nodes.size());
         node->kind = nodeKindFromName(jn.at("kind").str());
-        node->op = jn.at("op").str();
+        node->op = Op::intern(jn.at("op").str());
         const std::string node_domain = jn.at("domain").str();
         for (lang::Domain d :
              {lang::Domain::None, lang::Domain::RBT, lang::Domain::GA,

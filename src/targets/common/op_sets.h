@@ -1,37 +1,48 @@
 /**
  * @file
  * Shared operation vocabularies for backend Ot sets.
+ *
+ * The sets are interned-op bitsets built once per process (static locals);
+ * spec construction and Ot merging never re-render operation names.
  */
 #ifndef POLYMATH_TARGETS_COMMON_OP_SETS_H_
 #define POLYMATH_TARGETS_COMMON_OP_SETS_H_
 
-#include <set>
-#include <string>
+#include "srdfg/op.h"
 
 namespace polymath::target {
 
 /** ALU-level ops every dataflow-style accelerator supports. */
-inline std::set<std::string>
+inline const ir::OpSet &
 scalarAluOps()
 {
-    return {"const", "identity", "add",  "sub", "mul", "div", "mod",
-            "neg",   "lt",       "le",   "gt",  "ge",  "eq",  "ne",
-            "and",   "or",       "not",  "select", "abs", "sign",
-            "min",   "max",      "floor", "ceil"};
+    using ir::OpCode;
+    static const ir::OpSet ops = {
+        OpCode::Const, OpCode::Identity, OpCode::Add,    OpCode::Sub,
+        OpCode::Mul,   OpCode::Div,      OpCode::Mod,    OpCode::Neg,
+        OpCode::Lt,    OpCode::Le,       OpCode::Gt,     OpCode::Ge,
+        OpCode::Eq,    OpCode::Ne,       OpCode::And,    OpCode::Or,
+        OpCode::Not,   OpCode::Select,   OpCode::Abs,    OpCode::Sign,
+        OpCode::Min,   OpCode::Max,      OpCode::Floor,  OpCode::Ceil,
+    };
+    return ops;
 }
 
 /** Built-in group reductions. */
-inline std::set<std::string>
+inline const ir::OpSet &
 groupOps()
 {
-    return {"sum", "prod", "max", "min"};
+    using ir::OpCode;
+    static const ir::OpSet ops = {OpCode::Sum, OpCode::Prod, OpCode::Max,
+                                  OpCode::Min};
+    return ops;
 }
 
 /** Merges op sets. */
-inline std::set<std::string>
-opsUnion(std::set<std::string> a, const std::set<std::string> &b)
+inline ir::OpSet
+opsUnion(ir::OpSet a, const ir::OpSet &b)
 {
-    a.insert(b.begin(), b.end());
+    a.merge(b);
     return a;
 }
 

@@ -14,12 +14,15 @@ DecoBackend::spec() const
     lower::AcceleratorSpec s;
     s.name = name();
     s.domain = domain();
-    s.supportedOps = opsUnion(
-        scalarAluOps(),
-        {"sin", "cos", "tan", "sqrt", "exp", "ln", "log", "pow",
-         "re", "im", "conj", "sum", "prod", "@custom_reduce"});
-    const auto groups = groupOps();
-    s.supportedOps.insert(groups.begin(), groups.end());
+    using ir::OpCode;
+    ir::OpSet extra = {OpCode::Sin,  OpCode::Cos, OpCode::Tan,
+                       OpCode::Sqrt, OpCode::Exp, OpCode::Ln,
+                       OpCode::Log,  OpCode::Pow, OpCode::Re,
+                       OpCode::Im,   OpCode::Conj, OpCode::Sum,
+                       OpCode::Prod};
+    extra.insert("@custom_reduce");
+    s.supportedOps = opsUnion(scalarAluOps(), extra);
+    s.supportedOps.merge(groupOps());
     return s;
 }
 

@@ -41,17 +41,19 @@ GraphicionadoBackend::spec() const
     lower::AcceleratorSpec s;
     s.name = name();
     s.domain = domain();
-    s.supportedOps = opsUnion(scalarAluOps(),
-                              {"sum", "prod", "@custom_reduce"});
-    const auto groups = groupOps();
-    s.supportedOps.insert(groups.begin(), groups.end());
+    using ir::OpCode;
+    ir::OpSet extra = {OpCode::Sum, OpCode::Prod};
+    extra.insert("@custom_reduce");
+    s.supportedOps = opsUnion(scalarAluOps(), extra);
+    s.supportedOps.merge(groupOps());
 
     // Vertex-program rendering: neighbor folds become Process/Reduce
     // pipeline blocks, vertex-wide maps become Apply blocks (Fig. 6c).
-    s.translators["sum"] = s.translators["min"] = s.translators["max"] =
+    s.translators[OpCode::Sum] = s.translators[OpCode::Min] =
+        s.translators[OpCode::Max] =
         [](const ir::Graph &g, const ir::Node &n) {
             auto frag = lower::genericTranslate(g, n);
-            frag.opcode = "process_edges/" + n.op;
+            frag.opcode = "process_edges/" + n.op.str();
             return frag;
         };
     return s;

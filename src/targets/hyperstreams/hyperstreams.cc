@@ -16,9 +16,10 @@ HyperstreamsBackend::spec() const
     s.domain = domain();
     // Registered after TABLA for DA: only chosen for its preferred
     // component, which it accepts whole (coarsest granularity).
-    s.supportedOps = {"black_scholes"};
-    s.preferredComponents = {"black_scholes"};
-    s.translators["black_scholes"] =
+    const ir::Op bs = ir::Op::intern("black_scholes");
+    s.supportedOps = {bs};
+    s.preferredComponents = {bs};
+    s.translators[bs] =
         [](const ir::Graph &g, const ir::Node &n) {
             auto frag = lower::genericTranslate(g, n);
             frag.opcode = "pipeline/black_scholes";

@@ -14,12 +14,14 @@ RoboxBackend::spec() const
     lower::AcceleratorSpec s;
     s.name = name();
     s.domain = domain();
-    s.supportedOps = opsUnion(
-        scalarAluOps(),
-        {"sin", "cos", "tan", "sqrt", "exp", "ln", "log", "pow",
-         "sigmoid", "tanh", "gauss", "sum", "@custom_reduce"});
-    const auto groups = groupOps();
-    s.supportedOps.insert(groups.begin(), groups.end());
+    using ir::OpCode;
+    ir::OpSet extra = {OpCode::Sin,     OpCode::Cos,  OpCode::Tan,
+                       OpCode::Sqrt,    OpCode::Exp,  OpCode::Ln,
+                       OpCode::Log,     OpCode::Pow,  OpCode::Sigmoid,
+                       OpCode::Tanh,    OpCode::Gauss, OpCode::Sum};
+    extra.insert("@custom_reduce");
+    s.supportedOps = opsUnion(scalarAluOps(), extra);
+    s.supportedOps.merge(groupOps());
 
     // RoboX consumes vector/group macro-ops; tag them for its sequencer.
     s.combine = [](lower::AccelProgram &prog, lower::IrFragment frag) {

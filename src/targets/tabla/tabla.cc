@@ -14,12 +14,14 @@ TablaBackend::spec() const
     lower::AcceleratorSpec s;
     s.name = name();
     s.domain = domain();
-    s.supportedOps = opsUnion(
-        scalarAluOps(),
-        {"sigmoid", "gauss", "sqrt", "exp", "ln", "log", "relu", "tanh",
-         "pow", "sum", "@custom_reduce"});
-    const auto groups = groupOps();
-    s.supportedOps.insert(groups.begin(), groups.end());
+    using ir::OpCode;
+    ir::OpSet extra = {OpCode::Sigmoid, OpCode::Gauss, OpCode::Sqrt,
+                       OpCode::Exp,     OpCode::Ln,    OpCode::Log,
+                       OpCode::Relu,    OpCode::Tanh,  OpCode::Pow,
+                       OpCode::Sum};
+    extra.insert("@custom_reduce");
+    s.supportedOps = opsUnion(scalarAluOps(), extra);
+    s.supportedOps.merge(groupOps());
     return s;
 }
 

@@ -34,8 +34,11 @@ VtaBackend::spec() const
     for (const char *op : kLayerOps)
         s.supportedOps.insert(op);
     // Residual adds and activation maps appear between layers.
-    s.supportedOps.insert({"add", "relu", "identity", "const", "max",
-                           "sum", "mul", "sub", "div", "sqrt", "exp"});
+    using ir::OpCode;
+    s.supportedOps.merge({OpCode::Add, OpCode::Relu, OpCode::Identity,
+                          OpCode::Const, OpCode::Max, OpCode::Sum,
+                          OpCode::Mul, OpCode::Sub, OpCode::Div,
+                          OpCode::Sqrt, OpCode::Exp});
     return s;
 }
 

@@ -81,7 +81,7 @@ TEST(Lower, SplicesOnlyUnsupportedComponents)
     // ops splices it.
     auto keep = ir::compileToSrdfg(kTwoLevel);
     lower::SupportedOps om;
-    om[Domain::DSP] = {"scale", "const"};
+    om[Domain::DSP] = {ir::Op::intern("scale"), ir::OpCode::Const};
     lower::lowerGraph(*keep, om);
     EXPECT_EQ(ir::recursionDepth(*keep), 2);
 
@@ -128,7 +128,8 @@ TEST(Lower, DnnStaysAtLayerGranularityForVta)
     int64_t convs = 0;
     for (const auto &node : g->nodes) {
         if (node && node->kind == ir::NodeKind::Component)
-            convs += node->op == "conv2d" || node->op == "conv2d_dw";
+            convs += node->op == ir::Op::intern("conv2d") ||
+                     node->op == ir::Op::intern("conv2d_dw");
     }
     EXPECT_GT(convs, 10);
 }

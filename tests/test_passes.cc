@@ -23,11 +23,12 @@ namespace {
 using pass::PassManager;
 
 int64_t
-countOp(const ir::Graph &g, const std::string &op)
+countOp(const ir::Graph &g, std::string_view op)
 {
+    const ir::Op target = ir::Op::intern(op);
     int64_t n = 0;
     ir::forEachNodeRecursive(g, [&](const ir::Graph &, const ir::Node &node) {
-        n += node.op == op;
+        n += node.op == target;
     });
     return n;
 }
@@ -160,7 +161,7 @@ TEST(Cse, FailsLoudlyOnOutputLessNode)
     // instead of indexing into an empty vector (UB).
     auto g = ir::compileToSrdfg(
         "main(input float x, output float y) { y = x + 5; }");
-    g->addNode(ir::NodeKind::Map, "mul"); // no output access attached
+    g->addNode(ir::NodeKind::Map, ir::OpCode::Mul); // no output access attached
     PassManager pm;
     pm.add(pass::createCse());
     try {
@@ -448,7 +449,8 @@ TEST(IdentityElision, PreservesSemanticsAfterLoweringFft)
     // Splice everything to one level, then elide and re-check.
     lower::SupportedOps om;
     om[lang::Domain::DSP] = target::scalarAluOps();
-    om[lang::Domain::DSP].insert({"sum", "re", "im", "conj"});
+    om[lang::Domain::DSP].merge({ir::OpCode::Sum, ir::OpCode::Re,
+                                 ir::OpCode::Im, ir::OpCode::Conj});
     lower::lowerGraph(*g, om, lang::Domain::DSP);
     PassManager pm;
     pm.add(pass::createIdentityElision());

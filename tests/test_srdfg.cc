@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "interp/interpreter.h"
 #include "srdfg/builder.h"
 #include "srdfg/expand.h"
@@ -102,7 +104,7 @@ main(input float A[2][3], input float x[3], output float y[2]) {
     ASSERT_EQ(g->liveNodeCount(), 1);
     const Node *call = g->node(0);
     ASSERT_EQ(call->kind, NodeKind::Component);
-    EXPECT_EQ(call->op, "mvmul");
+    EXPECT_EQ(call->op, ir::Op::intern("mvmul"));
     EXPECT_EQ(call->domain, lang::Domain::DA);
     ASSERT_NE(call->subgraph, nullptr);
     EXPECT_EQ(call->subgraph->domain, lang::Domain::DA);
@@ -120,7 +122,7 @@ main(input float A[2][3], input float x[3], output float y[2]) {
     for (const auto &node : sub.nodes) {
         if (!node)
             continue;
-        muls += node->kind == NodeKind::Map && node->op == "mul";
+        muls += node->kind == NodeKind::Map && node->op == ir::OpCode::Mul;
         reduces += node->kind == NodeKind::Reduce;
     }
     EXPECT_EQ(muls, 1);
@@ -411,7 +413,7 @@ TEST(Expand, MapMaterializationMatchesNodeSemantics)
                             " index i[0:2]; y[i] = x[i]*z[i]; }");
     const Node *mul = nullptr;
     for (const auto &node : g->nodes) {
-        if (node && node->op == "mul")
+        if (node && node->op == ir::OpCode::Mul)
             mul = node.get();
     }
     ASSERT_NE(mul, nullptr);
@@ -452,7 +454,7 @@ TEST(Expand, BudgetIsEnforced)
                             " index i[0:99]; y[i] = x[i]+1; }");
     const Node *add = nullptr;
     for (const auto &node : g->nodes) {
-        if (node && node->op == "add")
+        if (node && node->op == ir::OpCode::Add)
             add = node.get();
     }
     ASSERT_NE(add, nullptr);
@@ -461,10 +463,176 @@ TEST(Expand, BudgetIsEnforced)
 
 TEST(Expand, CombinerOpMapping)
 {
-    EXPECT_EQ(combinerOp("sum"), "add");
-    EXPECT_EQ(combinerOp("prod"), "mul");
-    EXPECT_EQ(combinerOp("min"), "min");
-    EXPECT_THROW(combinerOp("mymin"), UserError);
+    EXPECT_EQ(combinerOp(ir::OpCode::Sum), ir::Op(ir::OpCode::Add));
+    EXPECT_EQ(combinerOp(ir::OpCode::Prod), ir::Op(ir::OpCode::Mul));
+    EXPECT_EQ(combinerOp(ir::OpCode::Min), ir::Op(ir::OpCode::Min));
+    EXPECT_THROW(combinerOp(ir::Op::intern("mymin")), UserError);
+}
+
+// --- use lists ---------------------------------------------------------------
+
+// From-scratch recomputation of the use multiset of one value, the
+// reference the incremental cache must agree with.
+std::vector<NodeId>
+rawUses(const Graph &g, ValueId v)
+{
+    std::vector<NodeId> out;
+    for (const auto &node : g.nodes) {
+        if (!node)
+            continue;
+        for (const auto &in : node->ins) {
+            if (in.value == v)
+                out.push_back(node->id);
+        }
+        if (node->base == v)
+            out.push_back(node->id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<NodeId>
+sortedUses(const Graph &g, ValueId v)
+{
+    auto out = g.uses(v);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(UseLists, OneEntryPerReferencingAccess)
+{
+    auto g = compileToSrdfg("main(input float x[2], output float y[2]) {"
+                            " index i[0:1]; y[i] = x[i] + x[i]; }");
+    // The add references x twice, so its node appears twice in x's list.
+    const ValueId x = g->findValueByName("x");
+    ASSERT_GE(x, 0);
+    EXPECT_EQ(g->uses(x).size(), 2u);
+    EXPECT_TRUE(g->usesCached());
+    for (const auto &v : g->values)
+        EXPECT_EQ(sortedUses(*g, v.id), rawUses(*g, v.id));
+    g->validate();
+}
+
+TEST(UseLists, EraseNodeMaintainsCacheIncrementally)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[2], output float y[2]) {
+    index i[0:1];
+    float a[2], b[2];
+    a[i] = x[i] + 1;
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    const ValueId a = g->findValueByName("a");
+    ASSERT_GE(a, 0);
+    (void)g->uses(a); // build the cache
+    ASSERT_TRUE(g->usesCached());
+
+    const NodeId sub = g->value(g->findValueByName("y")).producer;
+    ASSERT_GE(sub, 0);
+    g->eraseNode(sub);
+
+    // Still cached — eraseNode maintains the lists instead of dropping
+    // them — and still consistent with a recomputation.
+    EXPECT_TRUE(g->usesCached());
+    for (const auto &v : g->values)
+        EXPECT_EQ(sortedUses(*g, v.id), rawUses(*g, v.id));
+}
+
+TEST(UseLists, MutationHelpersKeepCacheLive)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[2], output float y[2]) {
+    index i[0:1];
+    float a[2], b[2];
+    a[i] = x[i] + 1;
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    const ValueId a = g->findValueByName("a");
+    const ValueId b = g->findValueByName("b");
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    (void)g->uses(a);
+    ASSERT_TRUE(g->usesCached());
+
+    // Repoint the subtract's b-operand at a through setInput: b loses a
+    // user, a gains one, and the cache never has to be rebuilt.
+    Node *sub = g->node(g->value(g->findValueByName("y")).producer);
+    ASSERT_NE(sub, nullptr);
+    const size_t uses_of_a = g->uses(a).size();
+    const size_t uses_of_b = g->uses(b).size();
+    for (size_t slot = 0; slot < sub->ins.size(); ++slot) {
+        if (sub->ins[slot].value == b)
+            g->setInput(*sub, slot, Access{a, sub->ins[slot].coords});
+    }
+    EXPECT_TRUE(g->usesCached());
+    EXPECT_EQ(g->uses(a).size(), uses_of_a + 1);
+    EXPECT_EQ(g->uses(b).size(), uses_of_b - 1);
+    for (const auto &v : g->values)
+        EXPECT_EQ(sortedUses(*g, v.id), rawUses(*g, v.id));
+    g->validate();
+}
+
+TEST(UseLists, TouchUsesInvalidatesAfterRawSurgery)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[2], output float y[2]) {
+    index i[0:1];
+    float a[2], b[2];
+    a[i] = x[i] + 1;
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    const ValueId a = g->findValueByName("a");
+    const ValueId b = g->findValueByName("b");
+    (void)g->uses(a);
+    ASSERT_TRUE(g->usesCached());
+
+    // Raw write past the helpers, then the escape hatch: the cache is
+    // dropped and the next uses() call rebuilds a consistent view.
+    Node *sub = g->node(g->value(g->findValueByName("y")).producer);
+    ASSERT_NE(sub, nullptr);
+    for (auto &in : sub->ins) {
+        if (in.value == b)
+            in.value = a;
+    }
+    g->touchUses();
+    EXPECT_FALSE(g->usesCached());
+    for (const auto &v : g->values)
+        EXPECT_EQ(sortedUses(*g, v.id), rawUses(*g, v.id));
+    EXPECT_TRUE(g->usesCached());
+    g->validate();
+}
+
+TEST(UseLists, ValidateCatchesStaleCache)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[2], output float y[2]) {
+    index i[0:1];
+    float a[2], b[2];
+    a[i] = x[i] + 1;
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    const ValueId a = g->findValueByName("a");
+    const ValueId b = g->findValueByName("b");
+    (void)g->uses(a);
+    ASSERT_TRUE(g->usesCached());
+
+    // The same raw write with no touchUses(): the graph itself is still
+    // well-formed, so only the use-cache cross-check can catch it.
+    Node *sub = g->node(g->value(g->findValueByName("y")).producer);
+    ASSERT_NE(sub, nullptr);
+    for (auto &in : sub->ins) {
+        if (in.value == b)
+            in.value = a;
+    }
+    EXPECT_THROW(g->validate(), InternalError);
 }
 
 // --- printing ----------------------------------------------------------------

@@ -60,9 +60,9 @@ TEST(Registry, AllSixBackendsRegistered)
     EXPECT_NE(registry.byName("HyperStreams"), nullptr);
     // Default DA accelerator is TABLA; HyperStreams only via preference.
     EXPECT_EQ(registry.forDomain(lang::Domain::DA)->name, "TABLA");
-    EXPECT_EQ(registry.specFor(lang::Domain::DA, "black_scholes")->name,
+    EXPECT_EQ(registry.specFor(lang::Domain::DA, ir::Op::intern("black_scholes"))->name,
               "HyperStreams");
-    EXPECT_EQ(registry.specFor(lang::Domain::DA, "sum")->name, "TABLA");
+    EXPECT_EQ(registry.specFor(lang::Domain::DA, ir::OpCode::Sum)->name, "TABLA");
 }
 
 TEST(Registry, EveryDomainHasExactlyOneDefault)

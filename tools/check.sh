@@ -3,7 +3,11 @@
 # again under ASan/UBSan, and a focused ThreadSanitizer pass (see
 # CMakePresets.json). Run from anywhere; operates on the repo root.
 # `tools/check.sh default`, `tools/check.sh asan`, or `tools/check.sh
-# tsan` runs a single configuration.
+# tsan` runs a single configuration. `tools/check.sh tidy` is an opt-in
+# extra (not part of the default trio): clang-tidy with the repo's
+# .clang-tidy profile (bugprone-* + performance-*) over the compile-path
+# core, src/srdfg and src/passes; it needs clang-tidy on PATH and uses
+# the default preset's exported compile database.
 #
 # The ASan pass re-runs the suite twice more to pin down the two
 # environment axes the stack promises independence from:
@@ -41,6 +45,23 @@ for candidate in de_DE.UTF-8 de_DE.utf8 de_DE fr_FR.UTF-8 fr_FR.utf8 \
 done
 
 for preset in "${presets[@]}"; do
+    if [ "$preset" = tidy ]; then
+        echo "== [tidy] clang-tidy (src/srdfg src/passes) =="
+        if ! command -v clang-tidy > /dev/null 2>&1; then
+            echo "tidy: clang-tidy not on PATH; install it or drop the" \
+                 "tidy argument" >&2
+            exit 1
+        fi
+        if [ ! -f build/compile_commands.json ]; then
+            cmake --preset default
+        fi
+        # One process over all TUs keeps the output grouped; the config
+        # (check list, warnings-as-errors, header filter) lives in
+        # .clang-tidy so editors and CI agree.
+        clang-tidy -p build --quiet \
+            src/srdfg/*.cc src/passes/*.cc
+        continue
+    fi
     echo "== [$preset] configure =="
     cmake --preset "$preset"
     if [ "$preset" = tsan ]; then
@@ -81,6 +102,20 @@ for preset in "${presets[@]}"; do
             fi
             rm -f "$artifact"
         done
+        # Compile-path wall-clock gate: unlike the cost models above,
+        # bench_compile measures real time, so the tolerance is loose —
+        # it only catches gross regressions (e.g. a string-keyed map
+        # sneaking back onto the compile path), not scheduler noise.
+        echo "== [$preset] compile-path perf gate =="
+        artifact="$(mktemp /tmp/polymath-bench-compile.XXXXXX.json)"
+        build/bench/bench_compile --reps 3 --json "$artifact" > /dev/null
+        if ! build/tools/bench_compare --rel-tol 0.6 \
+                bench/baselines/compile_path.json "$artifact"; then
+            echo "compile-path perf gate: regressed;" \
+                 "current artifact kept at $artifact" >&2
+            exit 1
+        fi
+        rm -f "$artifact"
     fi
     if [ "$preset" = asan ]; then
         if [ -n "$comma_locale" ]; then
