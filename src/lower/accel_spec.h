@@ -101,6 +101,15 @@ struct AcceleratorSpec
     std::set<ir::Op> preferredComponents;
 
     bool supports(ir::Op op) const { return supportedOps.contains(op); }
+
+    /** Compatibility query for rescheduling: true when Ot covers every
+     *  source op in @p ops — i.e. this accelerator could execute a
+     *  partition whose nodes carried those ops (soc::StreamScheduler
+     *  uses it to pick online-migration targets). */
+    bool supportsAll(const ir::OpSet &ops) const
+    {
+        return supportedOps.containsAll(ops);
+    }
 };
 
 /** AccSpec of Algorithm 2: the accelerator chosen for each domain. */

@@ -314,6 +314,7 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
         else
             prog.fragments.push_back(frag);
         current->fragments.push_back(std::move(frag));
+        current->ops.insert(node.op);
 
         for (const auto &o : node.outs)
             partition_of_value[static_cast<size_t>(o.value)] =

@@ -33,6 +33,12 @@ struct Partition
     std::string accel;
     std::vector<IrFragment> fragments;
 
+    /** Source ops of the srDFG nodes this partition was translated from
+     *  (transfer fragments excluded) — the compatibility footprint for
+     *  AcceleratorSpec::supportsAll when a partition must migrate to
+     *  another accelerator at runtime. */
+    ir::OpSet ops;
+
     /** Tensors DMA'd into the accelerator before launch (graph inputs and
      *  values produced by other partitions). */
     std::vector<TensorArg> loads;

@@ -88,6 +88,19 @@ TraceRecorder::newVirtualTrack()
     return next_virtual_track_.fetch_add(1);
 }
 
+void
+TraceRecorder::nameVirtualTrack(int64_t track, std::string name)
+{
+    TraceEvent ev;
+    ev.name = "thread_name";
+    ev.ph = 'M';
+    ev.pid = kVirtualPid;
+    ev.tid = track;
+    ev.ts = 0;
+    ev.args.push_back(TraceArg::str("name", std::move(name)));
+    record(std::move(ev));
+}
+
 namespace {
 
 int64_t

@@ -97,6 +97,11 @@ class TraceRecorder
      *  simulated execution gets its own so runs do not overlap. */
     int64_t newVirtualTrack();
 
+    /** Labels virtual track @p track in trace viewers (a `thread_name`
+     *  metadata event) — e.g. per-backend occupancy tracks of the
+     *  streaming scheduler. */
+    void nameVirtualTrack(int64_t track, std::string name);
+
     /** Records a span of simulated time on virtual track @p track. */
     void virtualSpan(std::string name, std::string cat, int64_t track,
                      double start_seconds, double duration_seconds,

@@ -1,5 +1,7 @@
 #include "soc/fault.h"
 
+#include <algorithm>
+
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/strings.h"
@@ -58,6 +60,8 @@ FaultConfig::validate() const
         fatal("FaultConfig.maxReexecutions must be non-negative");
     if (dmaRetryBackoffUs < 0.0)
         fatal("FaultConfig.dmaRetryBackoffUs must be non-negative");
+    if (maxBackoffUs < 0.0)
+        fatal("FaultConfig.maxBackoffUs must be non-negative");
 }
 
 std::string
@@ -89,6 +93,35 @@ ReliabilityReport::energyOverhead() const
     return faultFreeJoules > 0.0 ? actualJoules / faultFreeJoules : 1.0;
 }
 
+void
+ReliabilityReport::addEvent(FaultEvent event)
+{
+    if (events.size() < kMaxEvents)
+        events.push_back(std::move(event));
+    else
+        ++droppedEvents;
+}
+
+ReliabilityReport &
+ReliabilityReport::operator+=(const ReliabilityReport &other)
+{
+    faultsInjected += other.faultsInjected;
+    accelFaults += other.accelFaults;
+    dmaFaults += other.dmaFaults;
+    watchdogFaults += other.watchdogFaults;
+    retriesSpent += other.retriesSpent;
+    hostFallbacks += other.hostFallbacks;
+    offloadAttempts += other.offloadAttempts;
+    actualSeconds += other.actualSeconds;
+    faultFreeSeconds += other.faultFreeSeconds;
+    actualJoules += other.actualJoules;
+    faultFreeJoules += other.faultFreeJoules;
+    for (const auto &event : other.events)
+        addEvent(event);
+    droppedEvents += other.droppedEvents;
+    return *this;
+}
+
 std::string
 ReliabilityReport::str() const
 {
@@ -107,6 +140,11 @@ ReliabilityReport::str() const
         formatF(energyOverhead(), 3) + "x";
     for (const auto &event : events)
         out += "\n  " + event.str();
+    if (droppedEvents > 0) {
+        out += format("\n  (+%lld more events dropped; log keeps the "
+                      "first %zu)",
+                      static_cast<long long>(droppedEvents), kMaxEvents);
+    }
     return out;
 }
 
@@ -156,8 +194,10 @@ FaultModel::watchdogFires(int partition, int attempt) const
 double
 FaultModel::backoffSeconds(int attempt) const
 {
-    return config_.dmaRetryBackoffUs * 1e-6 *
-           static_cast<double>(1ll << (attempt < 62 ? attempt : 62));
+    const double exponential =
+        config_.dmaRetryBackoffUs *
+        static_cast<double>(1ll << (attempt < 62 ? attempt : 62));
+    return std::min(exponential, config_.maxBackoffUs) * 1e-6;
 }
 
 } // namespace polymath::soc

@@ -15,6 +15,7 @@
 #ifndef POLYMATH_SOC_FAULT_H_
 #define POLYMATH_SOC_FAULT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -61,6 +62,10 @@ struct FaultConfig
     int maxDmaRetries = 3;
     /** Latency of the first DMA retry; doubles with each further retry. */
     double dmaRetryBackoffUs = 50.0;
+    /** Ceiling on one retry's backoff latency: the exponential series
+     *  clamps here instead of growing without bound (large retry budgets
+     *  used to overflow 2^attempt into absurd virtual latencies). */
+    double maxBackoffUs = 10000.0;
     /** Watchdog re-execution budget before degrading. */
     int maxReexecutions = 2;
 
@@ -96,6 +101,11 @@ struct FaultEvent
 /** Reliability accounting attached to SocResult. */
 struct ReliabilityReport
 {
+    /** Event-log bound: a long stream would otherwise accumulate events
+     *  without limit. addEvent() keeps the first kMaxEvents and counts
+     *  the rest in droppedEvents so str() stays honest. */
+    static constexpr size_t kMaxEvents = 256;
+
     int64_t faultsInjected = 0;
     int64_t accelFaults = 0;
     int64_t dmaFaults = 0;
@@ -114,6 +124,17 @@ struct ReliabilityReport
     double faultFreeJoules = 0.0;
 
     std::vector<FaultEvent> events;
+
+    /** Events addEvent() refused to append once kMaxEvents was hit. */
+    int64_t droppedEvents = 0;
+
+    /** Appends @p event, honoring the kMaxEvents bound. */
+    void addEvent(FaultEvent event);
+
+    /** Accumulates another report (stream-level rollups): counters and
+     *  the actual/fault-free totals sum; events merge under the same
+     *  kMaxEvents bound. */
+    ReliabilityReport &operator+=(const ReliabilityReport &other);
 
     /** Fraction of offload attempts that completed on their accelerator. */
     double availability() const;

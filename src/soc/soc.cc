@@ -53,6 +53,92 @@ SocRuntime::execute(const lower::CompiledProgram &program,
     return result;
 }
 
+PerfReport
+SocRuntime::hostPartitionRun(const lower::Partition &partition,
+                             const WorkloadProfile &profile,
+                             const std::map<std::string, double> &host_eff,
+                             bool degraded) const
+{
+    target::WorkloadCost cost =
+        target::hostPartitionCost(partition, profile);
+    auto eff = host_eff.find(partition.accel);
+    if (eff != host_eff.end())
+        cost.cpuEff = eff->second;
+    if (degraded) {
+        const double native =
+            cost.cpuEff > 0
+                ? cost.cpuEff
+                : target::CpuModel::domainEfficiency(cost.domain,
+                                                     cost.irregular);
+        cost.cpuEff = native * config_.hostFallbackEff;
+    }
+    return host_.simulate(cost);
+}
+
+// Param and state tensors are placed once; inputs/outputs move every
+// invocation. The backend already overlaps streaming with compute; the
+// SoC adds the DMA setup + transfer. Transfer *bandwidth* is already the
+// backend's DRAM model (memorySeconds); the host adds DMA setup latency
+// per invocation plus the one-time param/state placement.
+SocRuntime::AccelRun
+SocRuntime::accelPartitionRun(const lower::Partition &partition,
+                              const Backend &backend,
+                              const WorkloadProfile &profile) const
+{
+    const double invocations = static_cast<double>(profile.invocations);
+    AccelRun run;
+    run.part = backend.simulate(partition, profile);
+    const auto dma = target::dmaBreakdown(partition);
+    const double per_run_s = config_.perTransferUs * 1e-6;
+    const double once_s =
+        static_cast<double>(dma.oneTimeBytes) / (config_.dmaGBs * 1e9);
+    run.transferSeconds = once_s + per_run_s * invocations;
+    run.movedBytes =
+        dma.oneTimeBytes +
+        static_cast<int64_t>(
+            static_cast<double>(dma.perRunBytes) * invocations);
+    run.transferJoules = static_cast<double>(run.movedBytes) *
+                         config_.dramPjPerByte * 1e-12;
+    run.part.seconds += run.transferSeconds;
+    run.part.joules += run.transferJoules;
+    if (run.part.ledger) {
+        // Keep the ledger's sums-to-totals invariant across the SoC's
+        // additions. Safe to mutate: `run.part` owns the only alias of
+        // this ledger until the run is copied out. The moved bytes are
+        // already attributed to the backend's own dma entries, so this
+        // entry carries time and energy only.
+        auto &e = run.part.ledger->add("soc:dma setup+placement", "dma");
+        e.seconds = run.transferSeconds;
+        e.joules = run.transferJoules;
+        e.bound = target::BoundClass::Memory;
+    }
+    return run;
+}
+
+void
+SocRuntime::finalizeTotals(SocResult &result,
+                           const WorkloadProfile &profile,
+                           bool any_offload) const
+{
+    // Host glue (marshaling, I/O): runs on the host CPU every invocation,
+    // at full CPU power when the whole app is on the CPU, at a marshaling
+    // share of it when kernels are offloaded.
+    if (profile.hostGlueSeconds > 0) {
+        const double glue_s =
+            profile.hostGlueSeconds *
+            static_cast<double>(profile.invocations);
+        result.total.seconds += glue_s;
+        result.total.joules +=
+            glue_s * (any_offload ? config_.glueOffloadWatts
+                                  : config_.glueCpuWatts);
+    }
+
+    // Host manager: dependency tracking + DMA initiation while running.
+    const double host_j = config_.hostWatts * result.total.seconds;
+    result.total.joules += host_j;
+    result.transferJoules += host_j * 0.5; // manager mostly drives DMA
+}
+
 SocResult
 SocRuntime::executeInternal(const lower::CompiledProgram &program,
                             const WorkloadProfile &profile,
@@ -72,72 +158,13 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
     double vclock = 0.0;
     int64_t dma_bytes = 0;
 
-    const double invocations = static_cast<double>(profile.invocations);
-
-    // Host execution of one partition's kernels. A *deliberate* host
-    // placement runs the calibrated native library (host_eff); a
-    // fault-triggered degradation runs the compiler's portable host
-    // lowering instead, at a configured fraction of that efficiency.
-    auto host_part = [&](const lower::Partition &partition,
-                         bool degraded) {
-        target::WorkloadCost cost =
-            target::hostPartitionCost(partition, profile);
-        auto eff = host_eff.find(partition.accel);
-        if (eff != host_eff.end())
-            cost.cpuEff = eff->second;
-        if (degraded) {
-            const double native =
-                cost.cpuEff > 0
-                    ? cost.cpuEff
-                    : target::CpuModel::domainEfficiency(
-                          cost.domain, cost.irregular);
-            cost.cpuEff = native * config_.hostFallbackEff;
-        }
-        return host_.simulate(cost);
-    };
-
-    // Accelerator execution of one partition, with the serialized DMA
-    // between DRAM and the accelerator's local memory: param and state
-    // tensors are placed once; inputs/outputs move every invocation. The
-    // backend already overlaps streaming with compute; the SoC adds the
-    // DMA setup + transfer. Transfer *bandwidth* is already the backend's
-    // DRAM model (memorySeconds); the host adds DMA setup latency per
-    // invocation plus the one-time param/state placement.
-    struct AccelRun
-    {
-        PerfReport part;
-        double transferSeconds = 0.0;
-        double transferJoules = 0.0;
+    auto host_part = [&](const lower::Partition &partition, bool degraded) {
+        return hostPartitionRun(partition, profile, host_eff, degraded);
     };
     auto accel_part = [&](const lower::Partition &partition,
                           const Backend *backend) {
-        AccelRun run;
-        run.part = backend->simulate(partition, profile);
-        const auto dma = target::dmaBreakdown(partition);
-        const double per_run_s = config_.perTransferUs * 1e-6;
-        const double once_s =
-            static_cast<double>(dma.oneTimeBytes) / (config_.dmaGBs * 1e9);
-        run.transferSeconds = once_s + per_run_s * invocations;
-        const int64_t moved =
-            dma.oneTimeBytes +
-            static_cast<int64_t>(
-                static_cast<double>(dma.perRunBytes) * invocations);
-        dma_bytes += moved;
-        run.transferJoules =
-            static_cast<double>(moved) * config_.dramPjPerByte * 1e-12;
-        run.part.seconds += run.transferSeconds;
-        run.part.joules += run.transferJoules;
-        if (run.part.ledger) {
-            // Keep the ledger's sums-to-totals invariant across the SoC's
-            // additions. Safe to mutate: `run.part` owns the only alias of
-            // this ledger until the run is copied out. The moved bytes are
-            // already attributed to the backend's own dma entries, so this
-            // entry carries time and energy only.
-            auto &e = run.part.ledger->add("soc:dma setup+placement", "dma");
-            e.seconds = run.transferSeconds;
-            e.joules = run.transferJoules;
-            e.bound = target::BoundClass::Memory;
-        }
+        AccelRun run = accelPartitionRun(partition, *backend, profile);
+        dma_bytes += run.movedBytes;
         return run;
     };
 
@@ -173,9 +200,8 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
                                  partition.accel.c_str(), p));
                 }
                 fall_back = true;
-                rel.events.push_back(
-                    FaultEvent{FaultClass::AcceleratorUnavailable, p,
-                               partition.accel, 0, true});
+                rel.addEvent(FaultEvent{FaultClass::AcceleratorUnavailable,
+                                        p, partition.accel, 0, true});
             }
 
             // Transient DMA failures: retry with exponential backoff until
@@ -205,9 +231,9 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
                     ++attempt;
                 }
                 if (faulted) {
-                    rel.events.push_back(FaultEvent{FaultClass::DmaFailure,
-                                                    p, partition.accel,
-                                                    retries, fall_back});
+                    rel.addEvent(FaultEvent{FaultClass::DmaFailure, p,
+                                            partition.accel, retries,
+                                            fall_back});
                 }
             }
 
@@ -241,9 +267,9 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
                     ++attempt;
                 }
                 if (faulted) {
-                    rel.events.push_back(
-                        FaultEvent{FaultClass::WatchdogTimeout, p,
-                                   partition.accel, reruns, fall_back});
+                    rel.addEvent(FaultEvent{FaultClass::WatchdogTimeout, p,
+                                            partition.accel, reruns,
+                                            fall_back});
                 }
                 if (!fall_back) {
                     part = run.part;
@@ -311,21 +337,7 @@ SocRuntime::executeInternal(const lower::CompiledProgram &program,
         }
     }
 
-    // Host glue (marshaling, I/O): runs on the host CPU every invocation,
-    // at full CPU power when the whole app is on the CPU, at a marshaling
-    // share of it when kernels are offloaded.
-    if (profile.hostGlueSeconds > 0) {
-        const double glue_s = profile.hostGlueSeconds * invocations;
-        result.total.seconds += glue_s;
-        result.total.joules +=
-            glue_s * (any_offload ? config_.glueOffloadWatts
-                                  : config_.glueCpuWatts);
-    }
-
-    // Host manager: dependency tracking + DMA initiation while running.
-    const double host_j = config_.hostWatts * result.total.seconds;
-    result.total.joules += host_j;
-    result.transferJoules += host_j * 0.5; // manager mostly drives DMA
+    finalizeTotals(result, profile, any_offload);
 
     if (primary) {
         auto &metrics = obs::MetricsRegistry::global();

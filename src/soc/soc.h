@@ -91,10 +91,58 @@ class SocRuntime
                       const std::map<std::string, double> &host_eff = {})
         const;
 
+    /** Fault-free reference execution that emits no observability output
+     *  (no spans, no metrics): the cost/deadline estimator used by the
+     *  streaming scheduler. Bit-identical to a fault-free execute(). */
+    SocResult estimate(const lower::CompiledProgram &program,
+                       const WorkloadProfile &profile,
+                       const std::set<std::string> &accelerated = {},
+                       const std::map<std::string, double> &host_eff = {})
+        const
+    {
+        return executeInternal(program, profile, accelerated, host_eff,
+                               nullptr, /*primary=*/false);
+    }
+
     const std::vector<std::unique_ptr<Backend>> &backends() const
     {
         return backends_;
     }
+
+    const target::SocConfig &config() const { return config_; }
+
+    // The per-partition pricing below is shared with soc::StreamScheduler:
+    // the streaming path must produce *bit-identical* per-job PerfReports
+    // to a sequential execute() when no faults fire, so both paths price
+    // host runs, accelerator runs, and the end-of-job tail through the
+    // same code in the same order.
+
+    /** Host execution of one partition's kernels. A *deliberate* host
+     *  placement runs the calibrated native library (host_eff); a
+     *  fault-triggered degradation runs the compiler's portable host
+     *  lowering instead, at SocConfig::hostFallbackEff of that
+     *  efficiency. */
+    PerfReport hostPartitionRun(
+        const lower::Partition &partition, const WorkloadProfile &profile,
+        const std::map<std::string, double> &host_eff, bool degraded) const;
+
+    /** Accelerator execution of one partition plus the serialized DMA
+     *  between DRAM and the accelerator's local memory. */
+    struct AccelRun
+    {
+        PerfReport part;
+        double transferSeconds = 0.0;
+        double transferJoules = 0.0;
+        int64_t movedBytes = 0; ///< DRAM<->local traffic the SoC moved
+    };
+    AccelRun accelPartitionRun(const lower::Partition &partition,
+                               const Backend &backend,
+                               const WorkloadProfile &profile) const;
+
+    /** End-of-job tail accounting: per-invocation host glue and the host
+     *  manager's energy while the job ran. */
+    void finalizeTotals(SocResult &result, const WorkloadProfile &profile,
+                        bool any_offload) const;
 
   private:
     /** @p primary is false for the internal fault-free reference run that

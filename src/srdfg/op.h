@@ -167,6 +167,19 @@ class OpSet
     bool empty() const { return bits_ == 0 && syms_.empty(); }
     size_t size() const;
 
+    /** True when every member of @p other is also in this set (subset
+     *  test; one mask for the builtins). */
+    bool containsAll(const OpSet &other) const
+    {
+        if ((other.bits_ & ~bits_) != 0)
+            return false;
+        for (const uint32_t sym : other.syms_) {
+            if (syms_.count(sym) == 0)
+                return false;
+        }
+        return true;
+    }
+
     /** Union with @p other, in place. */
     void merge(const OpSet &other)
     {

@@ -31,6 +31,13 @@ SocConfig::validate() const
                      "(got %g)",
                      hostFallbackEff));
     }
+    if (streamMaxPending <= 0) {
+        fatal(format("SocConfig.streamMaxPending must be positive "
+                     "(got %d)",
+                     streamMaxPending));
+    }
+    non_negative("streamDispatchUs", streamDispatchUs);
+    non_negative("streamOutageSeconds", streamOutageSeconds);
 }
 
 MachineConfig

@@ -91,10 +91,31 @@ struct SocConfig
      *  In (0, 1]; 1 models fallback into the native library itself. */
     double hostFallbackEff = 0.25;
 
+    // Streaming orchestrator knobs (soc::StreamScheduler).
+
+    /** Admission bound: jobs admitted but not yet finished. Arrivals
+     *  beyond this are load-shed (rejected with accounting, never
+     *  silently dropped). */
+    int streamMaxPending = 64;
+
+    /** Host-manager admission + dispatch latency per admitted job. It is
+     *  queueing delay, charged to the job's stream latency and deadline —
+     *  never to its PerfReport, which stays bit-identical to a sequential
+     *  SocRuntime::execute. */
+    double streamDispatchUs = 2.0;
+
+    /** Virtual-time length of an AcceleratorUnavailable outage in the
+     *  stream: the backend rejects placements until it repairs, and
+     *  queued/in-flight partitions migrate to the host or a compatible
+     *  accelerator meanwhile. */
+    double streamOutageSeconds = 0.05;
+
     /** Rejects configurations the DMA/energy model would divide by zero
      *  on or produce negative costs from.
-     *  @throws UserError on non-positive dmaGBs/perTransferUs/hostWatts
-     *  or negative energy/glue coefficients. */
+     *  @throws UserError on non-positive dmaGBs/perTransferUs/hostWatts,
+     *  negative energy/glue coefficients, or stream knobs the scheduler
+     *  cannot honor (non-positive streamMaxPending, negative dispatch or
+     *  outage latencies). */
     void validate() const;
 };
 

@@ -365,6 +365,50 @@ TEST_F(ResilienceFixture, DmaBackoffLatencyIsExponentialAndAccounted)
                 tol);
 }
 
+TEST(FaultModelBackoff, ExponentialSeriesClampsAtConfiguredCap)
+{
+    FaultConfig fc;
+    fc.dmaRetryBackoffUs = 100.0;
+    fc.maxBackoffUs = 400.0;
+    const FaultModel model(fc);
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(0), 100e-6);
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(1), 200e-6);
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(2), 400e-6);
+    // Past the cap the series is flat — and huge attempt counts must not
+    // overflow the shift into a bogus latency.
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(3), 400e-6);
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(63), 400e-6);
+    EXPECT_DOUBLE_EQ(model.backoffSeconds(1000), 400e-6);
+
+    FaultConfig bad;
+    bad.maxBackoffUs = -1.0;
+    EXPECT_THROW(FaultModel{bad}, UserError);
+}
+
+TEST(ReliabilityEvents, LogKeepsFirstEventsAndCountsTheRest)
+{
+    soc::ReliabilityReport report;
+    const size_t overflow = soc::ReliabilityReport::kMaxEvents + 44;
+    for (size_t i = 0; i < overflow; ++i) {
+        report.addEvent(soc::FaultEvent{soc::FaultClass::DmaFailure,
+                                        static_cast<int>(i), "tabla", 1,
+                                        false});
+    }
+    EXPECT_EQ(report.events.size(), soc::ReliabilityReport::kMaxEvents);
+    EXPECT_EQ(report.droppedEvents, 44);
+    // The bound stays honest in the rendering.
+    EXPECT_NE(report.str().find("+44 more events dropped"),
+              std::string::npos);
+
+    // Stream-style accumulation merges under the same bound.
+    soc::ReliabilityReport other;
+    other.addEvent(soc::FaultEvent{});
+    other.droppedEvents = 2;
+    report += other;
+    EXPECT_EQ(report.events.size(), soc::ReliabilityReport::kMaxEvents);
+    EXPECT_EQ(report.droppedEvents, 47); // 44 + 1 overflowed + 2 carried
+}
+
 TEST_F(ResilienceFixture, AbortPolicyFailsStop)
 {
     FaultConfig fc;

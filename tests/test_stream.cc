@@ -1,0 +1,419 @@
+/**
+ * @file
+ * StreamScheduler tests: config validation, bit-identity of the stream
+ * path with the sequential SocRuntime at zero fault rates, byte-identical
+ * reports across worker counts and reruns, the conservation invariants
+ * under a chaos sweep of all three fault classes, admission-control load
+ * shedding, deadline policies, per-job Abort isolation, and migration on
+ * accelerator outage.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "obs/metrics.h"
+#include "soc/stream.h"
+#include "targets/common/backend.h"
+#include "workloads/suite.h"
+
+namespace polymath {
+namespace {
+
+using soc::ArrivalModel;
+using soc::DeadlinePolicy;
+using soc::DegradationPolicy;
+using soc::FaultConfig;
+using soc::JobOutcome;
+using soc::SocRuntime;
+using soc::StreamConfig;
+using soc::StreamJob;
+using soc::StreamReport;
+using soc::StreamScheduler;
+
+class StreamFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto &app = wl::tableIV().front(); // BrainStimul
+        registry_ = target::standardRegistry();
+        compiled_ = wl::compileBenchmark(app.source, app.buildOpts,
+                                         registry_, lang::Domain::None);
+        profile_ = app.profile;
+        for (const auto &kernel : app.kernels)
+            hostEff_[kernel.accel] = kernel.cpuEff;
+    }
+
+    StreamJob makeJob(const std::string &name) const
+    {
+        StreamJob job;
+        job.name = name;
+        job.program = &compiled_;
+        job.profile = profile_;
+        job.hostEff = hostEff_;
+        return job;
+    }
+
+    static FaultConfig chaosConfig(uint64_t seed)
+    {
+        // All three fault classes at 10%, per the chaos-sweep invariant.
+        FaultConfig fc;
+        fc.seed = seed;
+        fc.accelUnavailableRate = 0.1;
+        fc.dmaFailureRate = 0.1;
+        fc.watchdogRate = 0.1;
+        return fc;
+    }
+
+    /** Checks the conservation invariants and that the per-job outcomes
+     *  agree with the report-level tallies. */
+    static void expectConserved(const StreamReport &report)
+    {
+        EXPECT_EQ(report.completed + report.shed + report.aborted,
+                  report.admitted);
+        EXPECT_EQ(report.admitted + report.rejected, report.offered);
+        int64_t completed = 0, shed = 0, aborted = 0, rejected = 0;
+        for (const auto &job : report.jobs) {
+            switch (job.outcome) {
+              case JobOutcome::Completed: ++completed; break;
+              case JobOutcome::Shed: ++shed; break;
+              case JobOutcome::Aborted: ++aborted; break;
+              case JobOutcome::Rejected: ++rejected; break;
+            }
+        }
+        EXPECT_EQ(completed, report.completed);
+        EXPECT_EQ(shed, report.shed);
+        EXPECT_EQ(aborted, report.aborted);
+        EXPECT_EQ(rejected, report.rejected);
+    }
+
+    lower::AcceleratorRegistry registry_;
+    lower::CompiledProgram compiled_;
+    target::WorkloadProfile profile_;
+    std::map<std::string, double> hostEff_;
+};
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, ConfigValidationRejectsBadFields)
+{
+    const SocRuntime runtime;
+    StreamConfig good;
+    EXPECT_NO_THROW(StreamScheduler(runtime, good));
+
+    StreamConfig bad = good;
+    bad.jobs = 0;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.arrival = ArrivalModel::Poisson;
+    bad.arrivalRate = 0.0;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.arrival = ArrivalModel::ClosedLoop;
+    bad.clients = 0;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.thinkSeconds = -1.0;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.maxPending = -1;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.deadlineFactor = -2.0;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.workers = -1;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+    bad = good;
+    bad.faults.dmaFailureRate = 1.5;
+    EXPECT_THROW(StreamScheduler(runtime, bad), UserError);
+}
+
+TEST_F(StreamFixture, RunRejectsEmptyAndNullTemplates)
+{
+    const SocRuntime runtime;
+    const StreamScheduler scheduler(runtime, StreamConfig{});
+    EXPECT_THROW(scheduler.run({}), UserError);
+    StreamJob null_job;
+    null_job.name = "null";
+    EXPECT_THROW(scheduler.run({null_job}), UserError);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity with the sequential runtime at zero fault rates.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, ZeroFaultJobsBitIdenticalToSequentialExecute)
+{
+    const SocRuntime runtime;
+    const auto sequential =
+        runtime.execute(compiled_, profile_, {}, hostEff_);
+
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 6;
+    config.clients = 2; // jobs overlap, time-sharing the backends
+    const StreamScheduler scheduler(runtime, config);
+    const auto report = scheduler.run({makeJob("brainstimul")});
+
+    EXPECT_EQ(report.completed, 6);
+    expectConserved(report);
+    for (const auto &job : report.jobs) {
+        ASSERT_EQ(job.outcome, JobOutcome::Completed);
+        // Exact equality, not near: the stream path prices partitions
+        // through the same member functions in the same order, and
+        // queueing delay must never leak into the PerfReport.
+        EXPECT_EQ(job.result.total.seconds, sequential.total.seconds);
+        EXPECT_EQ(job.result.total.joules, sequential.total.joules);
+        EXPECT_EQ(job.result.transferSeconds, sequential.transferSeconds);
+        EXPECT_EQ(job.result.transferJoules, sequential.transferJoules);
+        ASSERT_EQ(job.result.partitions.size(),
+                  sequential.partitions.size());
+        for (size_t p = 0; p < sequential.partitions.size(); ++p) {
+            EXPECT_EQ(job.result.partitions[p].seconds,
+                      sequential.partitions[p].seconds);
+            EXPECT_EQ(job.result.partitions[p].joules,
+                      sequential.partitions[p].joules);
+        }
+        // Stream latency still includes dispatch/queueing on top.
+        EXPECT_GT(job.latencySeconds, job.result.total.seconds);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts and reruns.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, ReportByteIdenticalAcrossWorkersAndReruns)
+{
+    StreamConfig config;
+    config.arrival = ArrivalModel::Poisson;
+    config.jobs = 12;
+    config.arrivalRate = 10.0;
+    config.seed = 0xabc;
+    config.faults = chaosConfig(0xabc);
+    config.deadlineFactor = 20.0;
+    config.deadlinePolicy = DeadlinePolicy::Shed;
+
+    auto run = [&](int workers) {
+        StreamConfig c = config;
+        c.workers = workers;
+        const SocRuntime runtime;
+        return StreamScheduler(runtime, c).run({makeJob("brainstimul")});
+    };
+    const auto serial = run(1);
+    const auto pooled = run(4);
+    const auto again = run(4);
+
+    EXPECT_EQ(serial.str(), pooled.str());
+    EXPECT_EQ(pooled.str(), again.str());
+    ASSERT_EQ(serial.jobs.size(), pooled.jobs.size());
+    for (size_t i = 0; i < serial.jobs.size(); ++i) {
+        EXPECT_EQ(serial.jobs[i].outcome, pooled.jobs[i].outcome);
+        EXPECT_EQ(serial.jobs[i].arrivalSeconds,
+                  pooled.jobs[i].arrivalSeconds);
+        EXPECT_EQ(serial.jobs[i].latencySeconds,
+                  pooled.jobs[i].latencySeconds);
+        EXPECT_EQ(serial.jobs[i].migrations, pooled.jobs[i].migrations);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conservation under chaos.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, ConservationHoldsUnderChaosSweep)
+{
+    for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+        for (const ArrivalModel arrival :
+             {ArrivalModel::Poisson, ArrivalModel::ClosedLoop}) {
+            StreamConfig config;
+            config.arrival = arrival;
+            config.jobs = 24;
+            config.arrivalRate = 50.0;
+            config.clients = 4;
+            config.seed = seed;
+            config.faults = chaosConfig(seed);
+            config.deadlineFactor = 4.0;
+            config.deadlinePolicy = DeadlinePolicy::Shed;
+            config.maxPending = 8;
+            const SocRuntime runtime;
+            const StreamScheduler scheduler(runtime, config);
+            const auto report =
+                scheduler.run({makeJob("brainstimul")});
+            EXPECT_EQ(report.offered, 24) << toString(arrival);
+            expectConserved(report);
+            EXPECT_LE(report.p50LatencySeconds,
+                      report.p99LatencySeconds);
+            EXPECT_LE(report.p99LatencySeconds,
+                      report.p999LatencySeconds);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, AdmissionBoundShedsAndAccountsRejections)
+{
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 16;
+    config.clients = 8;
+    config.maxPending = 1;
+    const SocRuntime runtime;
+    const StreamScheduler scheduler(runtime, config);
+    const auto report = scheduler.run({makeJob("brainstimul")});
+
+    // Everything beyond the single admitted job arrives at t=0 (zero
+    // think time) against a full queue, so it is load-shed at admission.
+    EXPECT_EQ(report.offered, 16);
+    EXPECT_EQ(report.admitted, 1);
+    EXPECT_EQ(report.rejected, 15);
+    EXPECT_EQ(report.completed, 1);
+    expectConserved(report);
+    for (const auto &job : report.jobs) {
+        if (job.outcome != JobOutcome::Rejected)
+            continue;
+        // Rejected jobs never execute: no partitions, no latency.
+        EXPECT_TRUE(job.result.partitions.empty());
+        EXPECT_EQ(job.finishSeconds, job.arrivalSeconds);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline policies.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, DeadlinePoliciesContinueShedAbort)
+{
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 4;
+    config.clients = 2;
+    // Tighter than the dispatch latency, so every job crosses its
+    // deadline before its first partition is placed.
+    config.deadlineSeconds = 1e-9;
+
+    const SocRuntime runtime;
+    config.deadlinePolicy = DeadlinePolicy::Continue;
+    const auto keep =
+        StreamScheduler(runtime, config).run({makeJob("b")});
+    EXPECT_EQ(keep.completed, 4);
+    EXPECT_EQ(keep.deadlineMisses, 4);
+    for (const auto &job : keep.jobs)
+        EXPECT_TRUE(job.missedDeadline);
+
+    config.deadlinePolicy = DeadlinePolicy::Shed;
+    const auto shed =
+        StreamScheduler(runtime, config).run({makeJob("b")});
+    EXPECT_EQ(shed.shed, 4);
+    EXPECT_EQ(shed.completed, 0);
+    expectConserved(shed);
+
+    config.deadlinePolicy = DeadlinePolicy::Abort;
+    const auto abort =
+        StreamScheduler(runtime, config).run({makeJob("b")});
+    EXPECT_EQ(abort.aborted, 4);
+    EXPECT_EQ(abort.completed, 0);
+    for (const auto &job : abort.jobs)
+        EXPECT_FALSE(job.error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fault isolation: Abort hits one job, the stream continues.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, AbortPolicyFaultAbortsOnlyTheAffectedJob)
+{
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 12;
+    config.clients = 3;
+    config.seed = 0x5eed;
+    config.faults.seed = 0x5eed;
+    config.faults.accelUnavailableRate = 0.15;
+    config.faults.accelPolicy = DegradationPolicy::Abort;
+    const SocRuntime runtime;
+    const StreamScheduler scheduler(runtime, config);
+    const auto report = scheduler.run({makeJob("brainstimul")});
+
+    // Per-job salted fault streams: some jobs trip the Abort, the rest
+    // run to completion — a mid-stream abort never takes down the
+    // scheduler or its neighbors.
+    EXPECT_GT(report.aborted, 0);
+    EXPECT_GT(report.completed, 0);
+    expectConserved(report);
+    for (const auto &job : report.jobs) {
+        if (job.outcome == JobOutcome::Aborted) {
+            EXPECT_NE(job.error.find("unavailable"), std::string::npos)
+                << job.error;
+        } else {
+            EXPECT_EQ(job.outcome, JobOutcome::Completed);
+            EXPECT_TRUE(job.error.empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online rescheduling on accelerator outage.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, OutageMigratesInFlightAndQueuedWork)
+{
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 8;
+    config.clients = 4; // queue depth behind the tripping partition
+    config.seed = 0x5eed;
+    config.faults.seed = 0x5eed;
+    config.faults.accelUnavailableRate = 1.0; // every home draw fails
+    const SocRuntime runtime;
+    const StreamScheduler scheduler(runtime, config);
+    const auto report = scheduler.run({makeJob("brainstimul")});
+
+    // Every job still finishes: partitions migrate to a compatible
+    // backend or degrade to the host instead of failing.
+    EXPECT_EQ(report.completed, 8);
+    expectConserved(report);
+    EXPECT_GT(report.migrations, 0);
+    EXPECT_GT(report.reliability.accelFaults, 0);
+    int64_t per_job = 0;
+    for (const auto &job : report.jobs)
+        per_job += job.migrations;
+    EXPECT_EQ(per_job, report.migrations);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFixture, StreamCountersAdvanceWithTheReport)
+{
+    const auto before = obs::MetricsRegistry::global().snapshot();
+    StreamConfig config;
+    config.arrival = ArrivalModel::ClosedLoop;
+    config.jobs = 5;
+    config.clients = 2;
+    const SocRuntime runtime;
+    const auto report =
+        StreamScheduler(runtime, config).run({makeJob("b")});
+    const auto after = obs::MetricsRegistry::global().snapshot();
+
+    EXPECT_EQ(after.counter("soc.stream.offered") -
+                  before.counter("soc.stream.offered"),
+              report.offered);
+    EXPECT_EQ(after.counter("soc.stream.completed") -
+                  before.counter("soc.stream.completed"),
+              report.completed);
+    EXPECT_EQ(after.counter("soc.stream.runs") -
+                  before.counter("soc.stream.runs"),
+              1);
+}
+
+} // namespace
+} // namespace polymath

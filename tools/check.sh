@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build + ctest under the default (Release) configuration,
-# again under ASan/UBSan, and a focused ThreadSanitizer pass (see
-# CMakePresets.json). Run from anywhere; operates on the repo root.
-# `tools/check.sh default`, `tools/check.sh asan`, or `tools/check.sh
-# tsan` runs a single configuration. `tools/check.sh tidy` is an opt-in
+# again under ASan/UBSan, a focused standalone-UBSan pass over the SoC
+# scheduler/fault tests (recovery disabled, so findings fail instead of
+# logging), and a focused ThreadSanitizer pass (see CMakePresets.json).
+# Run from anywhere; operates on the repo root. `tools/check.sh
+# default`, `tools/check.sh asan`, `tools/check.sh ubsan`, or
+# `tools/check.sh tsan` runs a single configuration.
+# `tools/check.sh tidy` is an opt-in
 # extra (not part of the default trio): clang-tidy with the repo's
 # .clang-tidy profile (bugprone-* + performance-*) over the compile-path
 # core, src/srdfg and src/passes; it needs clang-tidy on PATH and uses
@@ -29,7 +32,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 if [ $# -gt 0 ]; then
     presets=("$@")
 else
-    presets=(default asan tsan)
+    presets=(default asan ubsan tsan)
 fi
 
 # Closest installed comma-decimal locale, empty if none (the in-process
@@ -64,6 +67,19 @@ for preset in "${presets[@]}"; do
     fi
     echo "== [$preset] configure =="
     cmake --preset "$preset"
+    if [ "$preset" = ubsan ]; then
+        # Standalone UBSan (no ASan shadow memory, recovery disabled):
+        # focused on the SoC scheduler and fault-model arithmetic —
+        # virtual-time accumulation, exponential backoff shifts, and the
+        # seeded hash draws are the paths most likely to hide UB.
+        echo "== [$preset] build (test_soc test_resilience test_stream) =="
+        cmake --build --preset ubsan -j "$jobs" \
+            --target test_soc test_resilience test_stream
+        echo "== [$preset] test =="
+        ctest --test-dir build-ubsan -j "$jobs" --output-on-failure \
+            -R '^(test_soc|test_resilience|test_stream)$'
+        continue
+    fi
     if [ "$preset" = tsan ]; then
         echo "== [$preset] build (test_obs test_driver pmc) =="
         cmake --build --preset tsan -j "$jobs" \
@@ -91,7 +107,7 @@ for preset in "${presets[@]}"; do
         # failure the fresh artifact is kept for inspection (promote it
         # to bench/baselines/ when the change is intentional).
         echo "== [$preset] bench perf gate =="
-        for bench in fig7_cpu_comparison fig9_optimal; do
+        for bench in fig7_cpu_comparison fig9_optimal soc_throughput; do
             artifact="$(mktemp "/tmp/polymath-bench-$bench.XXXXXX.json")"
             "build/bench/bench_$bench" -j4 --json "$artifact" > /dev/null
             if ! build/tools/bench_compare \

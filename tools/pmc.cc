@@ -34,6 +34,7 @@
 #include "pmlang/sema.h"
 #include "passes/pass.h"
 #include "soc/soc.h"
+#include "soc/stream.h"
 #include "targets/common/cost_ledger.h"
 #include "targets/deco/chain_mapper.h"
 #include "targets/tabla/scheduler.h"
@@ -69,6 +70,11 @@ struct Options
     uint64_t faultSeed = 0x5eed;
     int jobs = 1;
     std::string tracePath;
+    int64_t streamJobs = 0; ///< 0 = sequential --simulate
+    std::string arrival = "closed:4";
+    int64_t streamMaxPending = 0;
+    double deadlineFactor = 0.0;
+    std::string deadlinePolicy = "continue";
 };
 
 void
@@ -105,6 +111,19 @@ usage()
         "                        watchdog faults at rate r in [0,1] and\n"
         "                        print the reliability report\n"
         "  --fault-seed <n>      seed for deterministic fault injection\n"
+        "  --stream <n>          with --target: stream n jobs of the\n"
+        "                        compiled program through the SoC's\n"
+        "                        event-driven scheduler (implies\n"
+        "                        --simulate) and print the stream report\n"
+        "  --arrival <spec>      with --stream: poisson:RATE (jobs/s) or\n"
+        "                        closed:CLIENTS[:THINK_S]\n"
+        "                        (default closed:4)\n"
+        "  --max-pending <n>     with --stream: admission bound override\n"
+        "                        (default: SocConfig.streamMaxPending)\n"
+        "  --deadline-factor <f> with --stream: per-job deadline = f x the\n"
+        "                        job's fault-free estimate (0 = none)\n"
+        "  --deadline-policy <p> with --stream: continue|shed|abort\n"
+        "                        (default continue)\n"
         "  -j, --jobs <n>        compile multiple inputs with n worker\n"
         "                        threads (0 = all hardware threads;\n"
         "                        default POLYMATH_JOBS or 1); output stays\n"
@@ -213,6 +232,19 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--fault-seed") {
             opts.faultSeed =
                 static_cast<uint64_t>(parseInt("--fault-seed", next()));
+        } else if (arg == "--stream") {
+            opts.streamJobs = parseInt("--stream", next());
+            if (opts.streamJobs < 1)
+                fatal("--stream expects a positive job count");
+        } else if (arg == "--arrival") {
+            opts.arrival = next();
+        } else if (arg == "--max-pending") {
+            opts.streamMaxPending = parseInt("--max-pending", next());
+        } else if (arg == "--deadline-factor") {
+            opts.deadlineFactor =
+                parseDouble("--deadline-factor", next());
+        } else if (arg == "--deadline-policy") {
+            opts.deadlinePolicy = next();
         } else if (arg == "-j" || arg == "--jobs") {
             opts.jobs = static_cast<int>(parseInt("--jobs", next()));
             if (opts.jobs < 0)
@@ -247,7 +279,54 @@ parseArgs(int argc, char **argv)
                   "over the compiled accelerator partitions)");
         opts.simulate = true;
     }
+    if (opts.streamJobs > 0) {
+        if (opts.target.empty())
+            fatal("--stream requires --target (jobs are compiled "
+                  "programs)");
+        opts.simulate = true;
+    }
     return opts;
+}
+
+/** Parses "poisson:RATE" / "closed:CLIENTS[:THINK_S]" into @p config. */
+void
+parseArrival(const std::string &spec, soc::StreamConfig &config)
+{
+    const auto colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (kind == "poisson") {
+        config.arrival = soc::ArrivalModel::Poisson;
+        if (rest.empty())
+            fatal("--arrival poisson:RATE needs a rate in jobs/s");
+        config.arrivalRate = parseDouble("--arrival", rest);
+    } else if (kind == "closed") {
+        config.arrival = soc::ArrivalModel::ClosedLoop;
+        if (!rest.empty()) {
+            const auto colon2 = rest.find(':');
+            config.clients = static_cast<int>(parseInt(
+                "--arrival", rest.substr(0, colon2)));
+            if (colon2 != std::string::npos) {
+                config.thinkSeconds =
+                    parseDouble("--arrival", rest.substr(colon2 + 1));
+            }
+        }
+    } else {
+        fatal("--arrival expects poisson:RATE or closed:CLIENTS[:THINK] "
+              "(got '" +
+              spec + "')");
+    }
+}
+
+soc::DeadlinePolicy
+parseDeadlinePolicy(const std::string &word)
+{
+    if (word == "continue") return soc::DeadlinePolicy::Continue;
+    if (word == "shed") return soc::DeadlinePolicy::Shed;
+    if (word == "abort") return soc::DeadlinePolicy::Abort;
+    fatal("--deadline-policy expects continue|shed|abort (got '" + word +
+          "')");
 }
 
 std::string
@@ -405,7 +484,31 @@ runFile(const Options &opts, const std::string &file, std::string &out,
                 }
             }
         }
-        if (opts.simulate) {
+        if (opts.simulate && opts.streamJobs > 0) {
+            soc::SocRuntime runtime;
+            soc::StreamConfig stream;
+            stream.jobs = static_cast<int>(opts.streamJobs);
+            stream.seed = opts.faultSeed;
+            stream.maxPending = static_cast<int>(opts.streamMaxPending);
+            stream.deadlineFactor = opts.deadlineFactor;
+            stream.deadlinePolicy =
+                parseDeadlinePolicy(opts.deadlinePolicy);
+            stream.workers = opts.jobs;
+            parseArrival(opts.arrival, stream);
+            if (opts.faultRate != 0) { // negative => validation error
+                stream.faults.seed = opts.faultSeed;
+                stream.faults.accelUnavailableRate = opts.faultRate / 5.0;
+                stream.faults.dmaFailureRate = opts.faultRate;
+                stream.faults.watchdogRate = opts.faultRate / 2.0;
+            }
+            soc::StreamJob job;
+            job.name = file;
+            job.program = &compiled;
+            job.profile.invocations = opts.invocations;
+            const soc::StreamScheduler scheduler(runtime, stream);
+            const auto report = scheduler.run({job});
+            out += report.str() + "\n";
+        } else if (opts.simulate) {
             soc::SocRuntime runtime;
             if (opts.faultRate != 0) { // negative => validation error
                 soc::FaultConfig faults;
