@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Load generator for the pmcd compile service (docs/SERVICE.md).
+ *
+ * Spins up an in-process service::Server on a private Unix socket and
+ * drives it through the real wire protocol in two phases:
+ *
+ *   - "sustained": 16 client connections pipeline 1600 compile requests
+ *     (every request outstanding at once) drawn from 8 distinct Table
+ *     III sources, against an unbounded admission queue. Reports p50/p99
+ *     request latency, throughput, the exact cache hit rate (1592/1600:
+ *     one miss per distinct source, coalesced compiles count as hits),
+ *     and the conservation check completed + rejected == offered.
+ *
+ *   - "overload": a deliberately starved server (1 worker, admission
+ *     bound 4, cold cache) under a 320-request flood. Rejections are
+ *     expected; the gate checks that rejection is *accounted* (the
+ *     conservation law still holds exactly and every request gets a
+ *     response) rather than the timing-dependent rejection count.
+ *
+ * `--json` writes the numbers as a polymath-bench/1 artifact for the
+ * tools/check.sh perf-regression gate (bench/baselines/service.json);
+ * counts and rates are exact, latency/throughput rows gate with a loose
+ * tolerance.
+ */
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "driver.h"
+#include "lower/compile_cache.h"
+#include "report/report.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+namespace {
+
+constexpr int kClients = 16;
+constexpr int kPerClientSustained = 100; // 1600 requests in flight
+constexpr int kDistinctSources = 8;
+constexpr int kPerClientOverload = 20; // 320-request flood
+
+/** What one client connection observed. */
+struct Tally
+{
+    std::vector<double> latencyMs; ///< completed requests only
+    int64_t hits = 0;
+    int64_t rejected = 0;
+    int64_t errors = 0; ///< non-ok, non-rejected responses
+};
+
+/** The request templates: one compile request per distinct source. */
+std::vector<service::Request>
+requestTemplates()
+{
+    std::vector<service::Request> templates;
+    const auto &suite = wl::tableIII();
+    const size_t n =
+        std::min<size_t>(kDistinctSources, suite.size());
+    for (size_t i = 0; i < n; ++i) {
+        const auto &bench = suite[i];
+        service::Request req;
+        req.verb = service::Verb::Compile;
+        req.file = bench.id;
+        req.source = bench.source;
+        req.entry = bench.buildOpts.entry;
+        req.params = bench.buildOpts.paramConsts;
+        req.optimize = true;
+        req.target = lang::toString(bench.domain);
+        templates.push_back(std::move(req));
+    }
+    return templates;
+}
+
+/**
+ * One client: pipeline @p perClient requests (all outstanding at once),
+ * then collect every response, timing each request send-to-response.
+ */
+Tally
+driveClient(const std::string &socket,
+            const std::vector<service::Request> &templates, int perClient,
+            int clientIndex)
+{
+    using Clock = std::chrono::steady_clock;
+    service::Client client(socket);
+    std::vector<Clock::time_point> sent(
+        static_cast<size_t>(perClient));
+    for (int i = 0; i < perClient; ++i) {
+        auto req = templates[static_cast<size_t>(clientIndex + i) %
+                             templates.size()];
+        req.id = i;
+        sent[static_cast<size_t>(i)] = Clock::now();
+        client.send(req);
+    }
+    Tally tally;
+    for (int i = 0; i < perClient; ++i) {
+        service::Response resp;
+        if (!client.recv(resp))
+            fatal("bench_service: connection closed with responses "
+                  "outstanding");
+        if (resp.id < 0 || resp.id >= perClient)
+            fatal("bench_service: unexpected response id " +
+                  std::to_string(resp.id));
+        if (resp.rejected) {
+            ++tally.rejected;
+            continue;
+        }
+        if (!resp.ok) {
+            ++tally.errors;
+            continue;
+        }
+        tally.hits += resp.cacheHit ? 1 : 0;
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                Clock::now() - sent[static_cast<size_t>(resp.id)])
+                .count();
+        tally.latencyMs.push_back(ms);
+    }
+    return tally;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+struct PhaseResult
+{
+    int64_t requests = 0;
+    int64_t completed = 0;
+    int64_t rejected = 0;
+    int64_t errors = 0;
+    double hitRate = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double requestsPerSec = 0.0;
+    double conservationViolations = 0.0;
+    std::map<std::string, double> serverStats;
+};
+
+PhaseResult
+runPhase(const std::string &socket, service::ServerConfig config,
+         int perClient)
+{
+    using Clock = std::chrono::steady_clock;
+    config.socketPath = socket;
+    service::Server server(config);
+    server.start();
+
+    const auto templates = requestTemplates();
+    std::vector<Tally> tallies(kClients);
+    const auto t0 = Clock::now();
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                tallies[static_cast<size_t>(c)] =
+                    driveClient(socket, templates, perClient, c);
+            });
+        }
+        for (auto &t : clients)
+            t.join();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    PhaseResult result;
+    result.requests = static_cast<int64_t>(kClients) * perClient;
+    std::vector<double> latencies;
+    for (auto &tally : tallies) {
+        result.completed +=
+            static_cast<int64_t>(tally.latencyMs.size()) + tally.errors;
+        result.rejected += tally.rejected;
+        result.errors += tally.errors;
+        result.hitRate += static_cast<double>(tally.hits);
+        latencies.insert(latencies.end(), tally.latencyMs.begin(),
+                         tally.latencyMs.end());
+    }
+    result.hitRate /= static_cast<double>(result.requests);
+    std::sort(latencies.begin(), latencies.end());
+    result.p50Ms = percentile(latencies, 0.50);
+    result.p99Ms = percentile(latencies, 0.99);
+    result.requestsPerSec =
+        elapsed > 0 ? static_cast<double>(result.requests) / elapsed : 0;
+
+    // Exercise the inline stats verb (a live snapshot), then shut down.
+    // Conservation is checked on the *shutdown* response: its stats are
+    // taken after the drain barrier, when every admitted request has
+    // been executed, written, and accounted, so completed + rejected ==
+    // offered must hold exactly.
+    service::Client control(socket);
+    service::Request stats_req;
+    stats_req.verb = service::Verb::Stats;
+    result.serverStats = control.call(stats_req).stats;
+
+    service::Request shutdown_req;
+    shutdown_req.verb = service::Verb::Shutdown;
+    const auto bye = control.call(shutdown_req);
+    if (!bye.ok)
+        fatal("bench_service: shutdown request failed");
+    const double offered = bye.stats.at("offered");
+    const double completed = bye.stats.at("completed");
+    const double rejected = bye.stats.at("rejected");
+    result.conservationViolations = offered - completed - rejected;
+    server.wait();
+    return result;
+}
+
+} // namespace
+
+namespace {
+
+int
+run(int argc, char **argv)
+{
+    const bench::Driver driver(argc, argv);
+    const std::string base =
+        "/tmp/pm_bench_service_" + std::to_string(::getpid());
+
+    // Phase 1: unbounded admission, shared warm cache, full pipeline
+    // depth — every one of the 1600 requests is outstanding at once.
+    lower::CompileCache sustained_cache;
+    service::ServerConfig sustained;
+    sustained.jobs = std::max(driver.jobs(), 2);
+    sustained.maxPending = 0; // unbounded: zero rejects, by design
+    sustained.cache = &sustained_cache;
+    const auto warm =
+        runPhase(base + "_sustained.sock", sustained,
+                 kPerClientSustained);
+
+    // Phase 2: starved server (1 worker, admission bound 4, cold
+    // cache) under a flood; rejections are expected and accounted.
+    lower::CompileCache overload_cache;
+    service::ServerConfig overload;
+    overload.jobs = 1;
+    overload.maxPending = 4;
+    overload.cache = &overload_cache;
+    const auto flood =
+        runPhase(base + "_overload.sock", overload, kPerClientOverload);
+
+    report::Table table({"Phase", "Requests", "Completed", "Rejected",
+                         "Hit rate", "p50 ms", "p99 ms", "Req/s",
+                         "Conservation"});
+    const auto add_row = [&](const char *name, const PhaseResult &r) {
+        table.addRow({name, std::to_string(r.requests),
+                      std::to_string(r.completed),
+                      std::to_string(r.rejected), formatF(r.hitRate, 3),
+                      formatF(r.p50Ms, 3), formatF(r.p99Ms, 3),
+                      formatF(r.requestsPerSec, 1),
+                      formatF(r.conservationViolations, 0)});
+    };
+    add_row("sustained", warm);
+    add_row("overload", flood);
+    std::printf("Compile service under load: %d clients, pipelined "
+                "requests over %d distinct Table III sources\n%s\n",
+                kClients, kDistinctSources, table.str().c_str());
+    std::printf("Conservation is offered - completed - rejected as "
+                "accounted by the server (must be 0).\n");
+
+    // Artifact rows. Counts and rates are exact by construction (see
+    // the file comment); latency/throughput rows gate loosely.
+    driver.record("sustained", "requests",
+                  static_cast<double>(warm.requests));
+    driver.record("sustained", "clients", kClients);
+    driver.record("sustained", "hit_rate", warm.hitRate);
+    driver.record("sustained", "rejected",
+                  static_cast<double>(warm.rejected));
+    driver.record("sustained", "errors",
+                  static_cast<double>(warm.errors));
+    driver.record("sustained", "conservation_violations",
+                  warm.conservationViolations);
+    driver.record("sustained", "p50_ms", warm.p50Ms);
+    driver.record("sustained", "p99_ms", warm.p99Ms);
+    driver.record("sustained", "requests_per_sec", warm.requestsPerSec);
+    driver.record("overload", "offered",
+                  static_cast<double>(flood.requests));
+    driver.record("overload", "saw_rejects",
+                  flood.rejected > 0 ? 1.0 : 0.0);
+    driver.record("overload", "errors",
+                  static_cast<double>(flood.errors));
+    driver.record("overload", "conservation_violations",
+                  flood.conservationViolations);
+    driver.reportStats();
+
+    // Hard self-checks, so the bench fails loudly even without the
+    // artifact gate.
+    if (warm.rejected != 0)
+        fatal("bench_service: sustained phase saw rejects with an "
+              "unbounded admission queue");
+    if (warm.errors != 0 || flood.errors != 0)
+        fatal("bench_service: requests failed");
+    if (warm.conservationViolations != 0 ||
+        flood.conservationViolations != 0)
+        fatal("bench_service: conservation violation (completed + "
+              "rejected != offered)");
+    if (warm.hitRate < 0.5)
+        fatal("bench_service: cache hit rate below 50% on repeated "
+              "sources");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_service: %s\n", e.what());
+        return 1;
+    }
+}

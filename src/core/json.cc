@@ -147,8 +147,16 @@ class Parser
                 switch (esc) {
                   case 'n': c = '\n'; break;
                   case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case '/': c = '/'; break;
                   case '"': c = '"'; break;
                   case '\\': c = '\\'; break;
+                  case 'u': {
+                      out += parseUnicodeEscape();
+                      continue;
+                  }
                   default: fatal("json: unsupported escape");
                 }
             }
@@ -157,6 +165,42 @@ class Parser
         if (pos_ >= text_.size())
             fatal("json: unterminated string");
         ++pos_; // closing quote
+        return out;
+    }
+
+    /** Consumes the 4 hex digits of a \\uXXXX escape (the leading
+     *  "\\u" is already consumed) and returns the UTF-8 encoding.
+     *  Surrogate pairs are not decoded — the service protocol only
+     *  emits \\u00XX for control characters — but lone code points up
+     *  to U+FFFF round-trip. */
+    std::string parseUnicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fatal("json: bad \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fatal("json: bad \\u escape");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
         return out;
     }
 
@@ -274,12 +318,25 @@ numberFromJson(const Value &v)
 std::string
 quote(const std::string &s)
 {
+    // Every control character is escaped, so quoted strings never
+    // contain a raw newline — the invariant the JSON-line service
+    // protocol's framing depends on (docs/SERVICE.md).
     std::string out = "\"";
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
+        switch (c) {
+          case '"': out += "\\\""; continue;
+          case '\\': out += "\\\\"; continue;
+          case '\n': out += "\\n"; continue;
+          case '\t': out += "\\t"; continue;
+          case '\r': out += "\\r"; continue;
+          default: break;
+        }
+        const auto uc = static_cast<unsigned char>(c);
+        if (uc < 0x20) {
+            static const char hex[] = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[uc >> 4];
+            out += hex[uc & 0xf];
             continue;
         }
         out += c;

@@ -1,7 +1,10 @@
 #include "lower/compile_cache.h"
 
-#include <chrono>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
 
+#include "core/error.h"
 #include "core/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -70,7 +73,8 @@ CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
 {
     auto &metrics = obs::MetricsRegistry::global();
     std::promise<std::shared_ptr<const CompiledProgram>> promise;
-    Entry entry;
+    Future future;
+    uint64_t my_generation = 0;
     bool owner = false;
     bool coalesced = false;
     {
@@ -78,14 +82,20 @@ CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             ++misses_;
-            entry = promise.get_future().share();
-            entries_.emplace(key, entry);
+            future = promise.get_future().share();
+            Entry entry;
+            entry.future = future;
+            entry.generation = nextGeneration_++;
+            lru_.push_front(key);
+            entry.lruPos = lru_.begin();
+            my_generation = entry.generation;
+            entries_.emplace(key, std::move(entry));
             owner = true;
         } else {
             ++hits_;
-            entry = it->second;
-            coalesced = entry.wait_for(std::chrono::seconds(0)) !=
-                        std::future_status::ready;
+            lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+            future = it->second.future;
+            coalesced = !it->second.ready;
             if (coalesced)
                 ++coalesced_;
         }
@@ -98,25 +108,68 @@ CompileCache::getOrCompile(const std::string &key, const CompileFn &compile)
             // error. The span makes the blocked wait visible on the
             // worker's wall-clock track.
             obs::Span span("cache:coalesced-wait", "cache");
-            return entry.get();
+            return future.get();
         }
-        return entry.get();
+        return future.get();
     }
     metrics.counter("compile_cache.misses").add(1);
     try {
         auto program =
             std::make_shared<const CompiledProgram>(compile());
         promise.set_value(program);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            // The entry may have vanished (clear()) or been replaced by
+            // a newer compilation under the same key; only this owner's
+            // own entry graduates to "finished" and joins the LRU pool.
+            if (it != entries_.end() &&
+                it->second.generation == my_generation) {
+                it->second.ready = true;
+                enforceCapacityLocked();
+            }
+        }
         return program;
     } catch (...) {
         promise.set_exception(std::current_exception());
         {
-            // Evict so a later request can retry instead of replaying the
-            // captured exception forever.
+            // Evict so a later request can retry instead of replaying
+            // the captured exception forever. Guard on the generation:
+            // if clear() already dropped this entry and another thread
+            // re-inserted a fresh in-flight compilation for the same
+            // key, an unconditional erase would drop *that* thread's
+            // entry and orphan its waiters' coalescing point.
             std::lock_guard<std::mutex> lock(mutex_);
-            entries_.erase(key);
+            auto it = entries_.find(key);
+            if (it != entries_.end() &&
+                it->second.generation == my_generation) {
+                lru_.erase(it->second.lruPos);
+                entries_.erase(it);
+            }
         }
         throw;
+    }
+}
+
+void
+CompileCache::enforceCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    auto &evicted = obs::MetricsRegistry::global().counter(
+        "compile_cache.evictions");
+    auto pos = lru_.end();
+    while (entries_.size() > capacity_ && pos != lru_.begin()) {
+        --pos;
+        auto it = entries_.find(*pos);
+        if (it == entries_.end())
+            panic("compile cache LRU list references unknown key");
+        if (!it->second.ready)
+            continue; // in-flight: coalescing point, never dropped
+        entries_.erase(it);
+        pos = lru_.erase(pos);
+        ++evictions_;
+        evicted.add(1);
     }
 }
 
@@ -141,6 +194,13 @@ CompileCache::coalesced() const
     return coalesced_;
 }
 
+int64_t
+CompileCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 double
 CompileCache::hitRate() const
 {
@@ -159,19 +219,53 @@ CompileCache::size() const
 }
 
 void
+CompileCache::setCapacity(size_t entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = entries;
+    enforceCapacityLocked();
+}
+
+size_t
+CompileCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
 CompileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    lru_.clear();
+    // nextGeneration_ is deliberately *not* reset: generation ids must
+    // stay unique across clears so an owner whose entry was cleared can
+    // never mistake a re-inserted entry for its own.
     hits_ = 0;
     misses_ = 0;
     coalesced_ = 0;
+    evictions_ = 0;
 }
 
 CompileCache &
 CompileCache::global()
 {
     static CompileCache cache;
+    // Daemon lifetimes need a bound; batch runs default to unbounded.
+    // Seeded once, thread-safely, on first use.
+    static const bool seeded = [] {
+        const char *env = std::getenv("POLYMATH_CACHE_ENTRIES");
+        if (env != nullptr && *env != '\0') {
+            int64_t value = 0;
+            const char *end = env + std::strlen(env);
+            const auto [ptr, ec] = std::from_chars(env, end, value);
+            if (ec == std::errc{} && ptr == end && value > 0)
+                cache.setCapacity(static_cast<size_t>(value));
+        }
+        return true;
+    }();
+    (void)seeded;
     return cache;
 }
 

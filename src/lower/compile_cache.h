@@ -1,14 +1,15 @@
 /**
  * @file
- * Content-addressed compile cache for the parallel suite driver.
+ * Content-addressed compile cache for the parallel suite driver and the
+ * pmcd compile service.
  *
  * The PMLang -> srDFG -> lower -> translate chain is pure: its output is
  * fully determined by the source text, the build options, the default
  * domain, and the registry's op-sets. The cache exploits that by keying
  * memoized CompiledPrograms on exactly those ingredients, so repeated
  * compilations of one benchmark (fault-sweep repetitions, multiple
- * figures over the same Table III suite, repeated pmc inputs) pay the
- * pipeline cost once.
+ * figures over the same Table III suite, repeated pmc inputs, repeated
+ * service requests) pay the pipeline cost once.
  *
  * Thread-safety: getOrCompile() is safe to call concurrently, and
  * concurrent requests for the same key are coalesced (single-flight) —
@@ -16,6 +17,13 @@
  * hits. Cached programs are immutable (shared_ptr<const CompiledProgram>),
  * which is what makes sharing across driver threads sound; this is also
  * why compileProgram() must stay re-entrant (see DESIGN.md).
+ *
+ * Lifetime: a bench run dies with its process, but the pmcd daemon does
+ * not, so the cache is optionally bounded (setCapacity() /
+ * POLYMATH_CACHE_ENTRIES for the process-wide instance). Eviction is
+ * LRU over *finished* entries only — an in-flight compilation is never
+ * dropped, because coalesced waiters hold its future and a re-request
+ * must keep coalescing onto it rather than compiling again.
  */
 #ifndef POLYMATH_LOWER_COMPILE_CACHE_H_
 #define POLYMATH_LOWER_COMPILE_CACHE_H_
@@ -23,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,7 +65,10 @@ class CompileCache
      * Returns the cached program for @p key, compiling via @p compile on
      * the first request. Concurrent identical requests coalesce onto one
      * compilation. If @p compile throws, the error propagates to every
-     * coalesced caller and the key is evicted so a later call can retry.
+     * coalesced caller and the key is evicted so a later call can retry
+     * — but only the owner's *own* entry is evicted: when the entry was
+     * already removed (clear(), LRU pressure) and a newer in-flight
+     * compilation now occupies the key, that newer entry stays.
      */
     std::shared_ptr<const CompiledProgram> getOrCompile(
         const std::string &key, const CompileFn &compile);
@@ -68,26 +80,66 @@ class CompileCache
     /** Hits that blocked on an in-flight compilation (single-flight
      *  coalescing) rather than finding a finished entry. */
     int64_t coalesced() const;
+    /** Finished entries dropped by LRU pressure (not by clear() or
+     *  failed-compile eviction). */
+    int64_t evictions() const;
     /** hits / (hits + misses); 0 when empty. */
     double hitRate() const;
-    /** Distinct programs currently cached. */
+    /** Distinct programs currently cached (including in-flight). */
     size_t size() const;
 
-    /** Drops all entries and resets the counters. */
+    /**
+     * Bounds the cache to @p entries finished programs (0 = unbounded,
+     * the default). Shrinking below the current population evicts
+     * least-recently-used finished entries immediately; in-flight
+     * compilations are never dropped, so the cache may transiently
+     * exceed the cap while many keys compile at once.
+     */
+    void setCapacity(size_t entries);
+
+    /** Current entry cap; 0 = unbounded. */
+    size_t capacity() const;
+
+    /** Drops all entries and resets the counters. In-flight
+     *  compilations keep running; their owners just re-insert nothing
+     *  (the results are still handed to their waiters). */
     void clear();
 
-    /** Process-wide cache shared by the bench driver and pmc. */
+    /**
+     * Process-wide cache shared by the bench driver, pmc, and pmcd.
+     * Its capacity is seeded once from POLYMATH_CACHE_ENTRIES (positive
+     * integer; unset/invalid/0 = unbounded).
+     */
     static CompileCache &global();
 
   private:
-    using Entry =
+    using Future =
         std::shared_future<std::shared_ptr<const CompiledProgram>>;
+
+    struct Entry
+    {
+        Future future;
+        /** Monotonic id distinguishing this in-flight compilation from
+         *  any later one re-inserted under the same key. */
+        uint64_t generation = 0;
+        /** Position in lru_ (most-recent at front). */
+        std::list<std::string>::iterator lruPos;
+        bool ready = false; ///< owner finished successfully
+    };
+
+    /** Evicts LRU finished entries until size() <= capacity_ (caller
+     *  holds mutex_). In-flight entries are skipped, never dropped. */
+    void enforceCapacityLocked();
 
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
+    std::list<std::string> lru_; ///< keys, most recently used first
+    uint64_t nextGeneration_ = 1;
+    size_t capacity_ = 0; ///< 0 = unbounded
     int64_t hits_ = 0;
     int64_t misses_ = 0;
     int64_t coalesced_ = 0;
+    int64_t evictions_ = 0;
 };
 
 } // namespace polymath::lower

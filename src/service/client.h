@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Blocking client for the pmcd compile service (docs/SERVICE.md), used
+ * by `pmc --connect`, bench_service, and the tests.
+ *
+ * One Client wraps one connection. Requests may be pipelined (send()
+ * many, then recv() the answers); responses to a pipelined burst can
+ * arrive out of request order — match them by id. call() is the
+ * simple one-outstanding-request convenience.
+ */
+#ifndef POLYMATH_SERVICE_CLIENT_H_
+#define POLYMATH_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/net.h"
+#include "service/protocol.h"
+
+namespace polymath::service {
+
+class Client
+{
+  public:
+    /** Connects to the daemon at @p socketPath.
+     *  @throws UserError when nobody is listening. */
+    explicit Client(const std::string &socketPath);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Sends one request line. @throws UserError when the server is
+     *  gone (broken pipe). */
+    void send(const Request &request);
+
+    /** Receives the next response line. Returns false on a clean EOF
+     *  (server closed the connection). @throws UserError on a
+     *  malformed response. */
+    bool recv(Response &response);
+
+    /** send() + recv(). @throws UserError when the connection dies
+     *  before the response arrives. */
+    Response call(const Request &request);
+
+    /** Raw connection descriptor (tests drive the wire directly). */
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    core::LineReader reader_;
+};
+
+} // namespace polymath::service
+
+#endif // POLYMATH_SERVICE_CLIENT_H_

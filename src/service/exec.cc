@@ -1,0 +1,190 @@
+#include "service/exec.h"
+
+#include <fstream>
+
+#include "core/diagnostics.h"
+#include "core/error.h"
+#include "core/json.h"
+#include "core/strings.h"
+#include "lower/lower.h"
+#include "passes/pass.h"
+#include "pmlang/parser.h"
+#include "soc/soc.h"
+#include "srdfg/builder.h"
+#include "targets/common/cost_ledger.h"
+#include "targets/deco/chain_mapper.h"
+#include "targets/tabla/scheduler.h"
+
+namespace polymath::service {
+
+lang::Domain
+domainFromKeyword(const std::string &word)
+{
+    if (word == "ALL") return lang::Domain::None; // per-statement tags
+    if (word == "RBT") return lang::Domain::RBT;
+    if (word == "GA") return lang::Domain::GA;
+    if (word == "DSP") return lang::Domain::DSP;
+    if (word == "DA") return lang::Domain::DA;
+    if (word == "DL") return lang::Domain::DL;
+    fatal("unknown domain '" + word +
+          "' (expected RBT|GA|DSP|DA|DL or ALL)");
+}
+
+bool
+preflightDiagnostics(const std::string &source, std::string &err)
+{
+    DiagnosticEngine diag;
+    lang::parseWithRecovery(source, diag);
+    if (!diag.empty())
+        err += diag.str();
+    if (diag.hasErrors()) {
+        err += format("pmc: %zu error(s)\n", diag.errorCount());
+        return true;
+    }
+    return false;
+}
+
+ExecResult
+runRequest(const Request &req, lower::CompileCache &cache)
+{
+    if (!isWorkVerb(req.verb))
+        panic("runRequest called with non-work verb '" +
+              std::string(toString(req.verb)) + "'");
+    if (req.target.empty())
+        fatal("a " + std::string(toString(req.verb)) +
+              " request needs a target domain (RBT|GA|DSP|DA|DL|ALL)");
+    const bool simulate =
+        req.verb == Verb::Simulate || req.verb == Verb::Profile;
+    const bool profile = req.verb == Verb::Profile;
+    const bool want_doc = profile || req.profileDoc;
+
+    const auto domain = domainFromKeyword(req.target);
+    const auto registry = target::standardRegistry();
+    ir::BuildOptions build;
+    build.entry = req.entry;
+    build.paramConsts = req.params;
+
+    // Compile through the shared cache. The key covers (source, build
+    // options, domain, registry) but not the pass pipeline, so the
+    // optimize flag is appended to keep optimized and unoptimized
+    // programs distinct.
+    const std::string key =
+        lower::compileCacheKey(req.source, build, domain, registry) +
+        (req.optimize ? "\x1f"
+                        "optimize\x1f"
+                        "1"
+                      : "\x1f"
+                        "optimize\x1f"
+                        "0");
+    ExecResult result;
+    bool compiled_here = false;
+    result.program = cache.getOrCompile(key, [&] {
+        compiled_here = true;
+        auto fresh = ir::compileToSrdfg(req.source, build);
+        if (req.optimize)
+            pass::standardPipeline().runToFixpoint(*fresh);
+        lower::lowerGraph(*fresh, registry.supportedOpsByDomain(),
+                          domain);
+        return lower::compileProgram(*fresh, registry, domain);
+    });
+    result.cacheHit = !compiled_here;
+    const lower::CompiledProgram &compiled = *result.program;
+    result.out += compiled.str();
+
+    if (req.schedule) {
+        for (const auto &partition : compiled.partitions) {
+            if (partition.accel == "TABLA") {
+                result.out += "TABLA PE schedule:\n" +
+                              target::listSchedule(partition, {}).str();
+            } else if (partition.accel == "DECO") {
+                result.out += "DECO chain mapping:\n" +
+                              target::mapChains(partition, {}).str();
+            }
+        }
+    }
+    if (!simulate)
+        return result;
+
+    if (want_doc) {
+        // Sticky process-wide switch (one relaxed-atomic branch when
+        // off); reports stay byte-identical either way, so leaving it
+        // on after the first profile request is safe for neighbors.
+        target::setProfilingEnabled(true);
+    }
+    soc::SocRuntime runtime;
+    if (req.faultRate != 0) { // negative => validation error
+        soc::FaultConfig faults;
+        faults.seed = req.faultSeed;
+        faults.accelUnavailableRate = req.faultRate / 5.0;
+        faults.dmaFailureRate = req.faultRate;
+        faults.watchdogRate = req.faultRate / 2.0;
+        runtime.setFaultModel(soc::FaultModel(faults));
+    }
+    target::WorkloadProfile workload;
+    workload.invocations = req.invocations;
+    const auto sim = runtime.execute(compiled, workload);
+    result.out += format("simulated: %s\n", sim.total.str().c_str());
+    if (req.faultRate > 0) {
+        result.out += format("reliability: %s\n",
+                             sim.reliability.str().c_str());
+    }
+    if (profile) {
+        for (size_t pi = 0; pi < sim.partitions.size(); ++pi) {
+            result.out += format("partition %zu ", pi);
+            result.out += target::profileTable(
+                sim.partitions[pi], static_cast<int>(req.profileTop));
+        }
+    }
+    if (want_doc) {
+        std::string doc = "{\"schema\":\"polymath-profile/1\"";
+        doc += ",\"file\":" + json::quote(req.file);
+        doc += ",\"partitions\":[";
+        for (size_t pi = 0; pi < sim.partitions.size(); ++pi) {
+            if (pi)
+                doc += ",";
+            doc += target::profileJson(sim.partitions[pi]);
+        }
+        doc += "],\"total\":" + target::profileJson(sim.total) + "}\n";
+        result.profileJson = std::move(doc);
+    }
+    return result;
+}
+
+Response
+runRequestGuarded(const Request &req, lower::CompileCache &cache)
+{
+    Response resp;
+    resp.id = req.id;
+    // Pre-flight syntax check with statement-level error recovery so
+    // one response surfaces *every* syntax error, not just the first —
+    // exactly the local pmc behavior.
+    if (preflightDiagnostics(req.source, resp.error)) {
+        resp.ok = false;
+        resp.code = 1;
+        return resp;
+    }
+    try {
+        ExecResult result = runRequest(req, cache);
+        resp.output = std::move(result.out);
+        resp.profileJson = std::move(result.profileJson);
+        resp.cacheHit = result.cacheHit;
+        resp.ok = true;
+        resp.code = 0;
+    } catch (const UserError &e) {
+        const Diagnostic diag{Severity::Error, e.message(), e.loc()};
+        resp.error += format("pmc: %s\n", diag.str().c_str());
+        resp.ok = false;
+        resp.code = 1;
+    } catch (const InternalError &e) {
+        resp.error += format("pmc: %s\n", e.what());
+        resp.ok = false;
+        resp.code = 2;
+    } catch (const std::exception &e) {
+        resp.error += format("pmc: internal error: %s\n", e.what());
+        resp.ok = false;
+        resp.code = 2;
+    }
+    return resp;
+}
+
+} // namespace polymath::service

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Request execution shared by the pmc CLI and the pmcd server.
+ *
+ * Both front ends funnel compile/simulate/profile work through
+ * runRequest(), so a served response is byte-identical to local
+ * execution *by construction* — there is exactly one implementation of
+ * "what pmc prints for these flags", and the daemon transports its
+ * bytes instead of re-deriving them. Compilations go through the shared
+ * CompileCache (single-flight, optionally LRU-bounded), which is the
+ * whole point of keeping the process alive across requests.
+ */
+#ifndef POLYMATH_SERVICE_EXEC_H_
+#define POLYMATH_SERVICE_EXEC_H_
+
+#include <memory>
+#include <string>
+
+#include "lower/compile_cache.h"
+#include "service/protocol.h"
+
+namespace polymath::service {
+
+/** Maps a --target keyword (RBT|GA|DSP|DA|DL, or ALL for per-statement
+ *  annotations) to its domain. @throws UserError on anything else. */
+lang::Domain domainFromKeyword(const std::string &word);
+
+/**
+ * Statement-level recovery parse of @p source, appending the
+ * pmc-canonical diagnostic rendering (every error, not just the first)
+ * to @p err. Returns true when errors were found — the caller stops
+ * with exit code 1.
+ */
+bool preflightDiagnostics(const std::string &source, std::string &err);
+
+/** What runRequest() produced for one work request. */
+struct ExecResult
+{
+    std::string out; ///< pmc stdout bytes for the compiled program
+    std::string profileJson; ///< polymath-profile/1 doc (profile verb)
+    bool cacheHit = false;   ///< served (or coalesced) from the cache
+    std::shared_ptr<const lower::CompiledProgram> program;
+};
+
+/**
+ * Executes one compile/simulate/profile request through @p cache.
+ * Exceptions (UserError/InternalError) propagate to the caller — the
+ * CLI's existing guard and the server's runRequestGuarded() render them
+ * identically. @p req.verb must be a work verb.
+ */
+ExecResult runRequest(const Request &req, lower::CompileCache &cache);
+
+/**
+ * The server-side wrapper: preflight diagnostics + runRequest with the
+ * exception-to-exit-code policy of the pmc process applied, rendered
+ * into a Response whose output/error fields carry exactly the bytes
+ * local pmc would print.
+ */
+Response runRequestGuarded(const Request &req,
+                           lower::CompileCache &cache);
+
+} // namespace polymath::service
+
+#endif // POLYMATH_SERVICE_EXEC_H_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * JSON-line wire protocol of the pmcd compile service (docs/SERVICE.md).
+ *
+ * One request object per '\n'-terminated line in, one response object
+ * per line out. Requests carry a verb:
+ *
+ *   - "compile"  — compile the source for a target domain and return
+ *                  the rendered accelerator program(s);
+ *   - "simulate" — compile + simulate on the SoC ("simulated: ..."
+ *                  lines appended, faults honored);
+ *   - "profile"  — simulate with cost ledgers; the response adds the
+ *                  hotspot tables and a polymath-profile/1 document;
+ *   - "stats"    — server/cache counters (answered inline, not queued);
+ *   - "shutdown" — drain all queued + in-flight work, answer, exit.
+ *
+ * Responses carry the exact bytes the local pmc CLI would print for the
+ * same flags (`output` = stdout, `error` = stderr), which is what makes
+ * `pmc --connect` byte-identical to local execution. Responses to one
+ * connection may arrive out of request order (work is scheduled fairly
+ * across all clients); match them by `id`.
+ */
+#ifndef POLYMATH_SERVICE_PROTOCOL_H_
+#define POLYMATH_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace polymath::service {
+
+/** Request verbs. */
+enum class Verb
+{
+    Compile,
+    Simulate,
+    Profile,
+    Stats,
+    Shutdown,
+};
+
+const char *toString(Verb verb);
+
+/** True for the verbs that enter the admission queue and count toward
+ *  the offered/accepted/rejected/completed conservation law. */
+bool isWorkVerb(Verb verb);
+
+/** One service request. */
+struct Request
+{
+    int64_t id = 0;   ///< echoed in the response; client-chosen
+    Verb verb = Verb::Simulate;
+
+    std::string file = "<request>"; ///< display name for diagnostics
+    std::string source;             ///< PMLang program text
+    std::string entry = "main";
+    std::map<std::string, int64_t> params; ///< compile-time scalar binds
+    bool optimize = false;
+    std::string target;   ///< domain keyword (RBT|GA|DSP|DA|DL|ALL)
+    bool schedule = false;
+    int64_t invocations = 1;
+    double faultRate = 0.0;
+    uint64_t faultSeed = 0x5eed;
+    int64_t profileTop = 10;
+    /** simulate verb: also build the polymath-profile/1 document
+     *  without printing hotspot tables (pmc's `--profile-json` without
+     *  `--profile`). The profile verb always builds it. */
+    bool profileDoc = false;
+
+    /** One-line JSON rendering (no trailing newline). */
+    std::string json() const;
+
+    /** Parses one request line. @throws UserError on malformed JSON,
+     *  a non-object document, an unknown verb, or a bad field type. */
+    static Request fromJson(const std::string &line);
+};
+
+/** One service response. */
+struct Response
+{
+    int64_t id = 0;
+    bool ok = false;
+    bool rejected = false; ///< admission control turned the request away
+    /** pmc-style exit code: 0 ok, 1 user error, 2 internal/protocol
+     *  error, 3 admission rejection. */
+    int code = 0;
+    bool cacheHit = false; ///< compile served from the shared cache
+
+    std::string output; ///< exactly local pmc's stdout bytes
+    std::string error;  ///< exactly local pmc's stderr bytes
+
+    /** profile verb: the polymath-profile/1 JSON document (the bytes
+     *  `pmc --profile-json` writes), carried as a string field. */
+    std::string profileJson;
+
+    /** stats/shutdown verbs: flat counter name -> value map. */
+    std::map<std::string, double> stats;
+
+    /** One-line JSON rendering (no trailing newline). */
+    std::string json() const;
+
+    /** Parses one response line. @throws UserError when malformed. */
+    static Response fromJson(const std::string &line);
+};
+
+} // namespace polymath::service
+
+#endif // POLYMATH_SERVICE_PROTOCOL_H_

@@ -1,0 +1,357 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+
+#include "core/error.h"
+#include "obs/metrics.h"
+#include "service/exec.h"
+
+namespace polymath::service {
+
+std::map<std::string, double>
+ServerStats::toMap(const lower::CompileCache &cache) const
+{
+    return {
+        {"offered", static_cast<double>(offered)},
+        {"accepted", static_cast<double>(accepted)},
+        {"rejected", static_cast<double>(rejected)},
+        {"completed", static_cast<double>(completed)},
+        {"malformed", static_cast<double>(malformed)},
+        {"pending", static_cast<double>(pending)},
+        {"executing", static_cast<double>(executing)},
+        {"connections", static_cast<double>(connections)},
+        {"cacheHits", static_cast<double>(cache.hits())},
+        {"cacheMisses", static_cast<double>(cache.misses())},
+        {"cacheCoalesced", static_cast<double>(cache.coalesced())},
+        {"cacheEvictions", static_cast<double>(cache.evictions())},
+        {"cacheEntries", static_cast<double>(cache.size())},
+        {"cacheCapacity", static_cast<double>(cache.capacity())},
+        {"cacheHitRate", cache.hitRate()},
+    };
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache != nullptr ? config_.cache
+                                      : &lower::CompileCache::global())
+{
+    if (config_.cacheEntries > 0)
+        cache_->setCapacity(config_.cacheEntries);
+    config_.jobs = core::resolveJobs(config_.jobs);
+}
+
+Server::~Server()
+{
+    try {
+        requestStop();
+        wait();
+    } catch (...) {
+        // Destructors must not throw; the process is going away anyway.
+    }
+}
+
+void
+Server::start()
+{
+    listener_.listen(config_.socketPath);
+    pool_ = std::make_unique<core::ThreadPool>(config_.jobs);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        started_ = true;
+        stopping_ = false;
+        stopped_ = false;
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = listener_.accept();
+        if (fd < 0)
+            return; // listener closed: shutdown path
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        bool admit = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!stopped_) {
+                conns_.push_back(conn);
+                admit = true;
+            }
+        }
+        if (!admit) {
+            core::closeFd(fd);
+            continue;
+        }
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+        // Opportunistic cleanup of finished connections so a long-lived
+        // daemon's connection table does not grow without bound.
+        std::vector<std::shared_ptr<Conn>> dead;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            reapConnectionsLocked();
+            dead.swap(reaped_);
+        }
+        for (auto &c : dead) {
+            if (c->reader.joinable())
+                c->reader.join();
+            core::closeFd(c->fd);
+        }
+    }
+}
+
+void
+Server::reapConnectionsLocked()
+{
+    // A connection is dead once its reader exited, its queue drained,
+    // and no worker still holds it for a response write. The join and
+    // fd close happen outside the lock (the reader's last act is to
+    // take mutex_ and mark itself closed — joining under the lock
+    // would deadlock against that).
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+        auto &c = *it;
+        if (!c->open && c->queue.empty() && c->inFlight == 0) {
+            reaped_.push_back(c);
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::readerLoop(const std::shared_ptr<Conn> &conn)
+{
+    core::LineReader reader(conn->fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        if (line.empty())
+            continue; // blank keep-alive lines are tolerated
+        Request req;
+        try {
+            req = Request::fromJson(line);
+        } catch (const std::exception &e) {
+            // A malformed or truncated request line gets a structured
+            // error, never a dropped connection or a crash.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++malformed_;
+            }
+            Response resp;
+            resp.ok = false;
+            resp.code = 2;
+            resp.error = std::string("request error: ") + e.what() + "\n";
+            writeResponse(*conn, resp);
+            continue;
+        }
+        if (req.verb == Verb::Stats) {
+            writeResponse(*conn, statsResponse(req.id));
+            continue;
+        }
+        if (req.verb == Verb::Shutdown) {
+            handleShutdown(*conn, req.id);
+            break;
+        }
+        // Work verb: admission control, then hand to the pool. The
+        // rejection response is written inline by this reader — cheap,
+        // and it keeps the pool free for admitted work.
+        const int64_t request_id = req.id;
+        const char *reject_reason = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++offered_;
+            if (stopping_) {
+                reject_reason = "server shutting down";
+            } else if (config_.maxPending > 0 &&
+                       pending_ >= config_.maxPending) {
+                reject_reason = "admission queue full";
+            } else {
+                ++accepted_;
+                ++pending_;
+                conn->queue.push_back(std::move(req));
+            }
+            if (reject_reason != nullptr)
+                ++rejected_;
+        }
+        if (reject_reason != nullptr) {
+            obs::MetricsRegistry::global()
+                .counter("service.rejected")
+                .add(1);
+            Response resp;
+            resp.id = request_id;
+            resp.ok = false;
+            resp.rejected = true;
+            resp.code = 3;
+            resp.error = std::string(reject_reason) + "\n";
+            writeResponse(*conn, resp);
+        } else {
+            pool_->submit([this] { slotTask(); });
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn->open = false;
+}
+
+void
+Server::slotTask()
+{
+    // One slot is submitted per admitted request, but a slot does not
+    // execute "its" request: it pulls the next request round-robin
+    // across connections, which is what keeps one chatty client from
+    // starving the others — backlog depth costs only its own latency.
+    std::shared_ptr<Conn> conn;
+    Request req;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const size_t n = conns_.size();
+        for (size_t k = 0; k < n; ++k) {
+            auto &c = conns_[(rrCursor_ + k) % n];
+            if (c->queue.empty())
+                continue;
+            req = std::move(c->queue.front());
+            c->queue.pop_front();
+            --pending_;
+            ++executing_;
+            ++c->inFlight;
+            conn = c;
+            rrCursor_ = (rrCursor_ + k + 1) % n;
+            break;
+        }
+    }
+    if (!conn)
+        return; // admitted == slots, so this only races a drain
+    Response resp = runRequestGuarded(req, *cache_);
+    writeResponse(*conn, resp);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++completed_;
+        --executing_;
+        --conn->inFlight;
+        if (pending_ == 0 && executing_ == 0)
+            drained_.notify_all();
+    }
+    obs::MetricsRegistry::global().counter("service.completed").add(1);
+}
+
+void
+Server::handleShutdown(Conn &conn, int64_t request_id)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Drain: every admitted request is answered before the
+        // shutdown response leaves. New work is rejected (accounted)
+        // while this waits, so the wait terminates.
+        drained_.wait(lock, [&] {
+            return pending_ == 0 && executing_ == 0;
+        });
+    }
+    Response resp = statsResponse(request_id);
+    writeResponse(conn, resp);
+    beginStop();
+}
+
+void
+Server::requestStop()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!started_)
+            return;
+        stopping_ = true;
+        drained_.wait(lock, [&] {
+            return stopped_ || (pending_ == 0 && executing_ == 0);
+        });
+    }
+    beginStop();
+}
+
+void
+Server::beginStop()
+{
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        conns = conns_;
+    }
+    listener_.close();
+    // Wake every reader blocked in recv; their loops exit on EOF.
+    for (auto &c : conns)
+        ::shutdown(c->fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained_.notify_all();
+}
+
+void
+Server::wait()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!started_)
+            return;
+        drained_.wait(lock, [&] { return stopped_; });
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns.swap(conns_);
+        conns.insert(conns.end(), reaped_.begin(), reaped_.end());
+        reaped_.clear();
+    }
+    for (auto &c : conns) {
+        if (c->reader.joinable())
+            c->reader.join();
+        core::closeFd(c->fd);
+    }
+    pool_.reset(); // drains (already empty) and joins the workers
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = false;
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats s;
+    s.offered = offered_;
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.malformed = malformed_;
+    s.pending = pending_;
+    s.executing = executing_;
+    for (const auto &c : conns_)
+        s.connections += c->open ? 1 : 0;
+    return s;
+}
+
+Response
+Server::statsResponse(int64_t request_id) const
+{
+    Response resp;
+    resp.id = request_id;
+    resp.ok = true;
+    resp.code = 0;
+    resp.stats = stats().toMap(*cache_);
+    return resp;
+}
+
+void
+Server::writeResponse(Conn &conn, const Response &resp)
+{
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    // A vanished client (EPIPE, thanks to MSG_NOSIGNAL) just loses its
+    // response; the request still counts as completed — conservation
+    // is about work done, not deliveries.
+    core::writeAll(conn.fd, resp.json() + "\n");
+}
+
+} // namespace polymath::service

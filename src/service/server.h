@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The pmcd compile-service server loop (docs/SERVICE.md).
+ *
+ * A long-running Unix-domain-socket server sharing one process-wide
+ * CompileCache and Op interner across every request. Architecture:
+ *
+ *   accept thread ── one reader thread per connection ── worker pool
+ *
+ * Readers parse JSON-line requests and either answer inline (stats,
+ * malformed lines, admission rejections — all cheap) or enqueue onto
+ * their connection's queue. Work is executed on the PR-2 ThreadPool;
+ * each enqueue submits one pool task, and the task pulls the *next
+ * request round-robin across connections*, so a chatty client that
+ * pipelines thousands of requests cannot starve a neighbor: queue
+ * depth costs only its own latency.
+ *
+ * Admission control bounds the total queued backlog (maxPending); past
+ * it, requests are rejected immediately with an accounted, structured
+ * response. The conservation law
+ *
+ *     completed + rejected == offered        (after drain)
+ *
+ * is the server's correctness spine: every offered work request is
+ * eventually answered exactly once, including through shutdown (which
+ * drains queued + in-flight work before the shutdown response leaves).
+ */
+#ifndef POLYMATH_SERVICE_SERVER_H_
+#define POLYMATH_SERVICE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/net.h"
+#include "core/thread_pool.h"
+#include "lower/compile_cache.h"
+#include "service/protocol.h"
+
+namespace polymath::service {
+
+/** Server construction knobs. */
+struct ServerConfig
+{
+    std::string socketPath;
+
+    /** Worker threads (core::resolveJobs semantics: 0 = all hardware
+     *  threads). In-flight work is bounded by this. */
+    int jobs = 1;
+
+    /** Admission bound on the total queued (not yet executing) request
+     *  backlog across all clients; 0 = unbounded. */
+    int maxPending = 256;
+
+    /** When > 0, bounds the shared CompileCache to this many entries
+     *  (LRU) before serving. 0 leaves the cache's capacity untouched. */
+    size_t cacheEntries = 0;
+
+    /** Cache to serve from; nullptr = CompileCache::global(). */
+    lower::CompileCache *cache = nullptr;
+};
+
+/** Counters exposed by the stats verb (work verbs only; stats/shutdown
+ *  and malformed lines are accounted separately). */
+struct ServerStats
+{
+    int64_t offered = 0;   ///< work requests received
+    int64_t accepted = 0;  ///< admitted to a queue
+    int64_t rejected = 0;  ///< refused by admission control / shutdown
+    int64_t completed = 0; ///< executed and answered
+    int64_t malformed = 0; ///< unparsable or unknown-verb lines
+    int64_t pending = 0;   ///< queued right now
+    int64_t executing = 0; ///< running on the pool right now
+    int64_t connections = 0; ///< currently open connections
+
+    /** Flat map for the stats response (includes cache counters). */
+    std::map<std::string, double> toMap(
+        const lower::CompileCache &cache) const;
+};
+
+/** The compile-service server. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** Stops (draining) and joins if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Binds the socket and spawns the accept thread + worker pool.
+     *  @throws UserError when the socket cannot be bound. */
+    void start();
+
+    /**
+     * Programmatic shutdown, equivalent to receiving a shutdown verb:
+     * stop admitting, drain queued + in-flight work, close the
+     * listener and every connection. Blocks until drained. Idempotent.
+     */
+    void requestStop();
+
+    /** Blocks until the server has fully stopped (shutdown verb or
+     *  requestStop()) and joins every thread. */
+    void wait();
+
+    /** Snapshot of the counters. */
+    ServerStats stats() const;
+
+    const std::string &socketPath() const
+    {
+        return config_.socketPath;
+    }
+
+    lower::CompileCache &cache() const { return *cache_; }
+
+  private:
+    /** Per-connection state; shared between its reader, the workers
+     *  executing its requests, and the reaper. */
+    struct Conn
+    {
+        int fd = -1;
+        std::mutex writeMutex;   ///< serializes response lines
+        std::deque<Request> queue; ///< guarded by Server::mutex_
+        int inFlight = 0;          ///< guarded by Server::mutex_
+        bool open = true;          ///< guarded by Server::mutex_
+        std::thread reader;
+    };
+
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Conn> &conn);
+    void slotTask();
+    void handleShutdown(Conn &conn, int64_t request_id);
+    void beginStop();
+    /** Joins and erases finished connections (caller holds mutex_). */
+    void reapConnectionsLocked();
+    void writeResponse(Conn &conn, const Response &resp);
+    Response statsResponse(int64_t request_id) const;
+
+    ServerConfig config_;
+    lower::CompileCache *cache_ = nullptr;
+
+    mutable std::mutex mutex_;
+    std::condition_variable drained_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    /** Dead connections collected by reapConnectionsLocked(), awaiting
+     *  an out-of-lock join + close (see that function's comment). */
+    std::vector<std::shared_ptr<Conn>> reaped_;
+    size_t rrCursor_ = 0;
+    bool started_ = false;
+    bool stopping_ = false; ///< no longer admitting work
+    bool stopped_ = false;  ///< listener + connections closed
+
+    int64_t offered_ = 0;
+    int64_t accepted_ = 0;
+    int64_t rejected_ = 0;
+    int64_t completed_ = 0;
+    int64_t malformed_ = 0;
+    int64_t pending_ = 0;
+    int64_t executing_ = 0;
+
+    core::UnixListener listener_;
+    std::unique_ptr<core::ThreadPool> pool_;
+    std::thread acceptThread_;
+};
+
+} // namespace polymath::service
+
+#endif // POLYMATH_SERVICE_SERVER_H_

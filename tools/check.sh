@@ -20,9 +20,10 @@
 #      clean and produce the same results as serial runs.
 #
 # The TSan pass builds only the concurrency-heavy binaries (test_obs,
-# test_driver, pmc), runs those tests with POLYMATH_JOBS=4 so the pool,
-# compile cache, and trace recorder race under the sanitizer, and smoke-
-# checks that `pmc --trace` emits loadable Chrome-trace JSON.
+# test_driver, test_service, pmc), runs those tests with POLYMATH_JOBS=4
+# so the pool, compile cache, service server, and trace recorder race
+# under the sanitizer, and smoke-checks that `pmc --trace` emits
+# loadable Chrome-trace JSON.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -81,12 +82,12 @@ for preset in "${presets[@]}"; do
         continue
     fi
     if [ "$preset" = tsan ]; then
-        echo "== [$preset] build (test_obs test_driver pmc) =="
+        echo "== [$preset] build (test_obs test_driver test_service pmc) =="
         cmake --build --preset tsan -j "$jobs" \
-            --target test_obs test_driver pmc
+            --target test_obs test_driver test_service pmc
         echo "== [$preset] test (POLYMATH_JOBS=4) =="
         POLYMATH_JOBS=4 ctest --test-dir build-tsan -j "$jobs" \
-            --output-on-failure -R '^(test_obs|test_driver)$'
+            --output-on-failure -R '^(test_obs|test_driver|test_service)$'
         echo "== [$preset] pmc --trace smoke =="
         trace_json="$(mktemp /tmp/polymath-trace.XXXXXX.json)"
         build-tsan/tools/pmc --trace "$trace_json" \
@@ -128,6 +129,23 @@ for preset in "${presets[@]}"; do
         if ! build/tools/bench_compare --rel-tol 0.6 \
                 bench/baselines/compile_path.json "$artifact"; then
             echo "compile-path perf gate: regressed;" \
+                 "current artifact kept at $artifact" >&2
+            exit 1
+        fi
+        rm -f "$artifact"
+        # Compile-service gate: bench_service drives a pmcd-style server
+        # through the wire protocol (1600 pipelined requests, then an
+        # overload flood). Counts, hit rate, and the conservation law
+        # are exact; latency/throughput rows measure wall-clock, so they
+        # gate loosely like the compile-path gate above.
+        echo "== [$preset] service gate =="
+        artifact="$(mktemp /tmp/polymath-bench-service.XXXXXX.json)"
+        build/bench/bench_service --json "$artifact" > /dev/null
+        if ! build/tools/bench_compare \
+                --tol p50_ms=0.95 --tol p99_ms=0.95 \
+                --tol requests_per_sec=0.95 \
+                bench/baselines/service.json "$artifact"; then
+            echo "service gate: regressed;" \
                  "current artifact kept at $artifact" >&2
             exit 1
         fi

@@ -9,6 +9,11 @@
  * `POLYMATH_JOBS`), but stdout/stderr are emitted in input order so output
  * never depends on the jobs count. `pmc --help` documents the flags;
  * examples/pmlang/ has inputs.
+ *
+ * With `--connect <socket>` pmc turns into a client of the pmcd compile
+ * service (docs/SERVICE.md): each input becomes one request, and the
+ * printed bytes are identical to local execution — both sides run the
+ * same service::runRequest().
  */
 #include <charconv>
 #include <cstdio>
@@ -33,11 +38,11 @@
 #include "pmlang/parser.h"
 #include "pmlang/sema.h"
 #include "passes/pass.h"
+#include "service/client.h"
+#include "service/exec.h"
 #include "soc/soc.h"
 #include "soc/stream.h"
 #include "targets/common/cost_ledger.h"
-#include "targets/deco/chain_mapper.h"
-#include "targets/tabla/scheduler.h"
 #include "srdfg/builder.h"
 #include "srdfg/printer.h"
 #include "srdfg/serialize.h"
@@ -70,6 +75,7 @@ struct Options
     uint64_t faultSeed = 0x5eed;
     int jobs = 1;
     std::string tracePath;
+    std::string connectPath; ///< pmcd socket; empty = local execution
     int64_t streamJobs = 0; ///< 0 = sequential --simulate
     std::string arrival = "closed:4";
     int64_t streamMaxPending = 0;
@@ -110,7 +116,8 @@ usage()
         "  --fault-rate <r>      with --simulate: inject accelerator/DMA/\n"
         "                        watchdog faults at rate r in [0,1] and\n"
         "                        print the reliability report\n"
-        "  --fault-seed <n>      seed for deterministic fault injection\n"
+        "  --fault-seed <n>      non-negative seed for deterministic\n"
+        "                        fault injection\n"
         "  --stream <n>          with --target: stream n jobs of the\n"
         "                        compiled program through the SoC's\n"
         "                        event-driven scheduler (implies\n"
@@ -124,6 +131,10 @@ usage()
         "                        job's fault-free estimate (0 = none)\n"
         "  --deadline-policy <p> with --stream: continue|shed|abort\n"
         "                        (default continue)\n"
+        "  --connect <socket>    send the work to a pmcd daemon at this\n"
+        "                        Unix socket instead of compiling\n"
+        "                        locally (requires --target; output is\n"
+        "                        byte-identical to local execution)\n"
         "  -j, --jobs <n>        compile multiple inputs with n worker\n"
         "                        threads (0 = all hardware threads;\n"
         "                        default POLYMATH_JOBS or 1); output stays\n"
@@ -136,19 +147,6 @@ usage()
         "                        to stderr\n"
         "  --list-targets        print the registered accelerators\n",
         stderr);
-}
-
-lang::Domain
-domainFromKeyword(const std::string &word)
-{
-    if (word == "ALL") return lang::Domain::None; // per-statement tags
-    if (word == "RBT") return lang::Domain::RBT;
-    if (word == "GA") return lang::Domain::GA;
-    if (word == "DSP") return lang::Domain::DSP;
-    if (word == "DA") return lang::Domain::DA;
-    if (word == "DL") return lang::Domain::DL;
-    fatal("unknown domain '" + word +
-          "' (expected RBT|GA|DSP|DA|DL or ALL)");
 }
 
 // Numeric flags parse with from_chars: locale-independent by
@@ -227,11 +225,20 @@ parseArgs(int argc, char **argv)
             opts.profileJsonPath = next();
         } else if (arg == "--invocations") {
             opts.invocations = parseInt("--invocations", next());
+            if (opts.invocations < 1)
+                fatal("--invocations expects a positive integer");
         } else if (arg == "--fault-rate") {
             opts.faultRate = parseDouble("--fault-rate", next());
         } else if (arg == "--fault-seed") {
-            opts.faultSeed =
-                static_cast<uint64_t>(parseInt("--fault-seed", next()));
+            // Seeds are uint64, but a bare '-1' silently wrapping to
+            // 2^64-1 is a typo, not a request: reject negatives.
+            const std::string text = next();
+            const int64_t seed = parseInt("--fault-seed", text);
+            if (seed < 0)
+                fatal("--fault-seed expects a non-negative integer "
+                      "(got '" +
+                      text + "')");
+            opts.faultSeed = static_cast<uint64_t>(seed);
         } else if (arg == "--stream") {
             opts.streamJobs = parseInt("--stream", next());
             if (opts.streamJobs < 1)
@@ -240,11 +247,15 @@ parseArgs(int argc, char **argv)
             opts.arrival = next();
         } else if (arg == "--max-pending") {
             opts.streamMaxPending = parseInt("--max-pending", next());
+            if (opts.streamMaxPending < 0)
+                fatal("--max-pending expects a non-negative integer");
         } else if (arg == "--deadline-factor") {
             opts.deadlineFactor =
                 parseDouble("--deadline-factor", next());
         } else if (arg == "--deadline-policy") {
             opts.deadlinePolicy = next();
+        } else if (arg == "--connect") {
+            opts.connectPath = next();
         } else if (arg == "-j" || arg == "--jobs") {
             opts.jobs = static_cast<int>(parseInt("--jobs", next()));
             if (opts.jobs < 0)
@@ -284,6 +295,22 @@ parseArgs(int argc, char **argv)
             fatal("--stream requires --target (jobs are compiled "
                   "programs)");
         opts.simulate = true;
+    }
+    if (!opts.connectPath.empty()) {
+        if (opts.target.empty())
+            fatal("--connect requires --target (the service executes "
+                  "compile/simulate/profile requests)");
+        if (opts.formatSource || opts.printIr || opts.dot || opts.json ||
+            opts.stats || opts.listTargets)
+            fatal("--connect supports only the compile/simulate/profile "
+                  "path (no --format/--print-ir/--dot/--json/--stats/"
+                  "--list-targets)");
+        if (opts.streamJobs > 0)
+            fatal("--stream runs locally; it is not available with "
+                  "--connect");
+        if (!opts.tracePath.empty())
+            fatal("--trace records the local pipeline; it is not "
+                  "available with --connect");
     }
     return opts;
 }
@@ -346,6 +373,41 @@ readInput(const std::string &file)
 }
 
 /**
+ * The service request equivalent to this pmc invocation for one input.
+ * Local execution and --connect build the *same* request and run it
+ * through the *same* service::runRequest(), which is what makes their
+ * outputs byte-identical.
+ */
+service::Request
+requestFromOptions(const Options &opts, const std::string &file,
+                   std::string source)
+{
+    service::Request req;
+    if (opts.streamJobs > 0) {
+        req.verb = service::Verb::Compile; // stream drives the SoC itself
+    } else if (opts.profile) {
+        req.verb = service::Verb::Profile;
+    } else if (opts.simulate) {
+        req.verb = service::Verb::Simulate;
+    } else {
+        req.verb = service::Verb::Compile;
+    }
+    req.file = file;
+    req.source = std::move(source);
+    req.entry = opts.entry;
+    req.params = opts.params;
+    req.optimize = opts.optimize;
+    req.target = opts.target;
+    req.schedule = opts.schedule;
+    req.invocations = opts.invocations;
+    req.faultRate = opts.faultRate;
+    req.faultSeed = opts.faultSeed;
+    req.profileTop = opts.profileTopN;
+    req.profileDoc = !opts.profileJsonPath.empty();
+    return req;
+}
+
+/**
  * Shadow full-stack run for --trace: when the user's flags stop short of
  * the SoC (no --target), the rest of the pipeline re-runs purely for the
  * timeline, so a plain `pmc --trace out.json foo.pm` already shows
@@ -386,6 +448,16 @@ traceShadowRun(const Options &opts, const std::string &source)
     }
 }
 
+/** Writes @p doc to @p path (binary, no transformation). */
+void
+writeProfileDoc(const std::string &path, const std::string &doc)
+{
+    std::ofstream json_out(path, std::ios::binary);
+    if (!json_out)
+        fatal("cannot open '" + path + "' for writing");
+    json_out << doc;
+}
+
 /**
  * Compiles one input and renders its stdout/stderr into strings, so
  * parallel multi-file runs can replay the streams in input order.
@@ -398,16 +470,8 @@ runFile(const Options &opts, const std::string &file, std::string &out,
 
     // Pre-flight syntax check with statement-level error recovery so one
     // run surfaces *every* syntax error, not just the first.
-    {
-        DiagnosticEngine diag;
-        lang::parseWithRecovery(source, diag);
-        if (!diag.empty())
-            err += diag.str();
-        if (diag.hasErrors()) {
-            err += format("pmc: %zu error(s)\n", diag.errorCount());
-            return 1;
-        }
-    }
+    if (service::preflightDiagnostics(source, err))
+        return 1;
 
     if (opts.formatSource) {
         const auto program = lang::parse(source);
@@ -415,17 +479,26 @@ runFile(const Options &opts, const std::string &file, std::string &out,
         out += lang::formatProgram(program);
         return 0;
     }
-    ir::BuildOptions build;
-    build.entry = opts.entry;
-    build.paramConsts = opts.params;
-    auto graph = ir::compileToSrdfg(source, build);
 
-    if (opts.optimize) {
-        auto pipeline = pass::standardPipeline();
-        for (const auto &result : pipeline.runToFixpoint(*graph)) {
-            if (result.changed)
-                err += format("pmc: pass %s changed the graph\n",
-                              result.name.c_str());
+    // The display graph (srDFG printing, stats, Graphviz, JSON, and the
+    // no-flags fallback) is built only when something consumes it; a
+    // pure --target run goes straight through the compile cache without
+    // paying a second front-end pass.
+    const bool want_display = opts.stats || opts.printIr || opts.dot ||
+                              opts.json || opts.target.empty();
+    std::unique_ptr<ir::Graph> graph;
+    if (want_display) {
+        ir::BuildOptions build;
+        build.entry = opts.entry;
+        build.paramConsts = opts.params;
+        graph = ir::compileToSrdfg(source, build);
+        if (opts.optimize) {
+            auto pipeline = pass::standardPipeline();
+            for (const auto &result : pipeline.runToFixpoint(*graph)) {
+                if (result.changed)
+                    err += format("pmc: pass %s changed the graph\n",
+                                  result.name.c_str());
+            }
         }
     }
 
@@ -447,43 +520,12 @@ runFile(const Options &opts, const std::string &file, std::string &out,
         did_something = true;
     }
     if (!opts.target.empty()) {
-        const auto domain = domainFromKeyword(opts.target);
-        const auto registry = target::standardRegistry();
-        // Compile through the process-wide cache so repeated inputs in a
-        // multi-file run pay the lower+translate cost once. The cache key
-        // covers (source, build options, domain, registry) but not the
-        // pass pipeline, so the --optimize flag is appended to keep
-        // optimized and unoptimized programs distinct.
-        const std::string key =
-            lower::compileCacheKey(source, build, domain, registry) +
-            (opts.optimize ? "\x1f"
-                             "optimize\x1f"
-                             "1"
-                           : "\x1f"
-                             "optimize\x1f"
-                             "0");
-        const auto compiled_ptr =
-            lower::CompileCache::global().getOrCompile(key, [&] {
-                auto fresh = ir::compileToSrdfg(source, build);
-                if (opts.optimize)
-                    pass::standardPipeline().runToFixpoint(*fresh);
-                lower::lowerGraph(*fresh, registry.supportedOpsByDomain(),
-                                  domain);
-                return lower::compileProgram(*fresh, registry, domain);
-            });
-        const lower::CompiledProgram &compiled = *compiled_ptr;
-        out += compiled.str();
-        if (opts.schedule) {
-            for (const auto &partition : compiled.partitions) {
-                if (partition.accel == "TABLA") {
-                    out += "TABLA PE schedule:\n" +
-                           target::listSchedule(partition, {}).str();
-                } else if (partition.accel == "DECO") {
-                    out += "DECO chain mapping:\n" +
-                           target::mapChains(partition, {}).str();
-                }
-            }
-        }
+        const auto req = requestFromOptions(opts, file, source);
+        const auto exec = service::runRequest(
+            req, lower::CompileCache::global());
+        out += exec.out;
+        if (!opts.profileJsonPath.empty() && opts.streamJobs == 0)
+            writeProfileDoc(opts.profileJsonPath, exec.profileJson);
         if (opts.simulate && opts.streamJobs > 0) {
             soc::SocRuntime runtime;
             soc::StreamConfig stream;
@@ -503,56 +545,13 @@ runFile(const Options &opts, const std::string &file, std::string &out,
             }
             soc::StreamJob job;
             job.name = file;
-            job.program = &compiled;
+            job.program = exec.program.get();
             job.profile.invocations = opts.invocations;
             const soc::StreamScheduler scheduler(runtime, stream);
             const auto report = scheduler.run({job});
             out += report.str() + "\n";
-        } else if (opts.simulate) {
-            soc::SocRuntime runtime;
-            if (opts.faultRate != 0) { // negative => validation error
-                soc::FaultConfig faults;
-                faults.seed = opts.faultSeed;
-                faults.accelUnavailableRate = opts.faultRate / 5.0;
-                faults.dmaFailureRate = opts.faultRate;
-                faults.watchdogRate = opts.faultRate / 2.0;
-                runtime.setFaultModel(soc::FaultModel(faults));
-            }
-            target::WorkloadProfile profile;
-            profile.invocations = opts.invocations;
-            const auto result = runtime.execute(compiled, profile);
-            out += format("simulated: %s\n", result.total.str().c_str());
-            if (opts.faultRate > 0) {
-                out += format("reliability: %s\n",
-                              result.reliability.str().c_str());
-            }
-            if (opts.profile) {
-                for (size_t pi = 0; pi < result.partitions.size(); ++pi) {
-                    out += format("partition %zu ", pi);
-                    out += target::profileTable(
-                        result.partitions[pi],
-                        static_cast<int>(opts.profileTopN));
-                }
-            }
-            if (!opts.profileJsonPath.empty()) {
-                std::string doc = "{\"schema\":\"polymath-profile/1\"";
-                doc += ",\"file\":" + json::quote(file);
-                doc += ",\"partitions\":[";
-                for (size_t pi = 0; pi < result.partitions.size(); ++pi) {
-                    if (pi)
-                        doc += ",";
-                    doc += target::profileJson(result.partitions[pi]);
-                }
-                doc += "],\"total\":" +
-                       target::profileJson(result.total) + "}\n";
-                std::ofstream json_out(opts.profileJsonPath,
-                                       std::ios::binary);
-                if (!json_out)
-                    fatal("cannot open '" + opts.profileJsonPath +
-                          "' for writing");
-                json_out << doc;
-            }
-        } else if (obs::TraceRecorder::global().enabled()) {
+        } else if (!opts.simulate &&
+                   obs::TraceRecorder::global().enabled()) {
             // --trace without --simulate: shadow-execute the compiled
             // program so the trace still carries the virtual SoC
             // timeline. Output is discarded and failures are swallowed —
@@ -561,7 +560,7 @@ runFile(const Options &opts, const std::string &file, std::string &out,
                 soc::SocRuntime runtime;
                 target::WorkloadProfile profile;
                 profile.invocations = opts.invocations;
-                runtime.execute(compiled, profile);
+                runtime.execute(*exec.program, profile);
             } catch (...) {
             }
         }
@@ -594,6 +593,55 @@ runFileGuarded(const Options &opts, const std::string &file,
         err += format("pmc: internal error: %s\n", e.what());
         return 2;
     }
+}
+
+/**
+ * Client mode: ship every input to the pmcd daemon over one connection
+ * (pipelined), then replay the responses in input order. The daemon
+ * runs the same service::runRequest() as local execution, so stdout/
+ * stderr bytes and exit codes match a local run exactly.
+ */
+int
+runConnected(const Options &opts)
+{
+    service::Client client(opts.connectPath);
+    const auto n = static_cast<int64_t>(opts.files.size());
+    for (int64_t i = 0; i < n; ++i) {
+        auto req = requestFromOptions(opts, opts.files[static_cast<size_t>(i)],
+                                      readInput(opts.files[static_cast<size_t>(i)]));
+        req.id = i;
+        client.send(req);
+    }
+    std::vector<service::Response> responses(static_cast<size_t>(n));
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (int64_t remaining = n; remaining > 0;) {
+        service::Response resp;
+        if (!client.recv(resp))
+            fatal("service: connection closed with " +
+                  std::to_string(remaining) + " response(s) outstanding");
+        if (resp.id < 0 || resp.id >= n || seen[static_cast<size_t>(resp.id)])
+            fatal("service: unexpected response id " +
+                  std::to_string(resp.id));
+        seen[static_cast<size_t>(resp.id)] = true;
+        responses[static_cast<size_t>(resp.id)] = std::move(resp);
+        --remaining;
+    }
+    int code = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const auto &resp = responses[static_cast<size_t>(i)];
+        std::fputs(resp.output.c_str(), stdout);
+        if (resp.rejected) {
+            std::fprintf(stderr, "pmc: request rejected by server: %s",
+                         resp.error.c_str());
+            code = std::max(code, 2);
+            continue;
+        }
+        std::fputs(resp.error.c_str(), stderr);
+        if (resp.ok && !opts.profileJsonPath.empty())
+            writeProfileDoc(opts.profileJsonPath, resp.profileJson);
+        code = std::max(code, resp.code);
+    }
+    return code;
 }
 
 /**
@@ -660,6 +708,8 @@ run(const Options &opts)
               "document identifies one program)");
     if (opts.profile || !opts.profileJsonPath.empty())
         target::setProfilingEnabled(true);
+    if (!opts.connectPath.empty())
+        return runConnected(opts);
     if (!opts.tracePath.empty())
         obs::TraceRecorder::global().setEnabled(true);
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * pmcd — the PolyMath compile-service daemon (docs/SERVICE.md).
+ *
+ * Serves compile/simulate/profile requests over a Unix-domain socket,
+ * sharing one process-wide CompileCache and Op interner across every
+ * request so the pipeline cost of a repeated source is paid once per
+ * daemon lifetime instead of once per process. `pmc --connect <socket>`
+ * is the matching client; bench_service is the load generator.
+ *
+ * The daemon runs until it receives a `shutdown` request (which drains
+ * all queued and in-flight work first). `pmcd --shutdown` sends one.
+ */
+#include <charconv>
+#include <cstdio>
+#include <string>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace polymath;
+
+void
+usage()
+{
+    std::fputs(
+        "usage: pmcd --socket <path> [options]\n"
+        "\n"
+        "  --socket <path>       Unix-domain socket to listen on\n"
+        "                        (required)\n"
+        "  -j, --jobs <n>        worker threads executing requests\n"
+        "                        (0 = all hardware threads; default\n"
+        "                        POLYMATH_JOBS or 1)\n"
+        "  --max-pending <n>     admission bound on the queued request\n"
+        "                        backlog across all clients; past it\n"
+        "                        requests are rejected with an\n"
+        "                        accounted, structured response\n"
+        "                        (default 256; 0 = unbounded)\n"
+        "  --cache-entries <n>   LRU-bound the shared compile cache to\n"
+        "                        n programs (default\n"
+        "                        POLYMATH_CACHE_ENTRIES or unbounded)\n"
+        "  --shutdown            act as a client instead: send a\n"
+        "                        shutdown request to the daemon at\n"
+        "                        --socket, print its final stats, exit\n",
+        stderr);
+}
+
+int64_t
+parseCount(const std::string &flag, const std::string &text)
+{
+    int64_t value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || value < 0)
+        fatal(flag + " expects a non-negative integer (got '" + text +
+              "')");
+    return value;
+}
+
+int
+run(int argc, char **argv)
+{
+    service::ServerConfig config;
+    config.jobs = core::defaultJobs();
+    bool shutdown = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--socket") {
+            config.socketPath = next();
+        } else if (arg == "-j" || arg == "--jobs") {
+            config.jobs =
+                static_cast<int>(parseCount("--jobs", next()));
+        } else if (arg == "--max-pending") {
+            config.maxPending =
+                static_cast<int>(parseCount("--max-pending", next()));
+        } else if (arg == "--cache-entries") {
+            config.cacheEntries = static_cast<size_t>(
+                parseCount("--cache-entries", next()));
+        } else if (arg == "--shutdown") {
+            shutdown = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("unknown option " + arg);
+        }
+    }
+    if (config.socketPath.empty()) {
+        usage();
+        return 2;
+    }
+
+    if (shutdown) {
+        service::Client client(config.socketPath);
+        service::Request request;
+        request.verb = service::Verb::Shutdown;
+        const auto response = client.call(request);
+        for (const auto &[name, value] : response.stats)
+            std::fprintf(stderr, "pmcd: %-16s %.6g\n", name.c_str(),
+                         value);
+        return response.ok ? 0 : 1;
+    }
+
+    service::Server server(config);
+    server.start();
+    std::fprintf(stderr,
+                 "pmcd: listening on %s (jobs=%d, max-pending=%d)\n",
+                 config.socketPath.c_str(), config.jobs,
+                 config.maxPending);
+    server.wait();
+    const auto stats = server.stats();
+    std::fprintf(stderr,
+                 "pmcd: shut down; offered=%lld completed=%lld "
+                 "rejected=%lld malformed=%lld\n",
+                 static_cast<long long>(stats.offered),
+                 static_cast<long long>(stats.completed),
+                 static_cast<long long>(stats.rejected),
+                 static_cast<long long>(stats.malformed));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const polymath::UserError &e) {
+        std::fprintf(stderr, "pmcd: error: %s\n", e.message().c_str());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pmcd: internal error: %s\n", e.what());
+        return 2;
+    }
+}
