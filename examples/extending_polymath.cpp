@@ -26,13 +26,15 @@ namespace {
 class Systolic256 : public target::Backend
 {
   public:
+    Systolic256() : Backend(systolicConfig()) {}
+
     std::string name() const override { return "Systolic256"; }
     lang::Domain domain() const override { return lang::Domain::DA; }
 
-    target::MachineConfig machine() const override
+    static target::MachineConfig systolicConfig()
     {
         target::MachineConfig m;
-        m.name = name();
+        m.name = "Systolic256";
         m.freqGhz = 0.8;
         m.watts = 2.2;
         m.computeUnits = 4096; // 64x64 MACs

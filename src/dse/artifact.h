@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The schema-versioned `polymath-dse/1` artifact: the autotuner's
+ * machine-readable output, carrying the same provenance fields as
+ * `polymath-bench/1` (schema, producing tool, git describe, build
+ * config) plus the search identity (space, driver, seed, budget) and,
+ * per workload, the baseline point, the chosen best point, and the full
+ * Pareto front with phase attribution.
+ *
+ * Deliberately absent: a jobs field. The search is deterministic at any
+ * evaluation fan-out, artifacts from `-j1` and `-j4` runs must be
+ * byte-identical, and recording the jobs count would break exactly that
+ * guarantee (tests/test_dse.cc pins it).
+ *
+ * toBenchArtifact() flattens the studies into `polymath-bench/1` rows so
+ * the existing compareArtifacts tolerance machinery — and therefore
+ * tools/bench_compare and the check.sh gate — consumes DSE results
+ * without a parallel diffing stack.
+ */
+#ifndef POLYMATH_DSE_ARTIFACT_H_
+#define POLYMATH_DSE_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/dse.h"
+#include "report/artifact.h"
+
+namespace polymath::dse {
+
+/** One serialized configuration point. */
+struct DsePoint
+{
+    int64_t index = -1;
+    std::string label;
+    double seconds = 0.0;
+    double joules = 0.0;
+    double perfPerWatt = 0.0;
+    double computeSeconds = 0.0;
+    double dmaSeconds = 0.0;
+    double overheadSeconds = 0.0;
+    std::string dominantPhase;
+    std::string topCost;
+};
+
+/** One workload's serialized study. */
+struct DseStudy
+{
+    std::string id;
+    std::string backend;
+    int64_t spaceSize = 0;
+    int64_t evaluated = 0;
+    DsePoint baseline;
+    DsePoint best;
+    std::vector<DsePoint> front; ///< ascending (seconds, index)
+};
+
+/** The whole artifact. */
+struct DseArtifact
+{
+    static constexpr const char *kSchema = "polymath-dse/1";
+
+    /** Producing tool ("pmdse", "pmc", "pmcd"). */
+    std::string name;
+
+    // Provenance, mirroring report::BenchArtifact (minus jobs — see the
+    // file comment).
+    std::string git;
+    std::string config;
+
+    // Search identity: everything needed to reproduce the artifact.
+    std::string space;  ///< "small" | "full"
+    std::string search; ///< "auto" | "grid" | "random"
+    uint64_t seed = 0;
+    int64_t samples = 0;
+    int64_t rounds = 0;
+
+    std::vector<DseStudy> workloads;
+
+    /** Serializes (locale-independent; workloads in insertion order,
+     *  which callers keep deterministic). */
+    std::string json() const;
+
+    /** @throws UserError on malformed input or a foreign schema. */
+    static DseArtifact fromJson(const std::string &text);
+
+    /** json() to @p path; @throws UserError when unwritable. */
+    void write(const std::string &path) const;
+
+    /** fromJson over @p path's contents; @throws UserError. */
+    static DseArtifact read(const std::string &path);
+
+    /** Flattens to `polymath-bench/1` rows per workload: front_size,
+     *  evaluated, baseline_seconds, best_seconds, best_joules,
+     *  best_perf_per_watt, speedup, ppw_gain. */
+    report::BenchArtifact toBenchArtifact() const;
+};
+
+/** Converts an in-memory study to its serialized form. */
+DseStudy toStudy(const WorkloadStudy &study);
+
+} // namespace polymath::dse
+
+#endif // POLYMATH_DSE_ARTIFACT_H_

@@ -1,0 +1,26 @@
+#include "dse/pareto.h"
+
+namespace polymath::dse {
+
+bool
+dominates(const Objective &a, const Objective &b)
+{
+    return a.seconds <= b.seconds && a.perfPerWatt >= b.perfPerWatt &&
+           (a.seconds < b.seconds || a.perfPerWatt > b.perfPerWatt);
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<Objective> &points)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+} // namespace polymath::dse

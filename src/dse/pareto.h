@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pareto-front extraction over the autotuner's two objectives: runtime
+ * (seconds, minimized) and efficiency (performance per watt, maximized).
+ * A config is on the front iff no other config is at least as good on
+ * both objectives and strictly better on one. Exact ties — equal on
+ * both objectives — do not dominate each other, so tied configs are all
+ * kept: a front of interchangeable designs is information, not noise.
+ */
+#ifndef POLYMATH_DSE_PARETO_H_
+#define POLYMATH_DSE_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace polymath::dse {
+
+/** One candidate's objective values. */
+struct Objective
+{
+    double seconds = 0.0;     ///< minimized
+    double perfPerWatt = 0.0; ///< maximized
+};
+
+/** True when @p a dominates @p b: no worse on both objectives and
+ *  strictly better on at least one. */
+bool dominates(const Objective &a, const Objective &b);
+
+/**
+ * Positions of the non-dominated points of @p points, ascending (input
+ * order preserved). O(n^2) pairwise dominance — the autotuner evaluates
+ * at most a few hundred configs per workload, so simplicity wins over
+ * a sort-and-sweep.
+ */
+std::vector<size_t> paretoFront(const std::vector<Objective> &points);
+
+} // namespace polymath::dse
+
+#endif // POLYMATH_DSE_PARETO_H_

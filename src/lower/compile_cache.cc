@@ -13,7 +13,8 @@ namespace polymath::lower {
 
 std::string
 compileCacheKey(const std::string &source, const ir::BuildOptions &opts,
-                Domain default_domain, const AcceleratorRegistry &registry)
+                Domain default_domain, const AcceleratorRegistry &registry,
+                const std::string &salt)
 {
     // Field separators use '\x1f' (unit separator) so that no field can
     // run into its neighbor and alias another key.
@@ -53,6 +54,10 @@ compileCacheKey(const std::string &source, const ir::BuildOptions &opts,
             key += ',';
         }
         key += "];";
+    }
+    if (!salt.empty()) {
+        key += "\x1f""salt\x1f";
+        key += salt;
     }
     return key;
 }

@@ -46,11 +46,18 @@ namespace polymath::lower {
  * Canonical cache key for one compilation: a deterministic rendering of
  * (source text, build options, default domain, registry op-sets). Two
  * compilations with equal keys produce bit-identical CompiledPrograms.
+ *
+ * @p salt distinguishes compilations whose inputs are identical but
+ * whose downstream processing differs — e.g. the pmcd optimize flag or
+ * a DSE machine-config signature. A non-empty salt is appended as one
+ * more '\x1f'-separated field; the default empty salt keeps keys
+ * byte-identical to the pre-salt rendering.
  */
 std::string compileCacheKey(const std::string &source,
                             const ir::BuildOptions &opts,
                             Domain default_domain,
-                            const AcceleratorRegistry &registry);
+                            const AcceleratorRegistry &registry,
+                            const std::string &salt = {});
 
 /** 64-bit FNV-1a of @p key (the content address used for display). */
 uint64_t contentHash(const std::string &key);

@@ -1,11 +1,14 @@
 #include "service/exec.h"
 
 #include <fstream>
+#include <set>
 
 #include "core/diagnostics.h"
 #include "core/error.h"
 #include "core/json.h"
 #include "core/strings.h"
+#include "dse/artifact.h"
+#include "dse/dse.h"
 #include "lower/lower.h"
 #include "passes/pass.h"
 #include "pmlang/parser.h"
@@ -66,16 +69,11 @@ runRequest(const Request &req, lower::CompileCache &cache)
 
     // Compile through the shared cache. The key covers (source, build
     // options, domain, registry) but not the pass pipeline, so the
-    // optimize flag is appended to keep optimized and unoptimized
+    // optimize flag is salted in to keep optimized and unoptimized
     // programs distinct.
-    const std::string key =
-        lower::compileCacheKey(req.source, build, domain, registry) +
-        (req.optimize ? "\x1f"
-                        "optimize\x1f"
-                        "1"
-                      : "\x1f"
-                        "optimize\x1f"
-                        "0");
+    const std::string key = lower::compileCacheKey(
+        req.source, build, domain, registry,
+        req.optimize ? "optimize=1" : "optimize=0");
     ExecResult result;
     bool compiled_here = false;
     result.program = cache.getOrCompile(key, [&] {
@@ -89,6 +87,42 @@ runRequest(const Request &req, lower::CompileCache &cache)
     });
     result.cacheHit = !compiled_here;
     const lower::CompiledProgram &compiled = *result.program;
+
+    if (req.verb == Verb::Dse) {
+        // Design-space search over every searchable accelerator among
+        // the compiled partitions (docs/DSE.md). Single-threaded per
+        // request: the server's fairness unit is the request, and the
+        // search is deterministic at any fan-out anyway.
+        dse::SearchOptions opts;
+        opts.space = dse::ConfigSpace::kindFromString(req.dseSpace);
+        opts.driver =
+            dse::SearchOptions::driverFromString(req.dseSearch);
+        opts.samples = req.dseSamples;
+        opts.rounds = req.dseRounds;
+        opts.seed = req.dseSeed;
+        opts.jobs = 1;
+        target::WorkloadProfile workload;
+        workload.invocations = req.invocations;
+        std::vector<dse::WorkloadStudy> studies;
+        std::set<std::string> swept;
+        for (const auto &partition : compiled.partitions) {
+            if (!dse::ConfigSpace::searchable(partition.accel) ||
+                !swept.insert(partition.accel).second)
+                continue;
+            studies.push_back(dse::explore(
+                req.file, partition.accel,
+                dse::partitionsFor(compiled, partition.accel), workload,
+                opts));
+        }
+        if (studies.empty())
+            fatal("dse: the compiled program has no partitions on a "
+                  "searchable accelerator");
+        for (const auto &study : studies)
+            result.out += dse::frontTable(study) + "\n";
+        result.out += "best configs:\n" + dse::bestTable(studies);
+        return result;
+    }
+
     result.out += compiled.str();
 
     if (req.schedule) {

@@ -54,6 +54,23 @@ getString(const json::Object &obj, const std::string &key,
     return it == obj.end() ? dflt : it->second.str();
 }
 
+/** Seed field: full uint64 carried as a decimal string (a JSON double
+ *  truncates past 2^53). */
+uint64_t
+getSeed(const json::Object &obj, const std::string &key, uint64_t dflt)
+{
+    const std::string seed = getString(obj, key, std::to_string(dflt));
+    uint64_t value = 0;
+    const char *begin = seed.data();
+    const char *end = begin + seed.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+        fatal("service: field '" + key +
+              "' must be a decimal unsigned integer string (got '" +
+              seed + "')");
+    return value;
+}
+
 } // namespace
 
 const char *
@@ -63,6 +80,7 @@ toString(Verb verb)
       case Verb::Compile: return "compile";
       case Verb::Simulate: return "simulate";
       case Verb::Profile: return "profile";
+      case Verb::Dse: return "dse";
       case Verb::Stats: return "stats";
       case Verb::Shutdown: return "shutdown";
     }
@@ -73,7 +91,7 @@ bool
 isWorkVerb(Verb verb)
 {
     return verb == Verb::Compile || verb == Verb::Simulate ||
-           verb == Verb::Profile;
+           verb == Verb::Profile || verb == Verb::Dse;
 }
 
 namespace {
@@ -84,10 +102,11 @@ verbFromString(const std::string &word)
     if (word == "compile") return Verb::Compile;
     if (word == "simulate") return Verb::Simulate;
     if (word == "profile") return Verb::Profile;
+    if (word == "dse") return Verb::Dse;
     if (word == "stats") return Verb::Stats;
     if (word == "shutdown") return Verb::Shutdown;
     fatal("service: unknown verb '" + word +
-          "' (expected compile|simulate|profile|stats|shutdown)");
+          "' (expected compile|simulate|profile|dse|stats|shutdown)");
 }
 
 } // namespace
@@ -126,6 +145,14 @@ Request::json() const
     doc += ",\"profileTop\":" + std::to_string(profileTop);
     if (profileDoc)
         doc += ",\"profileDoc\":true";
+    if (verb == Verb::Dse) {
+        doc += ",\"dseSpace\":" + json::quote(dseSpace);
+        doc += ",\"dseSearch\":" + json::quote(dseSearch);
+        doc += ",\"dseSamples\":" + std::to_string(dseSamples);
+        doc += ",\"dseRounds\":" + std::to_string(dseRounds);
+        // Same uint64-as-decimal-string convention as faultSeed.
+        doc += ",\"dseSeed\":" + json::quote(std::to_string(dseSeed));
+    }
     doc += "}";
     return doc;
 }
@@ -159,25 +186,22 @@ Request::fromJson(const std::string &line)
     req.schedule = getBool(obj, "schedule", false);
     req.invocations = getInt(obj, "invocations", 1);
     req.faultRate = getNum(obj, "faultRate", 0.0);
-    const std::string seed =
-        getString(obj, "faultSeed", std::to_string(req.faultSeed));
-    {
-        uint64_t value = 0;
-        const char *begin = seed.data();
-        const char *end = begin + seed.size();
-        const auto [ptr, ec] = std::from_chars(begin, end, value);
-        if (ec != std::errc{} || ptr != end)
-            fatal("service: field 'faultSeed' must be a decimal "
-                  "unsigned integer string (got '" +
-                  seed + "')");
-        req.faultSeed = value;
-    }
+    req.faultSeed = getSeed(obj, "faultSeed", req.faultSeed);
     req.profileTop = getInt(obj, "profileTop", 10);
     req.profileDoc = getBool(obj, "profileDoc", false);
+    req.dseSpace = getString(obj, "dseSpace", req.dseSpace);
+    req.dseSearch = getString(obj, "dseSearch", req.dseSearch);
+    req.dseSamples = getInt(obj, "dseSamples", req.dseSamples);
+    req.dseRounds = getInt(obj, "dseRounds", req.dseRounds);
+    req.dseSeed = getSeed(obj, "dseSeed", req.dseSeed);
     if (req.profileTop < 1)
         fatal("service: field 'profileTop' must be positive");
     if (req.invocations < 1)
         fatal("service: field 'invocations' must be positive");
+    if (req.dseSamples < 1)
+        fatal("service: field 'dseSamples' must be positive");
+    if (req.dseRounds < 1)
+        fatal("service: field 'dseRounds' must be positive");
     return req;
 }
 

@@ -11,6 +11,9 @@
  *                  lines appended, faults honored);
  *   - "profile"  — simulate with cost ledgers; the response adds the
  *                  hotspot tables and a polymath-profile/1 document;
+ *   - "dse"      — compile + design-space search over the target
+ *                  accelerator's machine configs (docs/DSE.md); the
+ *                  response carries the Pareto-front tables;
  *   - "stats"    — server/cache counters (answered inline, not queued);
  *   - "shutdown" — drain all queued + in-flight work, answer, exit.
  *
@@ -35,6 +38,7 @@ enum class Verb
     Compile,
     Simulate,
     Profile,
+    Dse,
     Stats,
     Shutdown,
 };
@@ -66,6 +70,18 @@ struct Request
      *  without printing hotspot tables (pmc's `--profile-json` without
      *  `--profile`). The profile verb always builds it. */
     bool profileDoc = false;
+
+    /** dse verb: config-space kind ("small"|"full", docs/DSE.md). */
+    std::string dseSpace = "small";
+    /** dse verb: search driver ("auto"|"grid"|"random"). */
+    std::string dseSearch = "auto";
+    /** dse verb: random-driver sample budget per round. */
+    int64_t dseSamples = 48;
+    /** dse verb: random-driver successive-halving rounds. */
+    int64_t dseRounds = 3;
+    /** dse verb: search seed (decimal string on the wire, like
+     *  faultSeed — full uint64s don't survive a JSON double). */
+    uint64_t dseSeed = 0x5eed;
 
     /** One-line JSON rendering (no trailing newline). */
     std::string json() const;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "core/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "targets/common/cost_ledger.h"
@@ -13,6 +14,11 @@
 #include "targets/vta/vta.h"
 
 namespace polymath::target {
+
+Backend::Backend(MachineConfig machine) : machine_(std::move(machine))
+{
+    machine_.validate();
+}
 
 PerfReport
 Backend::simulate(const lower::Partition &partition,
@@ -181,6 +187,26 @@ standardBackends()
     out.push_back(std::make_unique<VtaBackend>());
     out.push_back(std::make_unique<HyperstreamsBackend>());
     return out;
+}
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &name, MachineConfig config)
+{
+    if (name == "RoboX")
+        return std::make_unique<RoboxBackend>(std::move(config));
+    if (name == "Graphicionado")
+        return std::make_unique<GraphicionadoBackend>(std::move(config));
+    if (name == "TABLA")
+        return std::make_unique<TablaBackend>(std::move(config));
+    if (name == "DECO")
+        return std::make_unique<DecoBackend>(std::move(config));
+    if (name == "TVM-VTA")
+        return std::make_unique<VtaBackend>(std::move(config));
+    if (name == "HyperStreams")
+        return std::make_unique<HyperstreamsBackend>(std::move(config));
+    fatal("makeBackend: unknown backend '" + name +
+          "' (expected RoboX|Graphicionado|TABLA|DECO|TVM-VTA|"
+          "HyperStreams)");
 }
 
 lower::AcceleratorRegistry

@@ -53,15 +53,30 @@ struct WorkloadProfile
     double hostGlueSeconds = 0.0;
 };
 
-/** One accelerator backend: spec + simulator. */
+/**
+ * One accelerator backend: spec + simulator.
+ *
+ * The machine configuration is constructor-injected data, not a
+ * hard-coded constant (DESIGN.md §"Configs are data"): every backend
+ * default-constructs from its Table VI factory but accepts any
+ * MachineConfig, which is what the design-space autotuner (src/dse/)
+ * sweeps. The constructor is the single config-ingest point — it
+ * validates, so a degenerate config (zero frequency, no compute units)
+ * fails loudly before any cost model divides by it.
+ */
 class Backend
 {
   public:
+    /** @throws UserError when @p machine fails MachineConfig::validate().*/
+    explicit Backend(MachineConfig machine);
+
     virtual ~Backend() = default;
 
     virtual std::string name() const = 0;
     virtual lang::Domain domain() const = 0;
-    virtual MachineConfig machine() const = 0;
+
+    /** The machine configuration this instance simulates. */
+    const MachineConfig &machine() const { return machine_; }
 
     /** Registration for the compilation algorithms (Ot, md, +d). */
     virtual lower::AcceleratorSpec spec() const = 0;
@@ -81,6 +96,9 @@ class Backend
     virtual PerfReport simulateImpl(const lower::Partition &partition,
                                     const WorkloadProfile &profile)
         const = 0;
+
+  private:
+    MachineConfig machine_;
 };
 
 /** DMA traffic of a partition split by type modifier: `param`/`state`
@@ -126,6 +144,15 @@ std::vector<std::vector<const lower::IrFragment *>> fragmentLevels(
 
 /** All six DSA backends, in registration order matching Table V. */
 std::vector<std::unique_ptr<Backend>> standardBackends();
+
+/**
+ * One DSA backend by Table V name ("RoboX", "Graphicionado", "TABLA",
+ * "DECO", "TVM-VTA", "HyperStreams") under a caller-chosen machine
+ * configuration — the instantiation point of the design-space autotuner.
+ * @throws UserError on an unknown name or an invalid config.
+ */
+std::unique_ptr<Backend> makeBackend(const std::string &name,
+                                     MachineConfig config);
 
 /** AcceleratorRegistry assembled from standardBackends(). */
 lower::AcceleratorRegistry standardRegistry();

@@ -1,9 +1,74 @@
 #include "targets/common/machine_config.h"
 
+#include <cmath>
+
 #include "core/error.h"
+#include "core/json.h"
 #include "core/strings.h"
 
 namespace polymath::target {
+
+void
+MachineConfig::validate() const
+{
+    auto positive = [this](const char *field, double value) {
+        if (!(value > 0.0) || !std::isfinite(value)) {
+            fatal(format("MachineConfig(%s).%s must be positive (got %g)",
+                         name.c_str(), field, value));
+        }
+    };
+    auto non_negative = [this](const char *field, double value) {
+        if (!(value >= 0.0) || !std::isfinite(value)) {
+            fatal(format("MachineConfig(%s).%s must be non-negative "
+                         "(got %g)",
+                         name.c_str(), field, value));
+        }
+    };
+    positive("computeUnits", static_cast<double>(computeUnits));
+    positive("freqGhz", freqGhz);
+    positive("watts", watts);
+    positive("dramGBs", dramGBs);
+    positive("flopsPerUnitCycle", flopsPerUnitCycle);
+    positive("busWordsPerCycle", static_cast<double>(busWordsPerCycle));
+    positive("banksPerPipe", static_cast<double>(banksPerPipe));
+    non_negative("idleWatts", idleWatts);
+    non_negative("onChipBytes", static_cast<double>(onChipBytes));
+    non_negative("launchOverheadUs", launchOverheadUs);
+}
+
+std::string
+MachineConfig::signature() const
+{
+    // '\x1f' separators, same convention as lower::compileCacheKey: no
+    // field can run into its neighbor and alias another signature.
+    std::string sig = name;
+    auto num = [&sig](double value) {
+        sig += '\x1f';
+        sig += json::numberToJson(value);
+    };
+    num(freqGhz);
+    num(watts);
+    num(idleWatts);
+    num(static_cast<double>(computeUnits));
+    num(flopsPerUnitCycle);
+    num(dramGBs);
+    num(static_cast<double>(onChipBytes));
+    num(launchOverheadUs);
+    num(static_cast<double>(busWordsPerCycle));
+    num(static_cast<double>(banksPerPipe));
+    return sig;
+}
+
+double
+cyclesToSeconds(double cycles, double freq_ghz)
+{
+    if (!(freq_ghz > 0.0) || !std::isfinite(freq_ghz)) {
+        fatal(format("cyclesToSeconds: frequency must be positive and "
+                     "finite (got %g GHz)",
+                     freq_ghz));
+    }
+    return cycles / (freq_ghz * 1e9);
+}
 
 void
 SocConfig::validate() const
@@ -111,6 +176,7 @@ graphicionadoConfig()
     m.dramGBs = 68.0;   // 4x HMC-ish links in the paper's config
     m.onChipBytes = 64ll * 1024 * 1024;
     m.launchOverheadUs = 1.0;
+    m.banksPerPipe = 32; // destination-interleaved atomic-update banks
     return m;
 }
 
@@ -126,6 +192,7 @@ tablaConfig()
     m.dramGBs = 19.2;   // two DDR4 channels on the KCU1500
     m.onChipBytes = 64ll * 1024 * 1024; // Table VI: 75 MB FPGA memory
     m.launchOverheadUs = 2.0;
+    m.busWordsPerCycle = 64; // shared operand bus between PE groups
     return m;
 }
 

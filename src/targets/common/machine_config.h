@@ -26,12 +26,55 @@ struct MachineConfig
     int64_t onChipBytes = 0;    ///< scratchpad / BRAM capacity
     double launchOverheadUs = 0.0; ///< per-kernel/fragment dispatch cost
 
+    // Backend-specific microarchitecture knobs. Backends that do not use
+    // a knob ignore it; the defaults reproduce the Table VI constants the
+    // cost models were calibrated with, so a default-constructed config
+    // is byte-identical to the pre-knob models.
+
+    /** TABLA: words per cycle of the shared operand bus between PE
+     *  groups. The inter-level bus turnaround shrinks as the bus widens
+     *  (4 cycles at the synthesized 64-word bus). */
+    int64_t busWordsPerCycle = 64;
+
+    /** Graphicionado: atomic-update banks per pipeline. More banks mean
+     *  fewer same-cycle reduce conflicts (the calibrated 1.3x conflict
+     *  factor corresponds to 32 banks/pipe). */
+    int64_t banksPerPipe = 32;
+
     double peakFlops() const
     {
         return freqGhz * 1e9 * static_cast<double>(computeUnits) *
                flopsPerUnitCycle;
     }
+
+    /**
+     * Rejects configurations the cost models would divide by zero on or
+     * produce NaN/negative seconds from: non-positive (or non-finite)
+     * computeUnits, freqGhz, watts, dramGBs, flopsPerUnitCycle,
+     * busWordsPerCycle, or banksPerPipe, and negative idleWatts,
+     * onChipBytes, or launchOverheadUs.
+     * @throws UserError naming the offending field.
+     */
+    void validate() const;
+
+    /**
+     * Canonical one-line rendering of every field (shortest round-trip
+     * number emission, '\x1f'-separated). Two configs with equal
+     * signatures are behaviorally identical to every cost model, which
+     * is what makes the signature usable as a cache-key salt for
+     * machine-config-dependent results (the DSE evaluation memo; see
+     * lower::compileCacheKey for the compile-side convention).
+     */
+    std::string signature() const;
 };
+
+/**
+ * Shared cycles -> seconds conversion for every cycle-accurate engine
+ * (the Graphicionado trace pipeline, the VTA tiler). One guard lives
+ * here: a zero, negative, or non-finite frequency is rejected with a
+ * UserError instead of silently producing inf/NaN seconds.
+ */
+double cyclesToSeconds(double cycles, double freq_ghz);
 
 // ---------------------------------------------------------------------------
 // Baselines (Table VI).

@@ -8,6 +8,8 @@
 #ifndef POLYMATH_TARGETS_CPU_CPU_MODEL_H_
 #define POLYMATH_TARGETS_CPU_CPU_MODEL_H_
 
+#include <utility>
+
 #include "targets/common/machine_config.h"
 #include "targets/common/perf_report.h"
 #include "targets/common/workload_cost.h"
@@ -18,7 +20,10 @@ class CpuModel
 {
   public:
     CpuModel() : config_(xeonConfig()) {}
-    explicit CpuModel(MachineConfig config) : config_(std::move(config)) {}
+    explicit CpuModel(MachineConfig config) : config_(std::move(config))
+    {
+        config_.validate();
+    }
 
     const MachineConfig &config() const { return config_; }
 

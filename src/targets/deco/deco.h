@@ -10,6 +10,8 @@
 #ifndef POLYMATH_TARGETS_DECO_DECO_H_
 #define POLYMATH_TARGETS_DECO_DECO_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -17,9 +19,14 @@ namespace polymath::target {
 class DecoBackend : public Backend
 {
   public:
+    DecoBackend() : Backend(decoConfig()) {}
+    explicit DecoBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "DECO"; }
     lang::Domain domain() const override { return lang::Domain::DSP; }
-    MachineConfig machine() const override { return decoConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

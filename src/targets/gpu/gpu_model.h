@@ -9,6 +9,8 @@
 #ifndef POLYMATH_TARGETS_GPU_GPU_MODEL_H_
 #define POLYMATH_TARGETS_GPU_GPU_MODEL_H_
 
+#include <utility>
+
 #include "targets/common/machine_config.h"
 #include "targets/common/perf_report.h"
 #include "targets/common/workload_cost.h"
@@ -18,7 +20,10 @@ namespace polymath::target {
 class GpuModel
 {
   public:
-    explicit GpuModel(MachineConfig config) : config_(std::move(config)) {}
+    explicit GpuModel(MachineConfig config) : config_(std::move(config))
+    {
+        config_.validate();
+    }
 
     static GpuModel titanXp() { return GpuModel(titanXpConfig()); }
     static GpuModel jetson() { return GpuModel(jetsonConfig()); }

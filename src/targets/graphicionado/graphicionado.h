@@ -10,6 +10,8 @@
 #ifndef POLYMATH_TARGETS_GRAPHICIONADO_GRAPHICIONADO_H_
 #define POLYMATH_TARGETS_GRAPHICIONADO_GRAPHICIONADO_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -17,9 +19,14 @@ namespace polymath::target {
 class GraphicionadoBackend : public Backend
 {
   public:
+    GraphicionadoBackend() : Backend(graphicionadoConfig()) {}
+    explicit GraphicionadoBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "Graphicionado"; }
     lang::Domain domain() const override { return lang::Domain::GA; }
-    MachineConfig machine() const override { return graphicionadoConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

@@ -13,6 +13,7 @@ TraceConfig::fromMachine(const MachineConfig &machine)
 {
     TraceConfig config;
     config.pipes = static_cast<int>(machine.computeUnits);
+    config.banksPerPipe = static_cast<int>(machine.banksPerPipe);
     config.scratchpadBytes = machine.onChipBytes;
     config.freqGhz = machine.freqGhz;
     config.watts = machine.watts;

@@ -58,7 +58,7 @@ struct TraceResult
 
     double seconds(double freq_ghz) const
     {
-        return static_cast<double>(cycles) / (freq_ghz * 1e9);
+        return cyclesToSeconds(static_cast<double>(cycles), freq_ghz);
     }
 
     /** Converts to the common report shape. */

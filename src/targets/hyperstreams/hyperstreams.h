@@ -9,6 +9,8 @@
 #ifndef POLYMATH_TARGETS_HYPERSTREAMS_HYPERSTREAMS_H_
 #define POLYMATH_TARGETS_HYPERSTREAMS_HYPERSTREAMS_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -16,9 +18,14 @@ namespace polymath::target {
 class HyperstreamsBackend : public Backend
 {
   public:
+    HyperstreamsBackend() : Backend(hyperstreamsConfig()) {}
+    explicit HyperstreamsBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "HyperStreams"; }
     lang::Domain domain() const override { return lang::Domain::DA; }
-    MachineConfig machine() const override { return hyperstreamsConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

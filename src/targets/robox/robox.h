@@ -9,6 +9,8 @@
 #ifndef POLYMATH_TARGETS_ROBOX_ROBOX_H_
 #define POLYMATH_TARGETS_ROBOX_ROBOX_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -16,9 +18,14 @@ namespace polymath::target {
 class RoboxBackend : public Backend
 {
   public:
+    RoboxBackend() : Backend(roboxConfig()) {}
+    explicit RoboxBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "RoboX"; }
     lang::Domain domain() const override { return lang::Domain::RBT; }
-    MachineConfig machine() const override { return roboxConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

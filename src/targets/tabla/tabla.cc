@@ -65,7 +65,10 @@ TablaBackend::simulateImpl(const lower::Partition &partition,
         cycles += std::ceil(level_flops / pes);
         if (has_reduce)
             cycles += std::log2(pes); // PU reduction-tree latency
-        cycles += 4; // bus turnaround between dependence levels
+        // Bus turnaround between dependence levels: 4 cycles at the
+        // baseline 64-words/cycle operand bus, scaling inversely with
+        // bus width (exactly 4.0 at the Table VI default).
+        cycles += 4.0 * (64.0 / static_cast<double>(m.busWordsPerCycle));
     }
     cycles *= profile.scale;
 

@@ -10,6 +10,8 @@
 #ifndef POLYMATH_TARGETS_TABLA_TABLA_H_
 #define POLYMATH_TARGETS_TABLA_TABLA_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -17,9 +19,14 @@ namespace polymath::target {
 class TablaBackend : public Backend
 {
   public:
+    TablaBackend() : Backend(tablaConfig()) {}
+    explicit TablaBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "TABLA"; }
     lang::Domain domain() const override { return lang::Domain::DA; }
-    MachineConfig machine() const override { return tablaConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "targets/common/machine_config.h"
+
 namespace polymath::target {
 
 /** One convolution/dense layer to tile (pre-padded geometry). */
@@ -68,7 +70,7 @@ struct TilePlan
 
     double seconds(double freq_ghz) const
     {
-        return static_cast<double>(totalCycles) / (freq_ghz * 1e9);
+        return cyclesToSeconds(static_cast<double>(totalCycles), freq_ghz);
     }
 };
 

@@ -10,6 +10,8 @@
 #ifndef POLYMATH_TARGETS_VTA_VTA_H_
 #define POLYMATH_TARGETS_VTA_VTA_H_
 
+#include <utility>
+
 #include "targets/common/backend.h"
 
 namespace polymath::target {
@@ -17,9 +19,14 @@ namespace polymath::target {
 class VtaBackend : public Backend
 {
   public:
+    VtaBackend() : Backend(vtaConfig()) {}
+    explicit VtaBackend(MachineConfig machine)
+        : Backend(std::move(machine))
+    {
+    }
+
     std::string name() const override { return "TVM-VTA"; }
     lang::Domain domain() const override { return lang::Domain::DL; }
-    MachineConfig machine() const override { return vtaConfig(); }
     lower::AcceleratorSpec spec() const override;
     PerfReport simulateImpl(const lower::Partition &partition,
                         const WorkloadProfile &profile) const override;

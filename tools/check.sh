@@ -82,12 +82,14 @@ for preset in "${presets[@]}"; do
         continue
     fi
     if [ "$preset" = tsan ]; then
-        echo "== [$preset] build (test_obs test_driver test_service pmc) =="
+        echo "== [$preset] build (test_obs test_driver test_service" \
+             "test_dse pmc) =="
         cmake --build --preset tsan -j "$jobs" \
-            --target test_obs test_driver test_service pmc
+            --target test_obs test_driver test_service test_dse pmc
         echo "== [$preset] test (POLYMATH_JOBS=4) =="
         POLYMATH_JOBS=4 ctest --test-dir build-tsan -j "$jobs" \
-            --output-on-failure -R '^(test_obs|test_driver|test_service)$'
+            --output-on-failure \
+            -R '^(test_obs|test_driver|test_service|test_dse)$'
         echo "== [$preset] pmc --trace smoke =="
         trace_json="$(mktemp /tmp/polymath-trace.XXXXXX.json)"
         build-tsan/tools/pmc --trace "$trace_json" \
@@ -108,7 +110,8 @@ for preset in "${presets[@]}"; do
         # failure the fresh artifact is kept for inspection (promote it
         # to bench/baselines/ when the change is intentional).
         echo "== [$preset] bench perf gate =="
-        for bench in fig7_cpu_comparison fig9_optimal soc_throughput; do
+        for bench in fig7_cpu_comparison fig9_optimal soc_throughput \
+                     dse; do
             artifact="$(mktemp "/tmp/polymath-bench-$bench.XXXXXX.json")"
             "build/bench/bench_$bench" -j4 --json "$artifact" > /dev/null
             if ! build/tools/bench_compare \

@@ -67,6 +67,12 @@ struct Options
     bool simulate = false;
     bool schedule = false;
     bool profile = false;
+    bool dse = false;
+    std::string dseSpace = "small";
+    std::string dseSearch = "auto";
+    int64_t dseSamples = 48;
+    int64_t dseRounds = 3;
+    uint64_t dseSeed = 0x5eed;
     std::string profileJsonPath;
     int64_t profileTopN = 10;
     int64_t invocations = 1;
@@ -112,6 +118,15 @@ usage()
         "  --profile-json <out>  write the full profile (report totals +\n"
         "                        every ledger entry) as JSON; single input\n"
         "                        only\n"
+        "  --dse                 with --target: autotune the machine\n"
+        "                        configs of the compiled accelerators and\n"
+        "                        print the Pareto fronts (docs/DSE.md;\n"
+        "                        pmdse is the full-featured driver)\n"
+        "  --dse-space <kind>    with --dse: small|full (default small)\n"
+        "  --dse-search <drv>    with --dse: auto|grid|random\n"
+        "  --dse-samples <n>     with --dse: random-search sample budget\n"
+        "  --dse-rounds <n>      with --dse: successive-halving rounds\n"
+        "  --dse-seed <n>        with --dse: non-negative search seed\n"
         "  --invocations <n>     invocation count for --simulate\n"
         "  --fault-rate <r>      with --simulate: inject accelerator/DMA/\n"
         "                        watchdog faults at rate r in [0,1] and\n"
@@ -223,6 +238,28 @@ parseArgs(int argc, char **argv)
                 fatal("--profile-top expects a positive integer");
         } else if (arg == "--profile-json") {
             opts.profileJsonPath = next();
+        } else if (arg == "--dse") {
+            opts.dse = true;
+        } else if (arg == "--dse-space") {
+            opts.dseSpace = next();
+        } else if (arg == "--dse-search") {
+            opts.dseSearch = next();
+        } else if (arg == "--dse-samples") {
+            opts.dseSamples = parseInt("--dse-samples", next());
+            if (opts.dseSamples < 1)
+                fatal("--dse-samples expects a positive integer");
+        } else if (arg == "--dse-rounds") {
+            opts.dseRounds = parseInt("--dse-rounds", next());
+            if (opts.dseRounds < 1)
+                fatal("--dse-rounds expects a positive integer");
+        } else if (arg == "--dse-seed") {
+            const std::string text = next();
+            const int64_t seed = parseInt("--dse-seed", text);
+            if (seed < 0)
+                fatal("--dse-seed expects a non-negative integer "
+                      "(got '" +
+                      text + "')");
+            opts.dseSeed = static_cast<uint64_t>(seed);
         } else if (arg == "--invocations") {
             opts.invocations = parseInt("--invocations", next());
             if (opts.invocations < 1)
@@ -295,6 +332,15 @@ parseArgs(int argc, char **argv)
             fatal("--stream requires --target (jobs are compiled "
                   "programs)");
         opts.simulate = true;
+    }
+    if (opts.dse) {
+        if (opts.target.empty())
+            fatal("--dse requires --target (the search sweeps the "
+                  "compiled accelerator partitions)");
+        if (opts.profile || !opts.profileJsonPath.empty() ||
+            opts.streamJobs > 0)
+            fatal("--dse is its own execution mode; it does not combine "
+                  "with --profile/--profile-json/--stream");
     }
     if (!opts.connectPath.empty()) {
         if (opts.target.empty())
@@ -383,7 +429,9 @@ requestFromOptions(const Options &opts, const std::string &file,
                    std::string source)
 {
     service::Request req;
-    if (opts.streamJobs > 0) {
+    if (opts.dse) {
+        req.verb = service::Verb::Dse;
+    } else if (opts.streamJobs > 0) {
         req.verb = service::Verb::Compile; // stream drives the SoC itself
     } else if (opts.profile) {
         req.verb = service::Verb::Profile;
@@ -404,6 +452,11 @@ requestFromOptions(const Options &opts, const std::string &file,
     req.faultSeed = opts.faultSeed;
     req.profileTop = opts.profileTopN;
     req.profileDoc = !opts.profileJsonPath.empty();
+    req.dseSpace = opts.dseSpace;
+    req.dseSearch = opts.dseSearch;
+    req.dseSamples = opts.dseSamples;
+    req.dseRounds = opts.dseRounds;
+    req.dseSeed = opts.dseSeed;
     return req;
 }
 
