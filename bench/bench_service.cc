@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -37,6 +38,7 @@
 #include "core/strings.h"
 #include "driver.h"
 #include "lower/compile_cache.h"
+#include "obs/metrics.h"
 #include "report/report.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -130,14 +132,13 @@ driveClient(const std::string &socket,
     return tally;
 }
 
+/** Bounded-error percentile over whole-microsecond latencies: the
+ *  obs::LatencyHistogram gives p50/p99 without gathering + sorting
+ *  every sample (same instrument the stream scheduler reports with). */
 double
-percentile(std::vector<double> &sorted, double p)
+percentileMs(const obs::LatencyHistogram &hist, double p)
 {
-    if (sorted.empty())
-        return 0.0;
-    const auto idx = static_cast<size_t>(
-        p * static_cast<double>(sorted.size() - 1));
-    return sorted[idx];
+    return hist.quantile(p) / 1e3;
 }
 
 struct PhaseResult
@@ -183,20 +184,20 @@ runPhase(const std::string &socket, service::ServerConfig config,
 
     PhaseResult result;
     result.requests = static_cast<int64_t>(kClients) * perClient;
-    std::vector<double> latencies;
+    obs::LatencyHistogram latency_hist;
     for (auto &tally : tallies) {
         result.completed +=
             static_cast<int64_t>(tally.latencyMs.size()) + tally.errors;
         result.rejected += tally.rejected;
         result.errors += tally.errors;
         result.hitRate += static_cast<double>(tally.hits);
-        latencies.insert(latencies.end(), tally.latencyMs.begin(),
-                         tally.latencyMs.end());
+        for (const double ms : tally.latencyMs)
+            latency_hist.observe(
+                static_cast<int64_t>(std::llround(ms * 1e3)));
     }
     result.hitRate /= static_cast<double>(result.requests);
-    std::sort(latencies.begin(), latencies.end());
-    result.p50Ms = percentile(latencies, 0.50);
-    result.p99Ms = percentile(latencies, 0.99);
+    result.p50Ms = percentileMs(latency_hist, 0.50);
+    result.p99Ms = percentileMs(latency_hist, 0.99);
     result.requestsPerSec =
         elapsed > 0 ? static_cast<double>(result.requests) / elapsed : 0;
 

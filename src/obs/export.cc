@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <charconv>
 #include <fstream>
 
 #include "core/error.h"
@@ -79,6 +80,14 @@ appendProcessName(std::string &out, int pid, const char *name)
 } // namespace
 
 std::string
+traceEventJson(const TraceEvent &event)
+{
+    std::string out;
+    appendEvent(out, event);
+    return out;
+}
+
+std::string
 chromeTraceJson(const TraceRecorder &recorder)
 {
     const auto events = recorder.snapshot();
@@ -91,6 +100,70 @@ chromeTraceJson(const TraceRecorder &recorder)
         appendEvent(out, ev);
     }
     out += "]}\n";
+    return out;
+}
+
+namespace {
+
+/** "service.requests.completed" -> "polymath_service_requests_completed". */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "polymath_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Locale-independent number rendering for exposition values. */
+std::string
+promDouble(double value)
+{
+    char buf[64];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), value,
+                      std::chars_format::general, 17);
+    return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snapshot)
+{
+    std::string out;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string n = promName(name);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(value) + "\n";
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string n = promName(name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + promDouble(value) + "\n";
+    }
+    for (const auto &[name, h] : snapshot.histograms) {
+        const std::string n = promName(name);
+        out += "# TYPE " + n + " summary\n";
+        out += n + "_sum " + std::to_string(h.sum) + "\n";
+        out += n + "_count " + std::to_string(h.count) + "\n";
+        if (h.underflow > 0)
+            out += n + "_underflow " + std::to_string(h.underflow) + "\n";
+    }
+    for (const auto &[name, l] : snapshot.latencies) {
+        const std::string n = promName(name);
+        out += "# TYPE " + n + " summary\n";
+        out += n + "{quantile=\"0.5\"} " + promDouble(l.p50) + "\n";
+        out += n + "{quantile=\"0.99\"} " + promDouble(l.p99) + "\n";
+        out += n + "{quantile=\"0.999\"} " + promDouble(l.p999) + "\n";
+        out += n + "_sum " + std::to_string(l.sum) + "\n";
+        out += n + "_count " + std::to_string(l.count) + "\n";
+        if (l.underflow > 0)
+            out += n + "_underflow " + std::to_string(l.underflow) + "\n";
+    }
     return out;
 }
 

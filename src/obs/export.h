@@ -22,9 +22,23 @@ namespace polymath::obs {
 /** Renders the recorded events as a Chrome-trace JSON document. */
 std::string chromeTraceJson(const TraceRecorder &recorder);
 
+/** Renders one event as a Chrome-trace JSON object (used both by
+ *  chromeTraceJson and by flight-recorder dumps). */
+std::string traceEventJson(const TraceEvent &event);
+
 /** Writes chromeTraceJson() to @p path. @throws UserError on I/O error. */
 void writeChromeTrace(const TraceRecorder &recorder,
                       const std::string &path);
+
+/**
+ * Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+ * Metric names are sanitized to [a-zA-Z0-9_:] and prefixed with
+ * "polymath_"; counters render as `counter`, gauges as `gauge`, and
+ * both histogram flavors as `summary` (LatencyHistogram additionally
+ * emits quantile{0.5,0.99,0.999} sample lines). Deterministic: maps
+ * iterate sorted, numbers use locale-independent to_chars.
+ */
+std::string prometheusText(const MetricsSnapshot &snapshot);
 
 } // namespace polymath::obs
 

@@ -71,6 +71,9 @@ struct HistogramStats
     int64_t sum = 0;
     int64_t min = 0; ///< 0 when count == 0
     int64_t max = 0;
+    /** Samples <= 0, which have no power-of-two bucket. They still
+     *  count toward count/sum/min/max. */
+    int64_t underflow = 0;
 
     double mean() const
     {
@@ -81,7 +84,9 @@ struct HistogramStats
 };
 
 /** Distribution of non-negative integer samples (e.g. pass micros,
- *  partition byte counts): count/sum/min/max plus power-of-two buckets. */
+ *  partition byte counts): count/sum/min/max plus power-of-two buckets.
+ *  Zero and negative samples land in an explicit underflow bucket
+ *  instead of being clamped into bucket 0. */
 class Histogram
 {
   public:
@@ -95,6 +100,12 @@ class Histogram
     /** Samples in bucket @p index (see kBuckets). */
     int64_t bucket(int index) const;
 
+    /** Samples <= 0 (no positive bit width). */
+    int64_t underflow() const
+    {
+        return underflow_.load(std::memory_order_relaxed);
+    }
+
     void reset();
 
   private:
@@ -102,7 +113,88 @@ class Histogram
     std::atomic<int64_t> sum_{0};
     std::atomic<int64_t> min_{INT64_MAX};
     std::atomic<int64_t> max_{INT64_MIN};
+    std::atomic<int64_t> underflow_{0};
     std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+/** Point-in-time view of a LatencyHistogram, including the bounded-
+ *  error percentiles the log-linear buckets exist for. */
+struct LatencyStats
+{
+    int64_t count = 0; ///< includes underflow samples
+    int64_t sum = 0;
+    int64_t min = 0; ///< 0 when count == 0
+    int64_t max = 0;
+    int64_t underflow = 0; ///< samples <= 0 (treated as value 0)
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+
+    double mean() const
+    {
+        return count > 0
+                   ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+};
+
+/**
+ * Log-linear (HDR-style) histogram of positive integer samples —
+ * request latencies in microseconds, byte counts — with bounded-error
+ * quantiles: each power-of-two octave is split into 128 linear
+ * sub-buckets, so any quantile is off by at most half a sub-bucket
+ * width (< 0.4% relative error), values below 256 are exact, and the
+ * whole structure is a fixed array of relaxed atomics (lock-free
+ * observe, deterministic quantiles for a given sample multiset at any
+ * thread count). This replaces both sorted-latency vectors (O(n)
+ * memory, needs a barrier to sort) and the coarse power-of-two buckets
+ * of Histogram wherever p50/p99/p999 matter.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits linear buckets per octave. */
+    static constexpr int kSubBits = 7;
+    static constexpr int kSubBuckets = 1 << kSubBits; // 128
+    /** Values in [0, 2*kSubBuckets) are exact (width-1 buckets). */
+    static constexpr int kExactLimit = 2 * kSubBuckets; // 256
+    /** Octaves above the exact range, enough for any int64 sample. */
+    static constexpr int kOctaves = 55;
+    static constexpr int kBucketCount =
+        kExactLimit + kOctaves * kSubBuckets;
+
+    /** Records @p value; values <= 0 land in the underflow bucket and
+     *  quantile-walk as 0. */
+    void observe(int64_t value);
+
+    int64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Nearest-rank quantile for @p q in [0, 1], as the midpoint of the
+     * containing bucket (exact below kExactLimit). 0 when empty.
+     */
+    double quantile(double q) const;
+
+    LatencyStats stats() const;
+
+    void reset();
+
+    /** Bucket index for a positive @p value (exposed for tests). */
+    static int bucketIndex(int64_t value);
+
+    /** Representative (midpoint) value of bucket @p index. */
+    static int64_t bucketValue(int index);
+
+  private:
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> min_{INT64_MAX};
+    std::atomic<int64_t> max_{INT64_MIN};
+    std::atomic<int64_t> underflow_{0};
+    std::atomic<int64_t> buckets_[kBucketCount] = {};
 };
 
 /** Point-in-time copy of every instrument, for printing/asserting. */
@@ -111,6 +203,7 @@ struct MetricsSnapshot
     std::map<std::string, int64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramStats> histograms;
+    std::map<std::string, LatencyStats> latencies;
 
     /** Counter value, 0 when absent (snapshots are assert-friendly). */
     int64_t counter(const std::string &name) const;
@@ -131,6 +224,7 @@ class MetricsRegistry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
+    LatencyHistogram &latency(const std::string &name);
 
     MetricsSnapshot snapshot() const;
 
@@ -146,6 +240,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 
 } // namespace polymath::obs

@@ -1,0 +1,112 @@
+#include "obs/request.h"
+
+#include "core/json.h"
+#include "obs/export.h"
+
+namespace polymath::obs {
+
+std::string
+RequestRecord::json() const
+{
+    std::string out = "{\"id\":" + json::quote(requestId);
+    out += ",\"verb\":" + json::quote(verb);
+    out += ",\"backends\":" + json::quote(backends);
+    out += ",\"exit\":" + std::to_string(exitCode);
+    out += ",\"cache_hits\":" + std::to_string(cacheHits);
+    out += ",\"cache_misses\":" + std::to_string(cacheMisses);
+    out += ",\"queue_wait_us\":" + std::to_string(queueWaitMicros);
+    out += ",\"execute_us\":" + std::to_string(executeMicros);
+    out += ",\"bytes_in\":" + std::to_string(bytesIn);
+    out += ",\"bytes_out\":" + std::to_string(bytesOut);
+    out += ",\"finished_at_us\":" + std::to_string(finishedAtMicros);
+    out += ",\"trace\":[";
+    for (size_t i = 0; i < trace.size(); ++i) {
+        out += i ? "," : "";
+        out += traceEventJson(trace[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+void
+FlightRecorder::push(RequestRecord record)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(record));
+        return;
+    }
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+}
+
+uint64_t
+FlightRecorder::totalPushed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::vector<RequestRecord>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RequestRecord> out;
+    out.reserve(ring_.size());
+    // Once wrapped, next_ is the oldest slot; before that, slot 0 is.
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+FlightRecorder::json() const
+{
+    const auto records = snapshot();
+    std::string out = "{\"capacity\":" + std::to_string(capacity_);
+    out += ",\"recorded\":" + std::to_string(totalPushed());
+    out += ",\"records\":[";
+    for (size_t i = 0; i < records.size(); ++i) {
+        out += i ? ",\n" : "";
+        out += records[i].json();
+    }
+    out += "]}";
+    return out;
+}
+
+void
+RateWindow::pruneLocked(int64_t nowMicros) const
+{
+    const int64_t horizon = nowMicros - window_;
+    while (!marks_.empty() && marks_.front().first < horizon)
+        marks_.pop_front();
+}
+
+void
+RateWindow::mark(int64_t nowMicros, int64_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pruneLocked(nowMicros);
+    if (!marks_.empty() && marks_.back().first == nowMicros) {
+        marks_.back().second += count;
+        return;
+    }
+    marks_.emplace_back(nowMicros, count);
+}
+
+double
+RateWindow::ratePerSecond(int64_t nowMicros) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pruneLocked(nowMicros);
+    int64_t total = 0;
+    for (const auto &[ts, count] : marks_)
+        total += count;
+    return static_cast<double>(total) /
+           (static_cast<double>(window_) / 1e6);
+}
+
+} // namespace polymath::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Per-request flight recording (docs/OBSERVABILITY.md §"Service
+ * telemetry").
+ *
+ * A FlightRecorder keeps the last N completed RequestRecords in a
+ * bounded ring so a long-running daemon can answer "what did request X
+ * do, and why was it slow?" after the fact — via the `dump` verb, on
+ * SIGUSR1, or at shutdown — without restarting or enabling full
+ * tracing. Records for requests that exceeded the server's
+ * slow-trace threshold retain their complete span trace (captured by
+ * the request's RequestTrace sink); fast requests keep only the
+ * scalar summary, so the ring's memory stays bounded in practice.
+ *
+ * RateWindow turns "events happened at these times" into the sliding-
+ * window req/s / sheds/s rates the `metrics` verb exports, without a
+ * background thread: marks are pruned lazily on both record and read.
+ */
+#ifndef POLYMATH_OBS_REQUEST_H_
+#define POLYMATH_OBS_REQUEST_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace polymath::obs {
+
+/** Everything the flight recorder keeps about one finished request. */
+struct RequestRecord
+{
+    std::string requestId;
+    std::string verb;
+    std::string backends; ///< comma-joined backend mix ("" = none)
+    int exitCode = 0;
+    int64_t cacheHits = 0;
+    int64_t cacheMisses = 0;
+    int64_t queueWaitMicros = 0; ///< accept-to-dispatch
+    int64_t executeMicros = 0;   ///< inside runRequestGuarded
+    int64_t bytesIn = 0;
+    int64_t bytesOut = 0;
+    int64_t finishedAtMicros = 0; ///< recorder-epoch-relative
+    /** Full span trace; retained only when executeMicros exceeded the
+     *  server's --slow-trace-us threshold (else empty). */
+    std::vector<TraceEvent> trace;
+
+    /** One JSON object (trace rendered as Chrome-trace events). */
+    std::string json() const;
+};
+
+/** Bounded ring of the last N RequestRecords; push is O(1) under one
+ *  short mutex hold (a move, never an allocation-heavy copy). */
+class FlightRecorder
+{
+  public:
+    /** @p capacity 0 disables recording entirely (push is a cheap
+     *  early-out, snapshot/json return empty). */
+    explicit FlightRecorder(size_t capacity) : capacity_(capacity) {}
+
+    size_t capacity() const { return capacity_; }
+
+    void push(RequestRecord record);
+
+    /** Requests ever pushed (including ones the ring has dropped). */
+    uint64_t totalPushed() const;
+
+    /** Retained records, oldest first. */
+    std::vector<RequestRecord> snapshot() const;
+
+    /** {"capacity":..,"recorded":..,"records":[...]} oldest first. */
+    std::string json() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    uint64_t total_ = 0;
+    std::vector<RequestRecord> ring_; ///< grows to capacity_, then wraps
+    size_t next_ = 0;                 ///< ring_ slot the next push takes
+};
+
+/** Sliding-window event rate (events/s over the last windowMicros). */
+class RateWindow
+{
+  public:
+    explicit RateWindow(int64_t windowMicros = kDefaultWindowMicros)
+        : window_(windowMicros > 0 ? windowMicros : kDefaultWindowMicros)
+    {
+    }
+
+    static constexpr int64_t kDefaultWindowMicros = 10'000'000; // 10 s
+
+    int64_t windowMicros() const { return window_; }
+
+    /** Records @p count events at @p nowMicros (monotonic clock). */
+    void mark(int64_t nowMicros, int64_t count = 1);
+
+    /** Events/second over [nowMicros - window, nowMicros]. */
+    double ratePerSecond(int64_t nowMicros) const;
+
+  private:
+    void pruneLocked(int64_t nowMicros) const;
+
+    const int64_t window_;
+    mutable std::mutex mutex_;
+    /** (timestampMicros, count) marks, oldest first. */
+    mutable std::deque<std::pair<int64_t, int64_t>> marks_;
+};
+
+} // namespace polymath::obs
+
+#endif // POLYMATH_OBS_REQUEST_H_

@@ -172,11 +172,38 @@ TraceRecorder::global()
     return recorder;
 }
 
+namespace {
+
+thread_local RequestTrace *tl_request_trace = nullptr;
+
+} // namespace
+
+RequestTrace *
+RequestTrace::current()
+{
+    return tl_request_trace;
+}
+
+RequestTraceScope::RequestTraceScope(RequestTrace &trace)
+    : previous_(tl_request_trace)
+{
+    tl_request_trace = &trace;
+}
+
+RequestTraceScope::~RequestTraceScope()
+{
+    tl_request_trace = previous_;
+}
+
 Span::Span(const char *name, const char *cat, TraceRecorder &recorder)
 {
-    if (!recorder.enabled())
-        return; // zero-cost path: one relaxed load, nothing allocated
+    const bool global_on = recorder.enabled();
+    RequestTrace *request = RequestTrace::current();
+    if (!global_on && !request)
+        return; // zero-cost path: one load + one TLS read, no allocation
     recorder_ = &recorder;
+    global_ = global_on;
+    request_ = request;
     event_.name = name;
     event_.cat = cat;
     event_.ts = recorder.nowMicros();
@@ -190,7 +217,13 @@ Span::~Span()
     event_.pid = kRealPid;
     event_.tid = TraceRecorder::threadRank();
     event_.dur = recorder_->nowMicros() - event_.ts;
-    recorder_->record(std::move(event_));
+    if (request_)
+        request_->append(global_ ? event_ : std::move(event_));
+    if (global_) {
+        if (request_)
+            event_.args.push_back(TraceArg::str("req", request_->id()));
+        recorder_->record(std::move(event_));
+    }
 }
 
 void

@@ -132,9 +132,68 @@ class TraceRecorder
 };
 
 /**
+ * Per-request span sink (docs/OBSERVABILITY.md §"Service telemetry").
+ *
+ * While a RequestTraceScope is alive on a thread, every Span that
+ * thread closes is also appended here, tagged to one request id —
+ * regardless of whether the process-wide TraceRecorder is enabled.
+ * Requests execute synchronously on one pool thread, so the sink is
+ * single-writer by construction and needs no lock; the server thread
+ * reads events() only after the request's future is resolved.
+ */
+class RequestTrace
+{
+  public:
+    explicit RequestTrace(std::string id) : id_(std::move(id)) {}
+
+    RequestTrace(const RequestTrace &) = delete;
+    RequestTrace &operator=(const RequestTrace &) = delete;
+
+    const std::string &id() const { return id_; }
+
+    void append(TraceEvent event)
+    {
+        events_.push_back(std::move(event));
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Moves the captured events out (sink becomes empty). */
+    std::vector<TraceEvent> take() { return std::move(events_); }
+
+    /** The sink installed on the calling thread, or nullptr. */
+    static RequestTrace *current();
+
+  private:
+    friend class RequestTraceScope;
+
+    std::string id_;
+    std::vector<TraceEvent> events_;
+};
+
+/** RAII installer of a RequestTrace as the calling thread's current
+ *  sink; restores the previous one (scopes nest) on destruction. */
+class RequestTraceScope
+{
+  public:
+    explicit RequestTraceScope(RequestTrace &trace);
+    ~RequestTraceScope();
+
+    RequestTraceScope(const RequestTraceScope &) = delete;
+    RequestTraceScope &operator=(const RequestTraceScope &) = delete;
+
+  private:
+    RequestTrace *previous_ = nullptr;
+};
+
+/**
  * RAII wall-clock span: opens at construction, records at destruction.
- * When the recorder is disabled, construction reads one relaxed atomic
- * and everything else is a no-op — safe to leave in hot paths.
+ * When the recorder is disabled and no RequestTrace is installed on the
+ * thread, construction reads one relaxed atomic plus one thread-local
+ * and everything else is a no-op — safe to leave in hot paths. With a
+ * RequestTrace installed, the span is captured there even when the
+ * global recorder is off; with both, the global copy gains a "req" arg
+ * naming the request.
  */
 class Span
 {
@@ -146,7 +205,7 @@ class Span
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;
 
-    /** True when the span will be recorded (recorder was enabled). */
+    /** True when the span will be recorded somewhere. */
     bool active() const { return recorder_ != nullptr; }
 
     /** Annotates the span; no-ops when inactive. */
@@ -158,7 +217,9 @@ class Span
     void rename(std::string name);
 
   private:
-    TraceRecorder *recorder_ = nullptr;
+    TraceRecorder *recorder_ = nullptr; ///< clock + sink; null = inactive
+    bool global_ = false;               ///< record into recorder_'s events
+    RequestTrace *request_ = nullptr;   ///< per-request sink, if installed
     TraceEvent event_;
 };
 

@@ -1,6 +1,7 @@
 #include "service/exec.h"
 
 #include <fstream>
+#include <optional>
 #include <set>
 
 #include "core/diagnostics.h"
@@ -184,21 +185,67 @@ runRequest(const Request &req, lower::CompileCache &cache)
     return result;
 }
 
+namespace {
+
+/** Distinct accelerators of @p program in partition order, joined with
+ *  commas — the "backend mix" a request record reports. */
+std::string
+backendMix(const lower::CompiledProgram &program)
+{
+    std::string mix;
+    std::set<std::string> seen;
+    for (const auto &partition : program.partitions) {
+        if (!seen.insert(partition.accel).second)
+            continue;
+        if (!mix.empty())
+            mix += ",";
+        mix += partition.accel;
+    }
+    return mix;
+}
+
+} // namespace
+
 Response
-runRequestGuarded(const Request &req, lower::CompileCache &cache)
+runRequestGuarded(const Request &req, lower::CompileCache &cache,
+                  RequestTelemetry *telemetry)
 {
     Response resp;
     resp.id = req.id;
+    // Request-scoped telemetry: the trace sink is installed for the
+    // whole guarded body, so preflight, compile, and simulate spans of
+    // *this* request (and no other) are captured even when the global
+    // recorder is off. The nullptr path touches nothing.
+    obs::RequestTrace rtrace(telemetry != nullptr ? telemetry->requestId
+                                                  : std::string());
+    std::optional<obs::RequestTraceScope> scope;
+    if (telemetry != nullptr && telemetry->captureTrace)
+        scope.emplace(rtrace);
+    const int64_t begin_us =
+        telemetry != nullptr
+            ? obs::TraceRecorder::global().nowMicros()
+            : 0;
     // Pre-flight syntax check with statement-level error recovery so
     // one response surfaces *every* syntax error, not just the first —
     // exactly the local pmc behavior.
     if (preflightDiagnostics(req.source, resp.error)) {
         resp.ok = false;
         resp.code = 1;
+        if (telemetry != nullptr) {
+            telemetry->executeMicros =
+                obs::TraceRecorder::global().nowMicros() - begin_us;
+            telemetry->trace = rtrace.take();
+        }
         return resp;
     }
     try {
         ExecResult result = runRequest(req, cache);
+        if (telemetry != nullptr) {
+            if (result.program)
+                telemetry->backends = backendMix(*result.program);
+            (result.cacheHit ? telemetry->cacheHits
+                             : telemetry->cacheMisses) += 1;
+        }
         resp.output = std::move(result.out);
         resp.profileJson = std::move(result.profileJson);
         resp.cacheHit = result.cacheHit;
@@ -217,6 +264,11 @@ runRequestGuarded(const Request &req, lower::CompileCache &cache)
         resp.error += format("pmc: internal error: %s\n", e.what());
         resp.ok = false;
         resp.code = 2;
+    }
+    if (telemetry != nullptr) {
+        telemetry->executeMicros =
+            obs::TraceRecorder::global().nowMicros() - begin_us;
+        telemetry->trace = rtrace.take();
     }
     return resp;
 }

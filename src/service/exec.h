@@ -15,8 +15,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "lower/compile_cache.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace polymath::service {
@@ -51,13 +53,35 @@ struct ExecResult
 ExecResult runRequest(const Request &req, lower::CompileCache &cache);
 
 /**
+ * Per-request telemetry contract of runRequestGuarded (docs/
+ * OBSERVABILITY.md §"Service telemetry"). The caller fills requestId
+ * and captureTrace; the callee fills the rest. With captureTrace set,
+ * the whole execution runs under an obs::RequestTraceScope, so every
+ * span the request closes — and only this request's spans — lands in
+ * `trace`, tagged to requestId, whether or not the global recorder is
+ * on.
+ */
+struct RequestTelemetry
+{
+    std::string requestId;    ///< in: attribution id
+    bool captureTrace = false; ///< in: collect the span trace
+    int64_t executeMicros = 0; ///< out: wall time inside the guard
+    std::string backends;      ///< out: comma-joined backend mix
+    int64_t cacheHits = 0;     ///< out: compiles served from cache
+    int64_t cacheMisses = 0;   ///< out: compiles done here
+    std::vector<obs::TraceEvent> trace; ///< out (captureTrace only)
+};
+
+/**
  * The server-side wrapper: preflight diagnostics + runRequest with the
  * exception-to-exit-code policy of the pmc process applied, rendered
  * into a Response whose output/error fields carry exactly the bytes
- * local pmc would print.
+ * local pmc would print. @p telemetry, when non-null, scopes the
+ * execution to that request id and reports what it did; with nullptr
+ * the behavior (and cost) is exactly the pre-telemetry path.
  */
-Response runRequestGuarded(const Request &req,
-                           lower::CompileCache &cache);
+Response runRequestGuarded(const Request &req, lower::CompileCache &cache,
+                           RequestTelemetry *telemetry = nullptr);
 
 } // namespace polymath::service
 

@@ -82,6 +82,8 @@ toString(Verb verb)
       case Verb::Profile: return "profile";
       case Verb::Dse: return "dse";
       case Verb::Stats: return "stats";
+      case Verb::Dump: return "dump";
+      case Verb::Metrics: return "metrics";
       case Verb::Shutdown: return "shutdown";
     }
     return "?";
@@ -104,9 +106,12 @@ verbFromString(const std::string &word)
     if (word == "profile") return Verb::Profile;
     if (word == "dse") return Verb::Dse;
     if (word == "stats") return Verb::Stats;
+    if (word == "dump") return Verb::Dump;
+    if (word == "metrics") return Verb::Metrics;
     if (word == "shutdown") return Verb::Shutdown;
     fatal("service: unknown verb '" + word +
-          "' (expected compile|simulate|profile|dse|stats|shutdown)");
+          "' (expected compile|simulate|profile|dse|stats|dump|"
+          "metrics|shutdown)");
 }
 
 } // namespace
@@ -116,6 +121,10 @@ Request::json() const
 {
     std::string doc = "{\"id\":" + std::to_string(id);
     doc += ",\"verb\":" + json::quote(toString(verb));
+    if (!requestId.empty())
+        doc += ",\"requestId\":" + json::quote(requestId);
+    if (metricsDelta)
+        doc += ",\"metricsDelta\":true";
     doc += ",\"file\":" + json::quote(file);
     doc += ",\"source\":" + json::quote(source);
     doc += ",\"entry\":" + json::quote(entry);
@@ -168,6 +177,8 @@ Request::fromJson(const std::string &line)
         fatal("service: request has no 'verb'");
     req.verb = verbFromString(verb_it->second.str());
     req.id = getInt(obj, "id", 0);
+    req.requestId = getString(obj, "requestId", "");
+    req.metricsDelta = getBool(obj, "metricsDelta", false);
     req.file = getString(obj, "file", req.file);
     req.source = getString(obj, "source", "");
     req.entry = getString(obj, "entry", req.entry);
@@ -216,12 +227,16 @@ Response::json() const
     doc += ",\"code\":" + std::to_string(code);
     if (cacheHit)
         doc += ",\"cacheHit\":true";
+    if (!requestId.empty())
+        doc += ",\"requestId\":" + json::quote(requestId);
     if (!output.empty())
         doc += ",\"output\":" + json::quote(output);
     if (!error.empty())
         doc += ",\"error\":" + json::quote(error);
     if (!profileJson.empty())
         doc += ",\"profileJson\":" + json::quote(profileJson);
+    if (!metricsJson.empty())
+        doc += ",\"metricsJson\":" + json::quote(metricsJson);
     if (!stats.empty()) {
         doc += ",\"stats\":{";
         bool first = true;
@@ -248,9 +263,11 @@ Response::fromJson(const std::string &line)
     resp.rejected = getBool(obj, "rejected", false);
     resp.code = static_cast<int>(getInt(obj, "code", 0));
     resp.cacheHit = getBool(obj, "cacheHit", false);
+    resp.requestId = getString(obj, "requestId", "");
     resp.output = getString(obj, "output", "");
     resp.error = getString(obj, "error", "");
     resp.profileJson = getString(obj, "profileJson", "");
+    resp.metricsJson = getString(obj, "metricsJson", "");
     auto stats_it = obj.find("stats");
     if (stats_it != obj.end()) {
         for (const auto &[name, value] : stats_it->second.obj())

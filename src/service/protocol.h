@@ -15,6 +15,11 @@
  *                  accelerator's machine configs (docs/DSE.md); the
  *                  response carries the Pareto-front tables;
  *   - "stats"    — server/cache counters (answered inline, not queued);
+ *   - "dump"     — the flight recorder's retained request records as
+ *                  JSON (answered inline; needs --flight-entries > 0);
+ *   - "metrics"  — live metrics snapshot: Prometheus text exposition in
+ *                  `output`, the JSON snapshot in `metricsJson`
+ *                  (answered inline; `metricsDelta` scrapes since-last);
  *   - "shutdown" — drain all queued + in-flight work, answer, exit.
  *
  * Responses carry the exact bytes the local pmc CLI would print for the
@@ -22,6 +27,13 @@
  * `pmc --connect` byte-identical to local execution. Responses to one
  * connection may arrive out of request order (work is scheduled fairly
  * across all clients); match them by `id`.
+ *
+ * When the server runs with telemetry (--flight-entries > 0) every
+ * response also carries `requestId`: the server-assigned (or
+ * client-supplied `requestId`) attribution id that tags the request's
+ * spans, flight-recorder record, and per-request counters. With
+ * telemetry off the field is absent and the wire bytes are identical
+ * to the pre-telemetry protocol.
  */
 #ifndef POLYMATH_SERVICE_PROTOCOL_H_
 #define POLYMATH_SERVICE_PROTOCOL_H_
@@ -40,6 +52,8 @@ enum class Verb
     Profile,
     Dse,
     Stats,
+    Dump,
+    Metrics,
     Shutdown,
 };
 
@@ -54,6 +68,15 @@ struct Request
 {
     int64_t id = 0;   ///< echoed in the response; client-chosen
     Verb verb = Verb::Simulate;
+
+    /** Telemetry attribution id. Empty = the server assigns one when
+     *  telemetry is enabled; a client-supplied id is used verbatim
+     *  (e.g. to correlate with the client's own logs). */
+    std::string requestId;
+
+    /** metrics verb: report counter/histogram deltas since the last
+     *  delta scrape instead of lifetime totals (docs/SERVICE.md). */
+    bool metricsDelta = false;
 
     std::string file = "<request>"; ///< display name for diagnostics
     std::string source;             ///< PMLang program text
@@ -102,6 +125,10 @@ struct Response
     int code = 0;
     bool cacheHit = false; ///< compile served from the shared cache
 
+    /** Telemetry attribution id of the request this answers; absent
+     *  (empty) when the server runs without telemetry. */
+    std::string requestId;
+
     std::string output; ///< exactly local pmc's stdout bytes
     std::string error;  ///< exactly local pmc's stderr bytes
 
@@ -111,6 +138,10 @@ struct Response
 
     /** stats/shutdown verbs: flat counter name -> value map. */
     std::map<std::string, double> stats;
+
+    /** metrics verb: the MetricsSnapshot JSON document (the Prometheus
+     *  text exposition of the same snapshot rides in `output`). */
+    std::string metricsJson;
 
     /** One-line JSON rendering (no trailing newline). */
     std::string json() const;

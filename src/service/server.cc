@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 
 #include "core/error.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/exec.h"
 
 namespace polymath::service {
@@ -33,7 +35,8 @@ ServerStats::toMap(const lower::CompileCache &cache) const
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       cache_(config_.cache != nullptr ? config_.cache
-                                      : &lower::CompileCache::global())
+                                      : &lower::CompileCache::global()),
+      flight_(config_.flightEntries)
 {
     if (config_.cacheEntries > 0)
         cache_->setCapacity(config_.cacheEntries);
@@ -148,17 +151,37 @@ Server::readerLoop(const std::shared_ptr<Conn> &conn)
             continue;
         }
         if (req.verb == Verb::Stats) {
-            writeResponse(*conn, statsResponse(req.id));
+            Response resp = statsResponse(req.id);
+            resp.requestId = assignRequestId(req.requestId);
+            writeResponse(*conn, resp);
+            continue;
+        }
+        if (req.verb == Verb::Dump) {
+            Response resp = dumpResponse(req);
+            resp.requestId = assignRequestId(req.requestId);
+            writeResponse(*conn, resp);
+            continue;
+        }
+        if (req.verb == Verb::Metrics) {
+            Response resp = metricsResponse(req);
+            resp.requestId = assignRequestId(req.requestId);
+            writeResponse(*conn, resp);
             continue;
         }
         if (req.verb == Verb::Shutdown) {
-            handleShutdown(*conn, req.id);
+            handleShutdown(*conn, req);
             break;
         }
         // Work verb: admission control, then hand to the pool. The
         // rejection response is written inline by this reader — cheap,
         // and it keeps the pool free for admitted work.
         const int64_t request_id = req.id;
+        req.requestId = assignRequestId(req.requestId);
+        const std::string attribution = req.requestId;
+        const int64_t now_us =
+            telemetryEnabled()
+                ? obs::TraceRecorder::global().nowMicros()
+                : 0;
         const char *reject_reason = nullptr;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -171,7 +194,9 @@ Server::readerLoop(const std::shared_ptr<Conn> &conn)
             } else {
                 ++accepted_;
                 ++pending_;
-                conn->queue.push_back(std::move(req));
+                conn->queue.push_back(
+                    Pending{std::move(req), now_us,
+                            static_cast<int64_t>(line.size()) + 1});
             }
             if (reject_reason != nullptr)
                 ++rejected_;
@@ -180,8 +205,11 @@ Server::readerLoop(const std::shared_ptr<Conn> &conn)
             obs::MetricsRegistry::global()
                 .counter("service.rejected")
                 .add(1);
+            if (telemetryEnabled())
+                rejectedRate_.mark(now_us);
             Response resp;
             resp.id = request_id;
+            resp.requestId = attribution;
             resp.ok = false;
             resp.rejected = true;
             resp.code = 3;
@@ -203,7 +231,7 @@ Server::slotTask()
     // across connections, which is what keeps one chatty client from
     // starving the others — backlog depth costs only its own latency.
     std::shared_ptr<Conn> conn;
-    Request req;
+    Pending item;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const size_t n = conns_.size();
@@ -211,7 +239,7 @@ Server::slotTask()
             auto &c = conns_[(rrCursor_ + k) % n];
             if (c->queue.empty())
                 continue;
-            req = std::move(c->queue.front());
+            item = std::move(c->queue.front());
             c->queue.pop_front();
             --pending_;
             ++executing_;
@@ -223,21 +251,81 @@ Server::slotTask()
     }
     if (!conn)
         return; // admitted == slots, so this only races a drain
-    Response resp = runRequestGuarded(req, *cache_);
-    writeResponse(*conn, resp);
+    Response resp;
+    bool accounted = false; // completed_ already counted pre-send?
+    if (telemetryEnabled()) {
+        RequestTelemetry telem;
+        telem.requestId = item.req.requestId;
+        telem.captureTrace = true;
+        const int64_t dispatched_us =
+            obs::TraceRecorder::global().nowMicros();
+        const int64_t queue_wait_us =
+            dispatched_us - item.enqueuedAtMicros;
+        resp = runRequestGuarded(item.req, *cache_, &telem);
+        resp.requestId = item.req.requestId;
+        // Account *before* the response leaves: once a client holds
+        // its response, a dump/metrics request — answered inline on a
+        // reader thread — must already see this request's record and
+        // counters (read-your-own-writes attribution). The line is
+        // rendered first so bytesOut is exact.
+        const std::string line = resp.json() + "\n";
+        const auto bytes_out = static_cast<int64_t>(line.size());
+        auto &registry = obs::MetricsRegistry::global();
+        registry.latency("service.queue_wait_us").observe(queue_wait_us);
+        registry.latency("service.execute_us")
+            .observe(telem.executeMicros);
+        registry.counter("service.bytes_in").add(item.bytesIn);
+        registry.counter("service.bytes_out").add(bytes_out);
+        const int64_t finished_us =
+            obs::TraceRecorder::global().nowMicros();
+        obs::RequestRecord record;
+        record.requestId = telem.requestId;
+        record.verb = toString(item.req.verb);
+        record.backends = telem.backends;
+        record.exitCode = resp.code;
+        record.cacheHits = telem.cacheHits;
+        record.cacheMisses = telem.cacheMisses;
+        record.queueWaitMicros = queue_wait_us;
+        record.executeMicros = telem.executeMicros;
+        record.bytesIn = item.bytesIn;
+        record.bytesOut = bytes_out;
+        record.finishedAtMicros = finished_us;
+        if (config_.slowTraceUs > 0 &&
+            telem.executeMicros >= config_.slowTraceUs)
+            record.trace = std::move(telem.trace);
+        flight_.push(std::move(record));
+        completedRate_.mark(finished_us);
+        {
+            // Only completed_ moves early; executing_ stays held until
+            // the line is on the wire so the shutdown drain cannot
+            // close this connection under an unsent response.
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++completed_;
+        }
+        obs::MetricsRegistry::global()
+            .counter("service.completed")
+            .add(1);
+        accounted = true;
+        sendLine(*conn, line);
+    } else {
+        resp = runRequestGuarded(item.req, *cache_);
+        writeResponse(*conn, resp);
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++completed_;
+        if (!accounted)
+            ++completed_;
         --executing_;
         --conn->inFlight;
         if (pending_ == 0 && executing_ == 0)
             drained_.notify_all();
     }
-    obs::MetricsRegistry::global().counter("service.completed").add(1);
+    if (!accounted)
+        obs::MetricsRegistry::global().counter("service.completed").add(1);
 }
 
 void
-Server::handleShutdown(Conn &conn, int64_t request_id)
+Server::handleShutdown(Conn &conn, const Request &req)
 {
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -249,7 +337,8 @@ Server::handleShutdown(Conn &conn, int64_t request_id)
             return pending_ == 0 && executing_ == 0;
         });
     }
-    Response resp = statsResponse(request_id);
+    Response resp = statsResponse(req.id);
+    resp.requestId = assignRequestId(req.requestId);
     writeResponse(conn, resp);
     beginStop();
 }
@@ -344,14 +433,155 @@ Server::statsResponse(int64_t request_id) const
     return resp;
 }
 
-void
+std::string
+Server::assignRequestId(const std::string &client_supplied)
+{
+    if (!telemetryEnabled())
+        return std::string();
+    if (!client_supplied.empty())
+        return client_supplied;
+    return "r" + std::to_string(nextRequestId_.fetch_add(
+                     1, std::memory_order_relaxed));
+}
+
+std::string
+Server::flightDumpJson() const
+{
+    return telemetryEnabled() ? flight_.json() : std::string();
+}
+
+Response
+Server::dumpResponse(const Request &req) const
+{
+    Response resp;
+    resp.id = req.id;
+    if (!telemetryEnabled()) {
+        resp.ok = false;
+        resp.code = 1;
+        resp.error = "flight recorder disabled (start pmcd with "
+                     "--flight-entries > 0)\n";
+        return resp;
+    }
+    resp.ok = true;
+    resp.code = 0;
+    resp.output = flight_.json() + "\n";
+    return resp;
+}
+
+obs::MetricsSnapshot
+Server::metricsSnapshot() const
+{
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    // Server and cache state join the scrape as synthetic instruments:
+    // lifetime totals as counters, instantaneous values as gauges. The
+    // per-backend soc.stream.occupancy gauges set by the stream
+    // scheduler arrive via the registry snapshot itself.
+    const ServerStats s = stats();
+    snap.counters["service.server.offered"] = s.offered;
+    snap.counters["service.server.accepted"] = s.accepted;
+    snap.counters["service.server.rejected"] = s.rejected;
+    snap.counters["service.server.completed"] = s.completed;
+    snap.counters["service.server.malformed"] = s.malformed;
+    snap.gauges["service.server.pending"] =
+        static_cast<double>(s.pending);
+    snap.gauges["service.server.executing"] =
+        static_cast<double>(s.executing);
+    snap.gauges["service.server.connections"] =
+        static_cast<double>(s.connections);
+    snap.counters["service.cache.hits"] = cache_->hits();
+    snap.counters["service.cache.misses"] = cache_->misses();
+    snap.counters["service.cache.coalesced"] = cache_->coalesced();
+    snap.counters["service.cache.evictions"] = cache_->evictions();
+    snap.gauges["service.cache.entries"] =
+        static_cast<double>(cache_->size());
+    snap.gauges["service.cache.hit_rate"] = cache_->hitRate();
+    const int64_t now_us = obs::TraceRecorder::global().nowMicros();
+    snap.gauges["service.rate.completed_per_s"] =
+        completedRate_.ratePerSecond(now_us);
+    snap.gauges["service.rate.rejected_per_s"] =
+        rejectedRate_.ratePerSecond(now_us);
+    return snap;
+}
+
+namespace {
+
+/**
+ * Delta scrape: counters and histogram count/sum/underflow become
+ * since-last differences; gauges stay instantaneous and quantiles stay
+ * cumulative (a log-linear histogram cannot be subtracted without the
+ * full bucket arrays, and cumulative quantiles are what Prometheus
+ * summaries report anyway).
+ */
+obs::MetricsSnapshot
+diffSnapshot(const obs::MetricsSnapshot &current,
+             const obs::MetricsSnapshot &last)
+{
+    obs::MetricsSnapshot delta = current;
+    for (auto &[name, value] : delta.counters) {
+        const auto it = last.counters.find(name);
+        if (it != last.counters.end())
+            value -= it->second;
+    }
+    for (auto &[name, h] : delta.histograms) {
+        const auto it = last.histograms.find(name);
+        if (it == last.histograms.end())
+            continue;
+        h.count -= it->second.count;
+        h.sum -= it->second.sum;
+        h.underflow -= it->second.underflow;
+    }
+    for (auto &[name, l] : delta.latencies) {
+        const auto it = last.latencies.find(name);
+        if (it == last.latencies.end())
+            continue;
+        l.count -= it->second.count;
+        l.sum -= it->second.sum;
+        l.underflow -= it->second.underflow;
+    }
+    return delta;
+}
+
+} // namespace
+
+Response
+Server::metricsResponse(const Request &req)
+{
+    Response resp;
+    resp.id = req.id;
+    resp.ok = true;
+    resp.code = 0;
+    const obs::MetricsSnapshot snap = metricsSnapshot();
+    if (req.metricsDelta) {
+        std::lock_guard<std::mutex> lock(scrapeMutex_);
+        const obs::MetricsSnapshot shown =
+            haveLastScrape_ ? diffSnapshot(snap, lastScrape_) : snap;
+        lastScrape_ = snap;
+        haveLastScrape_ = true;
+        resp.output = obs::prometheusText(shown);
+        resp.metricsJson = shown.json();
+    } else {
+        resp.output = obs::prometheusText(snap);
+        resp.metricsJson = snap.json();
+    }
+    return resp;
+}
+
+size_t
 Server::writeResponse(Conn &conn, const Response &resp)
+{
+    const std::string line = resp.json() + "\n";
+    sendLine(conn, line);
+    return line.size();
+}
+
+void
+Server::sendLine(Conn &conn, const std::string &line)
 {
     std::lock_guard<std::mutex> lock(conn.writeMutex);
     // A vanished client (EPIPE, thanks to MSG_NOSIGNAL) just loses its
     // response; the request still counts as completed — conservation
     // is about work done, not deliveries.
-    core::writeAll(conn.fd, resp.json() + "\n");
+    core::writeAll(conn.fd, line);
 }
 
 } // namespace polymath::service

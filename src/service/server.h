@@ -28,6 +28,7 @@
 #ifndef POLYMATH_SERVICE_SERVER_H_
 #define POLYMATH_SERVICE_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -41,6 +42,8 @@
 #include "core/net.h"
 #include "core/thread_pool.h"
 #include "lower/compile_cache.h"
+#include "obs/metrics.h"
+#include "obs/request.h"
 #include "service/protocol.h"
 
 namespace polymath::service {
@@ -64,6 +67,21 @@ struct ServerConfig
 
     /** Cache to serve from; nullptr = CompileCache::global(). */
     lower::CompileCache *cache = nullptr;
+
+    /**
+     * Flight-recorder capacity: keep the last N completed request
+     * records for the dump verb / SIGUSR1 / shutdown dumps. 0 (the
+     * library default) disables request telemetry entirely — no
+     * request ids on the wire, no clock reads, byte-identical
+     * responses to the pre-telemetry server. The pmcd CLI defaults
+     * this to 256 (docs/SERVICE.md).
+     */
+    size_t flightEntries = 0;
+
+    /** Retain the full span trace of requests whose execute time
+     *  exceeds this many microseconds (0 = retain none). Only
+     *  meaningful with flightEntries > 0. */
+    int64_t slowTraceUs = 0;
 };
 
 /** Counters exposed by the stats verb (work verbs only; stats/shutdown
@@ -121,14 +139,32 @@ class Server
 
     lower::CompileCache &cache() const { return *cache_; }
 
+    /** True when the server records per-request telemetry. */
+    bool telemetryEnabled() const
+    {
+        return config_.flightEntries > 0;
+    }
+
+    /** Flight-recorder dump as JSON, "" when telemetry is disabled
+     *  (used by the dump verb, SIGUSR1, and the shutdown dump). */
+    std::string flightDumpJson() const;
+
   private:
+    /** One queued work request with its admission-time telemetry. */
+    struct Pending
+    {
+        Request req;
+        int64_t enqueuedAtMicros = 0; ///< 0 when telemetry is off
+        int64_t bytesIn = 0;          ///< request line bytes
+    };
+
     /** Per-connection state; shared between its reader, the workers
      *  executing its requests, and the reaper. */
     struct Conn
     {
         int fd = -1;
         std::mutex writeMutex;   ///< serializes response lines
-        std::deque<Request> queue; ///< guarded by Server::mutex_
+        std::deque<Pending> queue; ///< guarded by Server::mutex_
         int inFlight = 0;          ///< guarded by Server::mutex_
         bool open = true;          ///< guarded by Server::mutex_
         std::thread reader;
@@ -137,12 +173,21 @@ class Server
     void acceptLoop();
     void readerLoop(const std::shared_ptr<Conn> &conn);
     void slotTask();
-    void handleShutdown(Conn &conn, int64_t request_id);
+    void handleShutdown(Conn &conn, const Request &req);
     void beginStop();
     /** Joins and erases finished connections (caller holds mutex_). */
     void reapConnectionsLocked();
-    void writeResponse(Conn &conn, const Response &resp);
+    /** Writes one response line; returns the bytes written. */
+    size_t writeResponse(Conn &conn, const Response &resp);
+    void sendLine(Conn &conn, const std::string &line);
     Response statsResponse(int64_t request_id) const;
+    Response dumpResponse(const Request &req) const;
+    Response metricsResponse(const Request &req);
+    /** Assigns (or passes through) the attribution id; "" when
+     *  telemetry is disabled. */
+    std::string assignRequestId(const std::string &client_supplied);
+    /** Global-registry snapshot + server/cache/rate synthetics. */
+    obs::MetricsSnapshot metricsSnapshot() const;
 
     ServerConfig config_;
     lower::CompileCache *cache_ = nullptr;
@@ -169,6 +214,17 @@ class Server
     core::UnixListener listener_;
     std::unique_ptr<core::ThreadPool> pool_;
     std::thread acceptThread_;
+
+    // --- telemetry (inert when config_.flightEntries == 0) ---
+    obs::FlightRecorder flight_;
+    std::atomic<int64_t> nextRequestId_{1};
+    obs::RateWindow completedRate_;
+    obs::RateWindow rejectedRate_;
+    /** Baseline of the last delta scrape (metricsDelta); guarded by
+     *  its own mutex so scrapes never contend with the work path. */
+    std::mutex scrapeMutex_;
+    obs::MetricsSnapshot lastScrape_;
+    bool haveLastScrape_ = false;
 };
 
 } // namespace polymath::service

@@ -98,6 +98,8 @@ TEST(ServiceProtocol, RequestRoundTripsThroughJson)
     req.faultSeed = (1ull << 60) + 12345; // beyond double precision
     req.profileTop = 3;
     req.profileDoc = true;
+    req.requestId = "client-7";
+    req.metricsDelta = true;
 
     const std::string line = req.json();
     // JSON-line framing: the document must never contain a raw newline.
@@ -118,8 +120,17 @@ TEST(ServiceProtocol, RequestRoundTripsThroughJson)
     EXPECT_EQ(back.faultSeed, req.faultSeed);
     EXPECT_EQ(back.profileTop, req.profileTop);
     EXPECT_EQ(back.profileDoc, req.profileDoc);
+    EXPECT_EQ(back.requestId, req.requestId);
+    EXPECT_EQ(back.metricsDelta, req.metricsDelta);
     // A second rendering is byte-stable.
     EXPECT_EQ(back.json(), line);
+
+    // The attribution fields are opt-in on the wire: a request without
+    // them serializes exactly as before they existed.
+    service::Request plain;
+    plain.verb = service::Verb::Compile;
+    EXPECT_EQ(plain.json().find("requestId"), std::string::npos);
+    EXPECT_EQ(plain.json().find("metricsDelta"), std::string::npos);
 }
 
 TEST(ServiceProtocol, ResponseRoundTripsThroughJson)
@@ -133,6 +144,8 @@ TEST(ServiceProtocol, ResponseRoundTripsThroughJson)
     resp.error = "warn: \"quoted\"\n";
     resp.profileJson = "{\"schema\":\"polymath-profile/1\"}\n";
     resp.stats = {{"offered", 12}, {"cacheHitRate", 0.5}};
+    resp.requestId = "r17";
+    resp.metricsJson = "{\"counters\":{}}";
 
     const std::string line = resp.json();
     EXPECT_EQ(line.find('\n'), std::string::npos);
@@ -146,6 +159,16 @@ TEST(ServiceProtocol, ResponseRoundTripsThroughJson)
     EXPECT_EQ(back.error, resp.error);
     EXPECT_EQ(back.profileJson, resp.profileJson);
     EXPECT_EQ(back.stats, resp.stats);
+    EXPECT_EQ(back.requestId, resp.requestId);
+    EXPECT_EQ(back.metricsJson, resp.metricsJson);
+
+    // Telemetry off the wire: no attribution fields, byte-identical
+    // rendering to the pre-telemetry protocol.
+    service::Response plain;
+    plain.id = 1;
+    plain.ok = true;
+    EXPECT_EQ(plain.json().find("requestId"), std::string::npos);
+    EXPECT_EQ(plain.json().find("metricsJson"), std::string::npos);
 }
 
 TEST(ServiceProtocol, RejectsBadRequests)

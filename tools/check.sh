@@ -19,8 +19,13 @@
 #   2. POLYMATH_JOBS=4 — the parallel suite driver must be sanitizer-
 #      clean and produce the same results as serial runs.
 #
+# The default pass additionally runs the bench perf gates, a telemetry
+# smoke (live pmcd scraped over the wire, docs/OBSERVABILITY.md), and a
+# repo-root cleanliness guard.
+#
 # The TSan pass builds only the concurrency-heavy binaries (test_obs,
-# test_driver, test_service, pmc), runs those tests with POLYMATH_JOBS=4
+# test_obs_service, test_driver, test_service, pmc), runs those tests
+# with POLYMATH_JOBS=4
 # so the pool, compile cache, service server, and trace recorder race
 # under the sanitizer, and smoke-checks that `pmc --trace` emits
 # loadable Chrome-trace JSON.
@@ -82,14 +87,15 @@ for preset in "${presets[@]}"; do
         continue
     fi
     if [ "$preset" = tsan ]; then
-        echo "== [$preset] build (test_obs test_driver test_service" \
-             "test_dse pmc) =="
+        echo "== [$preset] build (test_obs test_obs_service test_driver" \
+             "test_service test_dse pmc) =="
         cmake --build --preset tsan -j "$jobs" \
-            --target test_obs test_driver test_service test_dse pmc
+            --target test_obs test_obs_service test_driver test_service \
+            test_dse pmc
         echo "== [$preset] test (POLYMATH_JOBS=4) =="
         POLYMATH_JOBS=4 ctest --test-dir build-tsan -j "$jobs" \
             --output-on-failure \
-            -R '^(test_obs|test_driver|test_service|test_dse)$'
+            -R '^(test_obs|test_obs_service|test_driver|test_service|test_dse)$'
         echo "== [$preset] pmc --trace smoke =="
         trace_json="$(mktemp /tmp/polymath-trace.XXXXXX.json)"
         build-tsan/tools/pmc --trace "$trace_json" \
@@ -153,6 +159,59 @@ for preset in "${presets[@]}"; do
             exit 1
         fi
         rm -f "$artifact"
+        # Telemetry smoke: a real pmcd with the flight recorder and
+        # slow-trace capture on, driven by two clients over the wire.
+        # Asserts the metrics verb parses as both Prometheus text and
+        # JSON, the dump verb returns the recorded requests, and the
+        # conservation law holds on the shutdown stats.
+        echo "== [$preset] telemetry smoke =="
+        tele_sock="$(mktemp -u /tmp/polymath-tele.XXXXXX.sock)"
+        tele_log="$(mktemp /tmp/polymath-tele.XXXXXX.log)"
+        build/tools/pmcd --socket "$tele_sock" --flight-entries 64 \
+            --slow-trace-us 1 -j 2 2> "$tele_log" &
+        tele_pid=$!
+        for _ in $(seq 50); do
+            [ -S "$tele_sock" ] && break
+            sleep 0.1
+        done
+        build/tools/pmc --connect "$tele_sock" --target DA \
+            examples/pmlang/affine.pm > /dev/null
+        build/tools/pmc --connect "$tele_sock" --target DA \
+            examples/pmlang/black_scholes.pm > /dev/null
+        build/tools/pmc --connect "$tele_sock" --metrics \
+            | grep -q '^# TYPE polymath_service_server_completed counter$'
+        build/tools/pmc --connect "$tele_sock" --metrics-json \
+            | python3 -c "import json,sys; json.load(sys.stdin)"
+        build/tools/pmc --connect "$tele_sock" --dump | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["recorded"] >= 1, d
+assert all(r["id"] for r in d["records"]), d
+assert any(r["trace"] for r in d["records"]), "no retained trace"
+'
+        build/tools/pmcd --socket "$tele_sock" --shutdown 2>&1 \
+            | python3 -c '
+import sys
+stats = {}
+for line in sys.stdin:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == "pmcd:":
+        stats[parts[1]] = float(parts[2])
+assert stats["offered"] == stats["completed"] + stats["rejected"], stats
+'
+        wait "$tele_pid"
+        rm -f "$tele_sock" "$tele_log"
+        # The telemetry smoke (and every other stage) must not leave
+        # stray files — a misparsed `--socket` once left a Unix socket
+        # literally named "--shutdown" at the repo root.
+        echo "== [$preset] repo-root clean guard =="
+        stray="$(git ls-files --others --exclude-standard \
+                 | grep -v '/' || true)"
+        if [ -n "$stray" ]; then
+            echo "repo-root clean guard: untracked files at the repo" \
+                 "root: $stray" >&2
+            exit 1
+        fi
     fi
     if [ "$preset" = asan ]; then
         if [ -n "$comma_locale" ]; then

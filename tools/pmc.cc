@@ -82,6 +82,11 @@ struct Options
     int jobs = 1;
     std::string tracePath;
     std::string connectPath; ///< pmcd socket; empty = local execution
+    bool dump = false;       ///< --connect: fetch the flight recorder
+    bool metrics = false;    ///< --connect: scrape live metrics
+    bool metricsJson = false;  ///< print the JSON snapshot instead
+    bool metricsDelta = false; ///< since-last-scrape deltas
+    std::string requestId;   ///< --connect: client-chosen attribution id
     int64_t streamJobs = 0; ///< 0 = sequential --simulate
     std::string arrival = "closed:4";
     int64_t streamMaxPending = 0;
@@ -150,6 +155,18 @@ usage()
         "                        Unix socket instead of compiling\n"
         "                        locally (requires --target; output is\n"
         "                        byte-identical to local execution)\n"
+        "  --dump                with --connect: print the daemon's\n"
+        "                        flight recorder (the last N request\n"
+        "                        records + retained slow traces) as JSON\n"
+        "  --metrics             with --connect: print the daemon's live\n"
+        "                        metrics as Prometheus text exposition\n"
+        "  --metrics-json        with --connect: print the metrics\n"
+        "                        snapshot as JSON instead\n"
+        "  --metrics-delta       with --metrics/--metrics-json: report\n"
+        "                        deltas since the last delta scrape\n"
+        "  --request-id <id>     with --connect: tag the work requests\n"
+        "                        with this attribution id (default:\n"
+        "                        server-assigned)\n"
         "  -j, --jobs <n>        compile multiple inputs with n worker\n"
         "                        threads (0 = all hardware threads;\n"
         "                        default POLYMATH_JOBS or 1); output stays\n"
@@ -293,6 +310,18 @@ parseArgs(int argc, char **argv)
             opts.deadlinePolicy = next();
         } else if (arg == "--connect") {
             opts.connectPath = next();
+        } else if (arg == "--dump") {
+            opts.dump = true;
+        } else if (arg == "--metrics") {
+            opts.metrics = true;
+        } else if (arg == "--metrics-json") {
+            opts.metrics = true;
+            opts.metricsJson = true;
+        } else if (arg == "--metrics-delta") {
+            opts.metrics = true;
+            opts.metricsDelta = true;
+        } else if (arg == "--request-id") {
+            opts.requestId = next();
         } else if (arg == "-j" || arg == "--jobs") {
             opts.jobs = static_cast<int>(parseInt("--jobs", next()));
             if (opts.jobs < 0)
@@ -342,8 +371,15 @@ parseArgs(int argc, char **argv)
             fatal("--dse is its own execution mode; it does not combine "
                   "with --profile/--profile-json/--stream");
     }
+    if ((opts.dump || opts.metrics || !opts.requestId.empty()) &&
+        opts.connectPath.empty())
+        fatal("--dump/--metrics/--request-id are service telemetry "
+              "surfaces; they require --connect");
+    if ((opts.dump || opts.metrics) && !opts.files.empty())
+        fatal("--dump/--metrics are stand-alone admin requests; they do "
+              "not take input files");
     if (!opts.connectPath.empty()) {
-        if (opts.target.empty())
+        if (opts.target.empty() && !opts.dump && !opts.metrics)
             fatal("--connect requires --target (the service executes "
                   "compile/simulate/profile requests)");
         if (opts.formatSource || opts.printIr || opts.dot || opts.json ||
@@ -663,6 +699,12 @@ runConnected(const Options &opts)
         auto req = requestFromOptions(opts, opts.files[static_cast<size_t>(i)],
                                       readInput(opts.files[static_cast<size_t>(i)]));
         req.id = i;
+        // A client-chosen attribution id tags the daemon-side spans and
+        // flight record; with several inputs each request gets its own.
+        if (!opts.requestId.empty())
+            req.requestId = n == 1 ? opts.requestId
+                                   : opts.requestId + "." +
+                                         std::to_string(i);
         client.send(req);
     }
     std::vector<service::Response> responses(static_cast<size_t>(n));
@@ -692,6 +734,44 @@ runConnected(const Options &opts)
         std::fputs(resp.error.c_str(), stderr);
         if (resp.ok && !opts.profileJsonPath.empty())
             writeProfileDoc(opts.profileJsonPath, resp.profileJson);
+        code = std::max(code, resp.code);
+    }
+    return code;
+}
+
+/**
+ * Admin mode (--dump / --metrics): no work requests, just the daemon's
+ * telemetry surfaces. The flight dump and the Prometheus exposition go
+ * to stdout verbatim, so `pmc --connect s --metrics | promtool check
+ * metrics` and jq over `--dump` both work unmodified.
+ */
+int
+runAdmin(const Options &opts)
+{
+    service::Client client(opts.connectPath);
+    int code = 0;
+    if (opts.dump) {
+        service::Request req;
+        req.verb = service::Verb::Dump;
+        req.requestId = opts.requestId;
+        const auto resp = client.call(req);
+        std::fputs(resp.output.c_str(), stdout);
+        std::fputs(resp.error.c_str(), stderr);
+        code = std::max(code, resp.code);
+    }
+    if (opts.metrics) {
+        service::Request req;
+        req.verb = service::Verb::Metrics;
+        req.requestId = opts.requestId;
+        req.metricsDelta = opts.metricsDelta;
+        const auto resp = client.call(req);
+        if (opts.metricsJson) {
+            std::fputs(resp.metricsJson.c_str(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            std::fputs(resp.output.c_str(), stdout);
+        }
+        std::fputs(resp.error.c_str(), stderr);
         code = std::max(code, resp.code);
     }
     return code;
@@ -752,6 +832,8 @@ run(const Options &opts)
         if (opts.files.empty())
             return 0;
     }
+    if (opts.dump || opts.metrics)
+        return runAdmin(opts);
     if (opts.files.empty()) {
         usage();
         return 2;

@@ -10,10 +10,23 @@
  *
  * The daemon runs until it receives a `shutdown` request (which drains
  * all queued and in-flight work first). `pmcd --shutdown` sends one.
+ *
+ * Telemetry (docs/OBSERVABILITY.md §"Service telemetry") is on by
+ * default: the last --flight-entries completed requests are kept in the
+ * flight recorder (dump verb / `pmc --connect <s> --dump`), requests
+ * slower than --slow-trace-us retain their full span trace, and SIGUSR1
+ * dumps the flight recorder to stderr without disturbing the server —
+ * as does shutdown. `--flight-entries 0` turns all of it off and the
+ * wire protocol is byte-identical to the pre-telemetry daemon.
  */
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
 #include <charconv>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "core/error.h"
 #include "core/thread_pool.h"
@@ -43,6 +56,13 @@ usage()
         "  --cache-entries <n>   LRU-bound the shared compile cache to\n"
         "                        n programs (default\n"
         "                        POLYMATH_CACHE_ENTRIES or unbounded)\n"
+        "  --flight-entries <n>  keep the last n request records for\n"
+        "                        the dump verb / SIGUSR1 / shutdown\n"
+        "                        dumps (default 256; 0 disables\n"
+        "                        request telemetry entirely)\n"
+        "  --slow-trace-us <n>   retain the full span trace of\n"
+        "                        requests that execute longer than n\n"
+        "                        microseconds (default 0 = none)\n"
         "  --shutdown            act as a client instead: send a\n"
         "                        shutdown request to the daemon at\n"
         "                        --socket, print its final stats, exit\n",
@@ -67,13 +87,22 @@ run(int argc, char **argv)
 {
     service::ServerConfig config;
     config.jobs = core::defaultJobs();
+    config.flightEntries = 256; // service-grade default; 0 disables
     bool shutdown = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (++i >= argc)
                 fatal("missing value after " + arg);
-            return argv[i];
+            // A following option means the value was forgotten:
+            // `pmcd --socket --shutdown` must not listen on a socket
+            // file literally named "--shutdown" (it once did, leaving
+            // a stray socket in the working directory).
+            const std::string value = argv[i];
+            if (value.rfind("--", 0) == 0)
+                fatal("missing value after " + arg + " (got option '" +
+                      value + "')");
+            return value;
         };
         if (arg == "--socket") {
             config.socketPath = next();
@@ -86,6 +115,11 @@ run(int argc, char **argv)
         } else if (arg == "--cache-entries") {
             config.cacheEntries = static_cast<size_t>(
                 parseCount("--cache-entries", next()));
+        } else if (arg == "--flight-entries") {
+            config.flightEntries = static_cast<size_t>(
+                parseCount("--flight-entries", next()));
+        } else if (arg == "--slow-trace-us") {
+            config.slowTraceUs = parseCount("--slow-trace-us", next());
         } else if (arg == "--shutdown") {
             shutdown = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -111,13 +145,49 @@ run(int argc, char **argv)
         return response.ok ? 0 : 1;
     }
 
+    // SIGUSR1 => dump the flight recorder to stderr, live. Handled on
+    // a dedicated sigwait thread: the signal is blocked process-wide
+    // first (worker/reader threads inherit the mask), so the dump runs
+    // in a normal thread context — no async-signal-safety gymnastics.
+    sigset_t usr1;
+    sigemptyset(&usr1);
+    sigaddset(&usr1, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &usr1, nullptr);
+
     service::Server server(config);
     server.start();
+
+    std::atomic<bool> exiting{false};
+    std::thread dumper([&server, &exiting, usr1] {
+        for (;;) {
+            int sig = 0;
+            if (sigwait(&usr1, &sig) != 0)
+                return;
+            if (exiting.load(std::memory_order_acquire))
+                return; // self-signal below: time to join
+            const std::string dump = server.flightDumpJson();
+            if (dump.empty()) {
+                std::fputs("pmcd: flight recorder disabled\n", stderr);
+            } else {
+                std::fprintf(stderr, "pmcd: flight dump\n%s\n",
+                             dump.c_str());
+            }
+        }
+    });
+
     std::fprintf(stderr,
-                 "pmcd: listening on %s (jobs=%d, max-pending=%d)\n",
+                 "pmcd: listening on %s (jobs=%d, max-pending=%d, "
+                 "flight-entries=%zu, slow-trace-us=%lld)\n",
                  config.socketPath.c_str(), config.jobs,
-                 config.maxPending);
+                 config.maxPending, config.flightEntries,
+                 static_cast<long long>(config.slowTraceUs));
     server.wait();
+    exiting.store(true, std::memory_order_release);
+    pthread_kill(dumper.native_handle(), SIGUSR1);
+    dumper.join();
+    const std::string dump = server.flightDumpJson();
+    if (!dump.empty())
+        std::fprintf(stderr, "pmcd: flight dump\n%s\n", dump.c_str());
     const auto stats = server.stats();
     std::fprintf(stderr,
                  "pmcd: shut down; offered=%lld completed=%lld "
