@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Graph clone/serialize microbenchmark over the Table III + Table IV
+ * workloads: per-workload wall-clock cost of `ir::Graph::clone()` and
+ * `ir::toJson()` on the *optimized* srDFG (the form the pmcd daemon
+ * snapshots per request). This is the enabler metric for daemon-side
+ * per-request graph snapshots: the flat arena-backed IR turns clone()
+ * into a handful of pool copies, and this bench pins that it stays
+ * that way.
+ *
+ * Each workload runs `--reps N` batches (default 5) of `--iters K`
+ * clones/serializes (default 32) and reports the per-operation minimum:
+ *   clone_micros      one Graph::clone() of the optimized graph
+ *   serialize_micros  one ir::toJson() of the optimized graph
+ * plus geomean rows. `--json` records a polymath-bench/1 artifact;
+ * tools/bench_compare diffs it against
+ * bench/baselines/clone_serialize.json in the check.sh perf gate
+ * (loose relative tolerance — wall clock, not model output).
+ */
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/strings.h"
+#include "driver.h"
+#include "passes/pass.h"
+#include "report/report.h"
+#include "srdfg/serialize.h"
+#include "workloads/suite.h"
+
+using namespace polymath;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - start)
+        .count();
+}
+
+int64_t
+intFlag(int argc, char **argv, const char *flag, int64_t fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+            const char *text = argv[i + 1];
+            const char *end = text + std::strlen(text);
+            int64_t value = 0;
+            const auto [ptr, ec] = std::from_chars(text, end, value);
+            if (ec != std::errc{} || ptr != end || value < 1) {
+                polymath::fatal(std::string(flag) +
+                                " expects a positive integer (got '" +
+                                text + "')");
+            }
+            return value;
+        }
+    }
+    return fallback;
+}
+
+struct CloneTiming
+{
+    double clone = 0.0;     ///< per-clone microseconds
+    double serialize = 0.0; ///< per-toJson microseconds
+};
+
+/** Times @p iters clones and serializations of the optimized graph. */
+CloneTiming
+timeWorkload(const ir::Graph &graph, int64_t iters)
+{
+    CloneTiming t;
+    // Touch once outside the timed region so one-time lazy state (use
+    // caches, interned tables) does not attribute to the first iteration.
+    auto warm = graph.clone();
+    std::string json = ir::toJson(*warm);
+
+    auto start = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) {
+        auto copy = graph.clone();
+        // Keep the optimizer honest: consume one byte of the copy.
+        if (copy->values.empty())
+            polymath::fatal("clone produced an empty graph");
+    }
+    t.clone = microsSince(start) / static_cast<double>(iters);
+
+    start = Clock::now();
+    size_t bytes = 0;
+    for (int64_t i = 0; i < iters; ++i)
+        bytes += ir::toJson(graph).size();
+    t.serialize = microsSince(start) / static_cast<double>(iters);
+    if (bytes == 0)
+        polymath::fatal("serialize produced no bytes");
+    return t;
+}
+
+struct Workload
+{
+    std::string id;
+    const std::string *source;
+    const ir::BuildOptions *buildOpts;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int64_t reps = intFlag(argc, argv, "--reps", 5);
+    const int64_t iters = intFlag(argc, argv, "--iters", 32);
+
+    const bench::Driver driver(argc, argv);
+
+    std::vector<Workload> workloads;
+    for (const auto &bench : wl::tableIII())
+        workloads.push_back({bench.id, &bench.source, &bench.buildOpts});
+    for (const auto &app : wl::tableIV())
+        workloads.push_back({app.id, &app.source, &app.buildOpts});
+
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double cloneMicros;
+        double serializeMicros;
+    };
+    const auto rows = driver.map(
+        static_cast<int64_t>(workloads.size()), [&](int64_t i) {
+            const auto &w = workloads[static_cast<size_t>(i)];
+            auto graph = wl::buildGraph(*w.source, *w.buildOpts);
+            auto pipeline = pass::standardPipeline();
+            pipeline.runToFixpoint(*graph);
+            CloneTiming best;
+            for (int64_t rep = 0; rep < reps; ++rep) {
+                const CloneTiming t = timeWorkload(*graph, iters);
+                if (rep == 0 || t.clone < best.clone)
+                    best.clone = t.clone;
+                if (rep == 0 || t.serialize < best.serialize)
+                    best.serialize = t.serialize;
+            }
+            driver.record(w.id, "clone_micros", best.clone);
+            driver.record(w.id, "serialize_micros", best.serialize);
+            return Row{{w.id, formatF(best.clone, 2),
+                        formatF(best.serialize, 2)},
+                       best.clone, best.serialize};
+        });
+
+    report::Table table({"Workload", "Clone (us)", "Serialize (us)"});
+    std::vector<double> clones;
+    std::vector<double> serializes;
+    for (const auto &row : rows) {
+        clones.push_back(row.cloneMicros);
+        serializes.push_back(row.serializeMicros);
+        table.addRow(row.cells);
+    }
+    const double geo_clone = report::geomean(clones);
+    const double geo_ser = report::geomean(serializes);
+    driver.record("geomean", "clone_micros", geo_clone);
+    driver.record("geomean", "serialize_micros", geo_ser);
+    table.addRow({"Geomean", formatF(geo_clone, 2), formatF(geo_ser, 2)});
+
+    std::printf("Graph clone/serialize on optimized srDFGs, min over %lld "
+                "reps of %lld iters\n\n",
+                static_cast<long long>(reps),
+                static_cast<long long>(iters));
+    std::printf("%s\n", table.str().c_str());
+    driver.reportStats();
+    return 0;
+}

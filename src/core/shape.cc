@@ -4,20 +4,29 @@
 
 namespace polymath {
 
-Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+namespace {
+
+std::shared_ptr<const std::vector<int64_t>>
+checkedDims(std::vector<int64_t> dims)
 {
-    for (int64_t d : dims_) {
+    if (dims.empty())
+        return nullptr; // scalar: allocation-free
+    for (int64_t d : dims) {
         if (d < 0)
             panic("negative shape extent");
     }
+    return std::make_shared<const std::vector<int64_t>>(std::move(dims));
 }
 
-Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+} // namespace
+
+Shape::Shape(std::initializer_list<int64_t> dims)
+    : dims_(checkedDims(std::vector<int64_t>(dims)))
 {
-    for (int64_t d : dims_) {
-        if (d < 0)
-            panic("negative shape extent");
-    }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(checkedDims(std::move(dims)))
+{
 }
 
 int64_t
@@ -25,14 +34,14 @@ Shape::dim(int axis) const
 {
     if (axis < 0 || axis >= rank())
         panic("shape axis out of range");
-    return dims_[static_cast<size_t>(axis)];
+    return dims()[static_cast<size_t>(axis)];
 }
 
 int64_t
 Shape::numel() const
 {
     int64_t n = 1;
-    for (int64_t d : dims_)
+    for (int64_t d : dims())
         n *= d;
     return n;
 }
@@ -40,11 +49,12 @@ Shape::numel() const
 std::vector<int64_t>
 Shape::strides() const
 {
-    std::vector<int64_t> s(dims_.size());
+    const auto &ds = dims();
+    std::vector<int64_t> s(ds.size());
     int64_t acc = 1;
     for (int i = rank() - 1; i >= 0; --i) {
         s[static_cast<size_t>(i)] = acc;
-        acc *= dims_[static_cast<size_t>(i)];
+        acc *= ds[static_cast<size_t>(i)];
     }
     return s;
 }
@@ -54,14 +64,15 @@ Shape::flatten(const std::vector<int64_t> &index) const
 {
     if (static_cast<int>(index.size()) != rank())
         panic("flatten(): index rank mismatch");
+    const auto &ds = dims();
     int64_t offset = 0;
     int64_t stride = 1;
     for (int i = rank() - 1; i >= 0; --i) {
         const auto ui = static_cast<size_t>(i);
-        if (index[ui] < 0 || index[ui] >= dims_[ui])
+        if (index[ui] < 0 || index[ui] >= ds[ui])
             panic("flatten(): index out of bounds");
         offset += index[ui] * stride;
-        stride *= dims_[ui];
+        stride *= ds[ui];
     }
     return offset;
 }
@@ -69,11 +80,12 @@ Shape::flatten(const std::vector<int64_t> &index) const
 std::vector<int64_t>
 Shape::unflatten(int64_t offset) const
 {
-    std::vector<int64_t> index(dims_.size());
+    const auto &ds = dims();
+    std::vector<int64_t> index(ds.size());
     for (int i = rank() - 1; i >= 0; --i) {
         const auto ui = static_cast<size_t>(i);
-        index[ui] = offset % dims_[ui];
-        offset /= dims_[ui];
+        index[ui] = offset % ds[ui];
+        offset /= ds[ui];
     }
     return index;
 }
@@ -84,7 +96,7 @@ Shape::str() const
     if (isScalar())
         return "scalar";
     std::string out;
-    for (int64_t d : dims_)
+    for (int64_t d : dims())
         out += "[" + std::to_string(d) + "]";
     return out;
 }

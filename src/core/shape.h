@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,10 @@ namespace polymath {
 /**
  * A tensor shape: an ordered list of non-negative extents.
  * A rank-0 shape denotes a scalar.
+ *
+ * Immutable after construction; the extent list is shared behind a
+ * refcount so copying a Shape never allocates (shapes ride on every
+ * srDFG value and are copied heavily by Graph::clone()).
  */
 class Shape
 {
@@ -24,7 +29,7 @@ class Shape
     explicit Shape(std::vector<int64_t> dims);
 
     /** Number of dimensions; 0 for scalars. */
-    int rank() const { return static_cast<int>(dims_.size()); }
+    int rank() const { return static_cast<int>(dims().size()); }
 
     /** Extent of dimension @p axis (0-based). */
     int64_t dim(int axis) const;
@@ -33,7 +38,7 @@ class Shape
     int64_t numel() const;
 
     /** True iff rank() == 0. */
-    bool isScalar() const { return dims_.empty(); }
+    bool isScalar() const { return !dims_ || dims_->empty(); }
 
     /** Row-major strides; empty for scalars. */
     std::vector<int64_t> strides() const;
@@ -44,15 +49,22 @@ class Shape
     /** Inverse of flatten(). */
     std::vector<int64_t> unflatten(int64_t offset) const;
 
-    const std::vector<int64_t> &dims() const { return dims_; }
+    const std::vector<int64_t> &dims() const
+    {
+        static const std::vector<int64_t> kNone;
+        return dims_ ? *dims_ : kNone;
+    }
 
     /** "[a][b][c]" rendering; "scalar" for rank 0. */
     std::string str() const;
 
-    bool operator==(const Shape &other) const = default;
+    bool operator==(const Shape &other) const
+    {
+        return dims_ == other.dims_ || dims() == other.dims();
+    }
 
   private:
-    std::vector<int64_t> dims_;
+    std::shared_ptr<const std::vector<int64_t>> dims_;
 };
 
 } // namespace polymath

@@ -1,5 +1,6 @@
 #include "interp/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <vector>
@@ -127,20 +128,21 @@ int64_t
 GraphRunner::flatIndex(const Tensor &t, const Access &a,
                        std::span<const int64_t> point) const
 {
-    if (a.coords.empty()) {
+    const auto cs = graph_.coords(a);
+    if (cs.empty()) {
         if (t.numel() != 1)
             panic("whole-tensor access used as scalar");
         return 0;
     }
     int64_t flat = 0;
     const auto &dims = t.shape().dims();
-    if (a.coords.size() != dims.size()) {
-        panic("access arity " + std::to_string(a.coords.size()) +
+    if (cs.size() != dims.size()) {
+        panic("access arity " + std::to_string(cs.size()) +
               " vs tensor rank " + std::to_string(dims.size()) +
               " in graph '" + graph_.name + "'");
     }
-    for (size_t d = 0; d < a.coords.size(); ++d) {
-        const int64_t c = a.coords[d].eval(point);
+    for (size_t d = 0; d < cs.size(); ++d) {
+        const int64_t c = cs[d].eval(point);
         if (c < 0 || c >= dims[d]) {
             fatal("index " + std::to_string(c) + " out of bounds for dim " +
                   std::to_string(d) + " of " + t.shape().str() +
@@ -155,7 +157,7 @@ double
 GraphRunner::readReal(const Access &a, std::span<const int64_t> point) const
 {
     if (a.isIndexOperand())
-        return static_cast<double>(a.coords[0].eval(point));
+        return static_cast<double>(graph_.coords(a)[0].eval(point));
     const Tensor &t = tensorOf(a.value);
     if (t.isComplex())
         fatal("complex operand in a real context");
@@ -167,7 +169,7 @@ GraphRunner::readComplex(const Access &a,
                          std::span<const int64_t> point) const
 {
     if (a.isIndexOperand())
-        return {static_cast<double>(a.coords[0].eval(point)), 0.0};
+        return {static_cast<double>(graph_.coords(a)[0].eval(point)), 0.0};
     const Tensor &t = tensorOf(a.value);
     return t.asComplex(flatIndex(t, a, point));
 }
@@ -175,21 +177,24 @@ GraphRunner::readComplex(const Access &a,
 void
 GraphRunner::execConstant(const Node &node)
 {
-    const auto &md = graph_.value(node.outs[0].value).md;
+    const ValueId out_v = graph_.outs(node)[0].value;
+    const auto &md = graph_.value(out_v).md;
     Tensor t(md.dtype == DType::Complex ? DType::Complex : md.dtype,
              Shape{});
     if (t.isComplex())
         t.cat(0) = {node.cval, 0.0};
     else
         t.at(0) = node.cval;
-    store(node.outs[0].value, std::move(t));
+    store(out_v, std::move(t));
 }
 
 void
 GraphRunner::execMap(const Node &node)
 {
     const ir::ScalarOp op = ir::resolveScalarOp(node.op);
-    const auto &out_md = graph_.value(node.outs[0].value).md;
+    const auto ins = graph_.ins(node);
+    const Access out_access = graph_.outs(node)[0];
+    const auto &out_md = graph_.value(out_access.value).md;
     Tensor out(out_md.dtype, out_md.shape);
 
     // Seed with the base version (partial writes) or zeros.
@@ -199,13 +204,13 @@ GraphRunner::execMap(const Node &node)
     }
 
     bool complex_path = out.isComplex();
-    for (const auto &in : node.ins) {
+    for (const auto &in : ins) {
         if (!in.isIndexOperand() && tensorOf(in.value).isComplex())
             complex_path = true;
     }
 
     std::vector<int64_t> extents;
-    for (const auto &v : node.domainVars)
+    for (const auto &v : graph_.domainVars(node))
         extents.push_back(v.extent);
     std::vector<int64_t> point(extents.size(), 0);
 
@@ -213,29 +218,28 @@ GraphRunner::execMap(const Node &node)
     const bool bin_out = out_md.dtype == DType::Bin;
     if (stats_) {
         if (node.op == ir::OpCode::Identity)
-            stats_->moveElems += node.domainSize();
+            stats_->moveElems += node.domainSize(graph_);
         else
-            stats_->mapOps += node.domainSize();
+            stats_->mapOps += node.domainSize(graph_);
     }
     do {
-        const int64_t out_flat = flatIndex(out, node.outs[0], point);
+        const int64_t out_flat = flatIndex(out, out_access, point);
         if (complex_path) {
             std::complex<double> args[3];
-            for (size_t i = 0; i < node.ins.size(); ++i)
-                args[i] = readComplex(node.ins[i], point);
+            for (size_t i = 0; i < ins.size(); ++i)
+                args[i] = readComplex(ins[i], point);
             const auto r = ir::applyScalarOpComplex(
-                op, std::span<const std::complex<double>>(args,
-                                                          node.ins.size()));
+                op, std::span<const std::complex<double>>(args, ins.size()));
             if (out.isComplex())
                 out.cat(out_flat) = r;
             else
                 out.at(out_flat) = r.real();
         } else {
             double args[3];
-            for (size_t i = 0; i < node.ins.size(); ++i)
-                args[i] = readReal(node.ins[i], point);
+            for (size_t i = 0; i < ins.size(); ++i)
+                args[i] = readReal(ins[i], point);
             double r = ir::applyScalarOp(
-                op, std::span<const double>(args, node.ins.size()));
+                op, std::span<const double>(args, ins.size()));
             if (int_out)
                 r = std::trunc(r);
             else if (bin_out)
@@ -244,13 +248,15 @@ GraphRunner::execMap(const Node &node)
         }
     } while (nextPoint(&point, extents));
 
-    store(node.outs[0].value, std::move(out));
+    store(out_access.value, std::move(out));
 }
 
 void
 GraphRunner::execReduce(const Node &node)
 {
-    const auto &out_md = graph_.value(node.outs[0].value).md;
+    const auto ins = graph_.ins(node);
+    const Access out_access = graph_.outs(node)[0];
+    const auto &out_md = graph_.value(out_access.value).md;
     Tensor out(out_md.dtype, out_md.shape);
 
     const bool builtin = ir::isBuiltinReductionOp(node.op);
@@ -263,15 +269,15 @@ GraphRunner::execReduce(const Node &node)
         custom = it->second;
     }
 
-    const bool complex_in = !node.ins[0].isIndexOperand() &&
-                            tensorOf(node.ins[0].value).isComplex();
+    const bool complex_in =
+        !ins[0].isIndexOperand() && tensorOf(ins[0].value).isComplex();
     if (complex_in && rcode != ir::OpCode::Sum &&
         rcode != ir::OpCode::Prod) {
         fatal("only sum/prod reductions are defined on complex data");
     }
 
     std::vector<int64_t> extents;
-    for (const auto &v : node.domainVars)
+    for (const auto &v : graph_.domainVars(node))
         extents.push_back(v.extent);
     std::vector<int64_t> point(extents.size(), 0);
 
@@ -294,12 +300,12 @@ GraphRunner::execReduce(const Node &node)
             if (node.predicate.eval(point) == 0)
                 continue;
         }
-        const int64_t out_flat = flatIndex(out, node.outs[0], point);
+        const int64_t out_flat = flatIndex(out, out_access, point);
         // Tree-equivalent combine count: ops beyond the first element.
         if (stats_ && touched[static_cast<size_t>(out_flat)])
             ++stats_->reduceCombines;
         if (complex_in) {
-            const auto x = readComplex(node.ins[0], point);
+            const auto x = readComplex(ins[0], point);
             if (rcode == ir::OpCode::Sum)
                 cacc[static_cast<size_t>(out_flat)] += x;
             else
@@ -307,7 +313,7 @@ GraphRunner::execReduce(const Node &node)
             touched[static_cast<size_t>(out_flat)] = true;
             continue;
         }
-        const double x = readReal(node.ins[0], point);
+        const double x = readReal(ins[0], point);
         double &acc = out.at(out_flat);
         if (builtin) {
             // The combiner dispatches on the resolved opcode once per
@@ -349,20 +355,20 @@ GraphRunner::execReduce(const Node &node)
         }
     }
 
-    store(node.outs[0].value, std::move(out));
+    store(out_access.value, std::move(out));
 }
 
 void
 GraphRunner::execComponent(const Node &node)
 {
     GraphRunner inner(*node.subgraph, stats_);
-    for (size_t i = 0; i < node.ins.size(); ++i)
-        inner.bindInput(node.subgraph->inputs[i],
-                        tensorOf(node.ins[i].value));
+    const auto ins = graph_.ins(node);
+    const auto outs = graph_.outs(node);
+    for (size_t i = 0; i < ins.size(); ++i)
+        inner.bindInput(node.subgraph->inputs[i], tensorOf(ins[i].value));
     inner.run();
-    for (size_t i = 0; i < node.outs.size(); ++i)
-        store(node.outs[i].value,
-              inner.tensorOf(node.subgraph->outputs[i]));
+    for (size_t i = 0; i < outs.size(); ++i)
+        store(outs[i].value, inner.tensorOf(node.subgraph->outputs[i]));
 }
 
 void
@@ -386,18 +392,23 @@ Interpreter::Interpreter(const ir::Graph &graph) : graph_(graph) {}
 void
 Interpreter::setInput(const std::string &name, Tensor tensor)
 {
-    for (ValueId v : graph_.inputs) {
-        const auto &md = graph_.value(v).md;
-        if (md.name != name)
-            continue;
-        if (!(md.shape == tensor.shape())) {
-            fatal("input '" + name + "' expects shape " + md.shape.str() +
-                  ", got " + tensor.shape().str());
-        }
-        bindings_[name] = std::move(tensor);
-        return;
+    // The name index resolves the binding in O(1); inputs are created
+    // before any internal value, so a named input is always the first
+    // value carrying its name.
+    const ValueId v = graph_.findValueByName(name);
+    const bool is_input =
+        v >= 0 && std::find(graph_.inputs.begin(), graph_.inputs.end(), v) !=
+                      graph_.inputs.end();
+    if (!is_input) {
+        fatal("graph '" + graph_.name + "' has no input named '" + name +
+              "'");
     }
-    fatal("graph '" + graph_.name + "' has no input named '" + name + "'");
+    const auto &md = graph_.value(v).md;
+    if (!(md.shape == tensor.shape())) {
+        fatal("input '" + name + "' expects shape " + md.shape.str() +
+              ", got " + tensor.shape().str());
+    }
+    bindings_[name] = std::move(tensor);
 }
 
 bool

@@ -94,7 +94,7 @@ genericTranslate(const ir::Graph &graph, const ir::Node &node)
 {
     IrFragment frag;
     frag.opcode = node.op.str();
-    frag.flops = node.scalarOpCount();
+    frag.flops = node.scalarOpCount(graph);
 
     auto arg_of = [&](ir::ValueId v) {
         const auto &md = graph.value(v).md;
@@ -106,19 +106,19 @@ genericTranslate(const ir::Graph &graph, const ir::Node &node)
         return arg;
     };
 
-    for (const auto &in : node.ins) {
+    for (const auto &in : graph.ins(node)) {
         if (in.isIndexOperand())
             continue; // compile-time address streams need no operand slot
         frag.inputs.push_back(arg_of(in.value));
     }
     if (node.base >= 0)
         frag.inputs.push_back(arg_of(node.base));
-    for (const auto &out : node.outs)
+    for (const auto &out : graph.outs(node))
         frag.outputs.push_back(arg_of(out.value));
 
     // Shape/iteration attributes for the target's scheduler.
     int64_t i = 0;
-    for (const auto &v : node.domainVars) {
+    for (const auto &v : graph.domainVars(node)) {
         frag.attrs["dim" + std::to_string(i++)] = v.extent;
         if (v.reduced)
             frag.attrs["reduce_extent"] =
@@ -129,7 +129,7 @@ genericTranslate(const ir::Graph &graph, const ir::Node &node)
     if (node.hasPredicate)
         frag.attrs["guarded"] = 1;
     if (ir::isMoveOp(node.op))
-        frag.attrs["move_elems"] = node.domainSize();
+        frag.attrs["move_elems"] = node.domainSize(graph);
     if (node.kind == ir::NodeKind::Constant)
         frag.attrs["const_bits"] = 64;
     return frag;

@@ -115,29 +115,29 @@ std::vector<NodeId>
 affinitySchedule(const Graph &graph,
                  const std::function<std::string(const Node &)> &accel_of)
 {
-    std::vector<int> pending(graph.nodes.size(), 0);
+    std::vector<int> pending(graph.nodeCount(), 0);
     std::vector<std::vector<NodeId>> waiters(graph.values.size());
     std::map<std::string, std::vector<NodeId>> ready;
     auto value_pending = [&](ValueId v) {
         return v >= 0 && graph.value(v).producer >= 0 &&
                graph.node(graph.value(v).producer);
     };
-    for (const auto &node : graph.nodes) {
-        if (!node)
+    for (const Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
         int count = 0;
         auto dep = [&](ValueId v) {
             if (value_pending(v)) {
                 ++count;
-                waiters[static_cast<size_t>(v)].push_back(node->id);
+                waiters[static_cast<size_t>(v)].push_back(node.id);
             }
         };
-        for (const auto &in : node->ins)
+        for (const auto &in : graph.ins(node))
             dep(in.isIndexOperand() ? -1 : in.value);
-        dep(node->base);
-        pending[static_cast<size_t>(node->id)] = count;
+        dep(node.base);
+        pending[static_cast<size_t>(node.id)] = count;
         if (count == 0)
-            ready[accel_of(*node)].push_back(node->id);
+            ready[accel_of(node)].push_back(node.id);
     }
     std::vector<NodeId> order;
     std::string current;
@@ -154,7 +154,7 @@ affinitySchedule(const Graph &graph,
         const NodeId id = bucket->second.back();
         bucket->second.pop_back();
         order.push_back(id);
-        for (const auto &o : graph.node(id)->outs) {
+        for (const auto &o : graph.outs(*graph.node(id))) {
             if (o.value < 0)
                 continue;
             for (NodeId w : waiters[static_cast<size_t>(o.value)]) {
@@ -290,7 +290,7 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
                 transferFragment(graph, v, true));
             current->fragments.push_back(transferFragment(graph, v, true));
         };
-        for (const auto &in : node.ins) {
+        for (const auto &in : graph.ins(node)) {
             if (!in.isIndexOperand())
                 add_load(in.value);
         }
@@ -316,7 +316,7 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
         current->fragments.push_back(std::move(frag));
         current->ops.insert(node.op);
 
-        for (const auto &o : node.outs)
+        for (const auto &o : graph.outs(node))
             partition_of_value[static_cast<size_t>(o.value)] =
                 current_index;
     }
@@ -344,6 +344,16 @@ compileProgram(const Graph &graph, const AcceleratorRegistry &registry,
     metrics.counter("compile.partitions")
         .add(static_cast<int64_t>(out.partitions.size()));
     metrics.counter("compile.boundary_bytes").add(out.transferBytes());
+    // IR storage footprint of the graph just compiled: live nodes across
+    // all recursion levels and the flat-pool arena bytes backing them.
+    // Gauges (last-write-wins) — surfaced by `pmc --stats` and the
+    // daemon's `metrics` verb.
+    int64_t live_nodes = 0;
+    ir::forEachNodeRecursive(graph, [&](const ir::Graph &,
+                                        const ir::Node &) { ++live_nodes; });
+    metrics.gauge("ir.nodes.live").set(static_cast<double>(live_nodes));
+    metrics.gauge("ir.arena.bytes")
+        .set(static_cast<double>(graph.arenaBytes()));
     compile_span.arg("partitions",
                      static_cast<int64_t>(out.partitions.size()));
     compile_span.arg("boundary_bytes", out.transferBytes());

@@ -7,6 +7,7 @@
 
 namespace polymath::lower {
 
+using ir::Access;
 using ir::Graph;
 using ir::Node;
 using ir::NodeId;
@@ -20,15 +21,21 @@ spliceComponent(Graph &graph, NodeId id)
     Node *comp = graph.node(id);
     if (!comp || comp->kind != NodeKind::Component)
         panic("spliceComponent(): not a component node");
+    // The subgraph object itself never moves when the parent's node pool
+    // reallocates (the Node only holds a pointer to it), so this reference
+    // stays valid across the addNode calls below — unlike `comp`.
     Graph &sub = *comp->subgraph;
+    const Domain comp_domain = comp->domain;
 
     // Map subgraph value ids to parent value ids.
     std::vector<ValueId> vmap(sub.values.size(), -1);
+    const auto comp_ins = graph.ins(*comp);
+    const auto comp_outs = graph.outs(*comp);
     for (size_t i = 0; i < sub.inputs.size(); ++i)
-        vmap[static_cast<size_t>(sub.inputs[i])] = comp->ins[i].value;
+        vmap[static_cast<size_t>(sub.inputs[i])] = comp_ins[i].value;
     for (size_t i = 0; i < sub.outputs.size(); ++i) {
         const ValueId sv = sub.outputs[i];
-        const ValueId outer = comp->outs[i].value;
+        const ValueId outer = comp_outs[i].value;
         if (vmap[static_cast<size_t>(sv)] >= 0) {
             // Pass-through (e.g. unwritten state): the outer output value
             // is just an alias of the outer input; rewrite its uses.
@@ -47,33 +54,38 @@ spliceComponent(Graph &graph, NodeId id)
             vmap[static_cast<size_t>(v.id)] = graph.addValue(v.md);
     }
 
-    // Move nodes up, remapping value references.
-    for (auto &snode : sub.nodes) {
-        if (!snode)
+    // Move nodes up, remapping value references. addNode relocates the
+    // parent pool, so `comp` (and the spans read above) are dead past this
+    // point — everything needed from them was captured into locals.
+    for (Node &snode : sub.nodePool()) {
+        if (!snode.live())
             continue;
-        Node &moved = graph.addNode(snode->kind, snode->op);
-        moved.domain = snode->domain != Domain::None ? snode->domain
-                                                     : comp->domain;
-        moved.domainVars = std::move(snode->domainVars);
-        moved.predicate = std::move(snode->predicate);
-        moved.hasPredicate = snode->hasPredicate;
-        moved.cval = snode->cval;
-        moved.subgraph = std::move(snode->subgraph);
-        moved.ins = std::move(snode->ins);
-        for (auto &in : moved.ins) {
-            if (!in.isIndexOperand())
-                in.value = vmap[static_cast<size_t>(in.value)];
+        Node &moved = *graph.node(graph.addNode(snode.kind, snode.op));
+        moved.domain = snode.domain != Domain::None ? snode.domain
+                                                    : comp_domain;
+        graph.setDomainVars(moved, sub.domainVars(snode));
+        moved.predicate = std::move(snode.predicate);
+        moved.hasPredicate = snode.hasPredicate;
+        moved.cval = snode.cval;
+        moved.subgraph = std::move(snode.subgraph);
+        for (const Access &in : sub.ins(snode)) {
+            Access a = graph.importAccess(sub, in);
+            if (!a.isIndexOperand())
+                a.value = vmap[static_cast<size_t>(in.value)];
+            graph.addInput(moved, a);
         }
-        if (snode->base >= 0)
-            moved.base = vmap[static_cast<size_t>(snode->base)];
-        moved.outs = std::move(snode->outs);
-        for (auto &out : moved.outs) {
-            out.value = vmap[static_cast<size_t>(out.value)];
-            graph.value(out.value).producer = moved.id;
+        if (snode.base >= 0)
+            graph.setBase(moved, vmap[static_cast<size_t>(snode.base)]);
+        for (const Access &out : sub.outs(snode)) {
+            Access a = graph.importAccess(sub, out);
+            a.value = vmap[static_cast<size_t>(out.value)];
+            graph.addOutput(moved, a);
+            graph.value(a.value).producer = moved.id;
         }
     }
-    // The splice wires inputs with raw surgery; drop the use cache rather
-    // than replaying every move through the incremental helpers.
+    // The splice rewires boundary values with raw surgery; drop the use
+    // cache rather than replaying every move through the incremental
+    // helpers.
     graph.touchUses();
     graph.eraseNode(id);
 }
@@ -99,9 +111,9 @@ lowerGraph(Graph &graph, const SupportedOps &om, Domain default_domain)
     bool changed = true;
     while (changed) {
         changed = false;
-        const size_t count = graph.nodes.size();
+        const size_t count = graph.nodeCount();
         for (size_t i = 0; i < count; ++i) {
-            Node *node = graph.nodes[i].get();
+            Node *node = graph.node(static_cast<NodeId>(i));
             if (!node)
                 continue;
             const Domain dom = effectiveDomain(*node, default_domain);

@@ -25,7 +25,7 @@ struct MatvecMatch
 };
 
 bool
-isIdentityCoords(const std::vector<IndexExpr> &coords)
+isIdentityCoords(std::span<const IndexExpr> coords)
 {
     for (size_t i = 0; i < coords.size(); ++i) {
         if (!coords[i].isIdentityVar(static_cast<int>(i)))
@@ -46,15 +46,17 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
     const Node *node = g.node(producer);
     if (!node)
         return std::nullopt;
+    const auto ins = g.ins(*node);
+    const auto outs = g.outs(*node);
+    const auto dvars = g.domainVars(*node);
 
     // Peel a whole-tensor identity move.
     if (node->kind == NodeKind::Map && node->op == ir::OpCode::Identity &&
-        node->base < 0 && node->domainVars.size() == 1 &&
-        !node->ins[0].isIndexOperand() &&
-        isIdentityCoords(node->ins[0].coords) &&
-        isIdentityCoords(node->outs[0].coords) &&
-        node->ins[0].coords.size() == 1) {
-        return matchAtLevel(g, node->ins[0].value, depth + 1);
+        node->base < 0 && dvars.size() == 1 && !ins[0].isIndexOperand() &&
+        isIdentityCoords(g.coords(ins[0])) &&
+        isIdentityCoords(g.coords(outs[0])) &&
+        g.coords(ins[0]).size() == 1) {
+        return matchAtLevel(g, ins[0].value, depth + 1);
     }
 
     // The component case: a matvec packaged as e.g. `mvmul`, matched inside
@@ -62,8 +64,8 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
     // cross-granularity fusion the paper describes.
     if (node->kind == NodeKind::Component) {
         const Graph &sub = *node->subgraph;
-        for (size_t oi = 0; oi < node->outs.size(); ++oi) {
-            if (node->outs[oi].value != v)
+        for (size_t oi = 0; oi < outs.size(); ++oi) {
+            if (outs[oi].value != v)
                 continue;
             auto inner = matchAtLevel(sub, sub.outputs[oi], depth + 1);
             if (!inner)
@@ -71,7 +73,7 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
             auto outer_of = [&](ValueId sv) -> ValueId {
                 for (size_t ii = 0; ii < sub.inputs.size(); ++ii) {
                     if (sub.inputs[ii] == sv)
-                        return node->ins[ii].value;
+                        return ins[ii].value;
                 }
                 return -1;
             };
@@ -87,42 +89,44 @@ matchAtLevel(const Graph &g, ValueId v, int depth = 0)
 
     // Core pattern: Reduce(sum over k) of Map(mul) of A[j][k], x[k].
     if (node->kind != NodeKind::Reduce || node->op != ir::OpCode::Sum ||
-        node->hasPredicate || node->domainVars.size() != 2 ||
-        node->domainVars[0].reduced || !node->domainVars[1].reduced ||
-        !isIdentityCoords(node->ins[0].coords) ||
-        node->ins[0].isIndexOperand()) {
+        node->hasPredicate || dvars.size() != 2 || dvars[0].reduced ||
+        !dvars[1].reduced || !isIdentityCoords(g.coords(ins[0])) ||
+        ins[0].isIndexOperand()) {
         return std::nullopt;
     }
-    const auto mul_producer = g.value(node->ins[0].value).producer;
+    const auto mul_producer = g.value(ins[0].value).producer;
     const Node *mul = mul_producer >= 0 ? g.node(mul_producer) : nullptr;
-    if (!mul || mul->kind != NodeKind::Map || mul->op != ir::OpCode::Mul ||
-        mul->domainVars.size() != 2 ||
-        mul->domainVars[0].extent != node->domainVars[0].extent ||
-        mul->domainVars[1].extent != node->domainVars[1].extent) {
+    if (!mul || mul->kind != NodeKind::Map || mul->op != ir::OpCode::Mul)
+        return std::nullopt;
+    const auto mul_dvars = g.domainVars(*mul);
+    if (mul_dvars.size() != 2 || mul_dvars[0].extent != dvars[0].extent ||
+        mul_dvars[1].extent != dvars[1].extent) {
         return std::nullopt;
     }
     // One operand must be A[j][k], the other x[k] (either order).
     auto classify = [&](const Access &a, MatvecMatch *out) {
         if (a.isIndexOperand())
             return false;
-        if (a.coords.size() == 2 && a.coords[0].isIdentityVar(0) &&
-            a.coords[1].isIdentityVar(1)) {
+        const auto cs = g.coords(a);
+        if (cs.size() == 2 && cs[0].isIdentityVar(0) &&
+            cs[1].isIdentityVar(1)) {
             out->matrix = a.value;
             return true;
         }
-        if (a.coords.size() == 1 && a.coords[0].isIdentityVar(1)) {
+        if (cs.size() == 1 && cs[0].isIdentityVar(1)) {
             out->vector = a.value;
             return true;
         }
         return false;
     };
     MatvecMatch out;
-    if (!classify(mul->ins[0], &out) || !classify(mul->ins[1], &out))
+    const auto mul_ins = g.ins(*mul);
+    if (!classify(mul_ins[0], &out) || !classify(mul_ins[1], &out))
         return std::nullopt;
     if (out.matrix < 0 || out.vector < 0)
         return std::nullopt;
-    out.m = node->domainVars[0].extent;
-    out.n = node->domainVars[1].extent;
+    out.m = dvars[0].extent;
+    out.n = dvars[1].extent;
     return out;
 }
 
@@ -135,22 +139,22 @@ concatVectors(Graph &g, ValueId a, int64_t n1, ValueId b, int64_t n2,
     md.dtype = dtype;
     md.kind = ir::EdgeKind::Internal;
     md.shape = Shape{n1 + n2};
+    const std::vector<IndexExpr> ident{IndexExpr::var(0)};
 
-    Node &s1 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
-    s1.domainVars.push_back(IndexVar{"k", n1, false});
-    g.addInput(s1, Access{a, {IndexExpr::var(0)}});
+    Node &s1 = *g.node(g.addNode(NodeKind::Map, ir::OpCode::Identity));
+    g.addDomainVar(s1, IndexVar{"k", n1, false});
+    g.addInput(s1, g.makeAccess(a, ident));
     const ValueId v1 = g.addValue(md, s1.id);
-    s1.outs.push_back(Access{v1, {IndexExpr::var(0)}});
+    g.addOutput(s1, g.makeAccess(v1, ident));
 
-    Node &s2 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
-    s2.domainVars.push_back(IndexVar{"k", n2, false});
-    g.addInput(s2, Access{b, {IndexExpr::var(0)}});
+    Node &s2 = *g.node(g.addNode(NodeKind::Map, ir::OpCode::Identity));
+    g.addDomainVar(s2, IndexVar{"k", n2, false});
+    g.addInput(s2, g.makeAccess(b, ident));
     g.setBase(s2, v1);
     const ValueId v2 = g.addValue(md, s2.id);
-    s2.outs.push_back(
-        Access{v2, {IndexExpr::binary(IndexExpr::Kind::Add,
-                                      IndexExpr::var(0),
-                                      IndexExpr::constant(n1))}});
+    const std::vector<IndexExpr> shifted{IndexExpr::binary(
+        IndexExpr::Kind::Add, IndexExpr::var(0), IndexExpr::constant(n1))};
+    g.addOutput(s2, g.makeAccess(v2, shifted));
     return v2;
 }
 
@@ -163,25 +167,26 @@ concatMatrices(Graph &g, ValueId a, ValueId b, int64_t m, int64_t n1,
     md.dtype = dtype;
     md.kind = ir::EdgeKind::Internal;
     md.shape = Shape{m, n1 + n2};
+    const std::vector<IndexExpr> ident{IndexExpr::var(0), IndexExpr::var(1)};
 
-    Node &s1 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
-    s1.domainVars.push_back(IndexVar{"j", m, false});
-    s1.domainVars.push_back(IndexVar{"k", n1, false});
-    g.addInput(s1, Access{a, {IndexExpr::var(0), IndexExpr::var(1)}});
+    Node &s1 = *g.node(g.addNode(NodeKind::Map, ir::OpCode::Identity));
+    g.addDomainVar(s1, IndexVar{"j", m, false});
+    g.addDomainVar(s1, IndexVar{"k", n1, false});
+    g.addInput(s1, g.makeAccess(a, ident));
     const ValueId v1 = g.addValue(md, s1.id);
-    s1.outs.push_back(Access{v1, {IndexExpr::var(0), IndexExpr::var(1)}});
+    g.addOutput(s1, g.makeAccess(v1, ident));
 
-    Node &s2 = g.addNode(NodeKind::Map, ir::OpCode::Identity);
-    s2.domainVars.push_back(IndexVar{"j", m, false});
-    s2.domainVars.push_back(IndexVar{"k", n2, false});
-    g.addInput(s2, Access{b, {IndexExpr::var(0), IndexExpr::var(1)}});
+    Node &s2 = *g.node(g.addNode(NodeKind::Map, ir::OpCode::Identity));
+    g.addDomainVar(s2, IndexVar{"j", m, false});
+    g.addDomainVar(s2, IndexVar{"k", n2, false});
+    g.addInput(s2, g.makeAccess(b, ident));
     g.setBase(s2, v1);
     const ValueId v2 = g.addValue(md, s2.id);
-    s2.outs.push_back(
-        Access{v2, {IndexExpr::var(0),
-                    IndexExpr::binary(IndexExpr::Kind::Add,
-                                      IndexExpr::var(1),
-                                      IndexExpr::constant(n1))}});
+    const std::vector<IndexExpr> shifted{
+        IndexExpr::var(0),
+        IndexExpr::binary(IndexExpr::Kind::Add, IndexExpr::var(1),
+                          IndexExpr::constant(n1))};
+    g.addOutput(s2, g.makeAccess(v2, shifted));
     return v2;
 }
 
@@ -195,30 +200,38 @@ class AlgebraicCombination : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         bool changed = false;
-        const size_t node_count = graph.nodes.size();
+        const size_t node_count = graph.nodeCount();
         for (size_t i = 0; i < node_count; ++i) {
-            Node *add = graph.nodes[i].get();
-            if (!add || add->kind != NodeKind::Map || add->op != ir::OpCode::Add ||
-                add->base >= 0 || add->domainVars.size() != 1 ||
-                !isIdentityCoords(add->outs[0].coords) ||
-                add->outs[0].coords.size() != 1) {
+            const auto add_id = static_cast<ir::NodeId>(i);
+            const Node *add = graph.node(add_id);
+            if (!add || add->kind != NodeKind::Map ||
+                add->op != ir::OpCode::Add || add->base >= 0 ||
+                graph.domainVars(*add).size() != 1) {
                 continue;
             }
-            if (add->ins[0].isIndexOperand() ||
-                add->ins[1].isIndexOperand() ||
-                !isIdentityCoords(add->ins[0].coords) ||
-                !isIdentityCoords(add->ins[1].coords) ||
-                add->ins[0].coords.size() != 1 ||
-                add->ins[1].coords.size() != 1) {
+            const auto aouts = graph.outs(*add);
+            const auto out_cs = graph.coords(aouts[0]);
+            if (!isIdentityCoords(out_cs) || out_cs.size() != 1)
+                continue;
+            const auto ains = graph.ins(*add);
+            if (ains[0].isIndexOperand() || ains[1].isIndexOperand() ||
+                !isIdentityCoords(graph.coords(ains[0])) ||
+                !isIdentityCoords(graph.coords(ains[1])) ||
+                graph.coords(ains[0]).size() != 1 ||
+                graph.coords(ains[1]).size() != 1) {
                 continue;
             }
-            const auto lhs = matchAtLevel(graph, add->ins[0].value);
-            const auto rhs = matchAtLevel(graph, add->ins[1].value);
+            const auto lhs = matchAtLevel(graph, ains[0].value);
+            const auto rhs = matchAtLevel(graph, ains[1].value);
             if (!lhs || !rhs || lhs->m != rhs->m ||
-                lhs->m != add->domainVars[0].extent) {
+                lhs->m != graph.domainVars(*add)[0].extent) {
                 continue;
             }
-            const DType dtype = graph.value(add->outs[0].value).md.dtype;
+            // Capture everything needed from `add` before emitting: the
+            // concat/mul/reduce emissions below grow the node pool and the
+            // arenas, invalidating `add` and every span read above.
+            const ValueId out = aouts[0].value;
+            const DType dtype = graph.value(out).md.dtype;
 
             const ValueId xy = concatVectors(graph, lhs->vector, lhs->n,
                                              rhs->vector, rhs->n, dtype);
@@ -227,34 +240,36 @@ class AlgebraicCombination : public Pass
                                lhs->n, rhs->n, dtype);
 
             const int64_t n = lhs->n + rhs->n;
-            Node &mul = graph.addNode(NodeKind::Map, ir::OpCode::Mul);
-            mul.domainVars.push_back(IndexVar{"j", lhs->m, false});
-            mul.domainVars.push_back(IndexVar{"k", n, false});
-            graph.addInput(
-                mul, Access{ab, {IndexExpr::var(0), IndexExpr::var(1)}});
-            graph.addInput(mul, Access{xy, {IndexExpr::var(1)}});
+            const std::vector<IndexExpr> jk{IndexExpr::var(0),
+                                            IndexExpr::var(1)};
+            Node &mul =
+                *graph.node(graph.addNode(NodeKind::Map, ir::OpCode::Mul));
+            graph.addDomainVar(mul, IndexVar{"j", lhs->m, false});
+            graph.addDomainVar(mul, IndexVar{"k", n, false});
+            graph.addInput(mul, graph.makeAccess(ab, jk));
+            graph.addInput(mul, graph.makeAccess(
+                                    xy, std::vector<IndexExpr>{
+                                            IndexExpr::var(1)}));
             ir::EdgeMeta pmd;
             pmd.dtype = dtype;
             pmd.kind = ir::EdgeKind::Internal;
             pmd.shape = Shape{lhs->m, n};
             const ValueId prod = graph.addValue(pmd, mul.id);
-            mul.outs.push_back(
-                Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
+            graph.addOutput(mul, graph.makeAccess(prod, jk));
 
-            Node &red = graph.addNode(NodeKind::Reduce, ir::OpCode::Sum);
-            red.domainVars.push_back(IndexVar{"j", lhs->m, false});
-            red.domainVars.push_back(IndexVar{"k", n, true});
-            graph.addInput(
-                red, Access{prod, {IndexExpr::var(0), IndexExpr::var(1)}});
+            Node &red =
+                *graph.node(graph.addNode(NodeKind::Reduce, ir::OpCode::Sum));
+            graph.addDomainVar(red, IndexVar{"j", lhs->m, false});
+            graph.addDomainVar(red, IndexVar{"k", n, true});
+            graph.addInput(red, graph.makeAccess(prod, jk));
 
             // The fused reduce takes over the add's output value, so names
             // and boundary roles are preserved; the stale chains die in DCE.
-            const ValueId out = add->outs[0].value;
-            red.outs.push_back(Access{out, {IndexExpr::var(0)}});
+            graph.addOutput(red, graph.makeAccess(
+                                     out, std::vector<IndexExpr>{
+                                              IndexExpr::var(0)}));
             graph.value(out).producer = red.id;
-            graph.eraseNode(add->id);
-
-            // addNode may have reallocated; refresh nothing beyond `add`.
+            graph.eraseNode(add_id);
             changed = true;
         }
         return changed;

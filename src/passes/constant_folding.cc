@@ -21,31 +21,32 @@ class ConstantFolding : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         bool changed = false;
-        for (auto &node : graph.nodes) {
-            if (!node || node->kind != NodeKind::Map)
+        for (Node &node : graph.nodePool()) {
+            if (!node.live() || node.kind != NodeKind::Map)
                 continue;
-            if (!node->domainVars.empty() || node->base >= 0)
+            if (!graph.domainVars(node).empty() || node.base >= 0)
                 continue;
             // Only genuine scalars fold; a domain-free scatter store (one
             // element of a tensor) must stay a Map.
-            if (!node->outs[0].coords.empty() ||
-                !graph.value(node->outs[0].value).md.shape.isScalar()) {
+            const auto outs = graph.outs(node);
+            if (outs[0].hasCoords() ||
+                !graph.value(outs[0].value).md.shape.isScalar()) {
                 continue;
             }
-            if (graph.value(node->outs[0].value).md.dtype ==
-                DType::Complex) {
+            if (graph.value(outs[0].value).md.dtype == DType::Complex)
                 continue;
-            }
             double args[3];
             bool all_const = true;
-            for (size_t i = 0; i < node->ins.size(); ++i) {
-                const auto &in = node->ins[i];
+            const auto ins = graph.ins(node);
+            for (size_t i = 0; i < ins.size(); ++i) {
+                const auto &in = ins[i];
                 if (in.isIndexOperand()) {
-                    if (!in.coords[0].isConst()) {
+                    const auto cs = graph.coords(in);
+                    if (!cs[0].isConst()) {
                         all_const = false;
                         break;
                     }
-                    args[i] = static_cast<double>(in.coords[0].eval({}));
+                    args[i] = static_cast<double>(cs[0].eval({}));
                     continue;
                 }
                 const auto c = scalarConstOf(graph, in.value);
@@ -58,13 +59,13 @@ class ConstantFolding : public Pass
             if (!all_const)
                 continue;
             const double result = ir::applyScalarOp(
-                ir::resolveScalarOp(node->op),
-                std::span<const double>(args, node->ins.size()));
-            node->kind = NodeKind::Constant;
-            node->op = ir::OpCode::Const;
-            node->cval = result;
-            graph.setInputs(*node, {});
-            node->outs[0].coords.clear();
+                ir::resolveScalarOp(node.op),
+                std::span<const double>(args, ins.size()));
+            node.kind = NodeKind::Constant;
+            node.op = ir::OpCode::Const;
+            node.cval = result;
+            graph.setInputs(node, {});
+            graph.outsMut(node)[0].coords = {};
             changed = true;
         }
         return changed;

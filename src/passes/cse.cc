@@ -40,11 +40,12 @@ encodeIndexExpr(const IndexExpr &e, NodeKey *key)
 }
 
 void
-encodeAccess(const Access &a, NodeKey *key)
+encodeAccess(const ir::Graph &graph, const Access &a, NodeKey *key)
 {
     key->push_back(a.value);
-    key->push_back(static_cast<int64_t>(a.coords.size()));
-    for (const auto &c : a.coords)
+    const auto cs = graph.coords(a);
+    key->push_back(static_cast<int64_t>(cs.size()));
+    for (const auto &c : cs)
         encodeIndexExpr(c, key);
 }
 
@@ -53,20 +54,24 @@ encodeNode(const ir::Graph &graph, const Node &node, NodeKey *key)
 {
     key->push_back(node.kind == NodeKind::Map ? 1 : 2);
     key->push_back(static_cast<int64_t>(node.op.bits()));
-    key->push_back(static_cast<int64_t>(node.domainVars.size()));
-    for (const auto &v : node.domainVars)
+    const auto dvars = graph.domainVars(node);
+    key->push_back(static_cast<int64_t>(dvars.size()));
+    for (const auto &v : dvars)
         key->push_back(v.extent * 2 + (v.reduced ? 1 : 0));
-    key->push_back(static_cast<int64_t>(node.ins.size()));
-    for (const auto &in : node.ins)
-        encodeAccess(in, key);
+    const auto ins = graph.ins(node);
+    key->push_back(static_cast<int64_t>(ins.size()));
+    for (const auto &in : ins)
+        encodeAccess(graph, in, key);
     key->push_back(node.base);
     key->push_back(node.hasPredicate ? 1 : 0);
     if (node.hasPredicate)
         encodeIndexExpr(node.predicate, key);
-    key->push_back(static_cast<int64_t>(node.outs[0].coords.size()));
-    for (const auto &c : node.outs[0].coords)
+    const Access &out0 = graph.outs(node)[0];
+    const auto out_cs = graph.coords(out0);
+    key->push_back(static_cast<int64_t>(out_cs.size()));
+    for (const auto &c : out_cs)
         encodeIndexExpr(c, key);
-    const auto &md = graph.value(node.outs[0].value).md;
+    const auto &md = graph.value(out0.value).md;
     key->push_back(static_cast<int64_t>(md.dtype));
     key->push_back(md.shape.rank());
     for (int64_t d : md.shape.dims())
@@ -101,8 +106,9 @@ class Cse : public Pass
         NodeKey key;
         for (ir::NodeId id : ir::topoOrder(graph)) {
             Node *node = graph.node(id);
+            const auto outs = graph.outs(*node);
             key.clear();
-            if (node->kind != NodeKind::Component && node->outs.empty()) {
+            if (node->kind != NodeKind::Component && outs.empty()) {
                 // Every value-producing node must have an output access;
                 // keying on outs[0] below would be UB on a malformed
                 // graph, so fail loudly instead.
@@ -115,10 +121,10 @@ class Cse : public Pass
                 std::memcpy(&bits, &node->cval, sizeof(double));
                 key.push_back(bits);
                 key.push_back(static_cast<int64_t>(
-                    graph.value(node->outs[0].value).md.dtype));
+                    graph.value(outs[0].value).md.dtype));
             } else if (node->kind == NodeKind::Map ||
                        node->kind == NodeKind::Reduce) {
-                if (!isAnonymousIntermediate(graph, node->outs[0].value))
+                if (!isAnonymousIntermediate(graph, outs[0].value))
                     continue;
                 encodeNode(graph, *node, &key);
             } else {
@@ -126,16 +132,16 @@ class Cse : public Pass
             }
             auto it = seen.find(key);
             if (it == seen.end()) {
-                seen.emplace(key, node->outs[0].value);
+                seen.emplace(key, outs[0].value);
                 continue;
             }
-            if (it->second == node->outs[0].value)
+            if (it->second == outs[0].value)
                 continue;
             if (node->kind == NodeKind::Constant &&
-                !isAnonymousIntermediate(graph, node->outs[0].value)) {
+                !isAnonymousIntermediate(graph, outs[0].value)) {
                 continue;
             }
-            replaceUses(graph, node->outs[0].value, it->second);
+            replaceUses(graph, outs[0].value, it->second);
             graph.eraseNode(node->id);
             changed = true;
         }

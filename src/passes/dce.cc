@@ -30,25 +30,25 @@ class DeadNodeElimination : public Pass
             const auto *node = graph.node(producer);
             if (!node)
                 continue;
-            for (const auto &in : node->ins) {
+            for (const auto &in : graph.ins(*node)) {
                 if (!in.isIndexOperand())
                     work.push_back(in.value);
             }
             work.push_back(node->base);
             // All outputs of a live node stay live (components).
-            for (const auto &out : node->outs)
+            for (const auto &out : graph.outs(*node))
                 work.push_back(out.value);
         }
 
         bool changed = false;
-        for (auto &node : graph.nodes) {
-            if (!node)
+        for (ir::Node &node : graph.nodePool()) {
+            if (!node.live())
                 continue;
             bool live = false;
-            for (const auto &out : node->outs)
+            for (const auto &out : graph.outs(node))
                 live = live || live_values[static_cast<size_t>(out.value)];
             if (!live) {
-                graph.eraseNode(node->id);
+                graph.eraseNode(node.id);
                 changed = true;
             }
         }

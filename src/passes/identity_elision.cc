@@ -15,24 +15,26 @@ using ir::NodeKind;
 bool
 isPureGather(const ir::Graph &graph, const Node &node)
 {
+    const auto ins = graph.ins(node);
     if (node.kind != NodeKind::Map || node.op != ir::OpCode::Identity ||
-        node.base >= 0 || node.ins.size() != 1 ||
-        node.ins[0].isIndexOperand()) {
+        node.base >= 0 || ins.size() != 1 || ins[0].isIndexOperand()) {
         return false;
     }
-    const auto &out = node.outs[0];
-    if (out.coords.size() != node.domainVars.size())
+    const Access &out = graph.outs(node)[0];
+    const auto out_cs = graph.coords(out);
+    const auto dvars = graph.domainVars(node);
+    if (out_cs.size() != dvars.size())
         return false;
-    for (size_t i = 0; i < out.coords.size(); ++i) {
-        if (!out.coords[i].isIdentityVar(static_cast<int>(i)))
+    for (size_t i = 0; i < out_cs.size(); ++i) {
+        if (!out_cs[i].isIdentityVar(static_cast<int>(i)))
             return false;
     }
     // The write must cover the output value completely.
     const auto &shape = graph.value(out.value).md.shape;
-    if (shape.rank() != static_cast<int>(node.domainVars.size()))
+    if (shape.rank() != static_cast<int>(dvars.size()))
         return false;
     for (int d = 0; d < shape.rank(); ++d) {
-        if (shape.dim(d) != node.domainVars[static_cast<size_t>(d)].extent)
+        if (shape.dim(d) != dvars[static_cast<size_t>(d)].extent)
             return false;
     }
     return true;
@@ -57,28 +59,33 @@ class IdentityElision : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         bool changed = false;
-        for (auto &node : graph.nodes) {
-            if (!node || node->kind == NodeKind::Constant)
+        for (Node &node : graph.nodePool()) {
+            if (!node.live() || node.kind == NodeKind::Constant)
                 continue;
-            for (size_t slot = 0; slot < node->ins.size(); ++slot) {
-                const Access &in = node->ins[slot];
-                if (in.isIndexOperand() || in.coords.empty())
+            const size_t nins = graph.ins(node).size();
+            for (size_t slot = 0; slot < nins; ++slot) {
+                const Access in = graph.ins(node)[slot];
+                if (in.isIndexOperand() || !in.hasCoords())
                     continue;
                 const auto producer = graph.value(in.value).producer;
                 if (producer < 0)
                     continue;
                 const Node *gather = graph.node(producer);
-                if (!gather || gather == node.get() ||
+                if (!gather || gather == &node ||
                     !isPureGather(graph, *gather)) {
                     continue;
                 }
                 // Compose: replace this access with the gather's source
-                // access, its coords evaluated at our coords.
-                Access composed;
-                composed.value = gather->ins[0].value;
-                for (const auto &c : gather->ins[0].coords)
-                    composed.coords.push_back(c.substituted(in.coords));
-                graph.setInput(*node, slot, std::move(composed));
+                // access, its coords evaluated at our coords. Build the
+                // composed coords fully before interning them (makeAccess
+                // grows the coord arena, invalidating the spans read here).
+                const Access gin = graph.ins(*gather)[0];
+                std::vector<IndexExpr> composed_coords;
+                const auto in_cs = graph.coords(in);
+                for (const auto &c : graph.coords(gin))
+                    composed_coords.push_back(c.substituted(in_cs));
+                graph.setInput(node, slot,
+                               graph.makeAccess(gin.value, composed_coords));
                 changed = true;
             }
         }

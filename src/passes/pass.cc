@@ -1,5 +1,6 @@
 #include "passes/pass.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.h"
@@ -14,9 +15,9 @@ Pass::run(ir::Graph &graph)
     bool changed = false;
     // Bottom-up: transform component subgraphs first so this level sees
     // their simplified form.
-    for (auto &node : graph.nodes) {
-        if (node && node->subgraph)
-            changed |= run(*node->subgraph);
+    for (ir::Node &node : graph.nodePool()) {
+        if (node.live() && node.subgraph)
+            changed |= run(*node.subgraph);
     }
     changed |= runOnLevel(graph);
     return changed;
@@ -54,19 +55,23 @@ PassManager::run(ir::Graph &graph) const
         metrics.histogram("pass." + r.name + ".micros").observe(r.micros);
         if (r.changed)
             metrics.counter("pass." + r.name + ".changed").add(1);
-        if (r.changed) {
-            // Validation is skipped for passes that report no change (the
-            // graph is bit-identical); when it does run, its cost is
-            // attributed separately from the pass proper.
-            const auto vstart = std::chrono::steady_clock::now();
-            graph.validate();
-            const int64_t vmicros =
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    std::chrono::steady_clock::now() - vstart)
-                    .count();
-            metrics.histogram("pass.validate.micros").observe(vmicros);
-        }
         results.push_back(std::move(r));
+    }
+    // One validation per pipeline invocation covers every pass that
+    // changed the graph; it is skipped entirely when the run was a
+    // no-op (the graph is bit-identical), and its cost is attributed
+    // separately from the passes proper.
+    const bool any_changed =
+        std::any_of(results.begin(), results.end(),
+                    [](const PassResult &r) { return r.changed; });
+    if (any_changed) {
+        const auto vstart = std::chrono::steady_clock::now();
+        graph.validate();
+        const int64_t vmicros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - vstart)
+                .count();
+        metrics.histogram("pass.validate.micros").observe(vmicros);
     }
     return results;
 }

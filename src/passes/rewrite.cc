@@ -15,16 +15,18 @@ replaceUses(Graph &graph, ValueId from, ValueId to)
         panic("replaceUses(): shape mismatch");
     // Walk only the nodes the use cache says reference `from` (one entry
     // per referencing access; the copy tolerates in-place rewiring).
-    const std::vector<ir::NodeId> users(graph.uses(from));
+    const auto cached = graph.uses(from);
+    const std::vector<ir::NodeId> users(cached.begin(), cached.end());
     int count = 0;
     for (ir::NodeId id : users) {
         ir::Node *node = graph.node(id);
         if (!node)
             continue;
-        for (size_t i = 0; i < node->ins.size(); ++i) {
-            if (node->ins[i].value == from) {
-                graph.setInput(*node, i,
-                               ir::Access{to, node->ins[i].coords});
+        const auto ins = graph.ins(*node);
+        for (size_t i = 0; i < ins.size(); ++i) {
+            if (ins[i].value == from) {
+                // Same graph: the coord span carries over verbatim.
+                graph.setInput(*node, i, ir::Access{to, ins[i].coords});
                 ++count;
             }
         }
@@ -53,13 +55,14 @@ scalarConstOf(const Graph &graph, ValueId v)
 ValueId
 emitConstant(Graph &graph, double value, DType dtype)
 {
-    auto &node = graph.addNode(NodeKind::Constant, ir::OpCode::Const);
+    ir::Node &node =
+        *graph.node(graph.addNode(NodeKind::Constant, ir::OpCode::Const));
     node.cval = value;
     ir::EdgeMeta md;
     md.dtype = dtype;
     md.kind = ir::EdgeKind::Internal;
     const ValueId v = graph.addValue(md, node.id);
-    node.outs.push_back(ir::Access{v, {}});
+    graph.addOutput(node, ir::Access{v, {}});
     return v;
 }
 

@@ -17,34 +17,34 @@ class ShapeCheck : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         graph.validate();
-        for (const auto &node : graph.nodes) {
-            if (!node)
+        for (const ir::Node &node : graph.nodePool()) {
+            if (!node.live())
                 continue;
-            if (node->kind != NodeKind::Map &&
-                node->kind != NodeKind::Reduce) {
+            if (node.kind != NodeKind::Map && node.kind != NodeKind::Reduce)
                 continue;
-            }
             // When the output scatter is the identity over the free axes,
             // the output shape must equal the free extents.
-            const auto &out = node->outs[0];
+            const auto &out = graph.outs(node)[0];
+            const auto out_cs = graph.coords(out);
             std::vector<int64_t> free_extents;
             std::vector<int> free_slots;
-            for (size_t i = 0; i < node->domainVars.size(); ++i) {
-                if (!node->domainVars[i].reduced) {
-                    free_extents.push_back(node->domainVars[i].extent);
+            const auto dvars = graph.domainVars(node);
+            for (size_t i = 0; i < dvars.size(); ++i) {
+                if (!dvars[i].reduced) {
+                    free_extents.push_back(dvars[i].extent);
                     free_slots.push_back(static_cast<int>(i));
                 }
             }
-            bool identity = out.coords.size() == free_extents.size();
-            for (size_t i = 0; identity && i < out.coords.size(); ++i)
-                identity = out.coords[i].isIdentityVar(free_slots[i]);
+            bool identity = out_cs.size() == free_extents.size();
+            for (size_t i = 0; identity && i < out_cs.size(); ++i)
+                identity = out_cs[i].isIdentityVar(free_slots[i]);
             if (!identity)
                 continue;
             const auto &shape = graph.value(out.value).md.shape;
-            if (node->base >= 0)
+            if (node.base >= 0)
                 continue; // partial writes inherit the base shape
             if (!(shape == Shape(free_extents))) {
-                panic("node '" + node->op.str() + "' in graph '" + graph.name +
+                panic("node '" + node.op.str() + "' in graph '" + graph.name +
                       "' writes shape " + Shape(free_extents).str() +
                       " into value of shape " + shape.str());
             }

@@ -15,16 +15,17 @@ void
 toIdentity(ir::Graph &graph, Node *node, Access kept)
 {
     node->op = OpCode::Identity;
-    graph.setInputs(*node, {std::move(kept)});
+    graph.setInputs(*node, {kept});
 }
 
-/** Rewrites @p node into a broadcast of constant @p value. */
+/** Rewrites the node @p id into a broadcast of constant @p value. */
 void
-toConstantBroadcast(ir::Graph &graph, Node *node, double value)
+toConstantBroadcast(ir::Graph &graph, ir::NodeId id, double value)
 {
-    const auto cv =
-        emitConstant(graph, value,
-                     graph.value(node->outs[0].value).md.dtype);
+    Node *node = graph.node(id);
+    const auto dtype = graph.value(graph.outs(*node)[0].value).md.dtype;
+    const auto cv = emitConstant(graph, value, dtype);
+    node = graph.node(id); // emitConstant may relocate the node pool
     toIdentity(graph, node, Access{cv, {}});
 }
 
@@ -38,32 +39,35 @@ class Simplify : public Pass
     bool runOnLevel(ir::Graph &graph) override
     {
         bool changed = false;
-        // Index by value id once; the loop only rewrites nodes in place.
-        const size_t node_count = graph.nodes.size();
+        // Snapshot the count once; the loop only rewrites nodes in place
+        // (emitConstant appends, but appended constants need no visit).
+        const size_t node_count = graph.nodeCount();
         for (size_t i = 0; i < node_count; ++i) {
-            Node *node = graph.nodes[i].get();
+            const auto id = static_cast<ir::NodeId>(i);
+            Node *node = graph.node(id);
             if (!node || node->kind != NodeKind::Map)
                 continue;
             auto const_of = [&](size_t k) -> std::optional<double> {
-                const auto &in = node->ins[k];
+                const Access in = graph.ins(*node)[k];
                 if (in.isIndexOperand()) {
-                    if (!in.coords[0].isConst())
+                    const auto cs = graph.coords(in);
+                    if (!cs[0].isConst())
                         return std::nullopt;
-                    return static_cast<double>(in.coords[0].eval({}));
+                    return static_cast<double>(cs[0].eval({}));
                 }
                 return scalarConstOf(graph, in.value);
             };
             if (node->op == OpCode::Add || node->op == OpCode::Sub) {
                 const auto rhs = const_of(1);
                 if (rhs && *rhs == 0.0) {
-                    toIdentity(graph, node, node->ins[0]);
+                    toIdentity(graph, node, graph.ins(*node)[0]);
                     changed = true;
                     continue;
                 }
                 if (node->op == OpCode::Add) {
                     const auto lhs = const_of(0);
                     if (lhs && *lhs == 0.0) {
-                        toIdentity(graph, node, node->ins[1]);
+                        toIdentity(graph, node, graph.ins(*node)[1]);
                         changed = true;
                         continue;
                     }
@@ -72,50 +76,51 @@ class Simplify : public Pass
                 const auto lhs = const_of(0);
                 const auto rhs = const_of(1);
                 if ((lhs && *lhs == 1.0)) {
-                    toIdentity(graph, node, node->ins[1]);
+                    toIdentity(graph, node, graph.ins(*node)[1]);
                     changed = true;
                 } else if (rhs && *rhs == 1.0) {
-                    toIdentity(graph, node, node->ins[0]);
+                    toIdentity(graph, node, graph.ins(*node)[0]);
                     changed = true;
                 } else if ((lhs && *lhs == 0.0) || (rhs && *rhs == 0.0)) {
-                    toConstantBroadcast(graph, node, 0.0);
+                    toConstantBroadcast(graph, id, 0.0);
                     changed = true;
                 }
             } else if (node->op == OpCode::Div || node->op == OpCode::Pow) {
                 const auto rhs = const_of(1);
                 if (rhs && *rhs == 1.0) {
-                    toIdentity(graph, node, node->ins[0]);
+                    toIdentity(graph, node, graph.ins(*node)[0]);
                     changed = true;
                 }
             } else if (node->op == OpCode::Select) {
                 const auto cond = const_of(0);
                 if (cond) {
                     toIdentity(graph, node,
-                               *cond != 0.0 ? node->ins[1] : node->ins[2]);
+                               *cond != 0.0 ? graph.ins(*node)[1]
+                                            : graph.ins(*node)[2]);
                     changed = true;
                 }
             } else if (node->op == OpCode::Neg) {
                 // neg(neg(x)) -> identity(x)
-                const auto &in = node->ins[0];
+                const Access in = graph.ins(*node)[0];
                 if (!in.isIndexOperand()) {
                     const auto producer = graph.value(in.value).producer;
                     const Node *p =
                         producer >= 0 ? graph.node(producer) : nullptr;
+                    const auto cs = graph.coords(in);
                     bool identity_read =
-                        !in.coords.empty() || node->domainVars.empty();
-                    for (size_t k = 0; k < in.coords.size(); ++k) {
+                        !cs.empty() || graph.domainVars(*node).empty();
+                    for (size_t k = 0; k < cs.size(); ++k) {
                         identity_read = identity_read &&
-                                        in.coords[k].isIdentityVar(
+                                        cs[k].isIdentityVar(
                                             static_cast<int>(k));
                     }
                     const bool inner_whole =
                         identity_read && p && p->kind == NodeKind::Map &&
                         p->op == OpCode::Neg &&
-                        p->domainVarNames() == node->domainVarNames() &&
+                        p->domainVarNames(graph) == node->domainVarNames(graph) &&
                         isAnonymousIntermediate(graph, in.value);
                     if (inner_whole) {
-                        Access a = p->ins[0];
-                        toIdentity(graph, node, std::move(a));
+                        toIdentity(graph, node, graph.ins(*p)[0]);
                         changed = true;
                     }
                 }

@@ -1,16 +1,17 @@
 #include "pmlang/lexer.h"
 
-#include <cctype>
+#include <array>
+#include <string_view>
 #include <unordered_map>
 
 namespace polymath::lang {
 
 namespace {
 
-const std::unordered_map<std::string, Tok> &
+const std::unordered_map<std::string_view, Tok> &
 keywordMap()
 {
-    static const std::unordered_map<std::string, Tok> kw = {
+    static const std::unordered_map<std::string_view, Tok> kw = {
         {"input", Tok::KwInput},     {"output", Tok::KwOutput},
         {"state", Tok::KwState},     {"param", Tok::KwParam},
         {"index", Tok::KwIndex},     {"reduction", Tok::KwReduction},
@@ -21,6 +22,54 @@ keywordMap()
         {"DA", Tok::KwDA},           {"DL", Tok::KwDL},
     };
     return kw;
+}
+
+// Branch-light character classes (PMLang source is ASCII); the
+// locale-aware std::is* calls are far too slow for the per-character
+// scanning loops below.
+enum : uint8_t { kSpace = 1, kDigit = 2, kAlpha = 4 };
+
+constexpr std::array<uint8_t, 256>
+makeCharClass()
+{
+    std::array<uint8_t, 256> t{};
+    for (int c = 0; c < 256; ++c) {
+        const auto uc = static_cast<size_t>(c);
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+            c == '\f')
+            t[uc] |= kSpace;
+        if (c >= '0' && c <= '9')
+            t[uc] |= kDigit;
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_')
+            t[uc] |= kAlpha;
+    }
+    return t;
+}
+
+constexpr std::array<uint8_t, 256> kCharClass = makeCharClass();
+
+bool
+isSpace(char c)
+{
+    return (kCharClass[static_cast<uint8_t>(c)] & kSpace) != 0;
+}
+
+bool
+isDigit(char c)
+{
+    return (kCharClass[static_cast<uint8_t>(c)] & kDigit) != 0;
+}
+
+bool
+isIdentStart(char c)
+{
+    return (kCharClass[static_cast<uint8_t>(c)] & kAlpha) != 0;
+}
+
+bool
+isIdent(char c)
+{
+    return (kCharClass[static_cast<uint8_t>(c)] & (kAlpha | kDigit)) != 0;
 }
 
 } // namespace
@@ -40,9 +89,7 @@ Lexer::advance()
     const char c = src_[pos_++];
     if (c == '\n') {
         ++line_;
-        col_ = 1;
-    } else {
-        ++col_;
+        lineStart_ = pos_;
     }
     return c;
 }
@@ -56,29 +103,34 @@ Lexer::atEnd() const
 SourceLoc
 Lexer::here() const
 {
-    return {line_, col_};
+    // Column is derived from the current line's start offset instead of
+    // being updated per character in the scanning loops.
+    return {line_, static_cast<int32_t>(pos_ - lineStart_) + 1};
 }
 
 void
 Lexer::skipTrivia()
 {
-    while (!atEnd()) {
-        const char c = peek();
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            advance();
+    const size_t n = src_.size();
+    while (pos_ < n) {
+        const char c = src_[pos_];
+        if (isSpace(c)) {
+            ++pos_;
+            if (c == '\n') {
+                ++line_;
+                lineStart_ = pos_;
+            }
         } else if (c == '/' && peek(1) == '/') {
-            while (!atEnd() && peek() != '\n')
-                advance();
+            while (pos_ < n && src_[pos_] != '\n')
+                ++pos_;
         } else if (c == '/' && peek(1) == '*') {
             const SourceLoc open = here();
-            advance();
-            advance();
-            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+            pos_ += 2;
+            while (pos_ < n && !(src_[pos_] == '*' && peek(1) == '/'))
                 advance();
-            if (atEnd())
+            if (pos_ >= n)
                 fatal("unterminated block comment", open);
-            advance();
-            advance();
+            pos_ += 2;
         } else {
             return;
         }
@@ -94,64 +146,68 @@ Lexer::make(Tok kind, std::string text) const
 Token
 Lexer::lexNumber()
 {
-    std::string text;
+    const size_t start = pos_;
     bool is_float = false;
-    while (std::isdigit(static_cast<unsigned char>(peek())))
-        text += advance();
-    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    while (isDigit(peek()))
+        ++pos_;
+    if (peek() == '.' && isDigit(peek(1))) {
         is_float = true;
-        text += advance();
-        while (std::isdigit(static_cast<unsigned char>(peek())))
-            text += advance();
+        ++pos_;
+        while (isDigit(peek()))
+            ++pos_;
     }
     if (peek() == 'e' || peek() == 'E') {
         const char sign = peek(1);
         const char first = (sign == '+' || sign == '-') ? peek(2) : sign;
-        if (std::isdigit(static_cast<unsigned char>(first))) {
+        if (isDigit(first)) {
             is_float = true;
-            text += advance();
+            ++pos_;
             if (peek() == '+' || peek() == '-')
-                text += advance();
-            while (std::isdigit(static_cast<unsigned char>(peek())))
-                text += advance();
+                ++pos_;
+            while (isDigit(peek()))
+                ++pos_;
         }
     }
-    return make(is_float ? Tok::FloatLit : Tok::IntLit, std::move(text));
+    return make(is_float ? Tok::FloatLit : Tok::IntLit,
+                src_.substr(start, pos_ - start));
 }
 
 Token
 Lexer::lexIdentOrKeyword()
 {
-    std::string text;
-    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
-        text += advance();
+    const size_t start = pos_;
+    while (isIdent(peek()))
+        ++pos_;
+    const std::string_view text(src_.data() + start, pos_ - start);
     const auto &kw = keywordMap();
     if (auto it = kw.find(text); it != kw.end())
-        return make(it->second, std::move(text));
-    return make(Tok::Ident, std::move(text));
+        return make(it->second, std::string(text));
+    return make(Tok::Ident, std::string(text));
 }
 
 Token
 Lexer::lexString()
 {
     const SourceLoc open = tokenStart_;
-    advance(); // opening quote
-    std::string text;
+    ++pos_; // opening quote
+    const size_t start = pos_;
     while (!atEnd() && peek() != '"') {
         if (peek() == '\n')
             fatal("newline in string literal", open);
-        text += advance();
+        ++pos_;
     }
     if (atEnd())
         fatal("unterminated string literal", open);
-    advance(); // closing quote
-    return make(Tok::StrLit, std::move(text));
+    const size_t len = pos_ - start;
+    ++pos_; // closing quote
+    return make(Tok::StrLit, src_.substr(start, len));
 }
 
 std::vector<Token>
 Lexer::lexAll()
 {
     std::vector<Token> out;
+    out.reserve(src_.size() / 3 + 8);
     while (true) {
         skipTrivia();
         tokenStart_ = here();
@@ -160,11 +216,11 @@ Lexer::lexAll()
             return out;
         }
         const char c = peek();
-        if (std::isdigit(static_cast<unsigned char>(c))) {
+        if (isDigit(c)) {
             out.push_back(lexNumber());
             continue;
         }
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        if (isIdentStart(c)) {
             out.push_back(lexIdentOrKeyword());
             continue;
         }
@@ -172,7 +228,7 @@ Lexer::lexAll()
             out.push_back(lexString());
             continue;
         }
-        advance();
+        ++pos_;
         switch (c) {
           case '(': out.push_back(make(Tok::LParen, "(")); break;
           case ')': out.push_back(make(Tok::RParen, ")")); break;
@@ -194,7 +250,7 @@ Lexer::lexAll()
             break;
           case '=':
             if (peek() == '=') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::EqEq, "=="));
             } else {
                 out.push_back(make(Tok::Assign, "="));
@@ -202,7 +258,7 @@ Lexer::lexAll()
             break;
           case '<':
             if (peek() == '=') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::Le, "<="));
             } else {
                 out.push_back(make(Tok::Lt, "<"));
@@ -210,7 +266,7 @@ Lexer::lexAll()
             break;
           case '>':
             if (peek() == '=') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::Ge, ">="));
             } else {
                 out.push_back(make(Tok::Gt, ">"));
@@ -218,7 +274,7 @@ Lexer::lexAll()
             break;
           case '!':
             if (peek() == '=') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::NotEq, "!="));
             } else {
                 out.push_back(make(Tok::Not, "!"));
@@ -226,14 +282,14 @@ Lexer::lexAll()
             break;
           case '&':
             if (peek() == '&') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::AndAnd, "&&"));
                 break;
             }
             fatal("unexpected character '&'", tokenStart_);
           case '|':
             if (peek() == '|') {
-                advance();
+                ++pos_;
                 out.push_back(make(Tok::OrOr, "||"));
                 break;
             }

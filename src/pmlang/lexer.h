@@ -39,7 +39,7 @@ class Lexer
     std::string src_;
     size_t pos_ = 0;
     int32_t line_ = 1;
-    int32_t col_ = 1;
+    size_t lineStart_ = 0; ///< offset of the current line (column = pos - this)
     SourceLoc tokenStart_;
 };
 

@@ -1,10 +1,11 @@
 #include "pmlang/sema.h"
 
-#include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "obs/trace.h"
 #include "pmlang/builtins.h"
 
@@ -42,25 +43,25 @@ class ComponentChecker
 
     /** Validates an expression. @p bound is the set of index variables
      *  usable at this point. */
-    void checkExpr(const Expr &e, const std::set<std::string> &bound);
+    void checkExpr(const Expr &e, const std::set<std::string_view> &bound);
 
     /** Validates an index-arithmetic expression (subscripts, bounds, axis
      *  guards): only index variables in @p bound, int params, dim symbols,
      *  and literals may appear. @p bound == nullptr denotes an assignment
      *  LHS, where index variables bind themselves. */
-    void checkIndexExpr(const Expr &e, const std::set<std::string> *bound);
+    void checkIndexExpr(const Expr &e, const std::set<std::string_view> *bound);
 
     const Symbol &lookup(const std::string &name, SourceLoc loc) const;
     bool isReadable(const Symbol &sym, const std::string &name) const;
     bool isWritable(const Symbol &sym) const;
 
     /** Collects index variables syntactically present in @p e. */
-    void collectIndexVars(const Expr &e, std::set<std::string> *out) const;
+    void collectIndexVars(const Expr &e, std::set<std::string_view> *out) const;
 
     const Program &prog_;
     const ComponentDecl &comp_;
-    std::map<std::string, Symbol> scope_;
-    std::set<std::string> assigned_; // outputs/locals written so far
+    FlatStringMap<Symbol> scope_; // keys view into the AST
+    std::set<std::string_view> assigned_; // outputs/locals written so far
 };
 
 void
@@ -82,7 +83,7 @@ ComponentChecker::declareArgs()
     // Symbolic dimensions (e.g. m, n in mvmul) become read-only scalars.
     for (const auto &arg : comp_.args) {
         for (const auto &dim : arg.dims) {
-            std::set<std::string> names;
+            std::set<std::string_view> names;
             collectIndexVars(*dim, &names);
             for (const auto &n : names) {
                 if (scope_.count(n))
@@ -119,7 +120,7 @@ ComponentChecker::checkStmt(const Stmt &stmt)
         for (const auto &spec : stmt.indexSpecs) {
             if (scope_.count(spec.name))
                 fatal("redeclaration of '" + spec.name + "'", spec.loc);
-            const std::set<std::string> none;
+            const std::set<std::string_view> none;
             checkIndexExpr(*spec.lo, &none);
             checkIndexExpr(*spec.hi, &none);
             Symbol sym;
@@ -132,7 +133,7 @@ ComponentChecker::checkStmt(const Stmt &stmt)
         for (const auto &decl : stmt.locals) {
             if (scope_.count(decl.name))
                 fatal("redeclaration of '" + decl.name + "'", decl.loc);
-            const std::set<std::string> none;
+            const std::set<std::string_view> none;
             for (const auto &dim : decl.dims)
                 checkIndexExpr(*dim, &none);
             Symbol sym;
@@ -177,13 +178,13 @@ ComponentChecker::checkAssign(const Stmt &stmt)
               stmt.loc);
     }
 
-    std::set<std::string> bound;
+    std::set<std::string_view> bound;
     for (const auto &ix : stmt.targetIndices) {
         checkIndexExpr(*ix, nullptr);
         collectIndexVars(*ix, &bound);
     }
     // Keep only actual index variables.
-    std::set<std::string> bound_indices;
+    std::set<std::string_view> bound_indices;
     for (const auto &n : bound) {
         auto it = scope_.find(n);
         if (it != scope_.end() && it->second.kind == Symbol::Kind::Index)
@@ -239,14 +240,14 @@ ComponentChecker::checkCall(const Stmt &stmt)
                       "formal",
                       actual.loc);
             }
-            const std::set<std::string> none;
+            const std::set<std::string_view> none;
             checkIndexExpr(actual, &none);
         }
     }
 }
 
 void
-ComponentChecker::checkExpr(const Expr &e, const std::set<std::string> &bound)
+ComponentChecker::checkExpr(const Expr &e, const std::set<std::string_view> &bound)
 {
     switch (e.kind) {
       case ExprKind::Number:
@@ -316,7 +317,7 @@ ComponentChecker::checkExpr(const Expr &e, const std::set<std::string> &bound)
         if (!isBuiltinReduction(e.name) && !prog_.findReduction(e.name)) {
             fatal("unknown reduction '" + e.name + "'", e.loc);
         }
-        std::set<std::string> inner = bound;
+        std::set<std::string_view> inner = bound;
         for (const auto &axis : e.axes) {
             const Symbol &sym = lookup(axis.index, axis.loc);
             if (sym.kind != Symbol::Kind::Index) {
@@ -340,7 +341,7 @@ ComponentChecker::checkExpr(const Expr &e, const std::set<std::string> &bound)
 
 void
 ComponentChecker::checkIndexExpr(const Expr &e,
-                                 const std::set<std::string> *bound)
+                                 const std::set<std::string_view> *bound)
 {
     switch (e.kind) {
       case ExprKind::Number:
@@ -391,7 +392,7 @@ ComponentChecker::checkIndexExpr(const Expr &e,
 
 void
 ComponentChecker::collectIndexVars(const Expr &e,
-                                   std::set<std::string> *out) const
+                                   std::set<std::string_view> *out) const
 {
     switch (e.kind) {
       case ExprKind::Number:
@@ -502,8 +503,8 @@ class RecursionChecker
     }
 
     const Program &prog_;
-    std::set<std::string> onPath_;
-    std::set<std::string> done_;
+    std::set<std::string_view> onPath_;
+    std::set<std::string_view> done_;
 };
 
 /** Validates a custom reduction body: pure scalar expression over (a, b). */
@@ -566,7 +567,7 @@ analyze(const Program &prog, const std::string &entry)
 {
     obs::Span span("pmlang:sema", "frontend");
     span.arg("components", static_cast<int64_t>(prog.components.size()));
-    std::set<std::string> names;
+    std::set<std::string_view> names;
     for (const auto &comp : prog.components) {
         if (!names.insert(comp.name).second)
             fatal("duplicate component '" + comp.name + "'", comp.loc);
@@ -575,7 +576,7 @@ analyze(const Program &prog, const std::string &entry)
                   comp.loc);
         }
     }
-    std::set<std::string> rednames;
+    std::set<std::string_view> rednames;
     for (const auto &red : prog.reductions) {
         if (!rednames.insert(red.name).second)
             fatal("duplicate reduction '" + red.name + "'", red.loc);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <string_view>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "obs/trace.h"
 #include "pmlang/builtins.h"
 #include "pmlang/parser.h"
@@ -20,6 +23,45 @@ using lang::ExprKind;
 using lang::Modifier;
 using lang::Stmt;
 using lang::StmtKind;
+
+/**
+ * Small sorted set of variable names, viewing into the AST's strings
+ * (which outlive every build). Iterates in the same lexicographic order
+ * std::set<std::string> would, but with one flat buffer instead of a
+ * node allocation per name — usedVars() runs on every interior
+ * expression node, so this is on the frontend's hot path.
+ */
+struct VarSet
+{
+    std::vector<std::string_view> names;
+
+    void insert(std::string_view s)
+    {
+        const auto it =
+            std::lower_bound(names.begin(), names.end(), s);
+        if (it == names.end() || *it != s)
+            names.insert(it, s);
+    }
+
+    void erase(std::string_view s)
+    {
+        const auto it =
+            std::lower_bound(names.begin(), names.end(), s);
+        if (it != names.end() && *it == s)
+            names.erase(it);
+    }
+
+    bool contains(std::string_view s) const
+    {
+        const auto it =
+            std::lower_bound(names.begin(), names.end(), s);
+        return it != names.end() && *it == s;
+    }
+
+    auto begin() const { return names.begin(); }
+    auto end() const { return names.end(); }
+    size_t size() const { return names.size(); }
+};
 
 /** What a name is bound to inside one component instantiation. */
 struct Binding
@@ -46,6 +88,11 @@ struct IndexRange
 
     int64_t extent() const { return hi - lo + 1; }
 };
+
+/** Scope maps are flat sorted vectors viewing into AST strings; see
+ *  core/flat_map.h for the lifetime contract. */
+template <class T>
+using FlatEnv = FlatStringMap<T>;
 
 /** Active iteration context for one statement: ordered variables. */
 struct VarContext
@@ -82,16 +129,34 @@ struct Frame
 {
     Graph *graph = nullptr;
     const ComponentDecl *comp = nullptr;
-    std::map<std::string, Binding> env;
-    std::map<std::string, IndexRange> ranges;
+    FlatEnv<Binding> env;
+    FlatEnv<IndexRange> ranges;
     Domain dom = Domain::None;
 };
+
+/** A detached access under construction: coords as an owned vector,
+ *  interned into the graph's coord arena only when attached to a node
+ *  (emitted operands get remapped in place before attachment). */
+struct AccessSpec
+{
+    ValueId value = -1;
+    std::vector<IndexExpr> coords;
+
+    bool isIndexOperand() const { return value == Access::kIndexOperand; }
+};
+
+/** Interns @p spec into @p g's arenas as an attachable access. */
+Access
+intern(Graph &g, const AccessSpec &spec)
+{
+    return g.makeAccess(spec.value, spec.coords);
+}
 
 /** Result of emitting an expression: an access relative to the emitting
  *  statement's full variable context. */
 struct Operand
 {
-    Access access;
+    AccessSpec access;
     DType dtype = DType::Float;
 };
 
@@ -119,8 +184,7 @@ class GraphBuilder
     Operand emitExpr(Frame &frame, const Expr &e, const VarContext &ctx);
     Operand emitMapOp(Frame &frame, Op op,
                       std::vector<Operand> operands, DType dtype,
-                      const VarContext &ctx,
-                      const std::set<std::string> &used);
+                      const VarContext &ctx, const VarSet &used);
     Operand emitReduce(Frame &frame, const Expr &e, const VarContext &ctx);
     Operand emitConstant(Frame &frame, double value, DType dtype);
 
@@ -134,8 +198,7 @@ class GraphBuilder
 
     /** Index variables of the active context used in @p e (subtracting
      *  inner reduction axes). */
-    void usedVars(const Frame &frame, const Expr &e,
-                  std::set<std::string> *out) const;
+    void usedVars(const Frame &frame, const Expr &e, VarSet *out) const;
 
     /** Resolves formal dims against an actual shape, binding symbols. */
     void unifyDims(Frame &callee_frame, const lang::ArgDecl &formal,
@@ -146,7 +209,46 @@ class GraphBuilder
 
     std::shared_ptr<const lang::Program> program_;
     std::shared_ptr<IrContext> context_;
+
+    /** Memoized component instantiations. A subgraph depends only on the
+     *  callee declaration, the instantiation domain, and each actual's
+     *  constant value or tensor shape (outer names and value ids never
+     *  cross the boundary), so repeated instantiations — DNN layers with
+     *  identical shapes, per-axis controller blocks — are served by a
+     *  Graph::clone() of the first build instead of a re-walk of the
+     *  body. */
+    std::map<std::string, std::unique_ptr<Graph>> subCache_;
 };
+
+/** Builds the memoization key for one instantiation. Constants are keyed
+ *  by their exact bit pattern; tensors by their extents (the formal fixes
+ *  rank and dtype). */
+std::string
+instantiationKey(const ComponentDecl &comp,
+                 const std::vector<ActualArg> &actuals, Domain dom)
+{
+    std::string key;
+    key.reserve(comp.name.size() + 2 + actuals.size() * 10);
+    key += comp.name;
+    key += '\x1f';
+    key += static_cast<char>('0' + static_cast<int>(dom));
+    for (const auto &a : actuals) {
+        if (a.isConst) {
+            key += a.isIntegral ? 'c' : 'f';
+            uint64_t bits = 0;
+            static_assert(sizeof(bits) == sizeof(a.cval));
+            std::memcpy(&bits, &a.cval, sizeof(bits));
+            key.append(reinterpret_cast<const char *>(&bits), sizeof(bits));
+        } else {
+            key += 't';
+            for (const int64_t d : a.shape.dims()) {
+                key += ':';
+                key += std::to_string(d);
+            }
+        }
+    }
+    return key;
+}
 
 /** Maps PMLang binary operator spellings to srDFG op codes. */
 OpCode
@@ -406,16 +508,17 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
     // Statement iteration context: index variables in order of first
     // appearance in the LHS subscripts.
     VarContext ctx;
-    std::set<std::string> seen;
+    VarSet seen;
     for (const auto &ix : stmt.targetIndices) {
-        std::set<std::string> vars;
+        VarSet vars;
         usedVars(frame, *ix, &vars);
-        // usedVars returns a sorted set; preserve subscript order by
-        // walking the expression again per name (cheap: few names).
+        // usedVars is sorted per subscript; dedup across subscripts while
+        // keeping subscript order for the context.
         for (const auto &name : vars) {
-            if (seen.insert(name).second) {
-                ctx.names.push_back(name);
-                ctx.ranges.push_back(frame.ranges.at(name));
+            if (!seen.contains(name)) {
+                seen.insert(name);
+                ctx.names.emplace_back(name);
+                ctx.ranges.push_back(frame.ranges.at(ctx.names.back()));
             }
         }
     }
@@ -441,7 +544,7 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
     }
     if (full_write) {
         // Bare vars must also be pairwise distinct and cover the context.
-        std::set<std::string> names;
+        VarSet names;
         for (const auto &ix : stmt.targetIndices)
             names.insert(ix->name);
         full_write = names.size() == stmt.targetIndices.size() &&
@@ -463,10 +566,13 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
         if (rv.md.kind == EdgeKind::Internal && rv.md.name.empty() &&
             rv.producer >= 0) {
             Node *producer = frame.graph->node(rv.producer);
+            const auto pouts =
+                producer ? frame.graph->outs(*producer)
+                         : std::span<const Access>{};
             const bool same_domain =
-                producer && producer->outs.size() == 1 &&
-                producer->outs[0].value == rhs.access.value &&
-                producer->domainVarNames() == ctx.names &&
+                producer && pouts.size() == 1 &&
+                pouts[0].value == rhs.access.value &&
+                producer->domainVarNames(*frame.graph) == ctx.names &&
                 rv.md.shape == md.shape;
             bool identity_coords =
                 static_cast<int>(rhs.access.coords.size()) ==
@@ -482,7 +588,7 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
                     frame.graph->addValue(md, producer->id);
                 // The fresh intermediate is orphaned; unlink its producer.
                 frame.graph->value(rhs.access.value).producer = -1;
-                producer->outs[0].value = nv;
+                frame.graph->outsMut(*producer)[0].value = nv;
                 target.value = nv;
                 target.dtype = md.dtype;
                 return;
@@ -491,17 +597,18 @@ GraphBuilder::buildAssign(Frame &frame, const Stmt &stmt)
     }
 
     // Otherwise emit an explicit store node (gather+scatter move).
-    Node &store = frame.graph->addNode(NodeKind::Map, OpCode::Identity);
+    Graph &g = *frame.graph;
+    Node &store = *g.node(g.addNode(NodeKind::Map, OpCode::Identity));
     store.domain = frame.dom;
     for (size_t i = 0; i < ctx.names.size(); ++i) {
-        store.domainVars.push_back(
-            IndexVar{ctx.names[i], ctx.ranges[i].extent(), false});
+        g.addDomainVar(store,
+                       IndexVar{ctx.names[i], ctx.ranges[i].extent(), false});
     }
-    store.ins.push_back(rhs.access);
+    g.addInput(store, intern(g, rhs.access));
     if (!full_write)
         store.base = target.value; // may be -1: unwritten points read zero
-    const ValueId nv = frame.graph->addValue(md, store.id);
-    store.outs.push_back(Access{nv, std::move(scatter)});
+    const ValueId nv = g.addValue(md, store.id);
+    g.addOutput(store, g.makeAccess(nv, scatter));
     target.value = nv;
 }
 
@@ -547,10 +654,23 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
         actuals.push_back(std::move(actual));
     }
 
-    auto sub = buildComponent(*callee, actuals, dom);
+    std::unique_ptr<Graph> sub;
+    std::string key = instantiationKey(*callee, actuals, dom);
+    if (const auto it = subCache_.find(key); it == subCache_.end()) {
+        // First sighting: build, and leave a marker so a repeat knows to
+        // populate the cache. Caching eagerly would charge every
+        // single-use instantiation a clone that is never amortized.
+        sub = buildComponent(*callee, actuals, dom);
+        subCache_.emplace(std::move(key), nullptr);
+    } else if (!it->second) {
+        sub = buildComponent(*callee, actuals, dom);
+        it->second = sub->clone();
+    } else {
+        sub = it->second->clone();
+    }
 
-    Node &call = frame.graph->addNode(NodeKind::Component,
-                                      Op::intern(callee->name));
+    Node &call = *frame.graph->node(frame.graph->addNode(
+        NodeKind::Component, Op::intern(callee->name)));
     call.domain = dom;
 
     // Bind outer values to subgraph inputs, positionally.
@@ -566,7 +686,7 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
             fatal("'" + outer_names[i] + "' is read before assignment",
                   stmt.loc);
         }
-        call.ins.push_back(Access{b.value, {}});
+        frame.graph->addInput(call, Access{b.value, {}});
         ++sub_in;
     }
 
@@ -579,7 +699,7 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
         md.shape = outer.shape;
         md.name = outer_names[arg_pos];
         const ValueId nv = frame.graph->addValue(md, call.id);
-        call.outs.push_back(Access{nv, {}});
+        frame.graph->addOutput(call, Access{nv, {}});
         outer.value = nv;
         outer.dtype = formal.type;
     };
@@ -597,15 +717,17 @@ GraphBuilder::buildCall(Frame &frame, const Stmt &stmt)
 Operand
 GraphBuilder::emitConstant(Frame &frame, double value, DType dtype)
 {
-    Node &node = frame.graph->addNode(NodeKind::Constant, OpCode::Const);
+    Node &node =
+        *frame.graph->node(frame.graph->addNode(NodeKind::Constant,
+                                                OpCode::Const));
     node.cval = value;
     EdgeMeta md;
     md.dtype = dtype;
     md.kind = EdgeKind::Internal;
     const ValueId v = frame.graph->addValue(md, node.id);
-    node.outs.push_back(Access{v, {}});
+    frame.graph->addOutput(node, Access{v, {}});
     Operand op;
-    op.access = Access{v, {}};
+    op.access.value = v;
     op.dtype = dtype;
     return op;
 }
@@ -650,7 +772,7 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         return op;
       }
       case ExprKind::Unary: {
-        std::set<std::string> used;
+        VarSet used;
         usedVars(frame, e, &used);
         std::vector<Operand> operands;
         operands.push_back(emitExpr(frame, *e.lhs, ctx));
@@ -661,7 +783,7 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         return emitMapOp(frame, op, std::move(operands), dt, ctx, used);
       }
       case ExprKind::Binary: {
-        std::set<std::string> used;
+        VarSet used;
         usedVars(frame, e, &used);
         std::vector<Operand> operands;
         operands.push_back(emitExpr(frame, *e.lhs, ctx));
@@ -678,7 +800,7 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
         return emitMapOp(frame, op, std::move(operands), dt, ctx, used);
       }
       case ExprKind::Ternary: {
-        std::set<std::string> used;
+        VarSet used;
         usedVars(frame, e, &used);
         std::vector<Operand> operands;
         operands.push_back(emitExpr(frame, *e.lhs, ctx));
@@ -689,7 +811,7 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
                          ctx, used);
       }
       case ExprKind::Call: {
-        std::set<std::string> used;
+        VarSet used;
         usedVars(frame, e, &used);
         std::vector<Operand> operands;
         for (const auto &a : e.args)
@@ -716,40 +838,41 @@ GraphBuilder::emitExpr(Frame &frame, const Expr &e, const VarContext &ctx)
 Operand
 GraphBuilder::emitMapOp(Frame &frame, Op op,
                         std::vector<Operand> operands, DType dtype,
-                        const VarContext &ctx,
-                        const std::set<std::string> &used)
+                        const VarContext &ctx, const VarSet &used)
 {
     // The node's domain is the subset of the context its subtree uses,
     // in context order (keeps op counts exact, e.g. the inner dot product
     // of a logistic-regression update does not iterate the outer axes).
-    Node &node = frame.graph->addNode(NodeKind::Map, op);
+    Graph &g = *frame.graph;
+    Node &node = *g.node(g.addNode(NodeKind::Map, op));
     node.domain = frame.dom;
     std::vector<int> remap(ctx.names.size(), -1);
     std::vector<int64_t> extents;
+    int nvars = 0;
     for (size_t i = 0; i < ctx.names.size(); ++i) {
-        if (!used.count(ctx.names[i]))
+        if (!used.contains(ctx.names[i]))
             continue;
-        remap[i] = static_cast<int>(node.domainVars.size());
-        node.domainVars.push_back(
-            IndexVar{ctx.names[i], ctx.ranges[i].extent(), false});
+        remap[i] = nvars++;
+        g.addDomainVar(node,
+                       IndexVar{ctx.names[i], ctx.ranges[i].extent(), false});
         extents.push_back(ctx.ranges[i].extent());
     }
     for (auto &operand : operands) {
-        Access a = std::move(operand.access);
+        AccessSpec a = std::move(operand.access);
         for (auto &c : a.coords)
             c = c.remapped(remap);
-        node.ins.push_back(std::move(a));
+        g.addInput(node, intern(g, a));
     }
 
     EdgeMeta md;
     md.dtype = dtype;
     md.kind = EdgeKind::Internal;
     md.shape = Shape(extents);
-    const ValueId v = frame.graph->addValue(md, node.id);
+    const ValueId v = g.addValue(md, node.id);
     std::vector<IndexExpr> out_coords;
-    for (size_t i = 0; i < node.domainVars.size(); ++i)
-        out_coords.push_back(IndexExpr::var(static_cast<int>(i)));
-    node.outs.push_back(Access{v, std::move(out_coords)});
+    for (int i = 0; i < nvars; ++i)
+        out_coords.push_back(IndexExpr::var(i));
+    g.addOutput(node, g.makeAccess(v, out_coords));
 
     // The consumer sees this intermediate through identity coords over the
     // node's variables, expressed in the consumer's (full) context.
@@ -781,39 +904,38 @@ GraphBuilder::emitReduce(Frame &frame, const Expr &e, const VarContext &ctx)
     Operand body = emitExpr(frame, *e.body, inner);
 
     // Node domain: used free vars (in ctx order) then all axes.
-    std::set<std::string> used;
+    VarSet used;
     usedVars(frame, *e.body, &used);
     for (const auto &axis : e.axes) {
         used.insert(axis.index);
-        if (axis.cond) {
-            std::set<std::string> cond_used;
-            usedVars(frame, *axis.cond, &cond_used);
-            used.insert(cond_used.begin(), cond_used.end());
-        }
+        if (axis.cond)
+            usedVars(frame, *axis.cond, &used);
     }
 
-    Node &node = frame.graph->addNode(NodeKind::Reduce,
-                                      Op::intern(e.name));
+    Graph &g = *frame.graph;
+    Node &node = *g.node(g.addNode(NodeKind::Reduce, Op::intern(e.name)));
     node.domain = frame.dom;
     std::vector<int> remap(inner.names.size(), -1);
-    std::set<std::string> axis_names;
+    VarSet axis_names;
     for (const auto &axis : e.axes)
         axis_names.insert(axis.index);
     std::vector<int64_t> free_extents;
+    std::vector<bool> slot_reduced;
     for (size_t i = 0; i < inner.names.size(); ++i) {
-        if (!used.count(inner.names[i]))
+        if (!used.contains(inner.names[i]))
             continue;
-        const bool reduced = axis_names.count(inner.names[i]) > 0;
-        remap[i] = static_cast<int>(node.domainVars.size());
-        node.domainVars.push_back(
-            IndexVar{inner.names[i], inner.ranges[i].extent(), reduced});
+        const bool reduced = axis_names.contains(inner.names[i]);
+        remap[i] = static_cast<int>(slot_reduced.size());
+        slot_reduced.push_back(reduced);
+        g.addDomainVar(node, IndexVar{inner.names[i],
+                                      inner.ranges[i].extent(), reduced});
         if (!reduced)
             free_extents.push_back(inner.ranges[i].extent());
     }
-    Access in = std::move(body.access);
+    AccessSpec in = std::move(body.access);
     for (auto &c : in.coords)
         c = c.remapped(remap);
-    node.ins.push_back(std::move(in));
+    g.addInput(node, intern(g, in));
 
     // Guard: conjunction of axis conditions.
     bool has_pred = false;
@@ -840,19 +962,19 @@ GraphBuilder::emitReduce(Frame &frame, const Expr &e, const VarContext &ctx)
     md.dtype = dt;
     md.kind = EdgeKind::Internal;
     md.shape = Shape(free_extents);
-    const ValueId v = frame.graph->addValue(md, node.id);
+    const ValueId v = g.addValue(md, node.id);
     std::vector<IndexExpr> out_coords;
-    for (size_t i = 0; i < node.domainVars.size(); ++i) {
-        if (!node.domainVars[i].reduced)
+    for (size_t i = 0; i < slot_reduced.size(); ++i) {
+        if (!slot_reduced[i])
             out_coords.push_back(IndexExpr::var(static_cast<int>(i)));
     }
-    node.outs.push_back(Access{v, std::move(out_coords)});
+    g.addOutput(node, g.makeAccess(v, out_coords));
 
     Operand out;
     out.access.value = v;
     for (size_t i = 0; i < ctx.names.size(); ++i) {
         if (static_cast<size_t>(i) < remap.size() && remap[i] >= 0 &&
-            !axis_names.count(ctx.names[i])) {
+            !axis_names.contains(ctx.names[i])) {
             out.access.coords.push_back(IndexExpr::var(static_cast<int>(i)));
         }
     }
@@ -1003,8 +1125,7 @@ GraphBuilder::evalConstScalar(const Frame &frame, const Expr &e) const
 }
 
 void
-GraphBuilder::usedVars(const Frame &frame, const Expr &e,
-                       std::set<std::string> *out) const
+GraphBuilder::usedVars(const Frame &frame, const Expr &e, VarSet *out) const
 {
     switch (e.kind) {
       case ExprKind::Number:
@@ -1034,14 +1155,15 @@ GraphBuilder::usedVars(const Frame &frame, const Expr &e,
             usedVars(frame, *a, out);
         return;
       case ExprKind::Reduce: {
-        std::set<std::string> inner;
+        VarSet inner;
         usedVars(frame, *e.body, &inner);
         for (const auto &axis : e.axes) {
             if (axis.cond)
                 usedVars(frame, *axis.cond, &inner);
             inner.erase(axis.index);
         }
-        out->insert(inner.begin(), inner.end());
+        for (const auto &name : inner)
+            out->insert(name);
         return;
       }
     }

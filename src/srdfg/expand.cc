@@ -20,13 +20,15 @@ nextPoint(std::vector<int64_t> *idx, const std::vector<int64_t> &extents)
     return false;
 }
 
-/** Evaluates access coords at @p point into constant coords. */
+/** Evaluates @p a's coords (owned by @p src) at @p point into constant
+ *  coords. */
 std::vector<IndexExpr>
-constCoords(const Access &a, std::span<const int64_t> point)
+constCoords(const Graph &src, const Access &a, std::span<const int64_t> point)
 {
+    const auto cs = src.coords(a);
     std::vector<IndexExpr> out;
-    out.reserve(a.coords.size());
-    for (const auto &c : a.coords)
+    out.reserve(cs.size());
+    for (const auto &c : cs)
         out.push_back(IndexExpr::constant(c.eval(point)));
     return out;
 }
@@ -52,9 +54,9 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
 {
     if (node.kind != NodeKind::Map && node.kind != NodeKind::Reduce)
         fatal("only Map/Reduce nodes have a scalar expansion");
-    if (node.domainSize() > max_nodes) {
+    if (node.domainSize(parent) > max_nodes) {
         fatal("scalar expansion of '" + node.op.str() + "' needs " +
-              std::to_string(node.domainSize()) + " nodes, budget is " +
+              std::to_string(node.domainSize(parent)) + " nodes, budget is " +
               std::to_string(max_nodes));
     }
     const Op combiner =
@@ -77,13 +79,14 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
         g->inputs.push_back(nv);
         vmap[v] = nv;
     };
-    for (const auto &in : node.ins) {
+    for (const auto &in : parent.ins(node)) {
         if (!in.isIndexOperand())
             import_value(in.value);
     }
     import_value(node.base);
 
-    const EdgeMeta &out_md = parent.value(node.outs[0].value).md;
+    const Access node_out = parent.outs(node)[0];
+    const EdgeMeta &out_md = parent.value(node_out.value).md;
     EdgeMeta scalar_md;
     scalar_md.dtype = out_md.dtype;
     scalar_md.kind = EdgeKind::Internal;
@@ -91,42 +94,53 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
     // Current version of the output tensor (base-chained partial writes).
     ValueId out_version = node.base >= 0 ? vmap.at(node.base) : -1;
     auto scatter_write = [&](ValueId scalar, std::span<const int64_t> point) {
-        Node &store = g->addNode(NodeKind::Map, OpCode::Identity);
+        const Access scatter =
+            g->makeAccess(-1, constCoords(parent, node_out, point));
+        Node &store = *g->node(g->addNode(NodeKind::Map, OpCode::Identity));
         store.domain = node.domain;
-        store.ins.push_back(Access{scalar, {}});
+        g->addInput(store, Access{scalar, {}});
         store.base = out_version;
         EdgeMeta md = out_md;
         md.kind = EdgeKind::Internal;
         const ValueId nv = g->addValue(md, store.id);
-        store.outs.push_back(Access{nv, constCoords(node.outs[0], point)});
+        g->addOutput(store, Access{nv, scatter.coords});
         out_version = nv;
     };
 
+    const auto dvars = parent.domainVars(node);
     std::vector<int64_t> extents;
-    for (const auto &v : node.domainVars)
+    for (const auto &v : dvars)
         extents.push_back(v.extent);
 
     if (node.kind == NodeKind::Map) {
         std::vector<int64_t> point(extents.size(), 0);
-        if (node.domainSize() > 0) {
+        if (node.domainSize(parent) > 0) {
             do {
-                Node &op = g->addNode(NodeKind::Map, node.op);
-                op.domain = node.domain;
-                for (const auto &in : node.ins) {
+                // Build the point's input accesses before creating the op
+                // node (addNode may relocate the node pool).
+                std::vector<Access> op_ins;
+                for (const auto &in : parent.ins(node)) {
                     if (in.isIndexOperand()) {
-                        Node &c = g->addNode(NodeKind::Constant, OpCode::Const);
-                        c.cval =
-                            static_cast<double>(in.coords[0].eval(point));
+                        const int64_t cval =
+                            parent.coords(in)[0].eval(point);
+                        Node &c = *g->node(
+                            g->addNode(NodeKind::Constant, OpCode::Const));
+                        c.cval = static_cast<double>(cval);
                         const ValueId cv = g->addValue(scalar_md, c.id);
-                        c.outs.push_back(Access{cv, {}});
-                        op.ins.push_back(Access{cv, {}});
+                        g->addOutput(c, Access{cv, {}});
+                        op_ins.push_back(Access{cv, {}});
                     } else {
-                        op.ins.push_back(
-                            Access{vmap.at(in.value), constCoords(in, point)});
+                        op_ins.push_back(
+                            g->makeAccess(vmap.at(in.value),
+                                          constCoords(parent, in, point)));
                     }
                 }
+                Node &op = *g->node(g->addNode(NodeKind::Map, node.op));
+                op.domain = node.domain;
+                for (const Access &a : op_ins)
+                    g->addInput(op, a);
                 const ValueId sv = g->addValue(scalar_md, op.id);
-                op.outs.push_back(Access{sv, {}});
+                g->addOutput(op, Access{sv, {}});
                 scatter_write(sv, point);
             } while (nextPoint(&point, extents));
         }
@@ -134,8 +148,8 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
         // Reduce: fold a combiner chain per output point.
         std::vector<size_t> free_axes;
         std::vector<size_t> red_axes;
-        for (size_t i = 0; i < node.domainVars.size(); ++i) {
-            (node.domainVars[i].reduced ? red_axes : free_axes).push_back(i);
+        for (size_t i = 0; i < dvars.size(); ++i) {
+            (dvars[i].reduced ? red_axes : free_axes).push_back(i);
         }
         std::vector<int64_t> free_ext;
         std::vector<int64_t> red_ext;
@@ -144,6 +158,7 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
         for (size_t i : red_axes)
             red_ext.push_back(extents[i]);
 
+        const Access node_in = parent.ins(node)[0];
         std::vector<int64_t> fpoint(free_ext.size(), 0);
         std::vector<int64_t> full(extents.size(), 0);
         do {
@@ -156,39 +171,41 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
                     full[red_axes[i]] = rpoint[i];
                 if (node.hasPredicate && node.predicate.eval(full) == 0)
                     continue;
-                const Access element{node.ins[0].value,
-                                     constCoords(node.ins[0], full)};
-                const Access mapped{vmap.at(node.ins[0].value),
-                                    element.coords};
+                const Access mapped =
+                    g->makeAccess(vmap.at(node_in.value),
+                                  constCoords(parent, node_in, full));
                 if (acc < 0) {
-                    Node &first = g->addNode(NodeKind::Map, OpCode::Identity);
+                    Node &first = *g->node(
+                        g->addNode(NodeKind::Map, OpCode::Identity));
                     first.domain = node.domain;
-                    first.ins.push_back(mapped);
+                    g->addInput(first, mapped);
                     acc = g->addValue(scalar_md, first.id);
-                    first.outs.push_back(Access{acc, {}});
+                    g->addOutput(first, Access{acc, {}});
                 } else {
-                    Node &fold = g->addNode(NodeKind::Map, combiner);
+                    Node &fold =
+                        *g->node(g->addNode(NodeKind::Map, combiner));
                     fold.domain = node.domain;
-                    fold.ins.push_back(Access{acc, {}});
-                    fold.ins.push_back(mapped);
+                    g->addInput(fold, Access{acc, {}});
+                    g->addInput(fold, mapped);
                     const ValueId nv = g->addValue(scalar_md, fold.id);
-                    fold.outs.push_back(Access{nv, {}});
+                    g->addOutput(fold, Access{nv, {}});
                     acc = nv;
                 }
             } while (!red_ext.empty() && nextPoint(&rpoint, red_ext));
             if (acc < 0) {
                 // Guard excluded every element: identity of the reduction.
-                Node &c = g->addNode(NodeKind::Constant, OpCode::Const);
+                Node &c = *g->node(
+                    g->addNode(NodeKind::Constant, OpCode::Const));
                 c.cval = lang::reductionIdentity(node.op.str());
                 acc = g->addValue(scalar_md, c.id);
-                c.outs.push_back(Access{acc, {}});
+                g->addOutput(c, Access{acc, {}});
             }
             // Scatter through the node's output map evaluated on the free
             // point (coords reference free slots of the full domain).
             scatter_write(acc, full);
         } while (!free_ext.empty() && nextPoint(&fpoint, free_ext));
 
-        if (free_ext.empty() && g->nodes.empty()) {
+        if (free_ext.empty() && g->nodeCount() == 0) {
             // Degenerate: zero-point domain cannot occur (extents >= 1).
             panic("empty reduce domain");
         }
@@ -205,6 +222,7 @@ materializeScalar(const Graph &parent, const Node &node, int64_t max_nodes)
         v.md.name = out_md.name;
         v.md.kind =
             out_md.kind == EdgeKind::Internal ? EdgeKind::Output : out_md.kind;
+        g->touchNames(); // the rename above invalidates the name index
         g->outputs.push_back(out_version);
     }
     g->validate();

@@ -1,7 +1,6 @@
 #include "srdfg/graph.h"
 
 #include <algorithm>
-#include <set>
 
 #include "core/error.h"
 
@@ -33,19 +32,19 @@ edgeKindFor(lang::Modifier m)
 }
 
 int64_t
-Node::domainSize() const
+Node::domainSize(const Graph &g) const
 {
     int64_t n = 1;
-    for (const auto &v : domainVars)
+    for (const auto &v : g.domainVars(*this))
         n *= v.extent;
     return n;
 }
 
 int64_t
-Node::reduceSize() const
+Node::reduceSize(const Graph &g) const
 {
     int64_t n = 1;
-    for (const auto &v : domainVars) {
+    for (const auto &v : g.domainVars(*this)) {
         if (v.reduced)
             n *= v.extent;
     }
@@ -53,19 +52,19 @@ Node::reduceSize() const
 }
 
 int64_t
-Node::scalarOpCount() const
+Node::scalarOpCount(const Graph &g) const
 {
     switch (kind) {
       case NodeKind::Constant:
         return 0;
       case NodeKind::Map:
-        return isMoveOp(op) ? 0 : domainSize();
+        return isMoveOp(op) ? 0 : domainSize(g);
       case NodeKind::Reduce: {
-        const int64_t outputs_n = domainSize() / std::max<int64_t>(
-                                                     reduceSize(), 1);
+        const int64_t outputs_n =
+            domainSize(g) / std::max<int64_t>(reduceSize(g), 1);
         const int64_t combines =
-            outputs_n * std::max<int64_t>(reduceSize() - 1, 0);
-        const int64_t guards = hasPredicate ? domainSize() : 0;
+            outputs_n * std::max<int64_t>(reduceSize(g) - 1, 0);
+        const int64_t guards = hasPredicate ? domainSize(g) : 0;
         return combines + guards;
       }
       case NodeKind::Component:
@@ -75,11 +74,12 @@ Node::scalarOpCount() const
 }
 
 std::vector<std::string>
-Node::domainVarNames() const
+Node::domainVarNames(const Graph &g) const
 {
+    const auto vars = g.domainVars(*this);
     std::vector<std::string> names;
-    names.reserve(domainVars.size());
-    for (const auto &v : domainVars)
+    names.reserve(vars.size());
+    for (const auto &v : vars)
         names.push_back(v.name);
     return names;
 }
@@ -93,20 +93,21 @@ Graph::addValue(EdgeMeta md, NodeId producer)
     v.producer = producer;
     values.push_back(std::move(v));
     if (usesValid_)
-        uses_.emplace_back();
+        useCells_.emplace_back();
+    if (namesValid_)
+        nameIndex_.emplace(values.back().md.name, values.back().id);
     return values.back().id;
 }
 
-Node &
+NodeId
 Graph::addNode(NodeKind kind, Op op)
 {
-    auto n = std::make_unique<Node>();
-    n->id = static_cast<NodeId>(nodes.size());
-    n->kind = kind;
-    n->op = op;
-    n->domain = domain;
-    nodes.push_back(std::move(n));
-    return *nodes.back();
+    Node &n = nodes_.emplace_back();
+    n.id = static_cast<NodeId>(nodes_.size() - 1);
+    n.kind = kind;
+    n.op = op;
+    n.domain = domain;
+    return n.id;
 }
 
 Value &
@@ -128,25 +129,27 @@ Graph::value(ValueId id) const
 Node *
 Graph::node(NodeId id)
 {
-    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
         panic("node id out of range");
-    return nodes[static_cast<size_t>(id)].get();
+    Node &n = nodes_[static_cast<size_t>(id)];
+    return n.live_ ? &n : nullptr;
 }
 
 const Node *
 Graph::node(NodeId id) const
 {
-    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
         panic("node id out of range");
-    return nodes[static_cast<size_t>(id)].get();
+    const Node &n = nodes_[static_cast<size_t>(id)];
+    return n.live_ ? &n : nullptr;
 }
 
 int64_t
 Graph::liveNodeCount() const
 {
     int64_t n = 0;
-    for (const auto &node : nodes) {
-        if (node)
+    for (const auto &node : nodes_) {
+        if (node.live_)
             ++n;
     }
     return n;
@@ -156,27 +159,228 @@ int64_t
 Graph::scalarOpCount() const
 {
     int64_t n = 0;
-    for (const auto &node : nodes) {
-        if (node)
-            n += node->scalarOpCount();
+    for (const auto &node : nodes_) {
+        if (node.live_)
+            n += node.scalarOpCount(*this);
     }
     return n;
+}
+
+std::span<const Access>
+Graph::ins(const Node &node) const
+{
+    return {accessPool_.data() + node.ins_.off, node.ins_.len};
+}
+
+std::span<const Access>
+Graph::outs(const Node &node) const
+{
+    return {accessPool_.data() + node.outs_.off, node.outs_.len};
+}
+
+std::span<Access>
+Graph::outsMut(Node &node)
+{
+    return {accessPool_.data() + node.outs_.off, node.outs_.len};
+}
+
+std::span<Access>
+Graph::insMut(Node &node)
+{
+    return {accessPool_.data() + node.ins_.off, node.ins_.len};
+}
+
+std::span<const IndexVar>
+Graph::domainVars(const Node &node) const
+{
+    return {varPool_.data() + node.dvars_.off, node.dvars_.len};
+}
+
+std::span<const IndexExpr>
+Graph::coords(const Access &access) const
+{
+    return {coordPool_.data() + access.coords.off, access.coords.len};
+}
+
+PoolSpan
+Graph::internCoords(std::span<const IndexExpr> cs)
+{
+    const PoolSpan s{static_cast<uint32_t>(coordPool_.size()),
+                     static_cast<uint32_t>(cs.size())};
+    coordPool_.insert(coordPool_.end(), cs.begin(), cs.end());
+    return s;
+}
+
+Access
+Graph::makeAccess(ValueId v, std::span<const IndexExpr> cs)
+{
+    return Access{v, internCoords(cs)};
+}
+
+Access
+Graph::importAccess(const Graph &src, const Access &a)
+{
+    if (&src == this)
+        return a;
+    return Access{a.value, internCoords(src.coords(a))};
+}
+
+void
+Graph::appendAccess(PoolSpan &s, Access a)
+{
+    if (static_cast<size_t>(s.off) + s.len != accessPool_.size()) {
+        // The run is not at the arena tail: relocate it there first. The
+        // index loop (not insert) is deliberate — the source range lives
+        // in the vector being appended to.
+        const auto noff = static_cast<uint32_t>(accessPool_.size());
+        for (uint32_t i = 0; i < s.len; ++i)
+            accessPool_.push_back(accessPool_[s.off + i]);
+        s.off = noff;
+    }
+    accessPool_.push_back(a);
+    ++s.len;
+}
+
+void
+Graph::addOutput(Node &node, Access access)
+{
+    appendAccess(node.outs_, access);
+}
+
+void
+Graph::addDomainVar(Node &node, IndexVar var)
+{
+    PoolSpan &s = node.dvars_;
+    if (static_cast<size_t>(s.off) + s.len != varPool_.size()) {
+        const auto noff = static_cast<uint32_t>(varPool_.size());
+        for (uint32_t i = 0; i < s.len; ++i)
+            varPool_.push_back(varPool_[s.off + i]);
+        s.off = noff;
+    }
+    varPool_.push_back(std::move(var));
+    ++s.len;
+}
+
+void
+Graph::setDomainVars(Node &node, std::span<const IndexVar> vars)
+{
+    node.dvars_ = PoolSpan{static_cast<uint32_t>(varPool_.size()),
+                           static_cast<uint32_t>(vars.size())};
+    varPool_.insert(varPool_.end(), vars.begin(), vars.end());
+}
+
+void
+Graph::rebuildUses() const
+{
+    useCells_.assign(values.size(), UseCell{});
+    // Two passes over the live nodes: count per-value references, prefix
+    // sum into offsets, then fill — one tight CSR, no per-value vectors.
+    for (const Node &node : nodes_) {
+        if (!node.live_)
+            continue;
+        for (const auto &in : ins(node)) {
+            if (in.value >= 0)
+                ++useCells_[static_cast<size_t>(in.value)].cap;
+        }
+        if (node.base >= 0)
+            ++useCells_[static_cast<size_t>(node.base)].cap;
+    }
+    uint32_t total = 0;
+    for (auto &cell : useCells_) {
+        cell.off = total;
+        total += cell.cap;
+    }
+    usePool_.resize(total);
+    for (const Node &node : nodes_) {
+        if (!node.live_)
+            continue;
+        auto put = [&](ValueId v) {
+            if (v < 0)
+                return;
+            UseCell &cell = useCells_[static_cast<size_t>(v)];
+            usePool_[cell.off + cell.len++] = node.id;
+        };
+        for (const auto &in : ins(node))
+            put(in.value);
+        put(node.base);
+    }
+    usesValid_ = true;
+}
+
+std::span<const NodeId>
+Graph::uses(ValueId v) const
+{
+    if (!usesValid_)
+        rebuildUses();
+    if (v < 0 || static_cast<size_t>(v) >= useCells_.size())
+        panic("uses(): value id out of range");
+    const UseCell &cell = useCells_[static_cast<size_t>(v)];
+    return {usePool_.data() + cell.off, cell.len};
+}
+
+void
+Graph::noteUse(ValueId v, NodeId n)
+{
+    if (!usesValid_ || v < 0)
+        return;
+    UseCell &cell = useCells_[static_cast<size_t>(v)];
+    if (cell.len == cell.cap) {
+        // Full: relocate the cell to the arena tail with doubled
+        // capacity (the old run becomes garbage until compact()).
+        const uint32_t ncap = std::max<uint32_t>(4, cell.cap * 2);
+        const auto noff = static_cast<uint32_t>(usePool_.size());
+        usePool_.resize(usePool_.size() + ncap);
+        std::copy_n(usePool_.begin() + cell.off, cell.len,
+                    usePool_.begin() + noff);
+        cell.off = noff;
+        cell.cap = ncap;
+    }
+    usePool_[cell.off + cell.len++] = n;
+}
+
+void
+Graph::dropUse(ValueId v, NodeId n)
+{
+    if (!usesValid_ || v < 0)
+        return;
+    UseCell &cell = useCells_[static_cast<size_t>(v)];
+    for (uint32_t i = 0; i < cell.len; ++i) {
+        if (usePool_[cell.off + i] == n) {
+            usePool_[cell.off + i] = usePool_[cell.off + cell.len - 1];
+            --cell.len;
+            return;
+        }
+    }
+    panic("use cache missing an entry being removed");
 }
 
 std::vector<std::vector<NodeId>>
 Graph::consumers() const
 {
     std::vector<std::vector<NodeId>> out(values.size());
-    for (const auto &node : nodes) {
-        if (!node)
+    if (usesValid_) {
+        // Derive from the incremental cache: each cell holds the same
+        // multiset a from-scratch walk produces; sorting restores the
+        // ascending-by-node-id order the walk emits.
+        for (size_t v = 0; v < useCells_.size(); ++v) {
+            const UseCell &cell = useCells_[v];
+            auto &list = out[v];
+            list.assign(usePool_.begin() + cell.off,
+                        usePool_.begin() + cell.off + cell.len);
+            std::sort(list.begin(), list.end());
+        }
+        return out;
+    }
+    for (const Node &node : nodes_) {
+        if (!node.live_)
             continue;
         auto touch = [&](ValueId v) {
             if (v >= 0)
-                out[static_cast<size_t>(v)].push_back(node->id);
+                out[static_cast<size_t>(v)].push_back(node.id);
         };
-        for (const auto &in : node->ins)
+        for (const auto &in : ins(node))
             touch(in.value);
-        touch(node->base);
+        touch(node.base);
     }
     return out;
 }
@@ -196,81 +400,34 @@ Graph::edges() const
 }
 
 void
-Graph::rebuildUses() const
-{
-    uses_.assign(values.size(), {});
-    for (const auto &node : nodes) {
-        if (!node)
-            continue;
-        for (const auto &in : node->ins) {
-            if (in.value >= 0)
-                uses_[static_cast<size_t>(in.value)].push_back(node->id);
-        }
-        if (node->base >= 0)
-            uses_[static_cast<size_t>(node->base)].push_back(node->id);
-    }
-    usesValid_ = true;
-}
-
-const std::vector<NodeId> &
-Graph::uses(ValueId v) const
-{
-    if (!usesValid_)
-        rebuildUses();
-    if (v < 0 || static_cast<size_t>(v) >= uses_.size())
-        panic("uses(): value id out of range");
-    return uses_[static_cast<size_t>(v)];
-}
-
-void
-Graph::noteUse(ValueId v, NodeId n)
-{
-    if (usesValid_ && v >= 0)
-        uses_[static_cast<size_t>(v)].push_back(n);
-}
-
-void
-Graph::dropUse(ValueId v, NodeId n)
-{
-    if (!usesValid_ || v < 0)
-        return;
-    auto &list = uses_[static_cast<size_t>(v)];
-    for (size_t i = 0; i < list.size(); ++i) {
-        if (list[i] == n) {
-            list[i] = list.back();
-            list.pop_back();
-            return;
-        }
-    }
-    panic("use cache missing an entry being removed");
-}
-
-void
 Graph::addInput(Node &node, Access access)
 {
     noteUse(access.value, node.id);
-    node.ins.push_back(std::move(access));
+    appendAccess(node.ins_, access);
 }
 
 void
 Graph::setInput(Node &node, size_t slot, Access access)
 {
-    if (slot >= node.ins.size())
+    if (slot >= node.ins_.len)
         panic("setInput(): slot out of range");
-    if (node.ins[slot].value != access.value) {
-        dropUse(node.ins[slot].value, node.id);
+    Access &dst = accessPool_[node.ins_.off + slot];
+    if (dst.value != access.value) {
+        dropUse(dst.value, node.id);
         noteUse(access.value, node.id);
     }
-    node.ins[slot] = std::move(access);
+    dst = access;
 }
 
 void
 Graph::setInputs(Node &node, std::vector<Access> ins)
 {
-    for (const auto &in : node.ins)
-        dropUse(in.value, node.id);
-    node.ins = std::move(ins);
-    for (const auto &in : node.ins)
+    for (uint32_t i = 0; i < node.ins_.len; ++i)
+        dropUse(accessPool_[node.ins_.off + i].value, node.id);
+    node.ins_ = PoolSpan{static_cast<uint32_t>(accessPool_.size()),
+                         static_cast<uint32_t>(ins.size())};
+    accessPool_.insert(accessPool_.end(), ins.begin(), ins.end());
+    for (const auto &in : ins)
         noteUse(in.value, node.id);
 }
 
@@ -287,15 +444,70 @@ Graph::setBase(Node &node, ValueId base)
 void
 Graph::eraseNode(NodeId id)
 {
-    if (id < 0 || static_cast<size_t>(id) >= nodes.size())
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
         panic("eraseNode(): id out of range");
-    if (const Node *node = nodes[static_cast<size_t>(id)].get();
-        node && usesValid_) {
-        for (const auto &in : node->ins)
+    Node &node = nodes_[static_cast<size_t>(id)];
+    if (!node.live_)
+        return;
+    if (usesValid_) {
+        for (const auto &in : ins(node))
             dropUse(in.value, id);
-        dropUse(node->base, id);
+        dropUse(node.base, id);
     }
-    nodes[static_cast<size_t>(id)].reset();
+    node.live_ = false;
+    // Drop per-node payload eagerly; the arena runs become garbage that
+    // the next compact() retires.
+    node.ins_ = node.outs_ = node.dvars_ = PoolSpan{};
+    node.predicate = IndexExpr{};
+    node.hasPredicate = false;
+    node.base = -1;
+    node.subgraph.reset();
+}
+
+void
+Graph::compact()
+{
+    std::vector<Access> access_tight;
+    std::vector<IndexExpr> coord_tight;
+    std::vector<IndexVar> var_tight;
+    access_tight.reserve(accessPool_.size());
+    coord_tight.reserve(coordPool_.size());
+    var_tight.reserve(varPool_.size());
+
+    auto move_coords = [&](PoolSpan s) {
+        const PoolSpan ns{static_cast<uint32_t>(coord_tight.size()), s.len};
+        for (uint32_t i = 0; i < s.len; ++i)
+            coord_tight.push_back(std::move(coordPool_[s.off + i]));
+        return ns;
+    };
+    auto move_accesses = [&](PoolSpan s) {
+        const PoolSpan ns{static_cast<uint32_t>(access_tight.size()), s.len};
+        for (uint32_t i = 0; i < s.len; ++i) {
+            Access a = accessPool_[s.off + i];
+            a.coords = move_coords(a.coords);
+            access_tight.push_back(a);
+        }
+        return ns;
+    };
+
+    for (Node &node : nodes_) {
+        if (!node.live_)
+            continue;
+        node.ins_ = move_accesses(node.ins_);
+        node.outs_ = move_accesses(node.outs_);
+        const PoolSpan nv{static_cast<uint32_t>(var_tight.size()),
+                          node.dvars_.len};
+        for (uint32_t i = 0; i < node.dvars_.len; ++i)
+            var_tight.push_back(std::move(varPool_[node.dvars_.off + i]));
+        node.dvars_ = nv;
+        if (node.subgraph)
+            node.subgraph->compact();
+    }
+    accessPool_ = std::move(access_tight);
+    coordPool_ = std::move(coord_tight);
+    varPool_ = std::move(var_tight);
+    if (usesValid_)
+        rebuildUses(); // tight CSR, no relocation slack
 }
 
 std::unique_ptr<Graph>
@@ -308,27 +520,32 @@ Graph::clone() const
     out->inputs = inputs;
     out->outputs = outputs;
     out->context = context;
-    out->nodes.reserve(nodes.size());
-    for (const auto &node : nodes) {
-        if (!node) {
-            out->nodes.push_back(nullptr);
-            continue;
-        }
-        auto copy = std::make_unique<Node>();
-        copy->id = node->id;
-        copy->kind = node->kind;
-        copy->op = node->op;
-        copy->domain = node->domain;
-        copy->domainVars = node->domainVars;
-        copy->predicate = node->predicate;
-        copy->hasPredicate = node->hasPredicate;
-        copy->ins = node->ins;
-        copy->outs = node->outs;
-        copy->base = node->base;
-        copy->cval = node->cval;
-        if (node->subgraph)
-            copy->subgraph = node->subgraph->clone();
-        out->nodes.push_back(std::move(copy));
+    // The arenas copy as flat vectors; spans carry over verbatim.
+    out->accessPool_ = accessPool_;
+    out->coordPool_ = coordPool_;
+    out->varPool_ = varPool_;
+    out->nodes_.reserve(nodes_.size());
+    for (const Node &node : nodes_) {
+        Node &copy = out->nodes_.emplace_back();
+        copy.id = node.id;
+        copy.kind = node.kind;
+        copy.op = node.op;
+        copy.domain = node.domain;
+        copy.predicate = node.predicate;
+        copy.hasPredicate = node.hasPredicate;
+        copy.base = node.base;
+        copy.cval = node.cval;
+        copy.ins_ = node.ins_;
+        copy.outs_ = node.outs_;
+        copy.dvars_ = node.dvars_;
+        copy.live_ = node.live_;
+        if (node.subgraph)
+            copy.subgraph = node.subgraph->clone();
+    }
+    if (usesValid_) {
+        out->useCells_ = useCells_;
+        out->usePool_ = usePool_;
+        out->usesValid_ = true;
     }
     return out;
 }
@@ -336,78 +553,105 @@ Graph::clone() const
 ValueId
 Graph::findValueByName(const std::string &name) const
 {
-    for (const auto &v : values) {
-        if (v.md.name == name)
-            return v.id;
+    if (!namesValid_) {
+        nameIndex_.clear();
+        nameIndex_.reserve(values.size());
+        for (const auto &v : values)
+            nameIndex_.emplace(v.md.name, v.id); // first value wins
+        namesValid_ = true;
     }
-    return -1;
+    const auto it = nameIndex_.find(name);
+    return it == nameIndex_.end() ? -1 : it->second;
+}
+
+size_t
+Graph::arenaBytes() const
+{
+    size_t bytes = nodes_.capacity() * sizeof(Node) +
+                   values.capacity() * sizeof(Value) +
+                   accessPool_.capacity() * sizeof(Access) +
+                   coordPool_.capacity() * sizeof(IndexExpr) +
+                   varPool_.capacity() * sizeof(IndexVar) +
+                   useCells_.capacity() * sizeof(UseCell) +
+                   usePool_.capacity() * sizeof(NodeId);
+    for (const Node &node : nodes_) {
+        if (node.subgraph)
+            bytes += node.subgraph->arenaBytes();
+    }
+    return bytes;
 }
 
 void
 Graph::validate() const
 {
-    std::set<ValueId> produced;
-    for (const auto &node : nodes) {
-        if (!node)
+    auto check_span = [&](PoolSpan s, size_t pool_size, const char *what) {
+        if (static_cast<size_t>(s.off) + s.len > pool_size)
+            panic(std::string(what) + " span out of arena bounds in graph " +
+                  this->name);
+    };
+    for (const Node &node : nodes_) {
+        // Tombstones keep (zeroed) spans; bounds must hold regardless.
+        check_span(node.ins_, accessPool_.size(), "ins");
+        check_span(node.outs_, accessPool_.size(), "outs");
+        check_span(node.dvars_, varPool_.size(), "domainVars");
+        if (!node.live_)
             continue;
-        const int nvars = static_cast<int>(node->domainVars.size());
+        const int nvars = static_cast<int>(node.dvars_.len);
         auto check_access = [&](const Access &a, bool is_output) {
+            check_span(a.coords, coordPool_.size(), "coords");
+            const auto cs = coords(a);
             if (a.isIndexOperand()) {
-                if (a.coords.size() != 1)
+                if (cs.size() != 1)
                     panic("index operand must carry exactly one coord");
             } else if (a.value < 0 ||
                        static_cast<size_t>(a.value) >= values.size()) {
                 panic("access references bad value id");
-            } else if (!a.coords.empty()) {
+            } else if (!cs.empty()) {
                 const auto &v = value(a.value);
-                if (static_cast<int>(a.coords.size()) !=
+                if (static_cast<int>(cs.size()) !=
                     std::max(v.md.shape.rank(), 0)) {
                     panic("access coord count does not match value rank in "
                           "graph " + this->name);
                 }
             }
-            for (const auto &c : a.coords) {
+            for (const auto &c : cs) {
                 if (c.varCount() > nvars)
                     panic("access coord references var beyond domain");
             }
             if (is_output && !a.isIndexOperand()) {
                 const auto &v = value(a.value);
-                if (v.producer != node->id)
+                if (v.producer != node.id)
                     panic("output value's producer link is stale");
             }
         };
-        for (const auto &in : node->ins)
+        for (const auto &in : ins(node))
             check_access(in, false);
-        for (const auto &out : node->outs) {
+        for (const auto &out : outs(node))
             check_access(out, true);
-            produced.insert(out.value);
-        }
-        if (node->hasPredicate && node->predicate.varCount() > nvars)
+        if (node.hasPredicate && node.predicate.varCount() > nvars)
             panic("predicate references var beyond domain");
-        switch (node->kind) {
+        switch (node.kind) {
           case NodeKind::Constant:
-            if (node->outs.size() != 1)
+            if (node.outs_.len != 1)
                 panic("constant must have one output");
             break;
           case NodeKind::Map:
-            if (node->outs.size() != 1)
+            if (node.outs_.len != 1)
                 panic("map must have one output");
-            if (mapOpArity(node->op) !=
-                static_cast<int>(node->ins.size())) {
-                panic("map op '" + node->op.str() + "' arity mismatch");
-            }
+            if (mapOpArity(node.op) != static_cast<int>(node.ins_.len))
+                panic("map op '" + node.op.str() + "' arity mismatch");
             break;
           case NodeKind::Reduce:
-            if (node->outs.size() != 1 || node->ins.size() != 1)
+            if (node.outs_.len != 1 || node.ins_.len != 1)
                 panic("reduce must have one input and one output");
             break;
           case NodeKind::Component:
-            if (!node->subgraph)
+            if (!node.subgraph)
                 panic("component node lacks a subgraph");
-            node->subgraph->validate();
-            if (node->subgraph->inputs.size() != node->ins.size())
+            node.subgraph->validate();
+            if (node.subgraph->inputs.size() != node.ins_.len)
                 panic("component input binding count mismatch");
-            if (node->subgraph->outputs.size() != node->outs.size())
+            if (node.subgraph->outputs.size() != node.outs_.len)
                 panic("component output binding count mismatch");
             break;
         }
@@ -422,7 +666,7 @@ Graph::validate() const
             if (!p)
                 continue; // producer erased; passes must clean up uses
             bool found = false;
-            for (const auto &out : p->outs)
+            for (const auto &out : outs(*p))
                 found = found || out.value == v.id;
             if (!found)
                 panic("value's producer does not list it as an output");
@@ -432,30 +676,47 @@ Graph::validate() const
         // The incremental use cache must agree with a from-scratch
         // recomputation, as multisets per value (a node appears once per
         // referencing access, in no particular order).
-        std::vector<std::vector<NodeId>> fresh(values.size());
-        for (const auto &node : nodes) {
-            if (!node)
-                continue;
-            for (const auto &in : node->ins) {
-                if (in.value >= 0)
-                    fresh[static_cast<size_t>(in.value)].push_back(
-                        node->id);
-            }
-            if (node->base >= 0)
-                fresh[static_cast<size_t>(node->base)].push_back(node->id);
-        }
-        if (uses_.size() != fresh.size())
+        if (useCells_.size() != values.size())
             panic("use cache is stale: value count mismatch in graph " +
                   this->name);
+        std::vector<std::vector<NodeId>> fresh(values.size());
+        for (const Node &node : nodes_) {
+            if (!node.live_)
+                continue;
+            for (const auto &in : ins(node)) {
+                if (in.value >= 0)
+                    fresh[static_cast<size_t>(in.value)].push_back(node.id);
+            }
+            if (node.base >= 0)
+                fresh[static_cast<size_t>(node.base)].push_back(node.id);
+        }
         for (size_t v = 0; v < fresh.size(); ++v) {
-            auto cached = uses_[v];
+            const UseCell &cell = useCells_[v];
+            if (cell.len > cell.cap)
+                panic("use cell len exceeds cap in graph " + this->name);
+            if (static_cast<size_t>(cell.off) + cell.cap > usePool_.size() &&
+                cell.cap != 0)
+                panic("use cell out of arena bounds in graph " + this->name);
+            std::vector<NodeId> cached(usePool_.begin() + cell.off,
+                                       usePool_.begin() + cell.off +
+                                           cell.len);
             auto &expect = fresh[v];
             std::sort(cached.begin(), cached.end());
             std::sort(expect.begin(), expect.end());
             if (cached != expect)
-                panic("use cache is stale for value %" +
-                      std::to_string(v) + " in graph " + this->name);
+                panic("use cache is stale for value %" + std::to_string(v) +
+                      " in graph " + this->name);
         }
+    }
+    if (namesValid_) {
+        // The name index must match a first-wins from-scratch rebuild.
+        std::unordered_map<std::string, ValueId> fresh_names;
+        fresh_names.reserve(values.size());
+        for (const auto &v : values)
+            fresh_names.emplace(v.md.name, v.id);
+        if (fresh_names != nameIndex_)
+            panic("name index is stale in graph " + this->name +
+                  " (missing touchNames() after a rename?)");
     }
 }
 

@@ -23,13 +23,39 @@
  *  - Scalar-level granularity is available through Node::scalarOpCount()
  *    (analytic, always cheap) and Graph/Node materialization in
  *    expand.h (explicit scalar subgraphs, bounded by a node budget).
+ *
+ * Storage model (structure-of-arrays, DESIGN.md "IR internals"):
+ *  - Nodes live by value in one contiguous pool indexed by NodeId.
+ *    eraseNode() tombstones the slot (ids stay stable; node() returns
+ *    nullptr for tombstones); compact() retires the garbage the
+ *    tombstones leave behind in the side pools without renumbering.
+ *  - Every small per-node sequence — input/output Access lists, the
+ *    IndexExpr coords of each access, the IndexVars of the iteration
+ *    domain, and the per-value use lists — lives in a per-Graph bump
+ *    arena and is referenced by a {offset, len} PoolSpan instead of an
+ *    owning vector. Appending past a span's end relocates the run to
+ *    the arena tail (amortized O(1)); the abandoned run is garbage
+ *    until the next compact().
+ *  - clone() is therefore a handful of flat vector copies plus a
+ *    field-copy loop over the node pool, and passes walk dense arrays
+ *    through the span accessors (ins/outs/coords/domainVars) instead
+ *    of chasing per-node heap allocations.
+ *
+ * Aliasing rule: spans returned by the accessors (and uses()) point into
+ * the arenas and are invalidated by any mutation of the same graph —
+ * re-fetch after addNode/addInput/addOutput/addDomainVar/setInputs.
+ * Pooled coords are immutable once interned; it is fine (and common,
+ * e.g. replaceUses) for two accesses to share one coord span.
  */
 #ifndef POLYMATH_SRDFG_GRAPH_H_
 #define POLYMATH_SRDFG_GRAPH_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dtype.h"
@@ -72,6 +98,15 @@ struct Value
     NodeId producer = -1; ///< -1: graph input (no producing node)
 };
 
+/** A {offset, len} run inside one of the owning Graph's arenas. Which
+ *  arena is determined by context (coords -> coord pool, node operand
+ *  lists -> access pool, domain vars -> var pool). */
+struct PoolSpan
+{
+    uint32_t off = 0;
+    uint32_t len = 0;
+};
+
 /**
  * An operand access: which value is read/written and how its coordinates
  * derive from the owning node's iteration domain.
@@ -81,15 +116,20 @@ struct Value
  *   scalar operands).
  * - value == kIndexOperand with one coord: the integer value of an index
  *   expression used as data (e.g. `y[i] = i * 2`).
+ *
+ * `coords` is a span into the owning Graph's coord arena; resolve it
+ * with Graph::coords(access). Pooled coords are immutable — build new
+ * ones with Graph::makeAccess / internCoords.
  */
 struct Access
 {
     static constexpr ValueId kIndexOperand = -2;
 
     ValueId value = -1;
-    std::vector<IndexExpr> coords;
+    PoolSpan coords;
 
     bool isIndexOperand() const { return value == kIndexOperand; }
+    bool hasCoords() const { return coords.len != 0; }
 };
 
 /** One iteration-domain variable of a Map/Reduce node. */
@@ -110,7 +150,9 @@ enum class NodeKind : uint8_t {
 
 class Graph;
 
-/** One srDFG node: (name, srdfg) in the paper's terms. */
+/** One srDFG node: (name, srdfg) in the paper's terms. Lives by value in
+ *  the owning Graph's node pool; operand/domain sequences are spans into
+ *  the graph's arenas, resolved through Graph::ins/outs/domainVars. */
 class Node
 {
   public:
@@ -127,19 +169,9 @@ class Node
     /** Target domain this node is annotated with / inherits. */
     Domain domain = Domain::None;
 
-    /** Iteration domain (Map/Reduce). */
-    std::vector<IndexVar> domainVars;
-
-    /** Optional Boolean guard over domainVars (Reduce only). */
+    /** Optional Boolean guard over the domain vars (Reduce only). */
     IndexExpr predicate;
     bool hasPredicate = false;
-
-    /** Input accesses. Select maps have 3; binary 2; unary 1. */
-    std::vector<Access> ins;
-
-    /** Output accesses. Map/Reduce/Constant have exactly 1; Component has
-     *  one per callee output/state formal. */
-    std::vector<Access> outs;
 
     /** Previous version of the output tensor for partial writes;
      *  -1 means unwritten points read as zero. */
@@ -151,18 +183,29 @@ class Node
     /** Component nodes: the lower-granularity srDFG. */
     std::unique_ptr<Graph> subgraph;
 
+    /** False once eraseNode() tombstoned this slot. */
+    bool live() const { return live_; }
+
     /** Total iteration points of the domain. */
-    int64_t domainSize() const;
+    int64_t domainSize(const Graph &g) const;
 
     /** Product of extents of `reduced` axes (1 when none). */
-    int64_t reduceSize() const;
+    int64_t reduceSize(const Graph &g) const;
 
     /** Scalar operations this node represents at the finest granularity
      *  (recursing into component subgraphs). "identity" moves count 0. */
-    int64_t scalarOpCount() const;
+    int64_t scalarOpCount(const Graph &g) const;
 
     /** Names of the domain variables, by slot (for printing). */
-    std::vector<std::string> domainVarNames() const;
+    std::vector<std::string> domainVarNames(const Graph &g) const;
+
+  private:
+    friend class Graph;
+
+    PoolSpan ins_;   ///< access arena: input accesses
+    PoolSpan outs_;  ///< access arena: output accesses
+    PoolSpan dvars_; ///< var arena: iteration domain (Map/Reduce)
+    bool live_ = true;
 };
 
 /** Shared per-program context: user-defined reductions, visible at every
@@ -201,9 +244,6 @@ class Graph
     /** Values, indexed by ValueId. */
     std::vector<Value> values;
 
-    /** Nodes, indexed by NodeId (entries may be null after erasure). */
-    std::vector<std::unique_ptr<Node>> nodes;
-
     /** Boundary values in PMLang argument order. */
     std::vector<ValueId> inputs;
     std::vector<ValueId> outputs;
@@ -214,16 +254,27 @@ class Graph
     /** Creates a value; returns its id. */
     ValueId addValue(EdgeMeta md, NodeId producer = -1);
 
-    /** Creates a node of @p kind; returns a reference owned by the graph.
-     *  The node starts with no inputs, so the use cache stays valid; add
-     *  its inputs through addInput/setInputs (or touchUses() after raw
-     *  mutation). */
-    Node &addNode(NodeKind kind, Op op);
+    /** Creates a node of @p kind in the node pool; returns its id (NOT a
+     *  reference: the pool may relocate on growth, so never hold Node
+     *  pointers/references across addNode). The node starts with no
+     *  inputs, so the use cache stays valid; add its inputs through
+     *  addInput/setInputs (or touchUses() after raw mutation). */
+    NodeId addNode(NodeKind kind, Op op);
 
     Value &value(ValueId id);
     const Value &value(ValueId id) const;
+
+    /** Node by id; nullptr when the slot is tombstoned. */
     Node *node(NodeId id);
     const Node *node(NodeId id) const;
+
+    /** Node-pool slot count (tombstones included); NodeIds are < this. */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** The whole node pool, tombstones included — check node.live() when
+     *  iterating. Invalidated by addNode. */
+    std::span<Node> nodePool() { return nodes_; }
+    std::span<const Node> nodePool() const { return nodes_; }
 
     /** Number of live (non-erased) nodes at this level. */
     int64_t liveNodeCount() const;
@@ -231,23 +282,65 @@ class Graph
     /** Scalar-op total across this level, recursing into components. */
     int64_t scalarOpCount() const;
 
-    /** Enumerates paper-style edges at this level: one per
-     *  (value, consumer) pair plus boundary output edges. */
-    std::vector<Edge> edges() const;
+    /** Input accesses of @p node. Select maps have 3; binary 2; unary 1. */
+    std::span<const Access> ins(const Node &node) const;
 
-    /** Consumer node ids per value (index = ValueId). */
-    std::vector<std::vector<NodeId>> consumers() const;
+    /** Output accesses of @p node. Map/Reduce/Constant have exactly 1;
+     *  Component has one per callee output/state formal. */
+    std::span<const Access> outs(const Node &node) const;
+
+    /** Mutable outs view, for producer rewiring (out.value) and coord
+     *  replacement. Keep Value::producer links consistent yourself. */
+    std::span<Access> outsMut(Node &node);
+
+    /** Mutable ins view — raw surgery that bypasses the use cache; call
+     *  touchUses() afterwards (or use setInput/setInputs instead). */
+    std::span<Access> insMut(Node &node);
+
+    /** Iteration-domain variables of @p node. */
+    std::span<const IndexVar> domainVars(const Node &node) const;
+
+    /** Coordinate expressions of @p access (resolved in this graph's
+     *  coord arena — only valid for accesses owned by this graph). */
+    std::span<const IndexExpr> coords(const Access &access) const;
+
+    /** Copies @p cs into the coord arena and returns its span. @p cs must
+     *  not alias this graph's own coord pool (use importAccess to copy
+     *  between graphs). */
+    PoolSpan internCoords(std::span<const IndexExpr> cs);
+
+    /** Builds an access with freshly interned coords. */
+    Access makeAccess(ValueId v, std::span<const IndexExpr> cs);
+
+    /** Whole-value access (no coords). */
+    static Access makeAccess(ValueId v) { return Access{v, {}}; }
+
+    /** Re-interns @p a (an access of @p src) into this graph's arenas.
+     *  The value id is copied verbatim — remap it separately when the
+     *  graphs number values differently. */
+    Access importAccess(const Graph &src, const Access &a);
+
+    /** Appends @p access to @p node's outputs. */
+    void addOutput(Node &node, Access access);
+
+    /** Appends @p var to @p node's iteration domain. */
+    void addDomainVar(Node &node, IndexVar var);
+
+    /** Replaces @p node's iteration domain. */
+    void setDomainVars(Node &node, std::span<const IndexVar> vars);
 
     /**
      * Use list of value @p v: one entry per referencing access (every
      * `ins` entry plus `base`) across the live nodes of this level, so a
-     * node appears once per reference. Built lazily on first call and
-     * maintained incrementally by eraseNode and the mutation helpers
-     * below — O(1) amortized instead of the O(V+E) consumers() rebuild.
-     * Raw writes to Node::ins/base must go through the helpers or be
-     * followed by touchUses(); validate() cross-checks the cache.
+     * node appears once per reference. Built lazily on first call as one
+     * tight CSR over the use arena and maintained incrementally by
+     * eraseNode and the mutation helpers below — O(1) amortized instead
+     * of the O(V+E) consumers() rebuild. Raw span surgery must go
+     * through the helpers or be followed by touchUses(); validate()
+     * cross-checks the cache. The returned span is invalidated by any
+     * use-cache mutation (copy it before mutating while iterating).
      */
-    const std::vector<NodeId> &uses(ValueId v) const;
+    std::span<const NodeId> uses(ValueId v) const;
 
     /** True when the use cache is currently live (uses() was called and
      *  no raw mutation invalidated it). */
@@ -269,26 +362,85 @@ class Graph
     /** Sets @p node's base value, keeping the use cache. */
     void setBase(Node &node, ValueId base);
 
-    /** Erases node @p id (clears the slot; ids remain stable), removing
-     *  its entries from the use cache. */
+    /** Erases node @p id (tombstones the slot; ids remain stable),
+     *  removing its entries from the use cache. Its arena runs become
+     *  garbage until compact(). */
     void eraseNode(NodeId id);
 
-    /** Deep copy (fresh subgraphs, same context pointer). */
+    /**
+     * Retires arena garbage left by eraseNode/relocations: rewrites the
+     * access/coord/var arenas tightly in node order and rebuilds the use
+     * CSR when live, recursing into component subgraphs. Ids — node and
+     * value — are untouched, so printed and serialized forms are
+     * byte-identical across a compact(). Call after a pass pipeline or
+     * before long-term retention (snapshots, caches); never required for
+     * correctness.
+     */
+    void compact();
+
+    /** Enumerates paper-style edges at this level: one per
+     *  (value, consumer) pair plus boundary output edges. */
+    std::vector<Edge> edges() const;
+
+    /** Consumer node ids per value (index = ValueId), ascending by node
+     *  id. Derived from the incremental use cache when it is live,
+     *  rebuilt from scratch otherwise — both orders agree. */
+    std::vector<std::vector<NodeId>> consumers() const;
+
+    /** Deep copy (fresh subgraphs, same context pointer): bulk arena
+     *  copies plus a field-copy loop over the node pool. A live use
+     *  cache is copied; lazy indexes rebuild on demand. */
     std::unique_ptr<Graph> clone() const;
 
-    /** Finds the first value with boundary name @p name; -1 if absent. */
+    /** Finds the first value with boundary name @p name; -1 if absent.
+     *  Backed by a lazily built name->id index that addValue keeps
+     *  fresh; after renaming an existing value call touchNames(). */
     ValueId findValueByName(const std::string &name) const;
 
+    /** Drops the name->id index after renaming existing values; the next
+     *  findValueByName rebuilds it. */
+    void touchNames() { namesValid_ = false; }
+
+    /** Bytes currently reserved by this graph's pools and arenas (node,
+     *  value, access, coord, var, use storage), recursing into component
+     *  subgraphs. Feeds the ir.arena.bytes metric. */
+    size_t arenaBytes() const;
+
     /** Internal consistency check; throws InternalError on violation.
-     *  Verifies access ranks, domain-slot ranges, producer links,
-     *  boundary lists, and — when the use cache is live — that it
-     *  matches a from-scratch recomputation. */
+     *  Verifies arena-span bounds, access ranks, domain-slot ranges,
+     *  producer links, boundary lists, and — when the lazy caches are
+     *  live — that the use CSR and the name index match a from-scratch
+     *  rebuild. */
     void validate() const;
 
   private:
-    /** Lazily built use lists (index = ValueId); see uses(). */
-    mutable std::vector<std::vector<NodeId>> uses_;
+    /** Per-value CSR cell into usePool_; cap >= len, doubling on
+     *  relocation to the arena tail. */
+    struct UseCell
+    {
+        uint32_t off = 0;
+        uint32_t len = 0;
+        uint32_t cap = 0;
+    };
+
+    std::vector<Node> nodes_;          ///< node pool, indexed by NodeId
+    std::vector<Access> accessPool_;   ///< ins/outs arena
+    std::vector<IndexExpr> coordPool_; ///< access-coordinate arena
+    std::vector<IndexVar> varPool_;    ///< iteration-domain arena
+
+    /** Lazily built CSR use lists (cell index = ValueId); see uses(). */
+    mutable std::vector<UseCell> useCells_;
+    mutable std::vector<NodeId> usePool_;
     mutable bool usesValid_ = false;
+
+    /** Lazily built name->id index (first value wins, matching the
+     *  linear-scan semantics findValueByName always had). */
+    mutable std::unordered_map<std::string, ValueId> nameIndex_;
+    mutable bool namesValid_ = false;
+
+    /** Appends @p a to the arena run @p s, relocating the run to the
+     *  arena tail first when it is not already there. */
+    void appendAccess(PoolSpan &s, Access a);
 
     void noteUse(ValueId v, NodeId n);
     void dropUse(ValueId v, NodeId n);

@@ -6,6 +6,14 @@
 
 namespace polymath::ir {
 
+std::shared_ptr<const std::vector<IndexExpr>>
+IndexExpr::share(std::vector<IndexExpr> kids)
+{
+    if (kids.empty())
+        return nullptr;
+    return std::make_shared<const std::vector<IndexExpr>>(std::move(kids));
+}
+
 IndexExpr
 IndexExpr::constant(int64_t value)
 {
@@ -23,6 +31,7 @@ IndexExpr::var(int slot)
     IndexExpr e;
     e.kind_ = Kind::Var;
     e.slot_ = slot;
+    e.vars_ = slot + 1;
     return e;
 }
 
@@ -33,7 +42,11 @@ IndexExpr::unary(Kind kind, IndexExpr operand)
         panic("IndexExpr::unary(): bad kind");
     IndexExpr e;
     e.kind_ = kind;
-    e.children_.push_back(std::move(operand));
+    e.vars_ = operand.vars_;
+    std::vector<IndexExpr> kids;
+    kids.reserve(1);
+    kids.push_back(std::move(operand));
+    e.children_ = share(std::move(kids));
     return e;
 }
 
@@ -51,8 +64,12 @@ IndexExpr::binary(Kind kind, IndexExpr lhs, IndexExpr rhs)
     }
     IndexExpr e;
     e.kind_ = kind;
-    e.children_.push_back(std::move(lhs));
-    e.children_.push_back(std::move(rhs));
+    e.vars_ = std::max(lhs.vars_, rhs.vars_);
+    std::vector<IndexExpr> kids;
+    kids.reserve(2);
+    kids.push_back(std::move(lhs));
+    kids.push_back(std::move(rhs));
+    e.children_ = share(std::move(kids));
     return e;
 }
 
@@ -61,9 +78,13 @@ IndexExpr::select(IndexExpr cond, IndexExpr then_e, IndexExpr else_e)
 {
     IndexExpr e;
     e.kind_ = Kind::Select;
-    e.children_.push_back(std::move(cond));
-    e.children_.push_back(std::move(then_e));
-    e.children_.push_back(std::move(else_e));
+    e.vars_ = std::max({cond.vars_, then_e.vars_, else_e.vars_});
+    std::vector<IndexExpr> kids;
+    kids.reserve(3);
+    kids.push_back(std::move(cond));
+    kids.push_back(std::move(then_e));
+    kids.push_back(std::move(else_e));
+    e.children_ = share(std::move(kids));
     return e;
 }
 
@@ -77,58 +98,38 @@ IndexExpr::eval(std::span<const int64_t> env) const
         if (static_cast<size_t>(slot_) >= env.size())
             panic("IndexExpr::eval(): var slot out of range");
         return env[static_cast<size_t>(slot_)];
-      case Kind::Add: return children_[0].eval(env) + children_[1].eval(env);
-      case Kind::Sub: return children_[0].eval(env) - children_[1].eval(env);
-      case Kind::Mul: return children_[0].eval(env) * children_[1].eval(env);
+      case Kind::Add: return child(0).eval(env) + child(1).eval(env);
+      case Kind::Sub: return child(0).eval(env) - child(1).eval(env);
+      case Kind::Mul: return child(0).eval(env) * child(1).eval(env);
       case Kind::Div: {
-        const int64_t d = children_[1].eval(env);
+        const int64_t d = child(1).eval(env);
         if (d == 0)
             fatal("division by zero in index arithmetic");
-        return children_[0].eval(env) / d;
+        return child(0).eval(env) / d;
       }
       case Kind::Mod: {
-        const int64_t d = children_[1].eval(env);
+        const int64_t d = child(1).eval(env);
         if (d == 0)
             fatal("modulo by zero in index arithmetic");
-        return children_[0].eval(env) % d;
+        return child(0).eval(env) % d;
       }
-      case Kind::Neg: return -children_[0].eval(env);
-      case Kind::Lt: return children_[0].eval(env) < children_[1].eval(env);
-      case Kind::Le: return children_[0].eval(env) <= children_[1].eval(env);
-      case Kind::Gt: return children_[0].eval(env) > children_[1].eval(env);
-      case Kind::Ge: return children_[0].eval(env) >= children_[1].eval(env);
-      case Kind::Eq: return children_[0].eval(env) == children_[1].eval(env);
-      case Kind::Ne: return children_[0].eval(env) != children_[1].eval(env);
+      case Kind::Neg: return -child(0).eval(env);
+      case Kind::Lt: return child(0).eval(env) < child(1).eval(env);
+      case Kind::Le: return child(0).eval(env) <= child(1).eval(env);
+      case Kind::Gt: return child(0).eval(env) > child(1).eval(env);
+      case Kind::Ge: return child(0).eval(env) >= child(1).eval(env);
+      case Kind::Eq: return child(0).eval(env) == child(1).eval(env);
+      case Kind::Ne: return child(0).eval(env) != child(1).eval(env);
       case Kind::And:
-        return children_[0].eval(env) != 0 && children_[1].eval(env) != 0;
+        return child(0).eval(env) != 0 && child(1).eval(env) != 0;
       case Kind::Or:
-        return children_[0].eval(env) != 0 || children_[1].eval(env) != 0;
-      case Kind::Not: return children_[0].eval(env) == 0;
+        return child(0).eval(env) != 0 || child(1).eval(env) != 0;
+      case Kind::Not: return child(0).eval(env) == 0;
       case Kind::Select:
-        return children_[0].eval(env) != 0 ? children_[1].eval(env)
-                                           : children_[2].eval(env);
+        return child(0).eval(env) != 0 ? child(1).eval(env)
+                                       : child(2).eval(env);
     }
     panic("unhandled IndexExpr kind");
-}
-
-bool
-IndexExpr::isConst() const
-{
-    if (kind_ == Kind::Var)
-        return false;
-    return std::all_of(children_.begin(), children_.end(),
-                       [](const IndexExpr &c) { return c.isConst(); });
-}
-
-int
-IndexExpr::varCount() const
-{
-    if (kind_ == Kind::Var)
-        return slot_ + 1;
-    int count = 0;
-    for (const auto &c : children_)
-        count = std::max(count, c.varCount());
-    return count;
 }
 
 IndexExpr
@@ -139,12 +140,19 @@ IndexExpr::remapped(std::span<const int> map) const
             panic("IndexExpr::remapped(): slot out of range");
         return var(map[static_cast<size_t>(slot_)]);
     }
+    if (!children_)
+        return *this; // Const: nothing to remap
     IndexExpr e;
     e.kind_ = kind_;
     e.cval_ = cval_;
     e.slot_ = slot_;
-    for (const auto &c : children_)
-        e.children_.push_back(c.remapped(map));
+    std::vector<IndexExpr> kids;
+    kids.reserve(children_->size());
+    for (const auto &c : *children_) {
+        kids.push_back(c.remapped(map));
+        e.vars_ = std::max(e.vars_, kids.back().vars_);
+    }
+    e.children_ = share(std::move(kids));
     return e;
 }
 
@@ -156,12 +164,19 @@ IndexExpr::substituted(std::span<const IndexExpr> exprs) const
             panic("IndexExpr::substituted(): slot out of range");
         return exprs[static_cast<size_t>(slot_)];
     }
+    if (!children_)
+        return *this; // Const: nothing to substitute
     IndexExpr e;
     e.kind_ = kind_;
     e.cval_ = cval_;
     e.slot_ = slot_;
-    for (const auto &c : children_)
-        e.children_.push_back(c.substituted(exprs));
+    std::vector<IndexExpr> kids;
+    kids.reserve(children_->size());
+    for (const auto &c : *children_) {
+        kids.push_back(c.substituted(exprs));
+        e.vars_ = std::max(e.vars_, kids.back().vars_);
+    }
+    e.children_ = share(std::move(kids));
     return e;
 }
 
@@ -180,8 +195,7 @@ IndexExpr::str(std::span<const std::string> names) const
         return "v" + std::to_string(slot);
     };
     auto bin = [&](const char *op) {
-        return "(" + children_[0].str(names) + op + children_[1].str(names) +
-               ")";
+        return "(" + child(0).str(names) + op + child(1).str(names) + ")";
     };
     switch (kind_) {
       case Kind::Const: return std::to_string(cval_);
@@ -191,7 +205,7 @@ IndexExpr::str(std::span<const std::string> names) const
       case Kind::Mul: return bin("*");
       case Kind::Div: return bin("/");
       case Kind::Mod: return bin("%");
-      case Kind::Neg: return "-" + children_[0].str(names);
+      case Kind::Neg: return "-" + child(0).str(names);
       case Kind::Lt: return bin(" < ");
       case Kind::Le: return bin(" <= ");
       case Kind::Gt: return bin(" > ");
@@ -200,11 +214,10 @@ IndexExpr::str(std::span<const std::string> names) const
       case Kind::Ne: return bin(" != ");
       case Kind::And: return bin(" && ");
       case Kind::Or: return bin(" || ");
-      case Kind::Not: return "!" + children_[0].str(names);
+      case Kind::Not: return "!" + child(0).str(names);
       case Kind::Select:
-        return "(" + children_[0].str(names) + " ? " +
-               children_[1].str(names) + " : " + children_[2].str(names) +
-               ")";
+        return "(" + child(0).str(names) + " ? " + child(1).str(names) +
+               " : " + child(2).str(names) + ")";
     }
     panic("unhandled IndexExpr kind");
 }
@@ -212,8 +225,12 @@ IndexExpr::str(std::span<const std::string> names) const
 bool
 IndexExpr::operator==(const IndexExpr &other) const
 {
-    return kind_ == other.kind_ && cval_ == other.cval_ &&
-           slot_ == other.slot_ && children_ == other.children_;
+    if (kind_ != other.kind_ || cval_ != other.cval_ ||
+        slot_ != other.slot_)
+        return false;
+    if (children_ == other.children_)
+        return true; // shared subtree (or both leaves)
+    return children() == other.children();
 }
 
 } // namespace polymath::ir

@@ -16,13 +16,22 @@
 #define POLYMATH_SRDFG_INDEX_EXPR_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace polymath::ir {
 
-/** Closed-form integer expression over iteration-domain variables. */
+/**
+ * Closed-form integer expression over iteration-domain variables.
+ *
+ * Expressions are immutable once built (every transformation —
+ * substituted, remapped — returns a new expression), so interior nodes
+ * share their child list behind a refcount: copying an IndexExpr of any
+ * depth is O(1), which keeps Graph::clone()'s coord-arena copy flat and
+ * lets composition reuse subtrees instead of duplicating them.
+ */
 class IndexExpr
 {
   public:
@@ -46,17 +55,21 @@ class IndexExpr
     Kind kind() const { return kind_; }
     int64_t constValue() const { return cval_; }
     int varSlot() const { return slot_; }
-    const std::vector<IndexExpr> &children() const { return children_; }
+    const std::vector<IndexExpr> &children() const
+    {
+        static const std::vector<IndexExpr> kNone;
+        return children_ ? *children_ : kNone;
+    }
 
     /** Evaluates against @p env, where env[slot] is the value of the
      *  iteration variable in that slot. Comparisons yield 0/1. */
     int64_t eval(std::span<const int64_t> env) const;
 
     /** True when no Var node appears (expression is compile-time). */
-    bool isConst() const;
+    bool isConst() const { return vars_ == 0; }
 
     /** Largest var slot referenced plus one; 0 when isConst(). */
-    int varCount() const;
+    int varCount() const { return vars_; }
 
     /** Remaps every Var slot through @p map (old slot -> new slot). */
     IndexExpr remapped(std::span<const int> map) const;
@@ -74,10 +87,21 @@ class IndexExpr
     bool operator==(const IndexExpr &other) const;
 
   private:
+    /** Wraps @p kids for sharing; nullptr when empty (leaves stay
+     *  allocation-free). */
+    static std::shared_ptr<const std::vector<IndexExpr>>
+    share(std::vector<IndexExpr> kids);
+
+    const IndexExpr &child(size_t i) const { return (*children_)[i]; }
+
     Kind kind_ = Kind::Const;
     int64_t cval_ = 0;
     int slot_ = 0;
-    std::vector<IndexExpr> children_;
+    /** Largest var slot + 1 over the whole tree, maintained by the
+     *  builders so varCount()/isConst() need no tree walk (validate()
+     *  queries them per coord). Fits in the padding after slot_. */
+    int vars_ = 0;
+    std::shared_ptr<const std::vector<IndexExpr>> children_;
 };
 
 } // namespace polymath::ir

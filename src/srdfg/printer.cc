@@ -13,14 +13,15 @@ std::string
 accessStr(const Graph &graph, const Access &a,
           std::span<const std::string> var_names)
 {
+    const auto cs = graph.coords(a);
     if (a.isIndexOperand())
-        return "#(" + a.coords[0].str(var_names) + ")";
+        return "#(" + cs[0].str(var_names) + ")";
     const Value &v = graph.value(a.value);
     std::string out =
         v.md.name.empty() ? "%" + std::to_string(v.id) : v.md.name;
     if (!v.md.name.empty())
         out += "@" + std::to_string(v.id);
-    for (const auto &c : a.coords)
+    for (const auto &c : cs)
         out += "[" + c.str(var_names) + "]";
     return out;
 }
@@ -44,36 +45,39 @@ printLevel(const Graph &graph, const PrintOptions &opts, int depth,
     }
     for (NodeId id : topoOrder(graph)) {
         const Node &node = *graph.node(id);
-        const auto names = node.domainVarNames();
+        const auto names = node.domainVarNames(graph);
+        const auto ins = graph.ins(node);
+        const auto outs = graph.outs(node);
+        const auto dvars = graph.domainVars(node);
         *out += pad + "  ";
         switch (node.kind) {
           case NodeKind::Constant:
-            *out += accessStr(graph, node.outs[0], names) + " = const " +
+            *out += accessStr(graph, outs[0], names) + " = const " +
                     formatG(node.cval, 6);
             break;
           case NodeKind::Map:
           case NodeKind::Reduce: {
-            *out += accessStr(graph, node.outs[0], names) + " = " +
+            *out += accessStr(graph, outs[0], names) + " = " +
                     node.op.str();
-            if (!node.domainVars.empty()) {
+            if (!dvars.empty()) {
                 *out += "{";
-                for (size_t i = 0; i < node.domainVars.size(); ++i) {
+                for (size_t i = 0; i < dvars.size(); ++i) {
                     if (i)
                         *out += ",";
-                    *out += node.domainVars[i].name;
-                    if (node.domainVars[i].reduced)
+                    *out += dvars[i].name;
+                    if (dvars[i].reduced)
                         *out += "!";
-                    *out += ":" + std::to_string(node.domainVars[i].extent);
+                    *out += ":" + std::to_string(dvars[i].extent);
                 }
                 *out += "}";
             }
             if (node.hasPredicate)
                 *out += " if(" + node.predicate.str(names) + ")";
             *out += "(";
-            for (size_t i = 0; i < node.ins.size(); ++i) {
+            for (size_t i = 0; i < ins.size(); ++i) {
                 if (i)
                     *out += ", ";
-                *out += accessStr(graph, node.ins[i], names);
+                *out += accessStr(graph, ins[i], names);
             }
             *out += ")";
             if (node.base >= 0)
@@ -83,19 +87,19 @@ printLevel(const Graph &graph, const PrintOptions &opts, int depth,
           }
           case NodeKind::Component: {
             *out += "(";
-            for (size_t i = 0; i < node.outs.size(); ++i) {
+            for (size_t i = 0; i < outs.size(); ++i) {
                 if (i)
                     *out += ", ";
-                *out += accessStr(graph, node.outs[i], names);
+                *out += accessStr(graph, outs[i], names);
             }
             *out += ") = " + node.op.str();
             if (node.domain != Domain::None)
                 *out += " <" + lang::toString(node.domain) + ">";
             *out += "(";
-            for (size_t i = 0; i < node.ins.size(); ++i) {
+            for (size_t i = 0; i < ins.size(); ++i) {
                 if (i)
                     *out += ", ";
-                *out += accessStr(graph, node.ins[i], names);
+                *out += accessStr(graph, ins[i], names);
             }
             *out += ")";
             break;
@@ -123,17 +127,17 @@ dotLevel(const Graph &graph, int depth, int max_depth,
          const std::string &prefix, std::string *out)
 {
     const std::string pad(static_cast<size_t>(depth) * 2 + 2, ' ');
-    for (const auto &node : graph.nodes) {
-        if (!node)
+    for (const Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
-        const std::string id = prefix + "n" + std::to_string(node->id);
-        if (node->subgraph && depth + 1 < max_depth) {
+        const std::string id = prefix + "n" + std::to_string(node.id);
+        if (node.subgraph && depth + 1 < max_depth) {
             *out += pad + "subgraph cluster_" + id + " {\n";
-            *out += pad + "  label=\"" + node->op.str() + "\";\n";
-            dotLevel(*node->subgraph, depth + 1, max_depth, id + "_", out);
+            *out += pad + "  label=\"" + node.op.str() + "\";\n";
+            dotLevel(*node.subgraph, depth + 1, max_depth, id + "_", out);
             *out += pad + "}\n";
         } else {
-            *out += pad + id + " [label=\"" + node->op.str() + "\"];\n";
+            *out += pad + id + " [label=\"" + node.op.str() + "\"];\n";
         }
     }
     // Edges at this level (value producer -> consumer).
@@ -181,14 +185,15 @@ graphStats(const Graph &graph)
                              ++total;
                          });
     return format("nodes=%lld (const=%lld map=%lld reduce=%lld comp=%lld) "
-                  "depth=%d scalar_ops=%lld",
+                  "depth=%d scalar_ops=%lld arena_bytes=%lld",
                   static_cast<long long>(total),
                   static_cast<long long>(counts[NodeKind::Constant]),
                   static_cast<long long>(counts[NodeKind::Map]),
                   static_cast<long long>(counts[NodeKind::Reduce]),
                   static_cast<long long>(counts[NodeKind::Component]),
                   recursionDepth(graph),
-                  static_cast<long long>(graph.scalarOpCount()));
+                  static_cast<long long>(graph.scalarOpCount()),
+                  static_cast<long long>(graph.arenaBytes()));
 }
 
 } // namespace polymath::ir

@@ -122,25 +122,27 @@ readIndexExpr(const JsonValue &v)
 }
 
 void
-emitAccess(const Access &a, std::string *out)
+emitAccess(const Graph &graph, const Access &a, std::string *out)
 {
     *out += format("{\"v\":%d,\"coords\":[", a.value);
-    for (size_t i = 0; i < a.coords.size(); ++i) {
+    const auto cs = graph.coords(a);
+    for (size_t i = 0; i < cs.size(); ++i) {
         if (i)
             *out += ",";
-        emitIndexExpr(a.coords[i], out);
+        emitIndexExpr(cs[i], out);
     }
     *out += "]}";
 }
 
+/** Reads an access, interning its coords into @p graph. */
 Access
-readAccess(const JsonValue &v)
+readAccess(Graph &graph, const JsonValue &v)
 {
-    Access a;
-    a.value = static_cast<ValueId>(v.at("v").asInt());
+    std::vector<IndexExpr> coords;
     for (const auto &c : v.at("coords").arr())
-        a.coords.push_back(readIndexExpr(c));
-    return a;
+        coords.push_back(readIndexExpr(c));
+    return graph.makeAccess(static_cast<ValueId>(v.at("v").asInt()),
+                            coords);
 }
 
 const char *
@@ -225,20 +227,22 @@ emitGraph(const Graph &graph, std::string *out)
         *out += format("%d", graph.outputs[i]);
     }
     *out += "],\"nodes\":[";
-    for (size_t i = 0; i < graph.nodes.size(); ++i) {
-        const auto &node = graph.nodes[i];
+    const auto pool = graph.nodePool();
+    for (size_t i = 0; i < pool.size(); ++i) {
+        const Node &node = pool[i];
         if (i)
             *out += ",";
-        if (!node) {
+        if (!node.live()) {
             *out += "null";
             continue;
         }
-        *out += "{\"kind\":" + quote(nodeKindName(node->kind));
-        *out += ",\"op\":" + quote(node->op.str());
-        *out += ",\"domain\":" + quote(lang::toString(node->domain));
+        *out += "{\"kind\":" + quote(nodeKindName(node.kind));
+        *out += ",\"op\":" + quote(node.op.str());
+        *out += ",\"domain\":" + quote(lang::toString(node.domain));
         *out += ",\"vars\":[";
-        for (size_t d = 0; d < node->domainVars.size(); ++d) {
-            const auto &var = node->domainVars[d];
+        const auto dvars = graph.domainVars(node);
+        for (size_t d = 0; d < dvars.size(); ++d) {
+            const auto &var = dvars[d];
             if (d)
                 *out += ",";
             *out += "{\"name\":" + quote(var.name);
@@ -248,26 +252,28 @@ emitGraph(const Graph &graph, std::string *out)
             *out += "}";
         }
         *out += "],\"ins\":[";
-        for (size_t a = 0; a < node->ins.size(); ++a) {
+        const auto ins = graph.ins(node);
+        for (size_t a = 0; a < ins.size(); ++a) {
             if (a)
                 *out += ",";
-            emitAccess(node->ins[a], out);
+            emitAccess(graph, ins[a], out);
         }
         *out += "],\"outs\":[";
-        for (size_t a = 0; a < node->outs.size(); ++a) {
+        const auto outs = graph.outs(node);
+        for (size_t a = 0; a < outs.size(); ++a) {
             if (a)
                 *out += ",";
-            emitAccess(node->outs[a], out);
+            emitAccess(graph, outs[a], out);
         }
-        *out += format("],\"base\":%d", node->base);
-        *out += ",\"cval\":" + numberToJson(node->cval);
-        if (node->hasPredicate) {
+        *out += format("],\"base\":%d", node.base);
+        *out += ",\"cval\":" + numberToJson(node.cval);
+        if (node.hasPredicate) {
             *out += ",\"pred\":";
-            emitIndexExpr(node->predicate, out);
+            emitIndexExpr(node.predicate, out);
         }
-        if (node->subgraph) {
+        if (node.subgraph) {
             *out += ",\"subgraph\":";
-            emitGraph(*node->subgraph, out);
+            emitGraph(*node.subgraph, out);
         }
         *out += "}";
     }
@@ -309,19 +315,22 @@ readGraph(const JsonValue &v, const std::shared_ptr<IrContext> &context)
         graph->outputs.push_back(static_cast<ValueId>(jv.asInt()));
     for (const auto &jn : v.at("nodes").arr()) {
         if (jn.isNull()) {
-            graph->nodes.push_back(nullptr);
+            // Tombstoned slot: reserve the id so numbering round-trips.
+            graph->eraseNode(
+                graph->addNode(NodeKind::Map, OpCode::Identity));
             continue;
         }
-        auto node = std::make_unique<Node>();
-        node->id = static_cast<NodeId>(graph->nodes.size());
-        node->kind = nodeKindFromName(jn.at("kind").str());
-        node->op = Op::intern(jn.at("op").str());
+        const NodeId id =
+            graph->addNode(nodeKindFromName(jn.at("kind").str()),
+                           Op::intern(jn.at("op").str()));
+        Node &node = *graph->node(id);
+        node.domain = lang::Domain::None;
         const std::string node_domain = jn.at("domain").str();
         for (lang::Domain d :
              {lang::Domain::None, lang::Domain::RBT, lang::Domain::GA,
               lang::Domain::DSP, lang::Domain::DA, lang::Domain::DL}) {
             if (lang::toString(d) == node_domain)
-                node->domain = d;
+                node.domain = d;
         }
         for (const auto &jvar : jn.at("vars").arr()) {
             IndexVar var;
@@ -329,21 +338,20 @@ readGraph(const JsonValue &v, const std::shared_ptr<IrContext> &context)
             var.extent = jvar.at("extent").asInt();
             var.reduced =
                 std::get<bool>(jvar.at("reduced").data);
-            node->domainVars.push_back(std::move(var));
+            graph->addDomainVar(node, std::move(var));
         }
         for (const auto &ja : jn.at("ins").arr())
-            node->ins.push_back(readAccess(ja));
+            graph->addInput(node, readAccess(*graph, ja));
         for (const auto &ja : jn.at("outs").arr())
-            node->outs.push_back(readAccess(ja));
-        node->base = static_cast<ValueId>(jn.at("base").asInt());
-        node->cval = numberFromJson(jn.at("cval"));
+            graph->addOutput(node, readAccess(*graph, ja));
+        node.base = static_cast<ValueId>(jn.at("base").asInt());
+        node.cval = numberFromJson(jn.at("cval"));
         if (jn.obj().count("pred")) {
-            node->predicate = readIndexExpr(jn.at("pred"));
-            node->hasPredicate = true;
+            node.predicate = readIndexExpr(jn.at("pred"));
+            node.hasPredicate = true;
         }
         if (jn.obj().count("subgraph"))
-            node->subgraph = readGraph(jn.at("subgraph"), context);
-        graph->nodes.push_back(std::move(node));
+            node.subgraph = readGraph(jn.at("subgraph"), context);
     }
     return graph;
 }

@@ -21,30 +21,30 @@ topoOrder(const Graph &graph)
                !graph.node(graph.value(v).producer);
     };
 
-    pending.assign(graph.nodes.size(), 0);
-    for (const auto &node : graph.nodes) {
-        if (!node)
+    pending.assign(graph.nodeCount(), 0);
+    for (const Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
         int count = 0;
         auto add_dep = [&](ValueId v) {
             if (v >= 0 && !value_ready(v)) {
                 ++count;
-                waiters[static_cast<size_t>(v)].push_back(node->id);
+                waiters[static_cast<size_t>(v)].push_back(node.id);
             }
         };
-        for (const auto &in : node->ins)
+        for (const auto &in : graph.ins(node))
             add_dep(in.value);
-        add_dep(node->base);
-        pending[static_cast<size_t>(node->id)] = count;
+        add_dep(node.base);
+        pending[static_cast<size_t>(node.id)] = count;
         if (count == 0)
-            ready.push_back(node->id);
+            ready.push_back(node.id);
     }
 
     while (!ready.empty()) {
         const NodeId id = ready.back();
         ready.pop_back();
         order.push_back(id);
-        for (const auto &out : graph.node(id)->outs) {
+        for (const auto &out : graph.outs(*graph.node(id))) {
             if (out.value < 0)
                 continue;
             for (NodeId w : waiters[static_cast<size_t>(out.value)]) {
@@ -63,12 +63,12 @@ void
 forEachNodeRecursive(Graph &graph,
                      const std::function<void(Graph &, Node &)> &fn)
 {
-    for (auto &node : graph.nodes) {
-        if (!node)
+    for (Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
-        fn(graph, *node);
-        if (node->subgraph)
-            forEachNodeRecursive(*node->subgraph, fn);
+        fn(graph, node);
+        if (node.subgraph)
+            forEachNodeRecursive(*node.subgraph, fn);
     }
 }
 
@@ -77,13 +77,13 @@ forEachNodeRecursive(
     const Graph &graph,
     const std::function<void(const Graph &, const Node &)> &fn)
 {
-    for (const auto &node : graph.nodes) {
-        if (!node)
+    for (const Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
-        fn(graph, *node);
-        if (node->subgraph)
+        fn(graph, node);
+        if (node.subgraph)
             forEachNodeRecursive(
-                static_cast<const Graph &>(*node->subgraph), fn);
+                static_cast<const Graph &>(*node.subgraph), fn);
     }
 }
 
@@ -91,9 +91,9 @@ int
 recursionDepth(const Graph &graph)
 {
     int depth = 1;
-    for (const auto &node : graph.nodes) {
-        if (node && node->subgraph)
-            depth = std::max(depth, 1 + recursionDepth(*node->subgraph));
+    for (const Node &node : graph.nodePool()) {
+        if (node.live() && node.subgraph)
+            depth = std::max(depth, 1 + recursionDepth(*node.subgraph));
     }
     return depth;
 }
@@ -104,15 +104,15 @@ deadValues(const Graph &graph)
     std::set<ValueId> live;
     for (ValueId v : graph.outputs)
         live.insert(v);
-    for (const auto &node : graph.nodes) {
-        if (!node)
+    for (const Node &node : graph.nodePool()) {
+        if (!node.live())
             continue;
-        for (const auto &in : node->ins) {
+        for (const auto &in : graph.ins(node)) {
             if (in.value >= 0)
                 live.insert(in.value);
         }
-        if (node->base >= 0)
-            live.insert(node->base);
+        if (node.base >= 0)
+            live.insert(node.base);
     }
     std::vector<ValueId> dead;
     for (const auto &v : graph.values) {

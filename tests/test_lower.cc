@@ -39,9 +39,9 @@ TEST(Splice, InlinesSubgraphAndPreservesSemantics)
     auto g = ir::compileToSrdfg(kTwoLevel);
     ASSERT_EQ(ir::recursionDepth(*g), 2);
     ir::NodeId comp = -1;
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == ir::NodeKind::Component)
-            comp = node->id;
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.kind == ir::NodeKind::Component)
+            comp = node.id;
     }
     ASSERT_GE(comp, 0);
     lower::spliceComponent(*g, comp);
@@ -63,9 +63,9 @@ main(state float s[2], output float y) {
     RBT: peek(s, y);
 }
 )");
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == ir::NodeKind::Component) {
-            lower::spliceComponent(*g, node->id);
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.kind == ir::NodeKind::Component) {
+            lower::spliceComponent(*g, node.id);
             break;
         }
     }
@@ -126,10 +126,10 @@ TEST(Lower, DnnStaysAtLayerGranularityForVta)
     lower::lowerGraph(*g, registry.supportedOpsByDomain(), Domain::DL);
     // VTA consumes whole layers: conv components survive lowering.
     int64_t convs = 0;
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == ir::NodeKind::Component)
-            convs += node->op == ir::Op::intern("conv2d") ||
-                     node->op == ir::Op::intern("conv2d_dw");
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.kind == ir::NodeKind::Component)
+            convs += node.op == ir::Op::intern("conv2d") ||
+                     node.op == ir::Op::intern("conv2d_dw");
     }
     EXPECT_GT(convs, 10);
 }

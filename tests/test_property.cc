@@ -314,16 +314,16 @@ roundTripCval(double cval)
     auto g = ir::compileToSrdfg(
         "main(input float x, output float y) { y = x + 1.5; }");
     ir::Node *constant = nullptr;
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == ir::NodeKind::Constant)
-            constant = node.get();
+    for (auto &node : g->nodePool()) {
+        if (node.live() && node.kind == ir::NodeKind::Constant)
+            constant = &node;
     }
     EXPECT_NE(constant, nullptr);
     constant->cval = cval;
     const auto restored = ir::fromJson(ir::toJson(*g), g->context);
-    for (const auto &node : restored->nodes) {
-        if (node && node->kind == ir::NodeKind::Constant)
-            return node->cval;
+    for (const auto &node : restored->nodePool()) {
+        if (node.live() && node.kind == ir::NodeKind::Constant)
+            return node.cval;
     }
     ADD_FAILURE() << "restored graph lost its constant node";
     return 0.0;

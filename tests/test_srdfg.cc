@@ -13,6 +13,7 @@
 #include "srdfg/expand.h"
 #include "srdfg/index_expr.h"
 #include "srdfg/printer.h"
+#include "srdfg/serialize.h"
 #include "srdfg/traversal.h"
 
 namespace polymath::ir {
@@ -119,11 +120,11 @@ main(input float A[2][3], input float x[3], output float y[2]) {
     const Graph &sub = *call->subgraph;
     int muls = 0;
     int reduces = 0;
-    for (const auto &node : sub.nodes) {
-        if (!node)
+    for (const auto &node : sub.nodePool()) {
+        if (!node.live())
             continue;
-        muls += node->kind == NodeKind::Map && node->op == ir::OpCode::Mul;
-        reduces += node->kind == NodeKind::Reduce;
+        muls += node.kind == NodeKind::Map && node.op == ir::OpCode::Mul;
+        reduces += node.kind == NodeKind::Reduce;
     }
     EXPECT_EQ(muls, 1);
     EXPECT_EQ(reduces, 1);
@@ -231,9 +232,9 @@ main(input float a[2], input float b[5], output float c[2],
 }
 )");
     std::vector<const Node *> calls;
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == NodeKind::Component)
-            calls.push_back(node.get());
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.kind == NodeKind::Component)
+            calls.push_back(&node);
     }
     ASSERT_EQ(calls.size(), 2u);
     EXPECT_NE(calls[0]->subgraph.get(), calls[1]->subgraph.get());
@@ -290,11 +291,17 @@ TEST(Builder, ValidateAcceptsAllWorkloadStructures)
     auto g = compileToSrdfg("main(input float x[2], output float y[2]) {"
                             " index i[0:1]; y[i] = x[i]; }");
     g->validate();
-    for (auto &node : g->nodes) {
-        if (node && !node->ins.empty() && !node->ins[0].coords.empty()) {
-            node->ins[0].coords.push_back(IndexExpr::var(0));
-            break;
+    for (auto &node : g->nodePool()) {
+        if (!node.live() || g->ins(node).empty() ||
+            !g->ins(node)[0].hasCoords()) {
+            continue;
         }
+        // Corrupt the first input's coord span: widen it past the rank it
+        // was interned with (and potentially past the arena).
+        Access broken = g->ins(node)[0];
+        broken.coords.len += 7;
+        g->setInput(node, 0, broken);
+        break;
     }
     EXPECT_THROW(g->validate(), InternalError);
 }
@@ -378,15 +385,15 @@ main(input float x[2], output float y[2]) {
     std::map<NodeId, size_t> position;
     for (size_t i = 0; i < order.size(); ++i)
         position[order[i]] = i;
-    for (const auto &node : g->nodes) {
-        if (!node)
+    for (const auto &node : g->nodePool()) {
+        if (!node.live())
             continue;
-        for (const auto &in : node->ins) {
+        for (const auto &in : g->ins(node)) {
             if (in.isIndexOperand())
                 continue;
             const auto producer = g->value(in.value).producer;
             if (producer >= 0)
-                EXPECT_LT(position[producer], position[node->id]);
+                EXPECT_LT(position[producer], position[node.id]);
         }
     }
 }
@@ -412,9 +419,9 @@ TEST(Expand, MapMaterializationMatchesNodeSemantics)
                             " output float y[3]) {"
                             " index i[0:2]; y[i] = x[i]*z[i]; }");
     const Node *mul = nullptr;
-    for (const auto &node : g->nodes) {
-        if (node && node->op == ir::OpCode::Mul)
-            mul = node.get();
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.op == ir::OpCode::Mul)
+            mul = &node;
     }
     ASSERT_NE(mul, nullptr);
     auto scalar = materializeScalar(*g, *mul);
@@ -435,9 +442,9 @@ TEST(Expand, ReduceMaterializationFoldsCombinerChain)
     auto g = compileToSrdfg("main(input float x[4], output float s) {"
                             " index i[0:3]; s = sum[i](x[i]); }");
     const Node *red = nullptr;
-    for (const auto &node : g->nodes) {
-        if (node && node->kind == NodeKind::Reduce)
-            red = node.get();
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.kind == NodeKind::Reduce)
+            red = &node;
     }
     ASSERT_NE(red, nullptr);
     auto scalar = materializeScalar(*g, *red);
@@ -453,9 +460,9 @@ TEST(Expand, BudgetIsEnforced)
     auto g = compileToSrdfg("main(input float x[100], output float y[100]) {"
                             " index i[0:99]; y[i] = x[i]+1; }");
     const Node *add = nullptr;
-    for (const auto &node : g->nodes) {
-        if (node && node->op == ir::OpCode::Add)
-            add = node.get();
+    for (const auto &node : g->nodePool()) {
+        if (node.live() && node.op == ir::OpCode::Add)
+            add = &node;
     }
     ASSERT_NE(add, nullptr);
     EXPECT_THROW(materializeScalar(*g, *add, 10), UserError);
@@ -477,15 +484,15 @@ std::vector<NodeId>
 rawUses(const Graph &g, ValueId v)
 {
     std::vector<NodeId> out;
-    for (const auto &node : g.nodes) {
-        if (!node)
+    for (const auto &node : g.nodePool()) {
+        if (!node.live())
             continue;
-        for (const auto &in : node->ins) {
+        for (const auto &in : g.ins(node)) {
             if (in.value == v)
-                out.push_back(node->id);
+                out.push_back(node.id);
         }
-        if (node->base == v)
-            out.push_back(node->id);
+        if (node.base == v)
+            out.push_back(node.id);
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -494,7 +501,8 @@ rawUses(const Graph &g, ValueId v)
 std::vector<NodeId>
 sortedUses(const Graph &g, ValueId v)
 {
-    auto out = g.uses(v);
+    const auto span = g.uses(v);
+    std::vector<NodeId> out(span.begin(), span.end());
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -564,9 +572,10 @@ main(input float x[2], output float y[2]) {
     ASSERT_NE(sub, nullptr);
     const size_t uses_of_a = g->uses(a).size();
     const size_t uses_of_b = g->uses(b).size();
-    for (size_t slot = 0; slot < sub->ins.size(); ++slot) {
-        if (sub->ins[slot].value == b)
-            g->setInput(*sub, slot, Access{a, sub->ins[slot].coords});
+    const auto sub_ins = g->ins(*sub);
+    for (size_t slot = 0; slot < sub_ins.size(); ++slot) {
+        if (sub_ins[slot].value == b)
+            g->setInput(*sub, slot, Access{a, sub_ins[slot].coords});
     }
     EXPECT_TRUE(g->usesCached());
     EXPECT_EQ(g->uses(a).size(), uses_of_a + 1);
@@ -596,7 +605,7 @@ main(input float x[2], output float y[2]) {
     // dropped and the next uses() call rebuilds a consistent view.
     Node *sub = g->node(g->value(g->findValueByName("y")).producer);
     ASSERT_NE(sub, nullptr);
-    for (auto &in : sub->ins) {
+    for (auto &in : g->insMut(*sub)) {
         if (in.value == b)
             in.value = a;
     }
@@ -628,11 +637,123 @@ main(input float x[2], output float y[2]) {
     // well-formed, so only the use-cache cross-check can catch it.
     Node *sub = g->node(g->value(g->findValueByName("y")).producer);
     ASSERT_NE(sub, nullptr);
-    for (auto &in : sub->ins) {
+    for (auto &in : g->insMut(*sub)) {
         if (in.value == b)
             in.value = a;
     }
     EXPECT_THROW(g->validate(), InternalError);
+}
+
+TEST(UseLists, ConsumersAgreesWithUsesCache)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[2], output float y[2]) {
+    index i[0:1];
+    float a[2], b[2];
+    a[i] = x[i] + x[i];
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    // From-scratch path first (no cache yet).
+    ASSERT_FALSE(g->usesCached());
+    const auto cold = g->consumers();
+
+    // Warm the incremental cache, then derive consumers from it. The two
+    // views must agree cell by cell, and both must match a raw walk:
+    // every cell sorted ascending by node id, one entry per referencing
+    // access.
+    (void)g->uses(g->findValueByName("a"));
+    ASSERT_TRUE(g->usesCached());
+    const auto warm = g->consumers();
+    ASSERT_EQ(cold.size(), warm.size());
+    for (const auto &v : g->values) {
+        const auto idx = static_cast<size_t>(v.id);
+        EXPECT_EQ(cold[idx], warm[idx]) << "value " << v.id;
+        EXPECT_EQ(warm[idx], rawUses(*g, v.id)) << "value " << v.id;
+        EXPECT_EQ(sortedUses(*g, v.id), rawUses(*g, v.id))
+            << "value " << v.id;
+    }
+}
+
+// --- flat storage ------------------------------------------------------------
+
+TEST(Storage, CompactIsInvisibleToPrintAndSerialize)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[4], output float y[4]) {
+    index i[0:3];
+    float a[4], b[4];
+    a[i] = x[i] + 1;
+    b[i] = a[i] * 2;
+    y[i] = b[i] - a[i];
+}
+)");
+    // Tombstone a node so the arenas hold garbage worth retiring.
+    const NodeId dead = g->value(g->findValueByName("b")).producer;
+    ASSERT_GE(dead, 0);
+    g->eraseNode(dead);
+
+    const std::string text_before = printGraph(*g);
+    const std::string json_before = toJson(*g);
+    const size_t arena_before = g->arenaBytes();
+
+    g->compact();
+    g->validate();
+
+    // Ids are stable across compact(), so both renderings must be
+    // byte-identical; only the arena footprint may shrink.
+    EXPECT_EQ(printGraph(*g), text_before);
+    EXPECT_EQ(toJson(*g), json_before);
+    EXPECT_LE(g->arenaBytes(), arena_before);
+}
+
+TEST(Storage, CloneOfCloneIsByteIdentical)
+{
+    auto g = compileToSrdfg(R"(
+inner(input float v[3], output float w[3]) {
+    index i[0:2];
+    w[i] = v[i] * v[i];
+}
+main(input float x[3], output float y[3]) {
+    inner(x, y);
+}
+)");
+    const auto c1 = g->clone();
+    const auto c2 = c1->clone();
+    EXPECT_EQ(toJson(*c1), toJson(*g));
+    EXPECT_EQ(toJson(*c2), toJson(*g));
+    EXPECT_EQ(printGraph(*c2), printGraph(*g));
+
+    // The clone is deep: growing the copy leaves the original untouched.
+    const int64_t live_before = g->liveNodeCount();
+    Node &extra = *c2->node(c2->addNode(NodeKind::Constant, OpCode::Const));
+    extra.cval = 7.0;
+    EdgeMeta md;
+    md.dtype = DType::Float;
+    md.kind = EdgeKind::Internal;
+    c2->addOutput(extra, Access{c2->addValue(md, extra.id), {}});
+    EXPECT_EQ(g->liveNodeCount(), live_before);
+    EXPECT_EQ(c2->liveNodeCount(), live_before + 1);
+    EXPECT_EQ(toJson(*g), toJson(*c1));
+}
+
+TEST(Storage, ArenaBytesTracksPools)
+{
+    auto g = compileToSrdfg(R"(
+main(input float x[4][4], output float y[4][4]) {
+    index i[0:3], j[0:3];
+    y[i][j] = x[i][j] + x[j][i];
+}
+)");
+    // A graph with coords, accesses, and domain vars must report a
+    // nonzero arena footprint, and a compact() of a garbage-free graph
+    // must not grow it.
+    const size_t before = g->arenaBytes();
+    EXPECT_GT(before, 0u);
+    g->compact();
+    EXPECT_LE(g->arenaBytes(), before);
+    g->validate();
 }
 
 // --- printing ----------------------------------------------------------------

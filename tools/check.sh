@@ -9,8 +9,9 @@
 # `tools/check.sh tidy` is an opt-in
 # extra (not part of the default trio): clang-tidy with the repo's
 # .clang-tidy profile (bugprone-* + performance-*) over the compile-path
-# core, src/srdfg and src/passes; it needs clang-tidy on PATH and uses
-# the default preset's exported compile database.
+# core — src/srdfg, src/passes, src/lower, and src/interp; it needs
+# clang-tidy on PATH and uses the default preset's exported compile
+# database.
 #
 # The ASan pass re-runs the suite twice more to pin down the two
 # environment axes the stack promises independence from:
@@ -55,7 +56,8 @@ done
 
 for preset in "${presets[@]}"; do
     if [ "$preset" = tidy ]; then
-        echo "== [tidy] clang-tidy (src/srdfg src/passes) =="
+        echo "== [tidy] clang-tidy (src/srdfg src/passes src/lower" \
+             "src/interp) =="
         if ! command -v clang-tidy > /dev/null 2>&1; then
             echo "tidy: clang-tidy not on PATH; install it or drop the" \
                  "tidy argument" >&2
@@ -68,7 +70,7 @@ for preset in "${presets[@]}"; do
         # (check list, warnings-as-errors, header filter) lives in
         # .clang-tidy so editors and CI agree.
         clang-tidy -p build --quiet \
-            src/srdfg/*.cc src/passes/*.cc
+            src/srdfg/*.cc src/passes/*.cc src/lower/*.cc src/interp/*.cc
         continue
     fi
     echo "== [$preset] configure =="
@@ -138,6 +140,21 @@ for preset in "${presets[@]}"; do
         if ! build/tools/bench_compare --rel-tol 0.6 \
                 bench/baselines/compile_path.json "$artifact"; then
             echo "compile-path perf gate: regressed;" \
+                 "current artifact kept at $artifact" >&2
+            exit 1
+        fi
+        rm -f "$artifact"
+        # Snapshot-cost gate: Graph::clone() and toJson() are the unit
+        # costs behind pass snapshots, the compile cache, and component
+        # memoization; wall-clock like bench_compile, so the same loose
+        # tolerance applies.
+        echo "== [$preset] clone/serialize perf gate =="
+        artifact="$(mktemp /tmp/polymath-bench-clone.XXXXXX.json)"
+        build/bench/bench_clone_serialize --reps 3 --json "$artifact" \
+            > /dev/null
+        if ! build/tools/bench_compare --rel-tol 0.6 \
+                bench/baselines/clone_serialize.json "$artifact"; then
+            echo "clone/serialize perf gate: regressed;" \
                  "current artifact kept at $artifact" >&2
             exit 1
         fi
